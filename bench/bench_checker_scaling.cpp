@@ -1,0 +1,95 @@
+// Experiment E4: oracle cost.  The violation-witness search is
+// O(|M|^arity) with pruning; the dedicated limit-set checkers are
+// polynomial.  Sweeps run size for both, plus closure cost for the run
+// representation itself.
+#include <benchmark/benchmark.h>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/checker/violation.hpp"
+#include "src/poset/run_generator.hpp"
+#include "src/spec/library.hpp"
+
+namespace msgorder {
+namespace {
+
+UserRun sized_run(std::size_t n_messages, std::uint64_t seed) {
+  Rng rng(seed);
+  RandomRunOptions opts;
+  opts.n_processes = 6;
+  opts.n_messages = n_messages;
+  opts.send_bias = 0.7;
+  return random_scheduled_run(opts, rng);
+}
+
+void BM_CausalOracle(benchmark::State& state) {
+  const UserRun run =
+      sized_run(static_cast<std::size_t>(state.range(0)), 3);
+  const ForbiddenPredicate spec = causal_ordering();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_violation(run, spec));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CausalOracle)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_DirectCausalChecker(benchmark::State& state) {
+  const UserRun run =
+      sized_run(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(in_causal(run));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DirectCausalChecker)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Complexity();
+
+void BM_SyncChecker(benchmark::State& state) {
+  const UserRun run =
+      sized_run(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(in_sync(run));
+  }
+}
+BENCHMARK(BM_SyncChecker)->RangeMultiplier(2)->Range(8, 256);
+
+void BM_CrownOracleArity3(benchmark::State& state) {
+  const UserRun run =
+      sized_run(static_cast<std::size_t>(state.range(0)), 7);
+  const ForbiddenPredicate spec = sync_crown(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_violation(run, spec));
+  }
+}
+BENCHMARK(BM_CrownOracleArity3)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_KWeakerOracleArity4(benchmark::State& state) {
+  const UserRun run =
+      sized_run(static_cast<std::size_t>(state.range(0)), 9);
+  const ForbiddenPredicate spec = k_weaker_causal(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_violation(run, spec));
+  }
+}
+BENCHMARK(BM_KWeakerOracleArity4)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_RunConstructionClosure(benchmark::State& state) {
+  Rng rng(11);
+  RandomRunOptions opts;
+  opts.n_processes = 6;
+  opts.n_messages = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_scheduled_run(opts, rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RunConstructionClosure)
+    ->RangeMultiplier(2)
+    ->Range(8, 512)
+    ->Complexity();
+
+}  // namespace
+}  // namespace msgorder
+
+BENCHMARK_MAIN();

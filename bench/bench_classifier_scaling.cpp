@@ -1,0 +1,99 @@
+// Experiment E3: classifier cost.  The 0-1-BFS closed-walk classifier is
+// polynomial (O(V*E)); exhaustive simple-cycle enumeration is
+// exponential in dense graphs.  google-benchmark sweeps predicate size
+// and edge density for both, demonstrating why the state-graph algorithm
+// matters for large machine-generated specifications.
+#include <benchmark/benchmark.h>
+
+#include "src/spec/classify.hpp"
+#include "src/spec/library.hpp"
+#include "src/util/rng.hpp"
+
+namespace msgorder {
+namespace {
+
+ForbiddenPredicate random_predicate(std::size_t n_vars,
+                                    std::size_t n_edges, Rng& rng) {
+  std::vector<Conjunct> conjuncts;
+  conjuncts.reserve(n_edges);
+  for (std::size_t i = 0; i < n_edges; ++i) {
+    Conjunct c;
+    c.lhs = rng.below(n_vars);
+    c.rhs = rng.below(n_vars);
+    if (c.lhs == c.rhs) c.rhs = (c.rhs + 1) % n_vars;
+    c.p = rng.chance(0.5) ? UserEventKind::kSend : UserEventKind::kDeliver;
+    c.q = rng.chance(0.5) ? UserEventKind::kSend : UserEventKind::kDeliver;
+    conjuncts.push_back(c);
+  }
+  return make_predicate(n_vars, conjuncts);
+}
+
+void BM_ClassifyRandom(benchmark::State& state) {
+  const auto n_vars = static_cast<std::size_t>(state.range(0));
+  const std::size_t n_edges = 2 * n_vars;
+  Rng rng(7 + n_vars);
+  const ForbiddenPredicate p = random_predicate(n_vars, n_edges, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify(p));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n_vars));
+}
+BENCHMARK(BM_ClassifyRandom)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+void BM_ClassifyDense(benchmark::State& state) {
+  const auto n_vars = static_cast<std::size_t>(state.range(0));
+  const std::size_t n_edges = n_vars * n_vars / 2;
+  Rng rng(11 + n_vars);
+  const ForbiddenPredicate p = random_predicate(n_vars, n_edges, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify(p));
+  }
+}
+BENCHMARK(BM_ClassifyDense)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_SimpleCycleEnumerationCapped(benchmark::State& state) {
+  // The exponential alternative, capped at 10^5 cycles so the benchmark
+  // terminates; the cap is hit from ~8 vertices on.
+  const auto n_vars = static_cast<std::size_t>(state.range(0));
+  Rng rng(13 + n_vars);
+  const ForbiddenPredicate p =
+      random_predicate(n_vars, n_vars * n_vars / 2, rng);
+  const PredicateGraph g(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.simple_cycles(100000));
+  }
+}
+BENCHMARK(BM_SimpleCycleEnumerationCapped)->RangeMultiplier(2)->Range(4, 16);
+
+void BM_ClassifyZoo(benchmark::State& state) {
+  const auto zoo = spec_zoo();
+  for (auto _ : state) {
+    for (const NamedSpec& spec : zoo) {
+      benchmark::DoNotOptimize(classify(spec.predicate));
+    }
+  }
+}
+BENCHMARK(BM_ClassifyZoo);
+
+void BM_ClassifyCrown(benchmark::State& state) {
+  const ForbiddenPredicate p =
+      sync_crown(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify(p));
+  }
+}
+BENCHMARK(BM_ClassifyCrown)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_ClassifyKWeakerChain(benchmark::State& state) {
+  const ForbiddenPredicate p =
+      k_weaker_causal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify(p));
+  }
+}
+BENCHMARK(BM_ClassifyKWeakerChain)->RangeMultiplier(4)->Range(4, 1024);
+
+}  // namespace
+}  // namespace msgorder
+
+BENCHMARK_MAIN();

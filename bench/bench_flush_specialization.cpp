@@ -1,0 +1,89 @@
+// Experiment E11: specification-driven protocol specialization (the
+// companion paper's [19] theme, executed).  For the global-forward-flush
+// spec, compare the Theorem-3 generic sufficiency protocol (full causal
+// ordering) against the specialized red-frontier protocol, sweeping the
+// red fraction: the specialized protocol buffers strictly less, and at
+// red = 100% the two converge.  The async baseline shows how often the
+// spec breaks with no protocol at all.
+#include <cstdio>
+
+#include "src/checker/violation.hpp"
+#include "src/protocols/async.hpp"
+#include "src/protocols/causal_rst.hpp"
+#include "src/protocols/global_flush.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/spec/library.hpp"
+
+using namespace msgorder;
+
+namespace {
+
+struct Row {
+  double buffer = 0;
+  double latency = 0;
+  int safe = 0;
+  int runs = 0;
+};
+
+Row sweep(const ProtocolFactory& factory, double red_fraction,
+          int trials) {
+  Row row;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng rng(300 + trial);
+    WorkloadOptions wopts;
+    wopts.n_processes = 5;
+    wopts.n_messages = 400;
+    wopts.mean_gap = 0.2;
+    wopts.red_fraction = red_fraction;
+    const Workload workload = random_workload(wopts, rng);
+    SimOptions sopts;
+    sopts.seed = 31 * trial + 11;
+    sopts.network.jitter_mean = 3.0;
+    const SimResult result =
+        simulate(workload, factory, wopts.n_processes, sopts);
+    if (!result.completed) continue;
+    const auto run = result.trace.to_user_run();
+    if (!run.has_value()) continue;
+    ++row.runs;
+    row.buffer += result.trace.mean_delivery_delay();
+    row.latency += result.trace.mean_latency();
+    row.safe += satisfies(*run, global_forward_flush(1));
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const int kTrials = 10;
+  std::printf("E11: specialized global-flush protocol vs generic causal "
+              "ordering (5 processes, 400 messages, %d trials)\n\n",
+              kTrials);
+  std::printf("%-6s | %-18s | %-18s | %-10s\n", "", "global-flush",
+              "causal-rst (generic)", "async");
+  std::printf("%-6s | %-8s %-9s | %-8s %-9s | %-10s\n", "red%", "buffer",
+              "safe", "buffer", "safe", "safe");
+  std::printf("%s\n", std::string(66, '-').c_str());
+
+  bool ok = true;
+  for (double red : {0.0, 0.1, 0.25, 0.5, 1.0}) {
+    const Row spec = sweep(GlobalFlushProtocol::factory(1), red, kTrials);
+    const Row causal = sweep(CausalRstProtocol::factory(), red, kTrials);
+    const Row async_r = sweep(AsyncProtocol::factory(), red, kTrials);
+    ok = ok && spec.safe == spec.runs && causal.safe == causal.runs;
+    if (red > 0) {
+      ok = ok && spec.buffer <= causal.buffer * 1.02;
+    }
+    std::printf("%-6.0f | %-8.3f %4d/%-4d | %-8.3f %4d/%-4d | %4d/%-4d\n",
+                red * 100, spec.buffer / spec.runs, spec.safe, spec.runs,
+                causal.buffer / causal.runs, causal.safe, causal.runs,
+                async_r.safe, async_r.runs);
+  }
+
+  std::printf("\nexpected shape: both protocols always safe; the "
+              "specialized one buffers strictly less at low red "
+              "fractions and converges to causal at red=100%%; async "
+              "violates once red messages exist\n");
+  std::printf("RESULT: %s\n", ok ? "ok" : "FAIL");
+  return ok ? 0 : 1;
+}

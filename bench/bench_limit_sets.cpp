@@ -1,0 +1,63 @@
+// Experiment E1: empirical containment X_sync subset X_co subset X_async
+// (Theorem 1's limit sets).  For growing message counts, sample random
+// complete runs and report the fraction falling in each limit set.  The
+// fractions must be nested and shrink with message count — the paper's
+// containment chain, measured.
+#include <cstdio>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/poset/run_generator.hpp"
+
+using namespace msgorder;
+
+int main() {
+  std::printf("E1: fraction of random runs inside each limit set\n");
+  std::printf("%-10s %-10s %-10s %-10s %-10s\n", "messages", "runs",
+              "async", "causal", "sync");
+  Rng rng(20240706);
+  const int kTrials = 2000;
+  bool nested = true;
+  for (std::size_t messages : {1, 2, 3, 4, 6, 8, 12, 16, 24}) {
+    int n_sync = 0;
+    int n_co = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      RandomRunOptions opts;
+      opts.n_processes = 4;
+      opts.n_messages = messages;
+      opts.send_bias = 0.6;
+      const UserRun run = random_scheduled_run(opts, rng);
+      const bool sync = in_sync(run);
+      const bool causal = in_causal(run);
+      if (sync && !causal) nested = false;
+      n_sync += sync;
+      n_co += causal;
+    }
+    std::printf("%-10zu %-10d %-10.3f %-10.3f %-10.3f\n", messages,
+                kTrials, 1.0, static_cast<double>(n_co) / kTrials,
+                static_cast<double>(n_sync) / kTrials);
+  }
+  std::printf("\ncontainment X_sync subset X_co never violated: %s\n",
+              nested ? "yes" : "NO");
+
+  // Second series: how the send bias (traffic concurrency) moves runs
+  // out of the smaller sets, at a fixed message count.
+  std::printf("\nE1b: limit-set fractions vs send bias (8 messages)\n");
+  std::printf("%-10s %-10s %-10s\n", "bias", "causal", "sync");
+  for (double bias : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    int n_sync = 0;
+    int n_co = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      RandomRunOptions opts;
+      opts.n_processes = 4;
+      opts.n_messages = 8;
+      opts.send_bias = bias;
+      const UserRun run = random_scheduled_run(opts, rng);
+      n_sync += in_sync(run);
+      n_co += in_causal(run);
+    }
+    std::printf("%-10.1f %-10.3f %-10.3f\n", bias,
+                static_cast<double>(n_co) / kTrials,
+                static_cast<double>(n_sync) / kTrials);
+  }
+  return nested ? 0 : 1;
+}

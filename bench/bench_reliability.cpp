@@ -1,0 +1,66 @@
+// Experiment E10 (failure injection): ordering guarantees survive a
+// lossy network when composed with the reliability layer.  Sweeps the
+// loss rate and reports retransmissions, duplicate arrivals, latency and
+// safety for reliable(causal-rst); the ordering protocols themselves
+// never notice the loss.
+#include <cstdio>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/protocols/causal_rst.hpp"
+#include "src/protocols/reliable.hpp"
+#include "src/sim/simulator.hpp"
+
+using namespace msgorder;
+
+int main() {
+  const std::size_t kProcesses = 4;
+  const std::size_t kMessages = 600;
+  Rng rng(4242);
+  WorkloadOptions wopts;
+  wopts.n_processes = kProcesses;
+  wopts.n_messages = kMessages;
+  wopts.mean_gap = 0.5;
+  const Workload workload = random_workload(wopts, rng);
+
+  std::printf("E10: reliable(causal-rst) under packet loss (%zu "
+              "processes, %zu messages)\n\n",
+              kProcesses, kMessages);
+  std::printf("%-8s %-10s %-10s %-10s %-10s %-8s %-8s\n", "loss",
+              "drops", "retx/msg", "dup/msg", "latency", "done", "causal");
+
+  bool ok = true;
+  double previous_latency = 0;
+  for (double loss : {0.0, 0.05, 0.1, 0.2, 0.3, 0.45}) {
+    SimOptions sopts;
+    sopts.seed = 17;
+    sopts.network.jitter_mean = 2.0;
+    sopts.network.loss_probability = loss;
+    ReliableOptions ropts;
+    ropts.retransmit_timeout = 15.0;  // above the jittered round trip
+    const SimResult result = simulate(
+        workload,
+        ReliableProtocol::wrap(CausalRstProtocol::factory(), ropts),
+        kProcesses, sopts);
+    const auto run =
+        result.completed ? result.trace.to_user_run() : std::nullopt;
+    const bool causal = run.has_value() && in_causal(*run);
+    ok = ok && result.completed && causal;
+    std::printf("%-8.2f %-10zu %-10.2f %-10.2f %-10.2f %-8s %-8s\n", loss,
+                result.trace.drops(),
+                static_cast<double>(result.trace.retransmissions()) /
+                    kMessages,
+                static_cast<double>(result.trace.duplicate_arrivals()) /
+                    kMessages,
+                result.trace.mean_latency(),
+                result.completed ? "yes" : "NO", causal ? "yes" : "NO");
+    if (loss == 0.0) previous_latency = result.trace.mean_latency();
+  }
+
+  std::printf("\nexpected shape: retransmissions and latency grow with "
+              "the loss rate; every run completes and stays causally "
+              "ordered (latency at 45%% loss well above the %.2f "
+              "loss-free baseline)\n",
+              previous_latency);
+  std::printf("RESULT: %s\n", ok ? "ok" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Experiment E8 (the introduction's motivation, operationalized): the
+// Chandy-Lamport snapshot is correct exactly when its markers are
+// ordered FIFO with the user traffic.  We sweep network jitter and
+// report the fraction of consistent snapshots with and without the
+// ordering guarantee.
+#include <cstdio>
+
+#include "src/apps/snapshot.hpp"
+#include "src/sim/simulator.hpp"
+
+using namespace msgorder;
+
+namespace {
+
+struct Fractions {
+  int consistent = 0;
+  int accounted = 0;
+  int total = 0;
+};
+
+Fractions sweep(bool fifo_markers, double jitter, int trials) {
+  Fractions f;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng rng(1000 + trial);
+    WorkloadOptions wopts;
+    wopts.n_processes = 5;
+    wopts.n_messages = 250;
+    wopts.mean_gap = 0.3;
+    const Workload workload = random_workload(wopts, rng);
+    SnapshotProtocol::Registry registry;
+    SnapshotProtocol::Options options;
+    options.fifo_markers = fifo_markers;
+    SimOptions sopts;
+    sopts.seed = 7 * trial + 3;
+    sopts.network.jitter_mean = jitter;
+    const SimResult result =
+        simulate(workload, SnapshotProtocol::factory(options, &registry),
+                 wopts.n_processes, sopts);
+    if (!result.completed) continue;
+    const GlobalSnapshot snapshot = collect(registry);
+    if (!snapshot.complete()) continue;
+    ++f.total;
+    f.consistent += snapshot.consistent();
+    f.accounted += snapshot.channel_states_account();
+  }
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  const int kTrials = 60;
+  std::printf("E8: snapshot consistency vs marker ordering "
+              "(5 processes, 250 messages, %d trials per cell)\n\n",
+              kTrials);
+  std::printf("%-8s | %-22s | %-22s\n", "", "FIFO markers", "async markers");
+  std::printf("%-8s | %-10s %-10s | %-10s %-10s\n", "jitter",
+              "consistent", "accounted", "consistent", "accounted");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  bool ok = true;
+  for (double jitter : {0.5, 2.0, 4.0, 8.0}) {
+    const Fractions fifo = sweep(true, jitter, kTrials);
+    const Fractions async_f = sweep(false, jitter, kTrials);
+    std::printf("%-8.1f | %7.3f    %7.3f    | %7.3f    %7.3f\n", jitter,
+                static_cast<double>(fifo.consistent) / fifo.total,
+                static_cast<double>(fifo.accounted) / fifo.total,
+                static_cast<double>(async_f.consistent) / async_f.total,
+                static_cast<double>(async_f.accounted) / async_f.total);
+    // FIFO snapshots must be perfect; async ones must degrade with
+    // jitter.
+    ok = ok && fifo.consistent == fifo.total &&
+         fifo.accounted == fifo.total;
+  }
+  std::printf("\nexpected shape: FIFO column pinned at 1.000; async "
+              "column degrades as jitter (reordering) grows\n");
+  std::printf("RESULT: %s\n", ok ? "ok" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,120 @@
+// Experiment E6: the two general (control-message) protocols for
+// logically synchronous ordering, swept over process count and load.
+// The sequencer pays a bounded 3 control packets per message but
+// centralizes; the token ring decentralizes but pays circulation when
+// idle and ring latency before each send.  Both must stay inside X_sync
+// everywhere — the ablation is about cost, never about safety.
+#include <cstdio>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/protocols/sync_locks.hpp"
+#include "src/protocols/sync_sequencer.hpp"
+#include "src/protocols/sync_token.hpp"
+#include "src/sim/simulator.hpp"
+
+using namespace msgorder;
+
+namespace {
+
+struct Row {
+  double latency = 0;
+  double ctrl = 0;
+  bool sync = false;
+  bool completed = false;
+};
+
+Row run_one(const ProtocolFactory& factory, std::size_t n_processes,
+            double mean_gap, std::size_t n_messages) {
+  Rng rng(31337 + n_processes);
+  WorkloadOptions wopts;
+  wopts.n_processes = n_processes;
+  wopts.n_messages = n_messages;
+  wopts.mean_gap = mean_gap;
+  const Workload workload = random_workload(wopts, rng);
+  SimOptions sopts;
+  sopts.seed = 7;
+  sopts.network.jitter_mean = 1.0;
+  const SimResult result =
+      simulate(workload, factory, n_processes, sopts);
+  Row row;
+  row.completed = result.completed;
+  if (!result.completed) return row;
+  row.latency = result.trace.mean_latency();
+  row.ctrl = result.trace.control_packets_per_message();
+  const auto run = result.trace.to_user_run();
+  row.sync = run.has_value() && in_sync(*run);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  std::printf("E6: sequencer vs token ring vs pairwise locks (logically "
+              "synchronous ordering)\n\n");
+  std::printf("%-4s %-6s | %-10s %-8s %-4s | %-10s %-8s %-4s | %-10s "
+              "%-8s %-4s\n",
+              "n", "gap", "seq lat", "ctrl", "ok", "tok lat", "ctrl",
+              "ok", "lock lat", "ctrl", "ok");
+  std::printf("%s\n", std::string(92, '-').c_str());
+  for (std::size_t n : {3u, 5u, 8u, 12u}) {
+    for (double gap : {0.5, 5.0, 50.0}) {
+      const Row seq =
+          run_one(SyncSequencerProtocol::factory(), n, gap, 300);
+      const Row tok = run_one(SyncTokenProtocol::factory(), n, gap, 300);
+      const Row lck = run_one(SyncLocksProtocol::factory(), n, gap, 300);
+      ok = ok && seq.completed && tok.completed && lck.completed &&
+           seq.sync && tok.sync && lck.sync;
+      std::printf("%-4zu %-6.1f | %-10.1f %-8.2f %-4s | %-10.1f %-8.2f "
+                  "%-4s | %-10.1f %-8.2f %-4s\n",
+                  n, gap, seq.latency, seq.ctrl, seq.sync ? "y" : "N",
+                  tok.latency, tok.ctrl, tok.sync ? "y" : "N",
+                  lck.latency, lck.ctrl, lck.sync ? "y" : "N");
+    }
+  }
+
+  // E6b: disjoint-pair traffic — the decentralized locks overlap
+  // independent pairs; the centralized designs serialize everything.
+  std::printf("\nE6b: disjoint-pair workload (P0<->P1, P2<->P3, ...), "
+              "latency by pair count\n");
+  std::printf("%-6s %-12s %-12s %-12s\n", "pairs", "sequencer", "token",
+              "locks");
+  for (std::size_t pairs : {1u, 2u, 4u}) {
+    const std::size_t n = 2 * pairs;
+    Rng rng(99 + pairs);
+    std::vector<std::tuple<SimTime, ProcessId, ProcessId, int>> entries;
+    SimTime t = 0;
+    for (int i = 0; i < 240; ++i) {
+      t += rng.exponential(0.05);
+      const auto pair = static_cast<ProcessId>(rng.below(pairs));
+      const ProcessId a = 2 * pair;
+      const ProcessId b = a + 1;
+      const bool forward = rng.chance(0.5);
+      entries.push_back({t, forward ? a : b, forward ? b : a, 0});
+    }
+    const Workload w = scripted_workload(entries);
+    SimOptions sopts;
+    sopts.network.jitter_mean = 1.0;
+    double lat[3] = {0, 0, 0};
+    const ProtocolFactory factories[3] = {
+        SyncSequencerProtocol::factory(), SyncTokenProtocol::factory(),
+        SyncLocksProtocol::factory()};
+    for (int f = 0; f < 3; ++f) {
+      const SimResult r = simulate(w, factories[f], n, sopts);
+      ok = ok && r.completed;
+      lat[f] = r.trace.mean_latency();
+      const auto run = r.trace.to_user_run();
+      ok = ok && run.has_value() && in_sync(*run);
+    }
+    std::printf("%-6zu %-12.1f %-12.1f %-12.1f\n", pairs, lat[0], lat[1],
+                lat[2]);
+  }
+
+  std::printf("\nexpected shape: sequencer ctrl/msg <= 3 always; token "
+              "ctrl/msg explodes as traffic thins; locks pay ~5-6 "
+              "ctrl/msg but their latency stays flat as disjoint pairs "
+              "are added while the centralized designs degrade; every "
+              "run logically synchronous\n");
+  std::printf("RESULT: %s\n", ok ? "ok" : "FAIL");
+  return ok ? 0 : 1;
+}

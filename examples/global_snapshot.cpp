@@ -1,0 +1,74 @@
+// Global snapshots as a consumer of message ordering (paper Sections
+// 1-2): run Chandy-Lamport over the simulator twice — once with markers
+// sequenced FIFO with the traffic, once racing them — and show what the
+// recorded cuts look like.
+#include <cstdio>
+
+#include "src/apps/snapshot.hpp"
+#include "src/poset/diagram.hpp"
+#include "src/sim/simulator.hpp"
+
+using namespace msgorder;
+
+namespace {
+
+void run_variant(bool fifo_markers) {
+  Rng rng(7);
+  WorkloadOptions wopts;
+  wopts.n_processes = 3;
+  wopts.n_messages = 40;
+  wopts.mean_gap = 0.4;
+  const Workload workload = random_workload(wopts, rng);
+  SnapshotProtocol::Registry registry;
+  SnapshotProtocol::Options options;
+  options.fifo_markers = fifo_markers;
+  SimOptions sopts;
+  sopts.seed = 11;
+  sopts.network.jitter_mean = 4.0;
+  const SimResult result =
+      simulate(workload, SnapshotProtocol::factory(options, &registry),
+               wopts.n_processes, sopts);
+  std::printf("--- markers %s ---\n",
+              fifo_markers ? "FIFO with traffic" : "racing the traffic");
+  if (!result.completed) {
+    std::printf("simulation failed: %s\n", result.error.c_str());
+    return;
+  }
+  const GlobalSnapshot snapshot = collect(registry);
+  std::printf("%s", snapshot.to_string().c_str());
+  std::printf("complete:  %s\n", snapshot.complete() ? "yes" : "no");
+  std::printf("consistent cut:        %s\n",
+              snapshot.consistent() ? "yes" : "NO");
+  std::printf("channel states account: %s\n\n",
+              snapshot.channel_states_account() ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Chandy-Lamport global snapshot needs FIFO ordering.\n\n");
+
+  // A tiny run first, drawn as a time diagram.
+  Rng rng(3);
+  WorkloadOptions small;
+  small.n_processes = 3;
+  small.n_messages = 4;
+  small.mean_gap = 1.0;
+  const Workload tiny = random_workload(small, rng);
+  SnapshotProtocol::Registry registry;
+  const SimResult result = simulate(
+      tiny, SnapshotProtocol::factory({}, &registry), 3, SimOptions{});
+  if (result.completed) {
+    const auto run = result.trace.to_system_run();
+    if (run.has_value()) {
+      std::printf("a 4-message run, system view:\n%s\n",
+                  time_diagram(*run).c_str());
+    }
+  }
+
+  run_variant(true);
+  run_variant(false);
+  std::printf("the FIFO variant records a consistent cut every time; "
+              "see bench_snapshot for the full sweep.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: specify a message ordering with a forbidden predicate,
+// classify it, and run the synthesized protocol on a random workload.
+#include <cstdio>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/checker/violation.hpp"
+#include "src/protocols/synthesized.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/spec/library.hpp"
+#include "src/spec/parser.hpp"
+
+using namespace msgorder;
+
+int main() {
+  // 1. Specify: causal ordering as a forbidden predicate.
+  const ParseResult parsed =
+      parse_predicate("(x.s |> y.s) & (y.r |> x.r)");
+  if (!parsed.ok()) {
+    std::printf("parse error: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  const ForbiddenPredicate spec = *parsed.predicate;
+  std::printf("specification: forbid %s\n", spec.to_string().c_str());
+
+  // 2. Classify: which protocol class is necessary and sufficient?
+  const Classification verdict = classify(spec);
+  std::printf("classification: %s\n", verdict.to_string().c_str());
+
+  // 3. Synthesize the protocol Theorem 3's sufficiency proof prescribes.
+  const SynthesisResult synthesis = synthesize(spec);
+  std::printf("synthesis: %s\n", synthesis.rationale.c_str());
+  if (!synthesis.factory.has_value()) return 1;
+
+  // 4. Simulate it on a random 4-process workload over a non-FIFO
+  //    network and verify the produced run against the specification.
+  Rng rng(2024);
+  WorkloadOptions wopts;
+  wopts.n_processes = 4;
+  wopts.n_messages = 200;
+  const Workload workload = random_workload(wopts, rng);
+  const SimResult result =
+      simulate(workload, *synthesis.factory, wopts.n_processes);
+  if (!result.completed) {
+    std::printf("simulation failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  const auto run = result.trace.to_user_run();
+  if (!run.has_value()) return 1;
+
+  std::printf("simulated %zu messages; mean latency %.2f, tag %.0f B/msg, "
+              "%.2f control packets/msg\n",
+              wopts.n_messages, result.trace.mean_latency(),
+              result.trace.mean_tag_bytes(),
+              result.trace.control_packets_per_message());
+  std::printf("run is causally ordered: %s\n",
+              in_causal(*run) ? "yes" : "NO");
+  std::printf("run satisfies the forbidden predicate spec: %s\n",
+              satisfies(*run, spec) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "src/checker/limit_sets.hpp"
+
+#include "src/poset/lift.hpp"
+
+namespace msgorder {
+
+std::string to_string(LimitSet s) {
+  switch (s) {
+    case LimitSet::kSync:
+      return "sync";
+    case LimitSet::kCausal:
+      return "causal";
+    case LimitSet::kAsync:
+      return "async";
+  }
+  return "?";
+}
+
+bool in_async(const UserRun& run) {
+  return run.order().is_partial_order();
+}
+
+bool in_causal(const UserRun& run) {
+  const std::size_t m = run.message_count();
+  for (MessageId x = 0; x < m; ++x) {
+    for (MessageId y = 0; y < m; ++y) {
+      if (x == y) continue;
+      if (run.before(x, UserEventKind::kSend, y, UserEventKind::kSend) &&
+          run.before(y, UserEventKind::kDeliver, x,
+                     UserEventKind::kDeliver)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool in_sync(const UserRun& run) {
+  return sync_timestamps(run).has_value();
+}
+
+LimitSet finest_limit_set(const UserRun& run) {
+  if (in_sync(run)) return LimitSet::kSync;
+  if (in_causal(run)) return LimitSet::kCausal;
+  return LimitSet::kAsync;
+}
+
+}  // namespace msgorder

@@ -1,0 +1,37 @@
+// Membership tests for the three limit sets of Section 3.4:
+//   X_sync  (logically synchronous)  subset of
+//   X_co    (causally ordered)       subset of
+//   X_async (all complete runs).
+// These are the sets whose containment in a specification decides, by
+// Theorem 1, which protocol class can implement it.
+#pragma once
+
+#include <string>
+
+#include "src/poset/user_run.hpp"
+
+namespace msgorder {
+
+/// Finest limit set containing the run.
+enum class LimitSet {
+  kSync,   // in X_sync (hence also X_co and X_async)
+  kCausal, // in X_co but not X_sync
+  kAsync,  // in X_async only
+};
+
+std::string to_string(LimitSet s);
+
+/// Every valid complete UserRun is in X_async by construction; exposed
+/// for symmetry and used by property tests as a sanity check.
+bool in_async(const UserRun& run);
+
+/// X_co: no pair of messages with (x.s |> y.s) and (y.r |> x.r).
+bool in_causal(const UserRun& run);
+
+/// X_sync: a message numbering T with x.h |> y.f  =>  T(x) < T(y) exists
+/// (equivalently, the message digraph is acyclic; Section 3.4 and [18]).
+bool in_sync(const UserRun& run);
+
+LimitSet finest_limit_set(const UserRun& run);
+
+}  // namespace msgorder

@@ -1,0 +1,131 @@
+#include "src/checker/monitor.hpp"
+
+#include <algorithm>
+
+namespace msgorder {
+
+OnlineMonitor::OnlineMonitor(std::vector<Message> universe,
+                             ForbiddenPredicate specification)
+    : universe_(std::move(universe)),
+      spec_(std::move(specification)),
+      ancestors_(2 * universe_.size()),
+      present_(2 * universe_.size(), false) {
+  std::size_t n_processes = 0;
+  for (const Message& m : universe_) {
+    n_processes = std::max({n_processes, static_cast<std::size_t>(m.src) + 1,
+                            static_cast<std::size_t>(m.dst) + 1});
+  }
+  last_event_.assign(n_processes, -1);
+}
+
+bool OnlineMonitor::before(UserEvent a, UserEvent b) const {
+  return ancestors_.get(index(b.msg, b.kind), index(a.msg, a.kind));
+}
+
+bool OnlineMonitor::conjuncts_hold(const std::vector<MessageId>& assignment,
+                                   std::size_t bound_upto,
+                                   std::size_t pinned_var,
+                                   MessageId pinned_msg) const {
+  const auto value = [&](std::size_t var) -> std::optional<MessageId> {
+    if (var == pinned_var) return pinned_msg;
+    if (var < bound_upto) return assignment[var];
+    return std::nullopt;
+  };
+  for (const Conjunct& c : spec_.conjuncts) {
+    const auto lhs = value(c.lhs);
+    const auto rhs = value(c.rhs);
+    if (!lhs || !rhs) continue;
+    if (!ancestors_.get(index(*rhs, c.q), index(*lhs, c.p))) return false;
+    // Both endpoints must actually have happened.
+    if (!present_[index(*lhs, c.p)] || !present_[index(*rhs, c.q)]) {
+      return false;
+    }
+  }
+  for (const ProcessEquality& pe : spec_.process_constraints) {
+    const auto a = value(pe.var_a);
+    const auto b = value(pe.var_b);
+    if (!a || !b) continue;
+    const Message& ma = universe_[*a];
+    const Message& mb = universe_[*b];
+    const ProcessId pa =
+        pe.kind_a == UserEventKind::kSend ? ma.src : ma.dst;
+    const ProcessId pb =
+        pe.kind_b == UserEventKind::kSend ? mb.src : mb.dst;
+    if (pa != pb) return false;
+  }
+  for (const ColorConstraint& cc : spec_.color_constraints) {
+    const auto v = value(cc.var);
+    if (!v) continue;
+    if (universe_[*v].color != cc.color) return false;
+  }
+  return true;
+}
+
+bool OnlineMonitor::search_with_pin(std::size_t pinned_var,
+                                    MessageId pinned_msg,
+                                    std::size_t next_var,
+                                    std::vector<MessageId>& assignment,
+                                    std::vector<bool>& used) const {
+  if (next_var == spec_.arity) return true;
+  if (next_var == pinned_var) {
+    return search_with_pin(pinned_var, pinned_msg, next_var + 1,
+                           assignment, used);
+  }
+  for (MessageId m = 0; m < universe_.size(); ++m) {
+    if (used[m] || m == pinned_msg) continue;
+    assignment[next_var] = m;
+    if (conjuncts_hold(assignment, next_var + 1, pinned_var, pinned_msg)) {
+      used[m] = true;
+      if (search_with_pin(pinned_var, pinned_msg, next_var + 1,
+                          assignment, used)) {
+        return true;
+      }
+      used[m] = false;
+    }
+  }
+  return false;
+}
+
+bool OnlineMonitor::on_event(ProcessId process, SystemEvent event,
+                             double time) {
+  if (!is_user_kind(event.kind)) return false;
+  const UserEventKind kind = to_user_kind(event.kind);
+  const std::size_t idx = index(event.msg, kind);
+  // Extend the incremental causality: predecessors are the previous user
+  // event on this line and, for a delivery, the matching send.
+  if (last_event_[process] >= 0) {
+    const auto prev = static_cast<std::size_t>(last_event_[process]);
+    ancestors_.or_row_into(prev, idx);
+    ancestors_.set(idx, prev);
+  }
+  if (kind == UserEventKind::kDeliver) {
+    const std::size_t send = index(event.msg, UserEventKind::kSend);
+    ancestors_.or_row_into(send, idx);
+    ancestors_.set(idx, send);
+  }
+  present_[idx] = true;
+  last_event_[process] = static_cast<long>(idx);
+
+  // A newly completed pattern must bind some variable to this message.
+  if (spec_.arity == 0 || spec_.arity > universe_.size()) return false;
+  std::vector<MessageId> assignment(spec_.arity, 0);
+  std::vector<bool> used(universe_.size(), false);
+  for (std::size_t v = 0; v < spec_.arity; ++v) {
+    assignment.assign(spec_.arity, 0);
+    std::fill(used.begin(), used.end(), false);
+    used[event.msg] = true;
+    if (!conjuncts_hold(assignment, 0, v, event.msg)) continue;
+    if (search_with_pin(v, event.msg, 0, assignment, used)) {
+      assignment[v] = event.msg;
+      ++violation_count_;
+      if (!first_violation_.has_value()) {
+        first_violation_ = assignment;
+        first_violation_time_ = time;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace msgorder

@@ -1,0 +1,73 @@
+// An online specification monitor: fed the system events of a running
+// execution (via SimOptions::observer), it maintains the user-view
+// causality incrementally and reports the first moment a forbidden
+// pattern completes — with the witness and the timestamp, while the
+// offline oracle only judges finished runs.
+//
+// Incremental core: every new user event is maximal, so its ancestor
+// set is the union of its process predecessor's ancestors and (for a
+// delivery) the matching send's ancestors.  Old relations never change,
+// hence any *newly completed* pattern must bind one variable to the new
+// event's message, which bounds the search to O(|M|^(arity-1)) per
+// event.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/checker/violation.hpp"
+#include "src/poset/event.hpp"
+#include "src/spec/predicate.hpp"
+#include "src/util/bitmatrix.hpp"
+
+namespace msgorder {
+
+class OnlineMonitor {
+ public:
+  OnlineMonitor(std::vector<Message> universe,
+                ForbiddenPredicate specification);
+
+  /// Feed the next system event (in execution order).  Invoke and
+  /// receive events are ignored; sends and deliveries extend the user
+  /// view.  Returns true if this event completed a (new) violation.
+  bool on_event(ProcessId process, SystemEvent event, double time);
+
+  bool violated() const { return first_violation_.has_value(); }
+  std::size_t violation_count() const { return violation_count_; }
+  /// The first witness found and the time its last event executed.
+  const std::optional<ViolationWitness>& first_witness() const {
+    return first_violation_;
+  }
+  double first_violation_time() const { return first_violation_time_; }
+
+  /// The monitor's view of causality so far (for tests).
+  bool before(UserEvent a, UserEvent b) const;
+
+ private:
+  static std::size_t index(MessageId m, UserEventKind k) {
+    return 2 * static_cast<std::size_t>(m) +
+           (k == UserEventKind::kDeliver ? 1 : 0);
+  }
+
+  bool search_with_pin(std::size_t pinned_var, MessageId pinned_msg,
+                       std::size_t next_var,
+                       std::vector<MessageId>& assignment,
+                       std::vector<bool>& used) const;
+  bool conjuncts_hold(const std::vector<MessageId>& assignment,
+                      std::size_t bound_upto, std::size_t pinned_var,
+                      MessageId pinned_msg) const;
+
+  std::vector<Message> universe_;
+  ForbiddenPredicate spec_;
+  /// ancestors_.get(e, a) == true iff a |> e.
+  BitMatrix ancestors_;
+  std::vector<bool> present_;
+  /// Last user event index per process, or -1.
+  std::vector<long> last_event_;
+  std::optional<ViolationWitness> first_violation_;
+  double first_violation_time_ = 0;
+  std::size_t violation_count_ = 0;
+};
+
+}  // namespace msgorder

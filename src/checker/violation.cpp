@@ -1,0 +1,98 @@
+#include "src/checker/violation.hpp"
+
+namespace msgorder {
+
+namespace {
+
+class ViolationSearch {
+ public:
+  ViolationSearch(const UserRun& run, const ForbiddenPredicate& predicate)
+      : run_(run), predicate_(predicate) {}
+
+  std::optional<ViolationWitness> search() {
+    if (predicate_.arity == 0 ||
+        predicate_.arity > run_.message_count()) {
+      return std::nullopt;
+    }
+    assignment_.assign(predicate_.arity, 0);
+    used_.assign(run_.message_count(), false);
+    if (extend(0)) return assignment_;
+    return std::nullopt;
+  }
+
+ private:
+  /// Check constraints and conjuncts that became fully bound when
+  /// variable v was assigned.
+  bool consistent(std::size_t v) const {
+    for (const Conjunct& c : predicate_.conjuncts) {
+      if (c.lhs > v || c.rhs > v) continue;
+      if (c.lhs != v && c.rhs != v) continue;  // checked earlier
+      if (!run_.before(assignment_[c.lhs], c.p, assignment_[c.rhs], c.q)) {
+        return false;
+      }
+    }
+    for (const ProcessEquality& pe : predicate_.process_constraints) {
+      if (pe.var_a > v || pe.var_b > v) continue;
+      if (pe.var_a != v && pe.var_b != v) continue;
+      const ProcessId a =
+          run_.process_of({assignment_[pe.var_a], pe.kind_a});
+      const ProcessId b =
+          run_.process_of({assignment_[pe.var_b], pe.kind_b});
+      if (a != b) return false;
+    }
+    for (const ColorConstraint& cc : predicate_.color_constraints) {
+      if (cc.var != v) continue;
+      if (run_.color_of(assignment_[v]) != cc.color) return false;
+    }
+    return true;
+  }
+
+  bool extend(std::size_t v) {
+    if (v == predicate_.arity) return true;
+    for (MessageId m = 0; m < run_.message_count(); ++m) {
+      if (used_[m]) continue;  // distinct-message quantification
+      assignment_[v] = m;
+      if (consistent(v)) {
+        used_[m] = true;
+        if (extend(v + 1)) return true;
+        used_[m] = false;
+      }
+    }
+    return false;
+  }
+
+  const UserRun& run_;
+  const ForbiddenPredicate& predicate_;
+  ViolationWitness assignment_;
+  std::vector<bool> used_;
+};
+
+}  // namespace
+
+std::optional<ViolationWitness> find_violation(
+    const UserRun& run, const ForbiddenPredicate& predicate) {
+  return ViolationSearch(run, predicate).search();
+}
+
+bool satisfies(const UserRun& run, const ForbiddenPredicate& predicate) {
+  return !find_violation(run, predicate).has_value();
+}
+
+bool satisfies(const UserRun& run, const CompositeSpec& spec) {
+  for (const ForbiddenPredicate& p : spec.predicates) {
+    if (!satisfies(run, p)) return false;
+  }
+  return true;
+}
+
+std::string witness_to_string(const ForbiddenPredicate& predicate,
+                              const ViolationWitness& witness) {
+  std::string out;
+  for (std::size_t v = 0; v < witness.size(); ++v) {
+    if (v) out += ", ";
+    out += predicate.var_name(v) + ":=m" + std::to_string(witness[v]);
+  }
+  return out;
+}
+
+}  // namespace msgorder

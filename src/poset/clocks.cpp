@@ -1,0 +1,56 @@
+#include "src/poset/clocks.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace msgorder {
+
+void VectorClock::merge(const VectorClock& other) {
+  assert(size() == other.size());
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    v_[i] = std::max(v_[i], other.v_[i]);
+  }
+}
+
+bool VectorClock::leq(const VectorClock& other) const {
+  assert(size() == other.size());
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] > other.v_[i]) return false;
+  }
+  return true;
+}
+
+bool VectorClock::lt(const VectorClock& other) const {
+  return leq(other) && v_ != other.v_;
+}
+
+std::string VectorClock::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(v_[i]);
+  }
+  return out + "]";
+}
+
+void MatrixClock::merge(const MatrixClock& other) {
+  assert(n_ == other.n_);
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    m_[i] = std::max(m_[i], other.m_[i]);
+  }
+}
+
+std::string MatrixClock::to_string() const {
+  std::string out;
+  for (std::size_t j = 0; j < n_; ++j) {
+    out += "[";
+    for (std::size_t k = 0; k < n_; ++k) {
+      if (k) out += ",";
+      out += std::to_string(at(j, k));
+    }
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace msgorder

@@ -1,0 +1,75 @@
+// Vector and matrix logical clocks.  These are the tagging structures the
+// tagged protocols of Section 2 piggyback on user messages: the
+// Raynal-Schiper-Toueg causal-ordering protocol tags an n x n matrix, the
+// Schiper-Eggli-Sandoz protocol tags vectors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msgorder {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t n) : v_(n, 0) {}
+
+  std::size_t size() const { return v_.size(); }
+  std::uint32_t operator[](std::size_t i) const { return v_[i]; }
+  std::uint32_t& operator[](std::size_t i) { return v_[i]; }
+
+  void tick(std::size_t i) { ++v_[i]; }
+
+  /// Component-wise maximum.
+  void merge(const VectorClock& other);
+
+  /// this <= other component-wise.
+  bool leq(const VectorClock& other) const;
+  /// Strictly less: leq and not equal (the "happened before" test).
+  bool lt(const VectorClock& other) const;
+  bool concurrent_with(const VectorClock& other) const {
+    return !leq(other) && !other.leq(*this);
+  }
+
+  /// Serialized size in bytes when tagged on a message.
+  std::size_t byte_size() const { return v_.size() * sizeof(std::uint32_t); }
+
+  std::string to_string() const;
+
+  bool operator==(const VectorClock&) const = default;
+
+ private:
+  std::vector<std::uint32_t> v_;
+};
+
+/// m[j][k] = number of messages from P_j to P_k known to the holder
+/// (the RST "knowledge matrix", Section 2 of the paper).
+class MatrixClock {
+ public:
+  MatrixClock() = default;
+  explicit MatrixClock(std::size_t n) : n_(n), m_(n * n, 0) {}
+
+  std::size_t size() const { return n_; }
+  std::uint32_t at(std::size_t j, std::size_t k) const {
+    return m_[j * n_ + k];
+  }
+  std::uint32_t& at(std::size_t j, std::size_t k) { return m_[j * n_ + k]; }
+
+  void merge(const MatrixClock& other);
+
+  std::size_t byte_size() const {
+    return n_ * n_ * sizeof(std::uint32_t);
+  }
+
+  std::string to_string() const;
+
+  bool operator==(const MatrixClock&) const = default;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> m_;
+};
+
+}  // namespace msgorder

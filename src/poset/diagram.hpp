@@ -1,0 +1,25 @@
+// ASCII time diagrams in the style of the paper's figures: one line per
+// process, one column per event (a topological linearization of the
+// run), message transits drawn as matching send/receive labels.
+//
+//   P0: |s*0|s0 |   |   |
+//   P1: |   |   |r*0|r0 |
+//
+// Used by the examples and by failure diagnostics in tests.
+#pragma once
+
+#include <string>
+
+#include "src/poset/system_run.hpp"
+#include "src/poset/user_run.hpp"
+
+namespace msgorder {
+
+/// Diagram of a system-view run (four-part events).
+std::string time_diagram(const SystemRun& run);
+
+/// Diagram of a scheduled user-view run (send/delivery events).
+/// Precondition: run.has_schedules().
+std::string time_diagram(const UserRun& run);
+
+}  // namespace msgorder

@@ -1,0 +1,83 @@
+// Event and message identities (paper Section 3.1).
+//
+// Every user-level message x consists of four system events:
+//   x.s* (invoke), x.s (send), x.r* (receive), x.r (deliver).
+// The user's view retains only x.s and x.r.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msgorder {
+
+using MessageId = std::uint32_t;
+using ProcessId = std::uint32_t;
+
+/// The four system-level event kinds of a message.
+enum class EventKind : std::uint8_t {
+  kInvoke,   // x.s* : user requests the send
+  kSend,     // x.s  : protocol releases the message onto the channel
+  kReceive,  // x.r* : message arrives at the destination
+  kDeliver,  // x.r  : protocol hands the message to the user
+};
+
+/// The two user-level event kinds (the projection of Section 3.3 keeps
+/// exactly these).
+enum class UserEventKind : std::uint8_t {
+  kSend,     // x.s
+  kDeliver,  // x.r
+};
+
+constexpr bool is_user_kind(EventKind k) {
+  return k == EventKind::kSend || k == EventKind::kDeliver;
+}
+
+constexpr UserEventKind to_user_kind(EventKind k) {
+  return k == EventKind::kSend ? UserEventKind::kSend
+                               : UserEventKind::kDeliver;
+}
+
+constexpr EventKind to_system_kind(UserEventKind k) {
+  return k == UserEventKind::kSend ? EventKind::kSend : EventKind::kDeliver;
+}
+
+/// Paper notation for each kind ("s*", "s", "r*", "r").
+std::string kind_name(EventKind k);
+std::string kind_name(UserEventKind k);
+
+/// An event of the system view: message x plus one of its four kinds.
+struct SystemEvent {
+  MessageId msg = 0;
+  EventKind kind = EventKind::kInvoke;
+
+  bool operator==(const SystemEvent&) const = default;
+};
+
+/// An event of the user's view: message x plus send-or-deliver.
+struct UserEvent {
+  MessageId msg = 0;
+  UserEventKind kind = UserEventKind::kSend;
+
+  bool operator==(const UserEvent&) const = default;
+};
+
+/// A message in M_{src,dst}.  `color` carries the attribute used by
+/// colored specifications (e.g. "red marker" flush messages, handoff
+/// messages); 0 is the default color.  `mcast` groups the unicast copies
+/// of one multicast (-1 = plain unicast); the multicast extension the
+/// paper's conclusion sketches is built on this encoding (src/apps).
+struct Message {
+  MessageId id = 0;
+  ProcessId src = 0;
+  ProcessId dst = 0;
+  int color = 0;
+  int mcast = -1;
+
+  bool operator==(const Message&) const = default;
+};
+
+/// Human-readable labels, e.g. "x3.s" / "x3.r*".
+std::string to_string(const SystemEvent& e);
+std::string to_string(const UserEvent& e);
+
+}  // namespace msgorder

@@ -1,0 +1,74 @@
+#include "src/poset/lift.hpp"
+
+#include <cassert>
+
+#include "src/poset/poset.hpp"
+
+namespace msgorder {
+
+SystemRun lift(const UserRun& run) {
+  assert(run.has_schedules() && "lift needs a process realization");
+  const std::size_t n = run.process_count();
+  std::vector<std::vector<SystemEvent>> sequences(n);
+  const auto& schedules = run.schedules();
+  for (std::size_t p = 0; p < schedules.size(); ++p) {
+    for (const ScheduleStep& step : schedules[p]) {
+      if (step.kind == UserEventKind::kSend) {
+        sequences[p].push_back({step.msg, EventKind::kInvoke});
+        sequences[p].push_back({step.msg, EventKind::kSend});
+      } else {
+        sequences[p].push_back({step.msg, EventKind::kReceive});
+        sequences[p].push_back({step.msg, EventKind::kDeliver});
+      }
+    }
+  }
+  std::string error;
+  auto lifted =
+      SystemRun::from_sequences(run.messages(), std::move(sequences), &error);
+  assert(lifted.has_value() && "lift of a valid user run is a valid run");
+  return *lifted;
+}
+
+std::optional<std::vector<std::uint32_t>> sync_timestamps(
+    const UserRun& run) {
+  const std::size_t m = run.message_count();
+  // Message digraph: x -> y iff some event of x precedes some event of y.
+  Poset digraph(m);
+  static constexpr UserEventKind kKinds[] = {UserEventKind::kSend,
+                                             UserEventKind::kDeliver};
+  for (MessageId x = 0; x < m; ++x) {
+    for (MessageId y = 0; y < m; ++y) {
+      if (x == y) continue;
+      for (UserEventKind h : kKinds) {
+        for (UserEventKind f : kKinds) {
+          if (run.before(x, h, y, f)) digraph.add_edge(x, y);
+        }
+      }
+    }
+  }
+  digraph.close();
+  const auto topo = digraph.topological_order();
+  if (!topo.has_value()) return std::nullopt;
+  std::vector<std::uint32_t> t(m, 0);
+  for (std::size_t pos = 0; pos < topo->size(); ++pos) {
+    t[(*topo)[pos]] = static_cast<std::uint32_t>(pos);
+  }
+  return t;
+}
+
+std::optional<std::vector<std::uint32_t>> sync_numbering(
+    const UserRun& run) {
+  const auto t = sync_timestamps(run);
+  if (!t.has_value()) return std::nullopt;
+  std::vector<std::uint32_t> numbering(4 * run.message_count(), 0);
+  for (MessageId x = 0; x < run.message_count(); ++x) {
+    const std::uint32_t base = 4 * (*t)[x];
+    numbering[SystemRun::index(x, EventKind::kInvoke)] = base;
+    numbering[SystemRun::index(x, EventKind::kSend)] = base + 1;
+    numbering[SystemRun::index(x, EventKind::kReceive)] = base + 2;
+    numbering[SystemRun::index(x, EventKind::kDeliver)] = base + 3;
+  }
+  return numbering;
+}
+
+}  // namespace msgorder

@@ -1,0 +1,36 @@
+// Lifting a user-view run back to a system-view run, and the SYNC
+// numbering scheme — the constructions used in the proof of Theorem 1
+// (paper Figure 5) and in the definition of X_sync / X_gn.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/poset/system_run.hpp"
+#include "src/poset/user_run.hpp"
+
+namespace msgorder {
+
+/// Theorem-1 construction: given a complete scheduled user run (H, |>),
+/// build the system run H in which x.s* immediately precedes x.s and
+/// x.r* immediately precedes x.r on the same process line, so that
+/// UsersView(lift(run)) == run.  Requires run.has_schedules().
+SystemRun lift(const UserRun& run);
+
+/// If the run is logically synchronous, a function T : M -> N with
+/// x.h |> y.f  =>  T(x) < T(y)   (the SYNC condition of Section 3.4);
+/// otherwise nullopt.  This is the constructive X_sync membership test:
+/// T exists iff the message digraph (x -> y iff some event of x precedes
+/// some event of y) is acyclic.
+std::optional<std::vector<std::uint32_t>> sync_timestamps(
+    const UserRun& run);
+
+/// The numbering scheme N of the X_gn definition (Section 3.2.1), derived
+/// from sync_timestamps: N assigns consecutive numbers 4T(x)..4T(x)+3 to
+/// x.s*, x.s, x.r*, x.r.  Returns, indexed by SystemRun::index(m, kind),
+/// the value N(event); nullopt if the run is not logically synchronous.
+std::optional<std::vector<std::uint32_t>> sync_numbering(
+    const UserRun& run);
+
+}  // namespace msgorder

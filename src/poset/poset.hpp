@@ -1,0 +1,57 @@
+// A generic finite partially-ordered set over elements 0..n-1, backed by a
+// packed-bitset reachability matrix.  Runs (both the user's view and the
+// system's view, paper Section 3) are thin typed wrappers over this class.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/util/bitmatrix.hpp"
+
+namespace msgorder {
+
+class Poset {
+ public:
+  Poset() = default;
+  explicit Poset(std::size_t n) : reach_(n) {}
+
+  std::size_t size() const { return reach_.size(); }
+
+  /// Record the raw relation u -> v.  Call close() afterwards; queries are
+  /// only meaningful on the closed relation.
+  void add_edge(std::size_t u, std::size_t v) { reach_.set(u, v); }
+
+  /// Transitively close the relation.
+  void close() { reach_.transitive_closure(); }
+
+  /// Strict precedence u < v (requires close()).
+  bool precedes(std::size_t u, std::size_t v) const {
+    return reach_.get(u, v);
+  }
+
+  bool concurrent(std::size_t u, std::size_t v) const {
+    return u != v && !precedes(u, v) && !precedes(v, u);
+  }
+
+  /// A valid (strict) partial order is irreflexive after closure.
+  bool is_partial_order() const { return !reach_.any_diagonal(); }
+
+  /// Kahn topological order of the closed relation; empty optional if the
+  /// relation is cyclic.
+  std::optional<std::vector<std::size_t>> topological_order() const;
+
+  /// All ordered pairs (u, v) with u < v.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs() const;
+
+  /// Number of ordered pairs in the closed relation.
+  std::size_t pair_count() const { return reach_.popcount(); }
+
+  bool operator==(const Poset&) const = default;
+
+ private:
+  BitMatrix reach_;
+};
+
+}  // namespace msgorder

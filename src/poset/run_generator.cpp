@@ -1,0 +1,145 @@
+#include "src/poset/run_generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <string>
+
+namespace msgorder {
+
+UserRun random_scheduled_run(const RandomRunOptions& options, Rng& rng) {
+  assert(options.n_processes >= 2);
+  std::vector<Message> messages;
+  messages.reserve(options.n_messages);
+  for (MessageId id = 0; id < options.n_messages; ++id) {
+    const auto src =
+        static_cast<ProcessId>(rng.below(options.n_processes));
+    auto dst = static_cast<ProcessId>(rng.below(options.n_processes - 1));
+    if (dst >= src) ++dst;  // src != dst, uniform over the rest
+    const int color = rng.chance(options.red_fraction) ? 1 : 0;
+    messages.push_back({id, src, dst, color});
+  }
+
+  std::vector<std::vector<ScheduleStep>> schedules(options.n_processes);
+  std::vector<MessageId> in_flight;
+  MessageId next_send = 0;
+  while (next_send < messages.size() || !in_flight.empty()) {
+    const bool can_send = next_send < messages.size();
+    const bool can_deliver = !in_flight.empty();
+    const bool send =
+        can_send && (!can_deliver || rng.chance(options.send_bias));
+    if (send) {
+      const Message& m = messages[next_send];
+      schedules[m.src].push_back({m.id, UserEventKind::kSend});
+      in_flight.push_back(m.id);
+      ++next_send;
+    } else {
+      const std::size_t pick = rng.below(in_flight.size());
+      const MessageId id = in_flight[pick];
+      in_flight.erase(in_flight.begin() + static_cast<long>(pick));
+      schedules[messages[id].dst].push_back({id, UserEventKind::kDeliver});
+    }
+  }
+  auto run = UserRun::from_schedules(std::move(messages),
+                                     std::move(schedules));
+  assert(run.has_value());
+  return *run;
+}
+
+UserRun random_abstract_run(std::size_t n_messages, double density,
+                            Rng& rng) {
+  std::vector<Message> messages;
+  for (MessageId id = 0; id < n_messages; ++id) {
+    // Abstract runs do not rely on process structure; give each message
+    // its own endpoint pair for attribute queries.
+    messages.push_back({id, static_cast<ProcessId>(2 * id),
+                        static_cast<ProcessId>(2 * id + 1), 0});
+  }
+  // Random linear placement of the 2m events with x.s before x.r, then
+  // random forward edges.
+  std::vector<std::size_t> position(2 * n_messages);
+  std::vector<std::size_t> perm(2 * n_messages);
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::shuffle(perm.begin(), perm.end(), rng);
+  for (std::size_t pos = 0; pos < perm.size(); ++pos) {
+    position[perm[pos]] = pos;
+  }
+  for (MessageId m = 0; m < n_messages; ++m) {
+    auto& ps = position[UserRun::index(m, UserEventKind::kSend)];
+    auto& pr = position[UserRun::index(m, UserEventKind::kDeliver)];
+    if (ps > pr) std::swap(ps, pr);
+  }
+  std::vector<std::pair<UserEvent, UserEvent>> edges;
+  for (std::size_t a = 0; a < 2 * n_messages; ++a) {
+    for (std::size_t b = 0; b < 2 * n_messages; ++b) {
+      if (position[a] < position[b] && rng.chance(density)) {
+        edges.emplace_back(UserRun::event_of_index(a),
+                           UserRun::event_of_index(b));
+      }
+    }
+  }
+  auto run = UserRun::from_edges(std::move(messages), edges);
+  assert(run.has_value());
+  return *run;
+}
+
+namespace {
+
+void enumerate_rec(const std::vector<Message>& messages,
+                   std::vector<std::vector<ScheduleStep>>& schedules,
+                   std::vector<int>& state,  // 0 unsent, 1 in flight, 2 done
+                   std::set<std::string>& seen,
+                   std::vector<UserRun>& out) {
+  bool any = false;
+  for (MessageId m = 0; m < messages.size(); ++m) {
+    if (state[m] == 0) {
+      any = true;
+      state[m] = 1;
+      schedules[messages[m].src].push_back({m, UserEventKind::kSend});
+      enumerate_rec(messages, schedules, state, seen, out);
+      schedules[messages[m].src].pop_back();
+      state[m] = 0;
+    } else if (state[m] == 1) {
+      any = true;
+      state[m] = 2;
+      schedules[messages[m].dst].push_back({m, UserEventKind::kDeliver});
+      enumerate_rec(messages, schedules, state, seen, out);
+      schedules[messages[m].dst].pop_back();
+      state[m] = 1;
+    }
+  }
+  if (!any) {
+    auto run = UserRun::from_schedules(messages, schedules);
+    assert(run.has_value());
+    // Distinct global interleavings can induce the same decomposed run;
+    // deduplicate on the per-process schedules.
+    std::string k;
+    for (const auto& s : run->schedules()) {
+      for (const ScheduleStep& step : s) {
+        k += std::to_string(step.msg);
+        k += step.kind == UserEventKind::kSend ? 's' : 'r';
+      }
+      k += '|';
+    }
+    if (seen.insert(k).second) out.push_back(std::move(*run));
+  }
+}
+
+}  // namespace
+
+std::vector<UserRun> enumerate_scheduled_runs(
+    const std::vector<Message>& messages) {
+  std::size_t n_processes = 0;
+  for (const Message& m : messages) {
+    n_processes = std::max({n_processes, static_cast<std::size_t>(m.src) + 1,
+                            static_cast<std::size_t>(m.dst) + 1});
+  }
+  std::vector<std::vector<ScheduleStep>> schedules(n_processes);
+  std::vector<int> state(messages.size(), 0);
+  std::set<std::string> seen;
+  std::vector<UserRun> out;
+  enumerate_rec(messages, schedules, state, seen, out);
+  return out;
+}
+
+}  // namespace msgorder

@@ -1,0 +1,44 @@
+// Run generators: random scheduled runs (arbitrary asynchronous
+// interleavings), random abstract posets, and exhaustive enumeration of
+// all small runs.  These drive the empirical limit-set experiments (E1)
+// and the property-based test sweeps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/poset/user_run.hpp"
+#include "src/util/rng.hpp"
+
+namespace msgorder {
+
+struct RandomRunOptions {
+  std::size_t n_processes = 3;
+  std::size_t n_messages = 6;
+  /// Probability of preferring a fresh send over a pending delivery when
+  /// both are possible.  Lower values keep few messages in flight (more
+  /// synchronous-looking runs); higher values create deep reorderings.
+  double send_bias = 0.5;
+  /// Fraction of messages given color 1 ("red"), for colored specs.
+  double red_fraction = 0.0;
+};
+
+/// A uniform-ish random complete scheduled run: messages get random
+/// (src != dst) endpoints; the global interleaving is built step by step,
+/// delivering pending messages in random order.  Always a member of
+/// X_async; may or may not be causally ordered or synchronous.
+UserRun random_scheduled_run(const RandomRunOptions& options, Rng& rng);
+
+/// A random abstract run: a random poset over the 2*m user events that
+/// contains every message edge x.s |> x.r.  `density` in [0,1] is the
+/// probability of each forward candidate pair being related.
+UserRun random_abstract_run(std::size_t n_messages, double density,
+                            Rng& rng);
+
+/// All distinct complete scheduled runs over the given message set (every
+/// per-process interleaving of sends and deliveries).  Exponential in the
+/// number of messages; intended for n_messages <= 4.
+std::vector<UserRun> enumerate_scheduled_runs(
+    const std::vector<Message>& messages);
+
+}  // namespace msgorder

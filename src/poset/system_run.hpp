@@ -1,0 +1,129 @@
+// The system's view of a run: a decomposed partially-ordered set
+// H = (H_1, ..., H_n, ->) where each H_i is a sequence of the four-part
+// events of messages (paper Section 3.1).
+//
+// SystemRun validates the three run conditions of the paper:
+//   1. -> is a (strict) partial order,
+//   2. x.r* in H_i  implies  x.s in H_j     (no spurious receives),
+//   3. x.s in H implies x.s* -> x.s, and x.r in H implies x.r* -> x.r.
+//
+// It also implements the derived notions the paper builds on: prefixes,
+// CausalPast_i(H) (Figure 1), the pending-event sets I/S/R/D, and the
+// projection UsersView(H) (Section 3.3, Figure 4).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/poset/event.hpp"
+#include "src/poset/poset.hpp"
+#include "src/poset/user_run.hpp"
+
+namespace msgorder {
+
+class SystemRun {
+ public:
+  /// An empty run over a fixed message universe M and process count n.
+  /// The universe matters: the pending sets I/S/R/D are defined relative
+  /// to the messages that *could* be requested.
+  SystemRun(std::vector<Message> universe, std::size_t n_processes);
+  SystemRun() = default;
+
+  /// Build and validate a run from explicit per-process sequences.
+  static std::optional<SystemRun> from_sequences(
+      std::vector<Message> universe,
+      std::vector<std::vector<SystemEvent>> sequences,
+      std::string* error = nullptr);
+
+  std::size_t process_count() const { return sequences_.size(); }
+  const std::vector<Message>& universe() const { return universe_; }
+  const std::vector<std::vector<SystemEvent>>& sequences() const {
+    return sequences_;
+  }
+
+  /// Total number of events executed so far.
+  std::size_t event_count() const;
+
+  bool present(MessageId m, EventKind k) const {
+    return present_[index(m, k)];
+  }
+  bool present(SystemEvent e) const { return present(e.msg, e.kind); }
+
+  /// Strict causality e -> f (both events must be present).
+  bool before(SystemEvent e, SystemEvent f) const {
+    return order_.precedes(index(e.msg, e.kind), index(f.msg, f.kind));
+  }
+
+  /// Home process of an event (invoke/send live at src, receive/deliver
+  /// at dst).
+  ProcessId home(SystemEvent e) const;
+
+  // ---- Pending-event sets of Section 3.1 --------------------------------
+
+  /// I_i(H): invokes not yet requested at process i.
+  std::vector<SystemEvent> pending_invokes(ProcessId i) const;
+  /// S_i(H): sends requested but not executed at process i.
+  std::vector<SystemEvent> pending_sends(ProcessId i) const;
+  /// R_i(H): receives of messages sent to i and still in transit.
+  std::vector<SystemEvent> pending_receives(ProcessId i) const;
+  /// D_i(H): deliveries received but not executed at process i.
+  std::vector<SystemEvent> pending_deliveries(ProcessId i) const;
+
+  /// Union of S_i and D_i — the events a protocol may inhibit.
+  std::vector<SystemEvent> controllable(ProcessId i) const;
+
+  /// True when S(H) u R(H) u D(H) is empty: every requested message has
+  /// been sent and delivered (the liveness target of Section 3.2).
+  bool quiescent() const;
+
+  // ---- Structural operations --------------------------------------------
+
+  /// Is `e` executable next at its home process, i.e. is the extension
+  /// H + e still a run?  (e must be in I/S/R/D of its process.)
+  bool can_execute(SystemEvent e) const;
+
+  /// Append one event (must satisfy can_execute).
+  SystemRun executed(SystemEvent e) const;
+
+  /// The prefix with the given per-process lengths.  Lengths must be
+  /// consistent (the result must itself be a run); returns nullopt else.
+  std::optional<SystemRun> prefix(const std::vector<std::size_t>& lengths)
+      const;
+
+  /// CausalPast_i(H): G_i = H_i, and for j != i, g in G_j iff g -> h for
+  /// some h in H_i (paper Figure 1).
+  SystemRun causal_past(ProcessId i) const;
+
+  /// UsersView(H) (Section 3.3): projection onto send/delivery events.
+  /// Requires the run to be user-complete: x.s in H iff x.r in H for
+  /// every message.  Messages never sent are dropped.  Returns nullopt if
+  /// some message is sent but not delivered.
+  std::optional<UserRun> users_view() const;
+  bool user_complete() const;
+
+  /// Canonical text key (per-process sequences); two runs are the same
+  /// decomposed poset iff their keys match.
+  std::string key() const;
+
+  std::string to_string() const;
+
+  bool operator==(const SystemRun& other) const {
+    return sequences_ == other.sequences_;
+  }
+
+  static std::size_t index(MessageId m, EventKind k) {
+    return 4 * static_cast<std::size_t>(m) + static_cast<std::size_t>(k);
+  }
+
+ private:
+  void rebuild_order();
+
+  std::vector<Message> universe_;
+  std::vector<std::vector<SystemEvent>> sequences_;
+  std::vector<char> present_;
+  Poset order_;  // over 4*|M| event slots, closed
+};
+
+}  // namespace msgorder

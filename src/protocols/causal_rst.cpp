@@ -1,0 +1,63 @@
+#include "src/protocols/causal_rst.hpp"
+
+#include <memory>
+
+namespace msgorder {
+
+void CausalRstProtocol::on_invoke(const Message& m) {
+  Packet pkt;
+  pkt.dst = m.dst;
+  pkt.user_msg = m.id;
+  Tag tag{sent_};
+  pkt.tag_bytes = sent_.byte_size();
+  pkt.content = tag;
+  // Record this send in the local knowledge *after* stamping the tag:
+  // the tag describes the causal past of the send event.
+  sent_.at(host_.self(), m.dst) += 1;
+  host_.send_packet(std::move(pkt));
+}
+
+bool CausalRstProtocol::deliverable(const Tag& tag) const {
+  const ProcessId self = host_.self();
+  for (std::size_t k = 0; k < delivered_.size(); ++k) {
+    if (delivered_[k] < tag.sent.at(k, self)) return false;
+  }
+  return true;
+}
+
+void CausalRstProtocol::drain() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = buffer_.begin(); it != buffer_.end(); ++it) {
+      if (deliverable(it->tag)) {
+        host_.deliver(it->msg);
+        delivered_[it->src] += 1;
+        sent_.merge(it->tag.sent);
+        // This message itself is number tag[src][self] + 1 on its channel.
+        auto& cell = sent_.at(it->src, host_.self());
+        const std::uint32_t with_self = it->tag.sent.at(it->src,
+                                                        host_.self()) + 1;
+        if (cell < with_self) cell = with_self;
+        buffer_.erase(it);
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+void CausalRstProtocol::on_packet(const Packet& packet) {
+  if (packet.is_control) return;
+  buffer_.push_back({packet.user_msg, packet.src,
+                     std::any_cast<Tag>(packet.content)});
+  drain();
+}
+
+ProtocolFactory CausalRstProtocol::factory() {
+  return [](Host& host) {
+    return std::make_unique<CausalRstProtocol>(host);
+  };
+}
+
+}  // namespace msgorder

@@ -1,0 +1,53 @@
+// The Raynal-Schiper-Toueg causal-ordering protocol [20] (Section 2 of
+// the paper): every message is tagged with an n x n matrix m where
+// m[j][k] is the sender's knowledge of how many messages P_j has sent to
+// P_k.  The receiver delays delivery until all messages addressed to it
+// that the tag proves were sent causally earlier have been delivered.
+// Tag cost O(n^2), zero control messages — the canonical witness that
+// causal ordering sits in the *tagged* protocol class.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/poset/clocks.hpp"
+#include "src/protocols/protocol.hpp"
+
+namespace msgorder {
+
+class CausalRstProtocol final : public Protocol {
+ public:
+  explicit CausalRstProtocol(Host& host)
+      : host_(host),
+        sent_(host.process_count()),
+        delivered_(host.process_count(), 0) {}
+
+  void on_invoke(const Message& m) override;
+  void on_packet(const Packet& packet) override;
+  std::string name() const override { return "causal-rst"; }
+
+  static ProtocolFactory factory();
+
+  /// The tag piggybacked on each user packet.
+  struct Tag {
+    MatrixClock sent;  // sender's knowledge BEFORE this message
+  };
+
+ private:
+  bool deliverable(const Tag& tag) const;
+  void drain();
+
+  struct Buffered {
+    MessageId msg;
+    ProcessId src;
+    Tag tag;
+  };
+
+  Host& host_;
+  MatrixClock sent_;
+  /// delivered_[k]: messages from P_k delivered here.
+  std::vector<std::uint32_t> delivered_;
+  std::vector<Buffered> buffer_;
+};
+
+}  // namespace msgorder

@@ -1,0 +1,69 @@
+#include "src/protocols/causal_ses.hpp"
+
+#include <memory>
+
+namespace msgorder {
+
+void CausalSesProtocol::on_invoke(const Message& m) {
+  // Stamp: this send is a new event of self.
+  time_.tick(host_.self());
+  Tag tag;
+  tag.timestamp = time_;
+  tag.last_sent = last_sent_;  // knowledge EXCLUDING this message
+  Packet pkt;
+  pkt.dst = m.dst;
+  pkt.user_msg = m.id;
+  pkt.tag_bytes = tag.byte_size(host_.process_count());
+  pkt.content = tag;
+  // Now remember this message as the latest sent to m.dst.
+  auto [it, inserted] = last_sent_.try_emplace(m.dst, time_);
+  if (!inserted) it->second.merge(time_);
+  host_.send_packet(std::move(pkt));
+}
+
+bool CausalSesProtocol::deliverable(const Tag& tag) const {
+  const auto it = tag.last_sent.find(host_.self());
+  if (it == tag.last_sent.end()) return true;
+  // Everything the sender knew was previously sent to us must already be
+  // reflected in our merged time.
+  return it->second.leq(time_);
+}
+
+void CausalSesProtocol::absorb(const Tag& tag) {
+  time_.merge(tag.timestamp);
+  for (const auto& [dst, v] : tag.last_sent) {
+    if (dst == host_.self()) continue;  // our own inbox history is local
+    auto [it, inserted] = last_sent_.try_emplace(dst, v);
+    if (!inserted) it->second.merge(v);
+  }
+}
+
+void CausalSesProtocol::drain() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = buffer_.begin(); it != buffer_.end(); ++it) {
+      if (deliverable(it->tag)) {
+        host_.deliver(it->msg);
+        absorb(it->tag);
+        buffer_.erase(it);
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+void CausalSesProtocol::on_packet(const Packet& packet) {
+  if (packet.is_control) return;
+  buffer_.push_back({packet.user_msg, std::any_cast<Tag>(packet.content)});
+  drain();
+}
+
+ProtocolFactory CausalSesProtocol::factory() {
+  return [](Host& host) {
+    return std::make_unique<CausalSesProtocol>(host);
+  };
+}
+
+}  // namespace msgorder

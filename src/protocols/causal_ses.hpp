@@ -1,0 +1,64 @@
+// The Schiper-Eggli-Sandoz causal-ordering protocol [21]: instead of the
+// full n x n matrix, each message carries the sender's vector time plus
+// one (destination, vector-time) pair per destination it knows about —
+// O(n) in the common case.  Delivery of m at j waits until every message
+// to j that the piggybacked pair list proves causally earlier has been
+// delivered (reflected in j's merged vector time).
+//
+// Together with causal-rst this gives two independent tagged
+// implementations of X_co; the conformance tests check they accept and
+// produce exactly causally ordered runs, and bench E2 contrasts their
+// tag sizes.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "src/poset/clocks.hpp"
+#include "src/protocols/protocol.hpp"
+
+namespace msgorder {
+
+class CausalSesProtocol final : public Protocol {
+ public:
+  explicit CausalSesProtocol(Host& host)
+      : host_(host), time_(host.process_count()) {}
+
+  void on_invoke(const Message& m) override;
+  void on_packet(const Packet& packet) override;
+  std::string name() const override { return "causal-ses"; }
+
+  static ProtocolFactory factory();
+
+  struct Tag {
+    VectorClock timestamp;  // send event's vector time
+    /// Per-destination vector times of the latest causally known message
+    /// to that destination (the V_SND set of the original paper).
+    std::map<ProcessId, VectorClock> last_sent;
+
+    std::size_t byte_size(std::size_t n) const {
+      return (1 + last_sent.size()) * n * sizeof(std::uint32_t) +
+             last_sent.size() * sizeof(ProcessId);
+    }
+  };
+
+ private:
+  bool deliverable(const Tag& tag) const;
+  void drain();
+  void absorb(const Tag& tag);
+
+  struct Buffered {
+    MessageId msg;
+    Tag tag;
+  };
+
+  Host& host_;
+  /// Merged vector time of everything delivered here plus own sends.
+  VectorClock time_;
+  /// This process's knowledge of the last message sent to each
+  /// destination (merged from delivered tags and own sends).
+  std::map<ProcessId, VectorClock> last_sent_;
+  std::vector<Buffered> buffer_;
+};
+
+}  // namespace msgorder

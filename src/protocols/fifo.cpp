@@ -1,0 +1,43 @@
+#include "src/protocols/fifo.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace msgorder {
+
+void FifoProtocol::on_invoke(const Message& m) {
+  Packet pkt;
+  pkt.dst = m.dst;
+  pkt.user_msg = m.id;
+  pkt.tag_bytes = sizeof(std::uint32_t);
+  pkt.content = next_out_[m.dst]++;
+  host_.send_packet(std::move(pkt));
+}
+
+void FifoProtocol::on_packet(const Packet& packet) {
+  if (packet.is_control) return;
+  const auto seq = std::any_cast<std::uint32_t>(packet.content);
+  auto& expected = next_in_[packet.src];
+  auto& buffer = buffer_[packet.src];
+  buffer.push_back({packet.user_msg, seq});
+  // Drain everything now in sequence.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = buffer.begin(); it != buffer.end(); ++it) {
+      if (it->seq == expected) {
+        host_.deliver(it->msg);
+        ++expected;
+        buffer.erase(it);
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+ProtocolFactory FifoProtocol::factory() {
+  return [](Host& host) { return std::make_unique<FifoProtocol>(host); };
+}
+
+}  // namespace msgorder

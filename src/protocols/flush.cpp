@@ -1,0 +1,80 @@
+#include "src/protocols/flush.hpp"
+
+#include <memory>
+
+namespace msgorder {
+
+bool FlushChannelProtocol::ChannelIn::is_delivered(
+    std::uint32_t seq) const {
+  return seq < delivered.size() && delivered[seq];
+}
+
+bool FlushChannelProtocol::ChannelIn::all_delivered_below(
+    std::uint32_t seq) const {
+  if (seq > delivered.size()) return false;  // gaps we have not even seen
+  for (std::uint32_t s = 0; s < seq; ++s) {
+    if (!delivered[s]) return false;
+  }
+  return true;
+}
+
+void FlushChannelProtocol::on_invoke(const Message& m) {
+  ChannelOut& out = out_[m.dst];
+  Tag tag;
+  tag.seq = out.next_seq++;
+  tag.barrier = out.last_barrier;
+  tag.kind = m.color;
+  if (m.color == kBackwardFlush || m.color == kTwoWayFlush) {
+    out.last_barrier = tag.seq;
+  }
+  Packet pkt;
+  pkt.dst = m.dst;
+  pkt.user_msg = m.id;
+  pkt.tag_bytes = 2 * sizeof(std::uint32_t) + sizeof(int);
+  pkt.content = tag;
+  host_.send_packet(std::move(pkt));
+}
+
+bool FlushChannelProtocol::deliverable(const ChannelIn& in,
+                                       const Tag& tag) const {
+  if (tag.kind == kForwardFlush || tag.kind == kTwoWayFlush) {
+    return in.all_delivered_below(tag.seq);
+  }
+  if (tag.barrier == Tag::kNoBarrier) return true;
+  return in.is_delivered(tag.barrier);
+}
+
+void FlushChannelProtocol::drain(ChannelIn& in) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = in.buffer.begin(); it != in.buffer.end(); ++it) {
+      if (deliverable(in, it->second)) {
+        host_.deliver(it->first);
+        if (it->second.seq >= in.delivered.size()) {
+          in.delivered.resize(it->second.seq + 1, false);
+        }
+        in.delivered[it->second.seq] = true;
+        in.buffer.erase(it);
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+void FlushChannelProtocol::on_packet(const Packet& packet) {
+  if (packet.is_control) return;
+  ChannelIn& in = in_[packet.src];
+  in.buffer.emplace_back(packet.user_msg,
+                         std::any_cast<Tag>(packet.content));
+  drain(in);
+}
+
+ProtocolFactory FlushChannelProtocol::factory() {
+  return [](Host& host) {
+    return std::make_unique<FlushChannelProtocol>(host);
+  };
+}
+
+}  // namespace msgorder

@@ -1,0 +1,76 @@
+// Flush channels (F-channels [1], Section 2): a per-channel protocol in
+// which each message is one of four types, encoded in Message::color:
+//
+//   color 0 : ordinary send       (no ordering constraint of its own)
+//   color 1 : forward-flush send  (delivered after everything sent
+//                                  earlier on the channel)
+//   color 2 : backward-flush send (everything sent later on the channel
+//                                  is delivered after it)
+//   color 3 : two-way-flush send  (both)
+//
+// Implementation: a per-channel sequence number plus, on every message,
+// the sequence number of the latest preceding backward/two-way barrier.
+// The receiver delivers an ordinary message once its barrier is
+// delivered, and a forward/two-way message once *all* earlier channel
+// messages are delivered.  Tag O(1), no control messages — flush
+// orderings are tagged-class, as the paper's predicate analysis shows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/protocols/protocol.hpp"
+
+namespace msgorder {
+
+enum FlushKind : int {
+  kOrdinary = 0,
+  kForwardFlush = 1,
+  kBackwardFlush = 2,
+  kTwoWayFlush = 3,
+};
+
+class FlushChannelProtocol final : public Protocol {
+ public:
+  explicit FlushChannelProtocol(Host& host) : host_(host) {}
+
+  void on_invoke(const Message& m) override;
+  void on_packet(const Packet& packet) override;
+  std::string name() const override { return "flush-channel"; }
+
+  static ProtocolFactory factory();
+
+  struct Tag {
+    std::uint32_t seq = 0;
+    /// Sequence of the latest earlier backward/two-way barrier on this
+    /// channel, or kNoBarrier.
+    std::uint32_t barrier = kNoBarrier;
+    int kind = kOrdinary;
+
+    static constexpr std::uint32_t kNoBarrier = 0xffffffffu;
+  };
+
+ private:
+  struct ChannelIn {
+    /// delivered[seq] for the prefix we have seen.
+    std::vector<bool> delivered;
+    std::vector<std::pair<MessageId, Tag>> buffer;
+
+    bool all_delivered_below(std::uint32_t seq) const;
+    bool is_delivered(std::uint32_t seq) const;
+  };
+
+  bool deliverable(const ChannelIn& in, const Tag& tag) const;
+  void drain(ChannelIn& in);
+
+  Host& host_;
+  struct ChannelOut {
+    std::uint32_t next_seq = 0;
+    std::uint32_t last_barrier = Tag::kNoBarrier;
+  };
+  std::map<ProcessId, ChannelOut> out_;
+  std::map<ProcessId, ChannelIn> in_;
+};
+
+}  // namespace msgorder

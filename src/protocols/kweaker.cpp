@@ -1,0 +1,77 @@
+#include "src/protocols/kweaker.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace msgorder {
+
+void KWeakerCausalProtocol::on_invoke(const Message& m) {
+  // chainlen(x, m) = d(x) + 1 for every known x: the longest chain to a
+  // send in our causal past extends by this new send.
+  Tag tag;
+  for (const auto& [msg, entry] : known_) {
+    tag.chains.emplace(msg, ChainEntry{entry.dst, entry.depth + 1});
+  }
+  Packet pkt;
+  pkt.dst = m.dst;
+  pkt.user_msg = m.id;
+  pkt.tag_bytes = tag.byte_size();
+  pkt.content = tag;
+  // The new send joins our causal past with a self chain of length 1,
+  // and every previous chain now extends through it.
+  for (auto& [msg, entry] : known_) entry.depth += 1;
+  known_[m.id] = ChainEntry{m.dst, 1};
+  host_.send_packet(std::move(pkt));
+}
+
+bool KWeakerCausalProtocol::deliverable(const Tag& tag) const {
+  for (const auto& [msg, entry] : tag.chains) {
+    if (entry.dst == host_.self() && entry.depth >= k_ + 2 &&
+        delivered_here_.count(msg) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void KWeakerCausalProtocol::drain() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = buffer_.begin(); it != buffer_.end(); ++it) {
+      if (deliverable(it->tag)) {
+        host_.deliver(it->msg);
+        delivered_here_.insert(it->msg);
+        buffer_.erase(it);
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+void KWeakerCausalProtocol::on_packet(const Packet& packet) {
+  if (packet.is_control) return;
+  const Tag tag = std::any_cast<Tag>(packet.content);
+  // The receive event puts the sender's knowledge in our causal past.
+  for (const auto& [msg, entry] : tag.chains) {
+    auto [it, inserted] = known_.try_emplace(msg, entry);
+    if (!inserted) it->second.depth = std::max(it->second.depth, entry.depth);
+  }
+  // The received message's own send is also now known (depth 1 chain).
+  const Message& m = host_.message(packet.user_msg);
+  auto [it, inserted] =
+      known_.try_emplace(packet.user_msg, ChainEntry{m.dst, 1});
+  if (!inserted) it->second.depth = std::max<std::uint32_t>(
+      it->second.depth, 1);
+  buffer_.push_back({packet.user_msg, tag});
+  drain();
+}
+
+ProtocolFactory KWeakerCausalProtocol::factory(std::size_t k) {
+  return [k](Host& host) {
+    return std::make_unique<KWeakerCausalProtocol>(host, k);
+  };
+}
+
+}  // namespace msgorder

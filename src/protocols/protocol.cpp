@@ -1,0 +1,41 @@
+#include "src/protocols/protocol.hpp"
+
+#include "src/protocols/async.hpp"
+#include "src/protocols/causal_rst.hpp"
+#include "src/protocols/causal_ses.hpp"
+#include "src/protocols/fifo.hpp"
+#include "src/protocols/flush.hpp"
+#include "src/protocols/global_flush.hpp"
+#include "src/protocols/kweaker.hpp"
+#include "src/protocols/registry.hpp"
+#include "src/protocols/sync_locks.hpp"
+#include "src/protocols/sync_sequencer.hpp"
+#include "src/protocols/sync_token.hpp"
+
+namespace msgorder {
+
+std::vector<RegisteredProtocol> standard_protocols() {
+  return {
+      {"async", "tagless, delivers on arrival", AsyncProtocol::factory()},
+      {"fifo", "tagged, per-channel sequence numbers",
+       FifoProtocol::factory()},
+      {"causal-rst", "tagged, n x n matrix clock",
+       CausalRstProtocol::factory()},
+      {"causal-ses", "tagged, vector clocks + destination pairs",
+       CausalSesProtocol::factory()},
+      {"kweaker-1", "tagged, chain-depth map (k = 1)",
+       KWeakerCausalProtocol::factory(1)},
+      {"flush", "tagged, per-channel flush barriers",
+       FlushChannelProtocol::factory()},
+      {"global-flush", "tagged, red-frontier barrier matrices",
+       GlobalFlushProtocol::factory(1)},
+      {"sync-sequencer", "general, central grant sequencer",
+       SyncSequencerProtocol::factory()},
+      {"sync-token", "general, circulating token ring",
+       SyncTokenProtocol::factory()},
+      {"sync-locks", "general, pairwise ordered endpoint locks",
+       SyncLocksProtocol::factory()},
+  };
+}
+
+}  // namespace msgorder

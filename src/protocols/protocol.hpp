@@ -1,0 +1,92 @@
+// The operational protocol interface used by the discrete-event
+// simulator.  A protocol instance runs at each process and mediates the
+// four-part life of a message (Section 3.1):
+//
+//   invoke  x.s* : the application asks to send (on_invoke),
+//   send    x.s  : the protocol emits the user packet (host.send_packet),
+//   receive x.r* : the packet arrives (on_packet),
+//   deliver x.r  : the protocol hands it to the application (host.deliver).
+//
+// Tagged protocols piggyback data on user packets (Packet::tag_bytes
+// accounts for it); general protocols additionally exchange control
+// packets (Packet::is_control).  Tagless protocols do neither.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/poset/event.hpp"
+
+namespace msgorder {
+
+using SimTime = double;
+
+struct Packet {
+  ProcessId src = 0;
+  ProcessId dst = 0;
+  bool is_control = false;
+  /// The user message carried (valid iff !is_control).
+  MessageId user_msg = 0;
+  /// Protocol-specific label for diagnostics ("REQ", "TOKEN", ...).
+  std::string kind;
+  /// Bytes of piggybacked protocol data (tag on a user packet, or the
+  /// whole body of a control packet) — the overhead metric of bench E2.
+  std::size_t tag_bytes = 0;
+  /// Protocol-specific content.
+  std::any content;
+};
+
+/// Services the simulator offers a protocol instance.
+class Host {
+ public:
+  virtual ~Host() = default;
+
+  /// Put a packet on the network (from this instance's process).  For a
+  /// user packet this is the send event x.s.  On a lossy network the
+  /// packet may be dropped (see NetworkOptions::loss_probability); the
+  /// trace records x.s on the first emission of each user message and
+  /// x.r* on its first arrival, so retransmissions are transparent to
+  /// the run model.
+  virtual void send_packet(Packet packet) = 0;
+
+  /// Hand a received user message to the application: the delivery event
+  /// x.r.  Must be called exactly once per message addressed here.
+  virtual void deliver(MessageId msg) = 0;
+
+  /// Schedule on_timer(cookie) at now() + delay.  Timers are local and
+  /// never lost.
+  virtual void set_timer(SimTime delay, std::uint64_t cookie) = 0;
+
+  virtual SimTime now() const = 0;
+  virtual ProcessId self() const = 0;
+  virtual std::size_t process_count() const = 0;
+
+  /// The full message record for a user message id (color, endpoints).
+  virtual const Message& message(MessageId msg) const = 0;
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// The application requested transmission of m (the invoke event; the
+  /// simulator records x.s* before calling this).
+  virtual void on_invoke(const Message& m) = 0;
+
+  /// A packet addressed to this process arrived (for a user packet the
+  /// simulator records x.r* before calling this).
+  virtual void on_packet(const Packet& packet) = 0;
+
+  /// A timer set via Host::set_timer fired.
+  virtual void on_timer(std::uint64_t cookie) { (void)cookie; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Creates the per-process instance; `host` outlives the protocol.
+using ProtocolFactory = std::function<std::unique_ptr<Protocol>(Host& host)>;
+
+}  // namespace msgorder

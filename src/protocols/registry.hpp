@@ -1,0 +1,20 @@
+// A name -> factory registry of all shipped protocol stacks, used by the
+// conformance matrix example and the overhead benchmarks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/protocols/protocol.hpp"
+
+namespace msgorder {
+
+struct RegisteredProtocol {
+  std::string name;
+  std::string description;
+  ProtocolFactory factory;
+};
+
+std::vector<RegisteredProtocol> standard_protocols();
+
+}  // namespace msgorder

@@ -1,0 +1,74 @@
+// Reliability layer: a decorator that makes any protocol stack survive a
+// lossy network (NetworkOptions::loss_probability > 0) by sequencing,
+// acknowledging, de-duplicating, and retransmitting every packet the
+// inner protocol sends.
+//
+// The paper's model assumes reliable channels ("all messages sent are
+// eventually delivered in a reliable system"); this layer is the
+// substrate that discharges that assumption over a faulty network, so
+// the ordering protocols above it remain oblivious to loss.  It adds a
+// per-packet 12-byte envelope, one ACK per received packet, and
+// timer-driven retransmissions; it does NOT reorder traffic (the inner
+// protocol still sees arrival order), so it adds no ordering guarantee
+// of its own — composition with the ordering stacks is orthogonal.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "src/protocols/protocol.hpp"
+
+namespace msgorder {
+
+struct ReliableOptions {
+  /// Retransmission timeout; should exceed one round trip.
+  SimTime retransmit_timeout = 6.0;
+  /// Give up after this many retransmissions (0 = never; liveness over a
+  /// loss_probability < 1 network then holds with probability 1).
+  std::size_t max_retransmissions = 0;
+};
+
+class ReliableProtocol final : public Protocol {
+ public:
+  ReliableProtocol(Host& host, const ProtocolFactory& inner_factory,
+                   ReliableOptions options);
+  ~ReliableProtocol() override;
+
+  void on_invoke(const Message& m) override;
+  void on_packet(const Packet& packet) override;
+  void on_timer(std::uint64_t cookie) override;
+  std::string name() const override;
+
+  /// Wrap a factory: reliable(fifo), reliable(causal-rst), ...
+  static ProtocolFactory wrap(ProtocolFactory inner,
+                              ReliableOptions options = {});
+
+ private:
+  class InnerHost;
+
+  struct Envelope {
+    std::uint64_t seq = 0;
+    std::any inner_content;
+  };
+  struct PendingPacket {
+    Packet packet;  // the enveloped packet, ready to re-send
+    std::size_t retransmissions = 0;
+    bool acked = false;
+  };
+
+  void ship(Packet inner_packet);
+  void retransmit(std::uint64_t seq);
+
+  Host& host_;
+  ReliableOptions options_;
+  std::unique_ptr<InnerHost> inner_host_;
+  std::unique_ptr<Protocol> inner_;
+  std::uint64_t next_seq_ = 0;
+  std::map<std::uint64_t, PendingPacket> pending_;
+  /// Per-source set of sequence numbers already handed up (dedup).
+  std::map<ProcessId, std::set<std::uint64_t>> seen_;
+};
+
+}  // namespace msgorder

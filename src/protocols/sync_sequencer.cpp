@@ -1,0 +1,98 @@
+#include "src/protocols/sync_sequencer.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace msgorder {
+
+namespace {
+constexpr std::size_t kControlBytes = 8;
+}
+
+void SyncSequencerProtocol::on_invoke(const Message& m) {
+  request(m.id);
+}
+
+void SyncSequencerProtocol::request(MessageId msg) {
+  if (host_.self() == kSequencer) {
+    enqueue(kSequencer, msg);
+    return;
+  }
+  Packet req;
+  req.dst = kSequencer;
+  req.is_control = true;
+  req.kind = "REQ";
+  req.tag_bytes = kControlBytes;
+  req.content = msg;
+  host_.send_packet(std::move(req));
+}
+
+void SyncSequencerProtocol::enqueue(ProcessId requester, MessageId msg) {
+  assert(host_.self() == kSequencer);
+  grant_queue_.emplace_back(requester, msg);
+  try_grant();
+}
+
+void SyncSequencerProtocol::try_grant() {
+  if (busy_ || grant_queue_.empty()) return;
+  busy_ = true;
+  const auto [requester, msg] = grant_queue_.front();
+  grant_queue_.pop_front();
+  if (requester == kSequencer) {
+    granted(msg);
+    return;
+  }
+  Packet grant;
+  grant.dst = requester;
+  grant.is_control = true;
+  grant.kind = "GRANT";
+  grant.tag_bytes = kControlBytes;
+  grant.content = msg;
+  host_.send_packet(std::move(grant));
+}
+
+void SyncSequencerProtocol::granted(MessageId msg) {
+  Packet pkt;
+  pkt.dst = host_.message(msg).dst;
+  pkt.user_msg = msg;
+  pkt.tag_bytes = 0;
+  host_.send_packet(std::move(pkt));
+}
+
+void SyncSequencerProtocol::exchange_done() {
+  assert(host_.self() == kSequencer);
+  busy_ = false;
+  try_grant();
+}
+
+void SyncSequencerProtocol::on_packet(const Packet& packet) {
+  if (!packet.is_control) {
+    host_.deliver(packet.user_msg);
+    if (host_.self() == kSequencer) {
+      exchange_done();
+    } else {
+      Packet done;
+      done.dst = kSequencer;
+      done.is_control = true;
+      done.kind = "DONE";
+      done.tag_bytes = kControlBytes;
+      host_.send_packet(std::move(done));
+    }
+    return;
+  }
+  if (packet.kind == "REQ") {
+    enqueue(packet.src, std::any_cast<MessageId>(packet.content));
+  } else if (packet.kind == "GRANT") {
+    granted(std::any_cast<MessageId>(packet.content));
+  } else if (packet.kind == "DONE") {
+    exchange_done();
+  }
+}
+
+ProtocolFactory SyncSequencerProtocol::factory() {
+  return [](Host& host) {
+    return std::make_unique<SyncSequencerProtocol>(host);
+  };
+}
+
+}  // namespace msgorder

@@ -1,0 +1,73 @@
+#include "src/protocols/sync_token.hpp"
+
+#include <memory>
+
+namespace msgorder {
+
+namespace {
+constexpr std::size_t kControlBytes = 4;
+}
+
+SyncTokenProtocol::SyncTokenProtocol(Host& host) : host_(host) {
+  // Process 0 starts with the token and immediately begins circulation.
+  if (host_.self() == 0 && host_.process_count() > 1) {
+    holding_ = true;
+    serve_or_pass();
+  }
+}
+
+void SyncTokenProtocol::on_invoke(const Message& m) {
+  pending_.push_back(m.id);
+  if (holding_ && !awaiting_ack_) serve_or_pass();
+}
+
+void SyncTokenProtocol::serve_or_pass() {
+  if (!holding_ || awaiting_ack_) return;
+  if (!pending_.empty()) {
+    const MessageId msg = pending_.front();
+    Packet pkt;
+    pkt.dst = host_.message(msg).dst;
+    pkt.user_msg = msg;
+    pkt.tag_bytes = 0;
+    awaiting_ack_ = true;
+    host_.send_packet(std::move(pkt));
+    return;
+  }
+  holding_ = false;
+  Packet token;
+  token.dst = static_cast<ProcessId>((host_.self() + 1) %
+                                     host_.process_count());
+  token.is_control = true;
+  token.kind = "TOKEN";
+  token.tag_bytes = kControlBytes;
+  host_.send_packet(std::move(token));
+}
+
+void SyncTokenProtocol::on_packet(const Packet& packet) {
+  if (!packet.is_control) {
+    host_.deliver(packet.user_msg);
+    Packet ack;
+    ack.dst = packet.src;
+    ack.is_control = true;
+    ack.kind = "ACK";
+    ack.tag_bytes = kControlBytes;
+    host_.send_packet(std::move(ack));
+    return;
+  }
+  if (packet.kind == "TOKEN") {
+    holding_ = true;
+    serve_or_pass();
+  } else if (packet.kind == "ACK") {
+    pending_.pop_front();
+    awaiting_ack_ = false;
+    serve_or_pass();
+  }
+}
+
+ProtocolFactory SyncTokenProtocol::factory() {
+  return [](Host& host) {
+    return std::make_unique<SyncTokenProtocol>(host);
+  };
+}
+
+}  // namespace msgorder

@@ -1,0 +1,103 @@
+#include "src/protocols/synthesized.hpp"
+
+#include "src/protocols/async.hpp"
+#include "src/protocols/causal_rst.hpp"
+#include "src/protocols/fifo.hpp"
+#include "src/protocols/global_flush.hpp"
+#include "src/protocols/sync_sequencer.hpp"
+
+namespace msgorder {
+
+bool is_fifo_shaped(const ForbiddenPredicate& predicate) {
+  const NormalizedPredicate normalized = normalize(predicate);
+  if (normalized.triviality != NormalTriviality::kNone) return false;
+  const ForbiddenPredicate& p = normalized.predicate;
+  if (p.arity != 2 || p.conjuncts.size() != 2) return false;
+  // Both sends on one process and both deliveries on another?
+  bool sends_equal = false;
+  bool delivers_equal = false;
+  for (const ProcessEquality& pe : p.process_constraints) {
+    if (pe.var_a == pe.var_b) continue;
+    if (pe.kind_a == UserEventKind::kSend &&
+        pe.kind_b == UserEventKind::kSend) {
+      sends_equal = true;
+    }
+    if (pe.kind_a == UserEventKind::kDeliver &&
+        pe.kind_b == UserEventKind::kDeliver) {
+      delivers_equal = true;
+    }
+  }
+  if (!sends_equal || !delivers_equal) return false;
+  const Classification c = classify(p);
+  return c.min_order.has_value() && *c.min_order == 1;
+}
+
+bool is_global_flush_shaped(const ForbiddenPredicate& predicate,
+                            int* red_color) {
+  const NormalizedPredicate normalized = normalize(predicate);
+  if (normalized.triviality != NormalTriviality::kNone) return false;
+  const ForbiddenPredicate& p = normalized.predicate;
+  if (p.arity != 2 || p.conjuncts.size() != 2) return false;
+  if (!p.process_constraints.empty()) return false;
+  if (p.color_constraints.size() != 1) return false;
+  // The B2 shape (a.s |> b.s) & (b.r |> a.r) with the color on b.
+  const std::size_t colored = p.color_constraints[0].var;
+  const std::size_t other = 1 - colored;
+  const Conjunct send_edge{other, UserEventKind::kSend, colored,
+                           UserEventKind::kSend};
+  const Conjunct deliver_edge{colored, UserEventKind::kDeliver, other,
+                              UserEventKind::kDeliver};
+  const bool matches =
+      (p.conjuncts[0] == send_edge && p.conjuncts[1] == deliver_edge) ||
+      (p.conjuncts[0] == deliver_edge && p.conjuncts[1] == send_edge);
+  if (!matches) return false;
+  if (red_color != nullptr) *red_color = p.color_constraints[0].color;
+  return true;
+}
+
+SynthesisResult synthesize(const ForbiddenPredicate& predicate) {
+  SynthesisResult result;
+  result.classification = classify(predicate);
+  switch (result.classification.protocol_class) {
+    case ProtocolClass::kNotImplementable:
+      result.rationale =
+          "predicate graph is acyclic: X_sync is not contained in the "
+          "specification, so by Corollary 1 no protocol exists";
+      return result;
+    case ProtocolClass::kTagless:
+      result.rationale =
+          "an order-0 cycle exists: X_async is contained in the "
+          "specification, the do-nothing protocol suffices";
+      result.factory = AsyncProtocol::factory();
+      return result;
+    case ProtocolClass::kTagged:
+      if (is_fifo_shaped(predicate)) {
+        result.rationale =
+            "order-1 cycle with per-channel process constraints: the "
+            "O(1)-tag FIFO protocol suffices";
+        result.factory = FifoProtocol::factory();
+      } else if (int red = 0; is_global_flush_shaped(predicate, &red)) {
+        result.rationale =
+            "order-1 cycle constraining only colored messages: the "
+            "red-frontier global-flush protocol suffices (less delivery "
+            "buffering than full causal ordering)";
+        result.factory = GlobalFlushProtocol::factory(red);
+      } else {
+        result.rationale =
+            "an order-1 cycle exists: X_co is contained in the "
+            "specification, a tagged causal protocol suffices";
+        result.factory = CausalRstProtocol::factory();
+      }
+      return result;
+    case ProtocolClass::kGeneral:
+      result.rationale =
+          "all cycles have order >= 2: only X_sync is contained in the "
+          "specification, control messages are necessary; using the "
+          "sequencer protocol";
+      result.factory = SyncSequencerProtocol::factory();
+      return result;
+  }
+  return result;
+}
+
+}  // namespace msgorder

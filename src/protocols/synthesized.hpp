@@ -1,0 +1,49 @@
+// Protocol synthesis from a forbidden predicate — the constructive side
+// of Theorem 3.  classify() decides the class; the synthesized stack is
+// then the canonical protocol for the limit set the theorem's
+// sufficiency proof uses:
+//
+//   order 0 cycle  -> X_async subset of X_B : the do-nothing protocol,
+//   order 1 cycle  -> X_co    subset of X_B : a tagged causal protocol,
+//   order >=2 only -> X_sync  subset of X_B : a control-message protocol,
+//   no cycle       -> no protocol exists (synthesize() reports failure).
+//
+// The companion paper [19] derives *specialized* efficient protocols per
+// predicate; here we implement the theorem's general construction, plus
+// one specialization: predicates whose canonical weakening is FIFO-shaped
+// (the Section 5 FIFO spec) get the O(1)-tag FIFO stack instead of the
+// O(n^2) causal stack.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/protocols/protocol.hpp"
+#include "src/spec/classify.hpp"
+#include "src/spec/predicate.hpp"
+
+namespace msgorder {
+
+struct SynthesisResult {
+  /// Factory for the synthesized per-process protocol stack; nullopt when
+  /// the specification is not implementable.
+  std::optional<ProtocolFactory> factory;
+  Classification classification;
+  /// Human-readable account of the decision.
+  std::string rationale;
+};
+
+SynthesisResult synthesize(const ForbiddenPredicate& predicate);
+
+/// True iff the predicate is (a strengthening of) the FIFO shape:
+/// an order-1 two-variable cycle whose process constraints pin both
+/// sends to one process and both deliveries to another.
+bool is_fifo_shaped(const ForbiddenPredicate& predicate);
+
+/// True iff the predicate is the global-forward-flush shape: the causal
+/// 2-cycle with a color constraint on the overtaking variable and no
+/// process constraints.  Returns the red color via `red_color`.
+bool is_global_flush_shaped(const ForbiddenPredicate& predicate,
+                            int* red_color = nullptr);
+
+}  // namespace msgorder

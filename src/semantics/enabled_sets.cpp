@@ -1,0 +1,44 @@
+#include "src/semantics/enabled_sets.hpp"
+
+namespace msgorder {
+
+std::string to_string(KnowledgeClass k) {
+  switch (k) {
+    case KnowledgeClass::kGeneral:
+      return "general";
+    case KnowledgeClass::kTagged:
+      return "tagged";
+    case KnowledgeClass::kTagless:
+      return "tagless";
+  }
+  return "?";
+}
+
+std::vector<SystemEvent> enabled_events(const EnabledSetProtocol& protocol,
+                                        const SystemRun& run, ProcessId i) {
+  std::vector<SystemEvent> out = run.pending_invokes(i);
+  const auto receives = run.pending_receives(i);
+  out.insert(out.end(), receives.begin(), receives.end());
+  const auto controllables = protocol.enabled_controllables(run, i);
+  out.insert(out.end(), controllables.begin(), controllables.end());
+  return out;
+}
+
+bool liveness_holds_at(const EnabledSetProtocol& protocol,
+                       const SystemRun& run) {
+  bool pending = false;
+  for (ProcessId i = 0; i < run.process_count(); ++i) {
+    if (!run.pending_receives(i).empty()) return true;  // R subset of P
+    if (!run.pending_sends(i).empty() ||
+        !run.pending_deliveries(i).empty()) {
+      pending = true;
+    }
+  }
+  if (!pending) return true;
+  for (ProcessId i = 0; i < run.process_count(); ++i) {
+    if (!protocol.enabled_controllables(run, i).empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace msgorder

@@ -1,0 +1,51 @@
+// The abstract protocol model of Section 3.2: a protocol is a vector of
+// enabled-event sets P_i(H).  Property P1 fixes the uncontrollable part
+// (invokes I_i and receives R_i are always enabled; only sends S_i and
+// deliveries D_i may be inhibited), so implementations supply just the
+// subset of controllable events they enable.
+//
+// The three knowledge classes are *restrictions on the function* P_i:
+//   general : P_i may depend on the whole run H,
+//   tagged  : P_i may depend only on CausalPast_i(H),
+//   tagless : P_i may depend only on the local history H_i.
+// Conformance to a declared class is checked empirically by the explorer
+// (same knowledge => same enabled set, over all explored run pairs).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/poset/system_run.hpp"
+
+namespace msgorder {
+
+enum class KnowledgeClass { kGeneral, kTagged, kTagless };
+
+std::string to_string(KnowledgeClass k);
+
+class EnabledSetProtocol {
+ public:
+  virtual ~EnabledSetProtocol() = default;
+
+  /// The subset of controllable(i) = S_i(H) u D_i(H) that the protocol
+  /// enables after run H.  Must only return events from controllable(i).
+  virtual std::vector<SystemEvent> enabled_controllables(
+      const SystemRun& run, ProcessId i) const = 0;
+
+  /// The knowledge class this protocol claims to respect.
+  virtual KnowledgeClass knowledge_class() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Full P_i(H) = I_i u R_i u enabled_controllables (property P1).
+std::vector<SystemEvent> enabled_events(const EnabledSetProtocol& protocol,
+                                        const SystemRun& run, ProcessId i);
+
+/// The liveness condition of Section 3.2 at run H:
+///   R(H) u C(H) nonempty  =>  P(H) intersects R(H) u C(H).
+bool liveness_holds_at(const EnabledSetProtocol& protocol,
+                       const SystemRun& run);
+
+}  // namespace msgorder

@@ -1,0 +1,173 @@
+#include "src/semantics/explorer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "src/poset/lift.hpp"
+
+namespace msgorder {
+
+namespace {
+
+std::string events_key(std::vector<SystemEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const SystemEvent& a, const SystemEvent& b) {
+              return std::tie(a.msg, a.kind) < std::tie(b.msg, b.kind);
+            });
+  std::string out;
+  for (const SystemEvent& e : events) {
+    out += std::to_string(e.msg) + kind_name(e.kind) + ",";
+  }
+  return out;
+}
+
+std::string local_history_key(const SystemRun& run, ProcessId i) {
+  std::string out;
+  for (const SystemEvent& e : run.sequences()[i]) {
+    out += std::to_string(e.msg) + kind_name(e.kind) + ",";
+  }
+  return out;
+}
+
+/// Enumerate all simultaneous steps: each process contributes at most one
+/// of its enabled events; at least one process acts.
+void for_each_combo(
+    const std::vector<std::vector<SystemEvent>>& choices, std::size_t p,
+    std::vector<std::optional<SystemEvent>>& picked,
+    const std::function<void(const std::vector<std::optional<SystemEvent>>&)>&
+        emit) {
+  if (p == choices.size()) {
+    if (std::any_of(picked.begin(), picked.end(),
+                    [](const auto& o) { return o.has_value(); })) {
+      emit(picked);
+    }
+    return;
+  }
+  picked[p] = std::nullopt;
+  for_each_combo(choices, p + 1, picked, emit);
+  for (const SystemEvent& e : choices[p]) {
+    picked[p] = e;
+    for_each_combo(choices, p + 1, picked, emit);
+  }
+  picked[p] = std::nullopt;
+}
+
+}  // namespace
+
+ExplorationResult explore(const EnabledSetProtocol& protocol,
+                          const std::vector<Message>& universe,
+                          std::size_t n_processes,
+                          const ExploreOptions& options) {
+  ExplorationResult result;
+  std::set<std::string> seen_views;
+
+  SystemRun initial(universe, n_processes);
+  std::deque<SystemRun> frontier;
+  frontier.push_back(initial);
+  result.reachable_keys.insert(initial.key());
+
+  while (!frontier.empty()) {
+    SystemRun run = std::move(frontier.front());
+    frontier.pop_front();
+
+    if (!liveness_holds_at(protocol, run)) {
+      result.liveness_violations.push_back(run);
+    }
+    if (run.user_complete()) {
+      auto view = run.users_view();
+      assert(view.has_value());
+      std::string vk;
+      for (const auto& s : view->schedules()) {
+        for (const ScheduleStep& step : s) {
+          vk += std::to_string(step.msg);
+          vk += step.kind == UserEventKind::kSend ? 's' : 'r';
+        }
+        vk += '|';
+      }
+      if (seen_views.insert(vk).second) {
+        result.complete_user_views.push_back(*view);
+      }
+    }
+
+    std::vector<std::vector<SystemEvent>> choices(n_processes);
+    for (ProcessId i = 0; i < n_processes; ++i) {
+      choices[i] = enabled_events(protocol, run, i);
+      for (const SystemEvent& e : choices[i]) {
+        assert(run.can_execute(e) && "protocol enabled an impossible event");
+        (void)e;
+      }
+    }
+
+    const auto visit = [&](const SystemRun& next) {
+      if (result.reachable_keys.insert(next.key()).second) {
+        assert(result.reachable_keys.size() <= options.max_states &&
+               "state-space explosion: shrink the universe");
+        frontier.push_back(next);
+      }
+    };
+
+    if (options.simultaneous_steps) {
+      std::vector<std::optional<SystemEvent>> picked(n_processes);
+      for_each_combo(
+          choices, 0, picked,
+          [&](const std::vector<std::optional<SystemEvent>>& combo) {
+            SystemRun next = run;
+            for (const auto& choice : combo) {
+              if (choice.has_value()) next = next.executed(*choice);
+            }
+            visit(next);
+          });
+    } else {
+      for (ProcessId i = 0; i < n_processes; ++i) {
+        for (const SystemEvent& e : choices[i]) {
+          visit(run.executed(e));
+        }
+      }
+    }
+    result.reachable.push_back(std::move(run));
+  }
+
+  if (options.check_conformance) {
+    const KnowledgeClass k = protocol.knowledge_class();
+    if (k != KnowledgeClass::kGeneral) {
+      // Group (run, process) by the knowledge the class permits; enabled
+      // sets must be constant within each group.
+      std::map<std::string, std::pair<std::string, std::string>> groups;
+      for (const SystemRun& run : result.reachable) {
+        for (ProcessId i = 0; i < n_processes; ++i) {
+          std::string knowledge_key = std::to_string(i) + "#";
+          if (k == KnowledgeClass::kTagged) {
+            knowledge_key += run.causal_past(i).key();
+          } else {
+            knowledge_key += local_history_key(run, i);
+          }
+          const std::string enabled =
+              events_key(protocol.enabled_controllables(run, i));
+          auto [it, inserted] =
+              groups.try_emplace(knowledge_key, enabled, run.key());
+          if (!inserted && it->second.first != enabled &&
+              result.conformance_violation.empty()) {
+            result.conformance_violation =
+                "process " + std::to_string(i) + ": runs [" +
+                it->second.second + "] and [" + run.key() +
+                "] share knowledge but enable different sets";
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::set<std::string> lifted_keys(const std::vector<UserRun>& runs) {
+  std::set<std::string> keys;
+  for (const UserRun& run : runs) {
+    keys.insert(lift(run).key());
+  }
+  return keys;
+}
+
+}  // namespace msgorder

@@ -1,0 +1,67 @@
+// A small-scope explicit-state model checker for the inductive definition
+// of X_P (Section 3.2): starting from the empty run, processes repeatedly
+// and *simultaneously* execute events enabled by the protocol (each
+// process contributes at most one event per step, per the definition of
+// X_P).  The explorer computes:
+//
+//   * the reachable run set X_P over a fixed message universe,
+//   * the characterizing complete user views X̄_P,
+//   * liveness violations (reachable non-quiescent runs where the
+//     protocol enables nothing pending), and
+//   * empirical knowledge-class conformance: for every pair of reachable
+//     runs with equal knowledge (full run / causal past / local history),
+//     the enabled sets must agree.
+//
+// This is the machinery behind the Lemma 2 and Theorem 1 test-beds.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/poset/user_run.hpp"
+#include "src/semantics/enabled_sets.hpp"
+
+namespace msgorder {
+
+struct ExplorationResult {
+  /// Every reachable run, keyed canonically.
+  std::vector<SystemRun> reachable;
+  /// Keys of reachable runs (parallel to `reachable`).
+  std::set<std::string> reachable_keys;
+  /// User views of reachable user-complete runs, deduplicated by key.
+  std::vector<UserRun> complete_user_views;
+  /// Reachable runs violating the liveness condition.
+  std::vector<SystemRun> liveness_violations;
+  /// Description of the first knowledge-conformance violation found, or
+  /// empty if the protocol respects its declared class on this universe.
+  std::string conformance_violation;
+
+  bool contains(const SystemRun& run) const {
+    return reachable_keys.count(run.key()) > 0;
+  }
+};
+
+struct ExploreOptions {
+  /// Cap on distinct states, as a runaway guard; exploration asserts if
+  /// exceeded.
+  std::size_t max_states = 2'000'000;
+  /// Also take simultaneous multi-process steps (the paper's definition).
+  /// Single-step exploration reaches the same states when the protocol
+  /// is "stable" but can differ in general; keep true for fidelity.
+  bool simultaneous_steps = true;
+  /// Verify knowledge-class conformance pairwise (quadratic in states).
+  bool check_conformance = false;
+};
+
+ExplorationResult explore(const EnabledSetProtocol& protocol,
+                          const std::vector<Message>& universe,
+                          std::size_t n_processes,
+                          const ExploreOptions& options = {});
+
+/// Lift every run of `runs` with the Theorem 1 construction and keep the
+/// keys — used to compare e.g. lifted X_co against explored X_P.
+std::set<std::string> lifted_keys(const std::vector<UserRun>& runs);
+
+}  // namespace msgorder

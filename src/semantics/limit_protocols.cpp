@@ -1,0 +1,64 @@
+#include "src/semantics/limit_protocols.hpp"
+
+namespace msgorder {
+
+std::vector<SystemEvent> TaglessAll::enabled_controllables(
+    const SystemRun& run, ProcessId i) const {
+  return run.controllable(i);
+}
+
+std::vector<SystemEvent> TaggedCausal::enabled_controllables(
+    const SystemRun& run, ProcessId i) const {
+  std::vector<SystemEvent> out = run.pending_sends(i);
+  for (const SystemEvent& d : run.pending_deliveries(i)) {
+    bool blocked = false;
+    for (const Message& y : run.universe()) {
+      if (y.dst != i || y.id == d.msg) continue;
+      if (!run.present(y.id, EventKind::kSend)) continue;
+      if (run.before({y.id, EventKind::kSend}, {d.msg, EventKind::kSend}) &&
+          !run.present(y.id, EventKind::kDeliver)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<SystemEvent> GeneralSerializer::enabled_controllables(
+    const SystemRun& run, ProcessId i) const {
+  // Is any message open (sent but not delivered)?
+  bool open = false;
+  for (const Message& m : run.universe()) {
+    if (run.present(m.id, EventKind::kSend) &&
+        !run.present(m.id, EventKind::kDeliver)) {
+      open = true;
+      break;
+    }
+  }
+  if (open) {
+    // Only deliveries may proceed; sends stay inhibited until the open
+    // exchange completes.
+    return run.pending_deliveries(i);
+  }
+  // Nothing open: enable exactly the globally smallest pending send, so
+  // no two processes can open exchanges simultaneously.
+  MessageId smallest = 0;
+  bool found = false;
+  for (ProcessId p = 0; p < run.process_count(); ++p) {
+    for (const SystemEvent& s : run.pending_sends(p)) {
+      if (!found || s.msg < smallest) {
+        smallest = s.msg;
+        found = true;
+      }
+    }
+  }
+  std::vector<SystemEvent> out;
+  if (found && run.universe()[smallest].src == i) {
+    out.push_back({smallest, EventKind::kSend});
+  }
+  return out;
+}
+
+}  // namespace msgorder

@@ -1,0 +1,61 @@
+// The three canonical protocols realizing the limit sets of Theorem 1:
+//
+//   TaglessAll        : enables everything;             X_P = X_async.
+//   TaggedCausal      : abstract RST causal delivery;   X_P = X_co.
+//   GeneralSerializer : one message exchange at a time; X_P = X_sync.
+//
+// Each is expressed as a pure function of exactly the knowledge its class
+// allows, which the explorer verifies empirically (Lemma 2 / Theorem 1
+// test-beds).
+#pragma once
+
+#include "src/semantics/enabled_sets.hpp"
+
+namespace msgorder {
+
+/// The do-nothing protocol: every controllable event is enabled.
+/// P_i is a function of the local history alone (trivially), so the
+/// protocol is tagless.
+class TaglessAll final : public EnabledSetProtocol {
+ public:
+  std::vector<SystemEvent> enabled_controllables(
+      const SystemRun& run, ProcessId i) const override;
+  KnowledgeClass knowledge_class() const override {
+    return KnowledgeClass::kTagless;
+  }
+  std::string name() const override { return "tagless-all"; }
+};
+
+/// Abstract causal-ordering protocol: sends are never delayed; the
+/// delivery of x at process i is enabled iff every message y destined to
+/// i with y.s -> x.s has already been delivered at i.  Both facts are
+/// functions of CausalPast_i(H) (x.r* in H_i puts x's send history into
+/// i's causal past), so the protocol is tagged.
+class TaggedCausal final : public EnabledSetProtocol {
+ public:
+  std::vector<SystemEvent> enabled_controllables(
+      const SystemRun& run, ProcessId i) const override;
+  KnowledgeClass knowledge_class() const override {
+    return KnowledgeClass::kTagged;
+  }
+  std::string name() const override { return "tagged-causal"; }
+};
+
+/// Logically-synchronous protocol: at most one message is "open" (sent
+/// but undelivered) at any time, and when none is open only the pending
+/// send of the smallest message id is enabled.  Deciding whether some
+/// *other* process has a smaller pending send requires knowledge outside
+/// the causal past — exactly the concurrent knowledge only control
+/// messages provide, which is why this protocol is general and cannot be
+/// weakened to tagged (Theorem 1).
+class GeneralSerializer final : public EnabledSetProtocol {
+ public:
+  std::vector<SystemEvent> enabled_controllables(
+      const SystemRun& run, ProcessId i) const override;
+  KnowledgeClass knowledge_class() const override {
+    return KnowledgeClass::kGeneral;
+  }
+  std::string name() const override { return "general-serializer"; }
+};
+
+}  // namespace msgorder

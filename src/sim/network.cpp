@@ -1,0 +1,21 @@
+#include "src/sim/network.hpp"
+
+#include <algorithm>
+
+namespace msgorder {
+
+SimTime Network::arrival_time(ProcessId src, ProcessId dst, SimTime now) {
+  SimTime delay = options_.base_delay;
+  if (options_.jitter_mean > 0) {
+    delay += rng_.exponential(options_.jitter_mean);
+  }
+  SimTime arrival = now + delay;
+  if (options_.fifo_channels) {
+    auto& last = last_arrival_[{src, dst}];
+    arrival = std::max(arrival, last + 1e-9);
+    last = arrival;
+  }
+  return arrival;
+}
+
+}  // namespace msgorder

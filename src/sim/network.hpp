@@ -1,0 +1,48 @@
+// Network model: point-to-point channels with configurable latency.  By
+// default channels are *not* FIFO (each packet draws an independent
+// delay, so packets overtake each other), which is the weakest substrate
+// the paper's protocols must survive on.  A FIFO toggle exists for
+// ablations.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+
+#include "src/protocols/protocol.hpp"
+#include "src/util/rng.hpp"
+
+namespace msgorder {
+
+struct NetworkOptions {
+  /// Fixed propagation delay added to every packet.
+  SimTime base_delay = 1.0;
+  /// Mean of the additional exponential jitter (0 disables jitter and
+  /// makes channels effectively FIFO).
+  SimTime jitter_mean = 1.0;
+  /// Force per-channel FIFO arrival order even with jitter.
+  bool fifo_channels = false;
+  /// Probability that a packet is silently dropped (failure injection;
+  /// pair with the reliability layer of src/protocols/reliable.hpp).
+  double loss_probability = 0.0;
+};
+
+class Network {
+ public:
+  Network() = default;
+  Network(NetworkOptions options, Rng rng)
+      : options_(options), rng_(rng) {}
+
+  /// Arrival time for a packet handed to the network at `now`.
+  SimTime arrival_time(ProcessId src, ProcessId dst, SimTime now);
+
+  const NetworkOptions& options() const { return options_; }
+
+ private:
+  NetworkOptions options_;
+  Rng rng_;
+  /// Last scheduled arrival per channel, for the FIFO toggle.
+  std::map<std::pair<ProcessId, ProcessId>, SimTime> last_arrival_;
+};
+
+}  // namespace msgorder

@@ -1,0 +1,214 @@
+#include "src/sim/simulator.hpp"
+
+#include <cassert>
+#include <queue>
+#include <vector>
+
+namespace msgorder {
+
+namespace {
+
+struct QueueEntry {
+  enum class Kind { kInvoke, kArrival, kTimer };
+
+  SimTime time = 0;
+  std::uint64_t seq = 0;  // tie-break for determinism
+  Kind kind = Kind::kArrival;
+  Packet packet;           // kArrival
+  Message invoke_message;  // kInvoke
+  ProcessId timer_process = 0;  // kTimer
+  std::uint64_t timer_cookie = 0;
+
+  bool operator>(const QueueEntry& other) const {
+    return std::tie(time, seq) > std::tie(other.time, other.seq);
+  }
+};
+
+class Engine;
+
+class HostImpl final : public Host {
+ public:
+  HostImpl(Engine* engine, ProcessId self) : engine_(engine), self_(self) {}
+
+  void send_packet(Packet packet) override;
+  void deliver(MessageId msg) override;
+  void set_timer(SimTime delay, std::uint64_t cookie) override;
+  SimTime now() const override;
+  ProcessId self() const override { return self_; }
+  std::size_t process_count() const override;
+  const Message& message(MessageId msg) const override;
+
+ private:
+  Engine* engine_;
+  ProcessId self_;
+};
+
+class Engine {
+ public:
+  Engine(const Workload& workload, const ProtocolFactory& factory,
+         std::size_t n_processes, const SimOptions& options)
+      : universe_(workload_universe(workload)),
+        n_processes_(n_processes),
+        options_(options),
+        network_(options.network, Rng(options.seed)),
+        loss_rng_(options.seed ^ 0xa5a5a5a5deadbeefULL),
+        trace_(universe_, n_processes),
+        send_seen_(universe_.size(), false),
+        receive_seen_(universe_.size(), false) {
+    hosts_.reserve(n_processes);
+    protocols_.reserve(n_processes);
+    for (ProcessId p = 0; p < n_processes; ++p) {
+      hosts_.push_back(std::make_unique<HostImpl>(this, p));
+      protocols_.push_back(factory(*hosts_[p]));
+    }
+    for (const InvokeRequest& req : workload) {
+      QueueEntry entry;
+      entry.time = req.time;
+      entry.seq = next_seq_++;
+      entry.kind = QueueEntry::Kind::kInvoke;
+      entry.invoke_message = req.message;
+      queue_.push(std::move(entry));
+      ++invokes_remaining_;
+    }
+  }
+
+  SimResult run() {
+    std::size_t processed = 0;
+    while (!queue_.empty()) {
+      if (invokes_remaining_ == 0 && trace_.all_delivered()) break;
+      if (++processed > options_.max_events) {
+        SimResult result{std::move(trace_), false,
+                         "event cap exceeded (protocol livelock?)"};
+        return result;
+      }
+      const QueueEntry entry = queue_.top();
+      queue_.pop();
+      now_ = entry.time;
+      switch (entry.kind) {
+        case QueueEntry::Kind::kInvoke: {
+          --invokes_remaining_;
+          const Message& m = entry.invoke_message;
+          record(m.src, {m.id, EventKind::kInvoke});
+          protocols_[m.src]->on_invoke(m);
+          break;
+        }
+        case QueueEntry::Kind::kArrival: {
+          const Packet& pkt = entry.packet;
+          if (pkt.is_control) {
+            trace_.count_control_packet(pkt.tag_bytes);
+          } else if (!receive_seen_[pkt.user_msg]) {
+            receive_seen_[pkt.user_msg] = true;
+            trace_.count_user_packet(pkt.tag_bytes);
+            record(pkt.dst, {pkt.user_msg, EventKind::kReceive});
+          } else {
+            trace_.count_duplicate_arrival();
+          }
+          protocols_[pkt.dst]->on_packet(pkt);
+          break;
+        }
+        case QueueEntry::Kind::kTimer:
+          protocols_[entry.timer_process]->on_timer(entry.timer_cookie);
+          break;
+      }
+    }
+    const bool done = trace_.all_delivered();
+    SimResult result{std::move(trace_), done,
+                     done ? "" : "undelivered messages remain"};
+    return result;
+  }
+
+  void send_packet(ProcessId from, Packet packet) {
+    packet.src = from;
+    assert(packet.dst < n_processes_);
+    if (!packet.is_control) {
+      assert(universe_[packet.user_msg].src == from &&
+             "user packet emitted by the wrong process");
+      // The send event x.s happens on the first emission; later
+      // emissions of the same user message are retransmissions.
+      if (!send_seen_[packet.user_msg]) {
+        send_seen_[packet.user_msg] = true;
+        record(from, {packet.user_msg, EventKind::kSend});
+      } else {
+        trace_.count_retransmission();
+      }
+    }
+    if (options_.network.loss_probability > 0 &&
+        loss_rng_.chance(options_.network.loss_probability)) {
+      trace_.count_drop();
+      return;
+    }
+    QueueEntry entry;
+    entry.time = network_.arrival_time(from, packet.dst, now_);
+    entry.seq = next_seq_++;
+    entry.kind = QueueEntry::Kind::kArrival;
+    entry.packet = std::move(packet);
+    queue_.push(std::move(entry));
+  }
+
+  void set_timer(ProcessId at, SimTime delay, std::uint64_t cookie) {
+    QueueEntry entry;
+    entry.time = now_ + delay;
+    entry.seq = next_seq_++;
+    entry.kind = QueueEntry::Kind::kTimer;
+    entry.timer_process = at;
+    entry.timer_cookie = cookie;
+    queue_.push(std::move(entry));
+  }
+
+  void deliver(ProcessId at, MessageId msg) {
+    assert(universe_[msg].dst == at && "delivery at the wrong process");
+    record(at, {msg, EventKind::kDeliver});
+  }
+
+  void record(ProcessId at, SystemEvent e) {
+    trace_.record(at, e, now_);
+    if (options_.observer) options_.observer(at, e, now_);
+  }
+
+  SimTime now() const { return now_; }
+  std::size_t process_count() const { return n_processes_; }
+  const Message& message(MessageId msg) const { return universe_[msg]; }
+
+ private:
+  std::vector<Message> universe_;
+  std::size_t n_processes_;
+  SimOptions options_;
+  Network network_;
+  Rng loss_rng_;
+  Trace trace_;
+  std::vector<bool> send_seen_;
+  std::vector<bool> receive_seen_;
+  std::vector<std::unique_ptr<HostImpl>> hosts_;
+  std::vector<std::unique_ptr<Protocol>> protocols_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t invokes_remaining_ = 0;
+  SimTime now_ = 0;
+};
+
+void HostImpl::send_packet(Packet packet) {
+  engine_->send_packet(self_, std::move(packet));
+}
+void HostImpl::deliver(MessageId msg) { engine_->deliver(self_, msg); }
+void HostImpl::set_timer(SimTime delay, std::uint64_t cookie) {
+  engine_->set_timer(self_, delay, cookie);
+}
+SimTime HostImpl::now() const { return engine_->now(); }
+std::size_t HostImpl::process_count() const {
+  return engine_->process_count();
+}
+const Message& HostImpl::message(MessageId msg) const {
+  return engine_->message(msg);
+}
+
+}  // namespace
+
+SimResult simulate(const Workload& workload, const ProtocolFactory& factory,
+                   std::size_t n_processes, const SimOptions& options) {
+  Engine engine(workload, factory, n_processes, options);
+  return engine.run();
+}
+
+}  // namespace msgorder

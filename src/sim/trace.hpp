@@ -1,0 +1,90 @@
+// Execution trace: the timestamped per-process event log a simulation
+// produces, convertible to the paper's SystemRun (system view) and
+// UserRun (user view), plus the overhead statistics of bench E2.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/poset/system_run.hpp"
+#include "src/poset/user_run.hpp"
+#include "src/protocols/protocol.hpp"
+
+namespace msgorder {
+
+struct TimedEvent {
+  SystemEvent event;
+  SimTime time = 0;
+};
+
+struct MessageTimes {
+  SimTime invoke = -1;
+  SimTime send = -1;
+  SimTime receive = -1;
+  SimTime deliver = -1;
+
+  bool complete() const { return deliver >= 0; }
+  /// End-to-end latency as the user perceives it.
+  SimTime latency() const { return deliver - invoke; }
+  /// Time the protocol held the message at the sender (x.s* to x.s).
+  SimTime send_delay() const { return send - invoke; }
+  /// Time the protocol buffered the message at the receiver (x.r* to x.r).
+  SimTime delivery_delay() const { return deliver - receive; }
+};
+
+class Trace {
+ public:
+  Trace(std::vector<Message> universe, std::size_t n_processes)
+      : universe_(std::move(universe)),
+        logs_(n_processes),
+        times_(universe_.size()) {}
+
+  void record(ProcessId p, SystemEvent e, SimTime t);
+  void count_control_packet(std::size_t bytes);
+  void count_user_packet(std::size_t tag_bytes);
+  void count_drop() { ++drops_; }
+  void count_retransmission() { ++retransmissions_; }
+  void count_duplicate_arrival() { ++duplicate_arrivals_; }
+
+  const std::vector<Message>& universe() const { return universe_; }
+  const std::vector<std::vector<TimedEvent>>& logs() const { return logs_; }
+  const MessageTimes& times(MessageId m) const { return times_[m]; }
+
+  std::size_t control_packets() const { return control_packets_; }
+  std::size_t user_packets() const { return user_packets_; }
+  std::size_t control_bytes() const { return control_bytes_; }
+  std::size_t tag_bytes() const { return tag_bytes_; }
+  std::size_t drops() const { return drops_; }
+  std::size_t retransmissions() const { return retransmissions_; }
+  std::size_t duplicate_arrivals() const { return duplicate_arrivals_; }
+
+  double control_packets_per_message() const;
+  double mean_tag_bytes() const;
+  double mean_latency() const;
+  double mean_delivery_delay() const;
+  double max_latency() const;
+
+  /// All messages invoked were delivered (the liveness deliverable).
+  bool all_delivered() const;
+
+  /// The system view of the execution.
+  std::optional<SystemRun> to_system_run(std::string* error = nullptr) const;
+  /// The user's view (requires all sent messages delivered).
+  std::optional<UserRun> to_user_run(std::string* error = nullptr) const;
+
+ private:
+  std::vector<Message> universe_;
+  std::vector<std::vector<TimedEvent>> logs_;
+  std::vector<MessageTimes> times_;
+  std::size_t control_packets_ = 0;
+  std::size_t user_packets_ = 0;
+  std::size_t control_bytes_ = 0;
+  std::size_t tag_bytes_ = 0;
+  std::size_t drops_ = 0;
+  std::size_t retransmissions_ = 0;
+  std::size_t duplicate_arrivals_ = 0;
+};
+
+}  // namespace msgorder

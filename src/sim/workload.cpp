@@ -1,0 +1,68 @@
+#include "src/sim/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+namespace msgorder {
+
+Workload random_workload(const WorkloadOptions& options, Rng& rng) {
+  assert(options.n_processes >= 2);
+  // Draw per-process arrival times, merge, then number messages by time.
+  struct Draft {
+    SimTime time;
+    ProcessId src;
+  };
+  std::vector<Draft> drafts;
+  drafts.reserve(options.n_messages);
+  std::vector<SimTime> clock(options.n_processes, 0);
+  for (std::size_t i = 0; i < options.n_messages; ++i) {
+    // Next invoke happens at the process with the smallest clock.
+    const std::size_t p = static_cast<std::size_t>(
+        std::min_element(clock.begin(), clock.end()) - clock.begin());
+    clock[p] += rng.exponential(options.mean_gap);
+    drafts.push_back({clock[p], static_cast<ProcessId>(p)});
+  }
+  std::sort(drafts.begin(), drafts.end(),
+            [](const Draft& a, const Draft& b) { return a.time < b.time; });
+
+  Workload workload;
+  workload.reserve(drafts.size());
+  for (std::size_t i = 0; i < drafts.size(); ++i) {
+    Message m;
+    m.id = static_cast<MessageId>(i);
+    m.src = drafts[i].src;
+    auto dst =
+        static_cast<ProcessId>(rng.below(options.n_processes - 1));
+    if (dst >= m.src) ++dst;
+    m.dst = dst;
+    m.color = rng.chance(options.red_fraction) ? options.red_color : 0;
+    workload.push_back({drafts[i].time, m});
+  }
+  return workload;
+}
+
+Workload scripted_workload(
+    const std::vector<std::tuple<SimTime, ProcessId, ProcessId, int>>&
+        entries) {
+  Workload workload;
+  MessageId id = 0;
+  for (const auto& [time, src, dst, color] : entries) {
+    workload.push_back({time, Message{id++, src, dst, color}});
+  }
+  std::stable_sort(workload.begin(), workload.end(),
+                   [](const InvokeRequest& a, const InvokeRequest& b) {
+                     return a.time < b.time;
+                   });
+  return workload;
+}
+
+std::vector<Message> workload_universe(const Workload& workload) {
+  std::vector<Message> universe(workload.size());
+  for (const InvokeRequest& req : workload) {
+    universe[req.message.id] = req.message;
+  }
+  return universe;
+}
+
+}  // namespace msgorder

@@ -1,0 +1,45 @@
+// Workloads: timed sequences of application send requests (invokes) fed
+// to the simulator.
+#pragma once
+
+#include <vector>
+
+#include "src/poset/event.hpp"
+#include "src/protocols/protocol.hpp"
+#include "src/util/rng.hpp"
+
+namespace msgorder {
+
+struct InvokeRequest {
+  SimTime time = 0;
+  Message message;  // id assigned densely by the builder
+};
+
+using Workload = std::vector<InvokeRequest>;
+
+struct WorkloadOptions {
+  std::size_t n_processes = 4;
+  std::size_t n_messages = 100;
+  /// Mean inter-invoke gap per process (exponential); smaller = hotter.
+  SimTime mean_gap = 1.0;
+  /// Fraction of messages with color 1 ("red" flush/marker messages).
+  double red_fraction = 0.0;
+  /// Color used for the red messages.
+  int red_color = 1;
+};
+
+/// Poisson-ish traffic: each process invokes messages to uniformly random
+/// other processes with exponential gaps.  Messages are globally numbered
+/// in invoke-time order.
+Workload random_workload(const WorkloadOptions& options, Rng& rng);
+
+/// Hand-written workload helper for tests: each entry is
+/// (time, src, dst, color).
+Workload scripted_workload(
+    const std::vector<std::tuple<SimTime, ProcessId, ProcessId, int>>&
+        entries);
+
+/// The message universe of a workload.
+std::vector<Message> workload_universe(const Workload& workload);
+
+}  // namespace msgorder

@@ -1,0 +1,83 @@
+#include "src/spec/classify.hpp"
+
+#include <algorithm>
+
+namespace msgorder {
+
+std::string to_string(ProtocolClass c) {
+  switch (c) {
+    case ProtocolClass::kTagless:
+      return "tagless";
+    case ProtocolClass::kTagged:
+      return "tagged";
+    case ProtocolClass::kGeneral:
+      return "general";
+    case ProtocolClass::kNotImplementable:
+      return "not-implementable";
+  }
+  return "?";
+}
+
+std::string Classification::to_string() const {
+  std::string out = "class=" + msgorder::to_string(protocol_class);
+  out += has_cycle ? ", cyclic" : ", acyclic";
+  if (min_order.has_value()) {
+    out += ", min order " + std::to_string(*min_order);
+  }
+  if (normalized.triviality == NormalTriviality::kUnsatisfiable) {
+    out += " (predicate unsatisfiable)";
+  } else if (normalized.triviality == NormalTriviality::kTautological) {
+    out += " (predicate tautological)";
+  }
+  return out;
+}
+
+Classification classify(const ForbiddenPredicate& predicate) {
+  Classification result;
+  result.normalized = normalize(predicate);
+  switch (result.normalized.triviality) {
+    case NormalTriviality::kUnsatisfiable:
+      // B can never hold, every run is acceptable: X_B = X_async.
+      result.protocol_class = ProtocolClass::kTagless;
+      return result;
+    case NormalTriviality::kTautological:
+      // B always holds (given a message): only message-free runs are
+      // acceptable, so X_sync is not contained in X_B.
+      result.protocol_class = ProtocolClass::kNotImplementable;
+      return result;
+    case NormalTriviality::kNone:
+      break;
+  }
+
+  const PredicateGraph graph(result.normalized.predicate);
+  result.witness = graph.min_order_closed_walk();
+  result.has_cycle = result.witness.has_value();
+  if (!result.has_cycle) {
+    // Theorem 2: implementable iff the predicate graph has a cycle.
+    result.protocol_class = ProtocolClass::kNotImplementable;
+    return result;
+  }
+  result.min_order = result.witness->order;
+  if (*result.min_order == 0) {
+    result.protocol_class = ProtocolClass::kTagless;
+  } else if (*result.min_order == 1) {
+    result.protocol_class = ProtocolClass::kTagged;
+  } else {
+    result.protocol_class = ProtocolClass::kGeneral;
+  }
+  return result;
+}
+
+ProtocolClass classify(const CompositeSpec& spec) {
+  ProtocolClass worst = ProtocolClass::kTagless;
+  for (const ForbiddenPredicate& p : spec.predicates) {
+    const Classification c = classify(p);
+    worst = std::max(worst, c.protocol_class,
+                     [](ProtocolClass a, ProtocolClass b) {
+                       return static_cast<int>(a) < static_cast<int>(b);
+                     });
+  }
+  return worst;
+}
+
+}  // namespace msgorder

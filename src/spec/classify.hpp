@@ -1,0 +1,64 @@
+// The classification algorithm of the paper (Theorems 2, 3 and 4 and the
+// table of Section 4.3): given a forbidden predicate, decide whether the
+// specification X_B is implementable, and if so which protocol class is
+// necessary and sufficient.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/spec/graph.hpp"
+#include "src/spec/predicate.hpp"
+
+namespace msgorder {
+
+/// The protocol classes of Section 3.2, ordered by strength of the
+/// knowledge they require.  The enum names answer "what is necessary and
+/// sufficient to implement the specification":
+///   kTagless -- the do-nothing protocol suffices (X_async subset of X_B),
+///   kTagged  -- tagging user messages suffices, control messages are
+///               provably unnecessary (X_co subset of X_B),
+///   kGeneral -- control messages are necessary and sufficient
+///               (X_sync subset of X_B but X_co is not),
+///   kNotImplementable -- no protocol guarantees safety and liveness
+///               (X_sync is not a subset of X_B).
+enum class ProtocolClass {
+  kTagless,
+  kTagged,
+  kGeneral,
+  kNotImplementable,
+};
+
+std::string to_string(ProtocolClass c);
+
+struct Classification {
+  ProtocolClass protocol_class = ProtocolClass::kNotImplementable;
+  /// Structural facts backing the verdict.
+  bool has_cycle = false;
+  /// Minimum order over closed walks; nullopt when acyclic or trivial.
+  std::optional<std::size_t> min_order;
+  /// A witness closed walk achieving min_order (edge indices into the
+  /// graph built from the *normalized* predicate).
+  std::optional<Cycle> witness;
+  /// The normalized predicate the graph was built from.
+  NormalizedPredicate normalized;
+
+  std::string to_string() const;
+};
+
+/// Classify one forbidden predicate (Theorem 2 + the Section 4.3 table):
+///   no cycle            -> kNotImplementable,
+///   min walk order 0    -> kTagless,
+///   min walk order 1    -> kTagged,
+///   min walk order >= 2 -> kGeneral.
+/// Normalization corner cases: an unsatisfiable B yields X_B = X_async
+/// (kTagless); a tautological B yields X_B = no-message runs only
+/// (kNotImplementable).
+Classification classify(const ForbiddenPredicate& predicate);
+
+/// Classify an intersection of forbidden-predicate specs: the verdict is
+/// the most demanding component class (X_sync subset of an intersection
+/// iff it is a subset of every component, and likewise for X_co/X_async).
+ProtocolClass classify(const CompositeSpec& spec);
+
+}  // namespace msgorder

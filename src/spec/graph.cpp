@@ -1,0 +1,214 @@
+#include "src/spec/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace msgorder {
+
+PredicateGraph::PredicateGraph(const ForbiddenPredicate& predicate)
+    : n_(predicate.arity), out_edges_(predicate.arity) {
+  for (std::size_t i = 0; i < predicate.conjuncts.size(); ++i) {
+    const Conjunct& c = predicate.conjuncts[i];
+    PredicateEdge e;
+    e.from = c.lhs;
+    e.to = c.rhs;
+    e.p = c.p;
+    e.q = c.q;
+    e.conjunct_index = i;
+    out_edges_[e.from].push_back(edges_.size());
+    edges_.push_back(e);
+  }
+}
+
+std::size_t PredicateGraph::order_of(
+    const std::vector<std::size_t>& cycle_edges) const {
+  std::size_t order = 0;
+  for (std::size_t i = 0; i < cycle_edges.size(); ++i) {
+    const PredicateEdge& in = edges_[cycle_edges[i]];
+    const PredicateEdge& out =
+        edges_[cycle_edges[(i + 1) % cycle_edges.size()]];
+    assert(in.to == out.from && "edge sequence must be contiguous");
+    if (beta_junction(in, out)) ++order;
+  }
+  return order;
+}
+
+namespace {
+
+struct CycleDfs {
+  const std::vector<PredicateEdge>& edges;
+  const std::vector<std::vector<std::size_t>>& out_edges;
+  std::size_t start = 0;
+  std::size_t max_cycles = 0;
+  std::vector<char> on_path;
+  std::vector<std::size_t> path;  // edge indices
+  std::vector<Cycle>* results = nullptr;
+
+  bool full() const { return results->size() >= max_cycles; }
+
+  void visit(std::size_t v) {
+    if (full()) return;
+    for (std::size_t ei : out_edges[v]) {
+      if (full()) return;
+      const PredicateEdge& e = edges[ei];
+      if (e.to == start) {
+        path.push_back(ei);
+        results->push_back(Cycle{path, 0});
+        path.pop_back();
+      } else if (e.to > start && !on_path[e.to]) {
+        on_path[e.to] = 1;
+        path.push_back(ei);
+        visit(e.to);
+        path.pop_back();
+        on_path[e.to] = 0;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Cycle> PredicateGraph::simple_cycles(
+    std::size_t max_cycles) const {
+  std::vector<Cycle> results;
+  for (std::size_t start = 0; start < n_; ++start) {
+    CycleDfs dfs{edges_, out_edges_, start, max_cycles, {}, {}, &results};
+    dfs.on_path.assign(n_, 0);
+    dfs.on_path[start] = 1;
+    dfs.visit(start);
+    if (results.size() >= max_cycles) break;
+  }
+  for (Cycle& c : results) c.order = order_of(c.edges);
+  return results;
+}
+
+bool PredicateGraph::has_cycle() const {
+  // Iterative colored DFS over the plain digraph.
+  enum : char { kWhite, kGray, kBlack };
+  std::vector<char> color(n_, kWhite);
+  std::vector<std::pair<std::size_t, std::size_t>> stack;  // (vertex, next)
+  for (std::size_t root = 0; root < n_; ++root) {
+    if (color[root] != kWhite) continue;
+    color[root] = kGray;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next < out_edges_[v].size()) {
+        const std::size_t to = edges_[out_edges_[v][next++]].to;
+        if (color[to] == kGray) return true;
+        if (color[to] == kWhite) {
+          color[to] = kGray;
+          stack.emplace_back(to, 0);
+        }
+      } else {
+        color[v] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<Cycle> PredicateGraph::min_order_closed_walk() const {
+  // State graph: state = 2*vertex + (incoming kind == deliver).
+  // Traversing edge e out of state (v, kin) costs 1 iff kin == r and
+  // e.p == s (a beta passage at v), and leads to state (e.to, e.q).
+  // A closed walk of the predicate graph corresponds exactly to a closed
+  // path anchor -> anchor in the state graph, and its accumulated cost is
+  // the walk's order (the wrap-around junction is charged on the first
+  // edge out of the anchor).
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  const std::size_t n_states = 2 * n_;
+  const auto state_of = [](std::size_t v, UserEventKind kin) {
+    return 2 * v + (kin == UserEventKind::kDeliver ? 1 : 0);
+  };
+  const auto edge_cost = [&](std::size_t from_state,
+                             const PredicateEdge& e) -> std::size_t {
+    const bool in_is_deliver = (from_state % 2) != 0;
+    return (in_is_deliver && e.p == UserEventKind::kSend) ? 1 : 0;
+  };
+
+  std::optional<Cycle> best;
+  for (std::size_t anchor = 0; anchor < n_states; ++anchor) {
+    if (best.has_value() && best->order == 0) break;  // cannot improve
+    std::vector<std::size_t> dist(n_states, kInf);
+    std::vector<std::size_t> parent_state(n_states, kNone);
+    std::vector<std::size_t> parent_edge(n_states, kNone);
+    std::deque<std::size_t> queue;
+    std::size_t anchor_cost = kInf;
+    std::size_t closing_edge = kNone;
+    std::size_t closing_state = kNone;  // state the closing edge left from
+
+    const auto relax = [&](std::size_t from_state, std::size_t ei,
+                           std::size_t base) {
+      const PredicateEdge& e = edges_[ei];
+      const std::size_t nd = base + edge_cost(from_state, e);
+      const std::size_t to_state = state_of(e.to, e.q);
+      if (to_state == anchor) {
+        if (nd < anchor_cost) {
+          anchor_cost = nd;
+          closing_edge = ei;
+          closing_state = from_state;
+        }
+        return;
+      }
+      if (nd < dist[to_state]) {
+        dist[to_state] = nd;
+        parent_state[to_state] = from_state;
+        parent_edge[to_state] = ei;
+        if (nd == base) {
+          queue.push_front(to_state);
+        } else {
+          queue.push_back(to_state);
+        }
+      }
+    };
+
+    // Seed: leave the anchor (cost base 0); dist[anchor] itself stays
+    // infinite so that returning requires >= 1 edge.
+    for (std::size_t ei : out_edges_[anchor / 2]) relax(anchor, ei, 0);
+    while (!queue.empty()) {
+      const std::size_t s = queue.front();
+      queue.pop_front();
+      const std::size_t d = dist[s];
+      for (std::size_t ei : out_edges_[s / 2]) relax(s, ei, d);
+    }
+    if (anchor_cost == kInf) continue;
+    if (!best.has_value() || anchor_cost < best->order) {
+      std::vector<std::size_t> walk{closing_edge};
+      for (std::size_t s = closing_state; s != anchor;
+           s = parent_state[s]) {
+        walk.push_back(parent_edge[s]);
+      }
+      std::reverse(walk.begin(), walk.end());
+      Cycle cycle;
+      cycle.edges = std::move(walk);
+      cycle.order = order_of(cycle.edges);
+      assert(cycle.order == anchor_cost);
+      if (!best.has_value() || cycle.order < best->order) {
+        best = std::move(cycle);
+      }
+    }
+  }
+  return best;
+}
+
+std::string PredicateGraph::to_string(
+    const ForbiddenPredicate& predicate) const {
+  std::string out = "vertices: ";
+  for (std::size_t v = 0; v < n_; ++v) {
+    if (v) out += ", ";
+    out += predicate.var_name(v);
+  }
+  out += "\nedges:\n";
+  for (const PredicateEdge& e : edges_) {
+    out += "  " + predicate.var_name(e.from) + "." + kind_name(e.p) +
+           " -> " + predicate.var_name(e.to) + "." + kind_name(e.q) + "\n";
+  }
+  return out;
+}
+
+}  // namespace msgorder

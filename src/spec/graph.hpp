@@ -1,0 +1,87 @@
+// The predicate graph G_B(V, E) of Definition 4.2 and the beta-vertex
+// machinery of Definition 4.3.
+//
+// Vertices are the predicate variables; every conjunct x_j.p |> x_k.q
+// contributes a directed edge j -> k labelled (p, q) (the graph is a
+// multigraph).  Given a cycle, a vertex is a *beta vertex* iff the cycle
+// enters it at .r and leaves it from .s — enforcing that junction needs
+// knowledge of the future (delivery before a later send of the same
+// message variable), which is what separates the protocol classes.
+//
+// Two analyses are provided:
+//   * enumeration of simple cycles (Johnson-style DFS) with their orders,
+//     used for reporting and for exhibiting witness cycles; and
+//   * the minimum order over *closed walks*, computed on a labelled state
+//     graph (state = (vertex, incoming event kind), passage cost 1 iff
+//     in = r and out = s) by 0-1 BFS.  The walk minimum provably equals
+//     the simple-cycle minimum (see DESIGN.md: merging cycles at a shared
+//     vertex cannot drop the beta count below the best component), so
+//     this gives the paper's classification in O(V*E) instead of
+//     enumerating exponentially many cycles.  Lemma 4's contraction is
+//     sound for walks, so witness walks remain valid weakening inputs.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/spec/predicate.hpp"
+
+namespace msgorder {
+
+struct PredicateEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  UserEventKind p = UserEventKind::kSend;  // kind at `from`
+  UserEventKind q = UserEventKind::kSend;  // kind at `to`
+  std::size_t conjunct_index = 0;
+
+  bool operator==(const PredicateEdge&) const = default;
+};
+
+/// A cycle or closed walk, as the sequence of edge indices traversed.
+struct Cycle {
+  std::vector<std::size_t> edges;
+  std::size_t order = 0;  // number of beta passages
+
+  bool operator==(const Cycle&) const = default;
+};
+
+class PredicateGraph {
+ public:
+  PredicateGraph() = default;
+  explicit PredicateGraph(const ForbiddenPredicate& predicate);
+
+  std::size_t vertex_count() const { return n_; }
+  const std::vector<PredicateEdge>& edges() const { return edges_; }
+
+  /// Is the junction "arrive via `in`, leave via `out`" a beta passage?
+  static bool beta_junction(const PredicateEdge& in,
+                            const PredicateEdge& out) {
+    return in.q == UserEventKind::kDeliver && out.p == UserEventKind::kSend;
+  }
+
+  /// Number of beta passages around a cyclic edge sequence.
+  std::size_t order_of(const std::vector<std::size_t>& cycle_edges) const;
+
+  /// All simple cycles (distinct vertices; parallel edges give distinct
+  /// cycles; self-loops are length-1 cycles).  Enumeration stops after
+  /// `max_cycles` results to bound the worst case.
+  std::vector<Cycle> simple_cycles(std::size_t max_cycles = 100000) const;
+
+  bool has_cycle() const;
+
+  /// Minimum order over all closed walks, together with a witness walk;
+  /// nullopt if the graph is acyclic.
+  std::optional<Cycle> min_order_closed_walk() const;
+
+  std::string to_string(const ForbiddenPredicate& predicate) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<PredicateEdge> edges_;
+  std::vector<std::vector<std::size_t>> out_edges_;  // by vertex
+};
+
+}  // namespace msgorder

@@ -1,0 +1,241 @@
+#include "src/spec/parser.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace msgorder {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParseResult run() {
+    ParseResult result;
+    ForbiddenPredicate predicate;
+    if (!parse_conjunct(predicate)) return fail();
+    skip_space();
+    while (peek() == '&') {
+      ++pos_;
+      if (!parse_conjunct(predicate)) return fail();
+      skip_space();
+    }
+    if (match_word("where")) {
+      do {
+        if (!parse_constraint(predicate)) return fail();
+        skip_space();
+      } while (consume(','));
+    }
+    skip_space();
+    if (pos_ != text_.size()) {
+      error("unexpected trailing input");
+      return fail();
+    }
+    predicate.arity = vars_.size();
+    predicate.var_names.resize(vars_.size());
+    for (const auto& [name, id] : vars_) predicate.var_names[id] = name;
+    result.predicate = std::move(predicate);
+    return result;
+  }
+
+ private:
+  ParseResult fail() {
+    ParseResult r;
+    r.error = error_.empty() ? "parse error" : error_;
+    return r;
+  }
+
+  void error(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_space();
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool match_word(std::string_view word) {
+    skip_space();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    const std::size_t end = pos_ + word.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;  // prefix of a longer identifier
+    }
+    pos_ = end;
+    return true;
+  }
+
+  std::optional<std::string> parse_ident() {
+    skip_space();
+    if (!std::isalpha(static_cast<unsigned char>(peek())) && peek() != '_') {
+      error("expected identifier");
+      return std::nullopt;
+    }
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::size_t var_id(const std::string& name) {
+    auto [it, inserted] = vars_.try_emplace(name, vars_.size());
+    return it->second;
+  }
+
+  /// atom := ident '.' ('s' | 'r')
+  bool parse_atom(std::size_t& var, UserEventKind& kind) {
+    const auto name = parse_ident();
+    if (!name.has_value()) return false;
+    if (!consume('.')) {
+      error("expected '.' after variable name");
+      return false;
+    }
+    if (match_word("s")) {
+      kind = UserEventKind::kSend;
+    } else if (match_word("r")) {
+      kind = UserEventKind::kDeliver;
+    } else {
+      error("expected event kind 's' or 'r'");
+      return false;
+    }
+    var = var_id(*name);
+    return true;
+  }
+
+  bool parse_rel() {
+    skip_space();
+    if (text_.substr(pos_, 2) == "|>") {
+      pos_ += 2;
+      return true;
+    }
+    if (text_.substr(pos_, 2) == "->") {
+      pos_ += 2;
+      return true;
+    }
+    if (peek() == '<') {
+      ++pos_;
+      return true;
+    }
+    error("expected relation '|>', '->' or '<'");
+    return false;
+  }
+
+  bool parse_conjunct(ForbiddenPredicate& predicate) {
+    skip_space();
+    const bool parens = consume('(');
+    Conjunct c;
+    if (!parse_atom(c.lhs, c.p)) return false;
+    if (!parse_rel()) return false;
+    if (!parse_atom(c.rhs, c.q)) return false;
+    if (parens && !consume(')')) {
+      error("expected ')'");
+      return false;
+    }
+    predicate.conjuncts.push_back(c);
+    return true;
+  }
+
+  bool parse_constraint(ForbiddenPredicate& predicate) {
+    skip_space();
+    if (match_word("process")) {
+      ProcessEquality pe;
+      if (!consume('(')) return error("expected '('"), false;
+      if (!parse_atom(pe.var_a, pe.kind_a)) return false;
+      if (!consume(')')) return error("expected ')'"), false;
+      if (!consume('=')) return error("expected '='"), false;
+      if (!match_word("process")) {
+        return error("expected 'process'"), false;
+      }
+      if (!consume('(')) return error("expected '('"), false;
+      if (!parse_atom(pe.var_b, pe.kind_b)) return false;
+      if (!consume(')')) return error("expected ')'"), false;
+      predicate.process_constraints.push_back(pe);
+      return true;
+    }
+    if (match_word("color")) {
+      ColorConstraint cc;
+      if (!consume('(')) return error("expected '('"), false;
+      const auto name = parse_ident();
+      if (!name.has_value()) return false;
+      cc.var = var_id(*name);
+      if (!consume(')')) return error("expected ')'"), false;
+      if (!consume('=')) return error("expected '='"), false;
+      skip_space();
+      bool neg = consume('-');
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return error("expected integer color"), false;
+      }
+      int value = 0;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        value = value * 10 + (text_[pos_++] - '0');
+      }
+      cc.color = neg ? -value : value;
+      predicate.color_constraints.push_back(cc);
+      return true;
+    }
+    error("expected 'process' or 'color' constraint");
+    return false;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+  std::map<std::string, std::size_t> vars_;
+};
+
+}  // namespace
+
+ParseResult parse_predicate(std::string_view text) {
+  return Parser(text).run();
+}
+
+ParseSpecResult parse_spec(std::string_view text) {
+  ParseSpecResult result;
+  CompositeSpec spec;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i != text.size() && text[i] != ';') continue;
+    const std::string_view piece = text.substr(start, i - start);
+    start = i + 1;
+    bool blank = true;
+    for (char c : piece) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (blank) continue;
+    ParseResult parsed = parse_predicate(piece);
+    if (!parsed.ok()) {
+      result.error = parsed.error;
+      return result;
+    }
+    spec.predicates.push_back(std::move(*parsed.predicate));
+  }
+  if (spec.predicates.empty()) {
+    result.error = "empty specification";
+    return result;
+  }
+  result.spec = std::move(spec);
+  return result;
+}
+
+}  // namespace msgorder

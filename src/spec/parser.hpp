@@ -1,0 +1,51 @@
+// A small text syntax for forbidden predicates, used by the classify_spec
+// example and by tests.  Grammar (whitespace-insensitive):
+//
+//   predicate  := conjunct ('&' conjunct)* ['where' constraint (',' constraint)*]
+//   conjunct   := '(' atom rel atom ')'  |  atom rel atom
+//   atom       := ident '.' ('s' | 'r')
+//   rel        := '|>' | '->' | '<'
+//   constraint := 'process' '(' atom ')' '=' 'process' '(' atom ')'
+//              |  'color' '(' ident ')' '=' integer
+//
+// Example (causal ordering):   (x.s |> y.s) & (y.r |> x.r)
+// Example (FIFO):              x.s < y.s & y.r < x.r
+//                              where process(x.s)=process(y.s),
+//                                    process(x.r)=process(y.r)
+//
+// Variables are registered on first use, in order of appearance.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/spec/predicate.hpp"
+
+namespace msgorder {
+
+struct ParseResult {
+  std::optional<ForbiddenPredicate> predicate;
+  std::string error;  // non-empty iff predicate is nullopt
+
+  bool ok() const { return predicate.has_value(); }
+};
+
+ParseResult parse_predicate(std::string_view text);
+
+/// A composite specification: semicolon-separated predicates, each
+/// independently forbidden (the intersection of their X_B sets):
+///
+///   spec := predicate (';' predicate)*
+///
+/// Two-way flush, for instance, is two forward/backward predicates.
+struct ParseSpecResult {
+  std::optional<CompositeSpec> spec;
+  std::string error;
+
+  bool ok() const { return spec.has_value(); }
+};
+
+ParseSpecResult parse_spec(std::string_view text);
+
+}  // namespace msgorder

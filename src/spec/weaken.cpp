@@ -1,0 +1,110 @@
+#include "src/spec/weaken.hpp"
+
+#include <cassert>
+#include <map>
+
+namespace msgorder {
+
+namespace {
+
+/// Internal ring form of a cyclic predicate: position i holds variable
+/// ring_vars[i]; edge i runs from position i to position (i+1) % L with
+/// labels (p, q).
+struct Ring {
+  std::vector<std::size_t> vars;
+  std::vector<std::pair<UserEventKind, UserEventKind>> labels;
+
+  std::size_t length() const { return vars.size(); }
+
+  /// Is the junction at position i (between edge i-1 and edge i) beta?
+  bool beta_at(std::size_t i) const {
+    const std::size_t prev = (i + length() - 1) % length();
+    return labels[prev].second == UserEventKind::kDeliver &&
+           labels[i].first == UserEventKind::kSend;
+  }
+
+  ForbiddenPredicate to_predicate() const {
+    // Renumber the (possibly repeated) ring variables densely.
+    std::map<std::size_t, std::size_t> remap;
+    for (std::size_t v : vars) {
+      remap.emplace(v, remap.size());
+    }
+    ForbiddenPredicate p;
+    p.arity = remap.size();
+    for (std::size_t i = 0; i < length(); ++i) {
+      Conjunct c;
+      c.lhs = remap.at(vars[i]);
+      c.p = labels[i].first;
+      c.rhs = remap.at(vars[(i + 1) % length()]);
+      c.q = labels[i].second;
+      p.conjuncts.push_back(c);
+    }
+    return p;
+  }
+};
+
+}  // namespace
+
+ForbiddenPredicate cycle_predicate(
+    const PredicateGraph& graph,
+    const std::vector<std::size_t>& cycle_edges) {
+  assert(!cycle_edges.empty());
+  ForbiddenPredicate p;
+  p.arity = graph.vertex_count();
+  for (std::size_t ei : cycle_edges) {
+    const PredicateEdge& e = graph.edges()[ei];
+    Conjunct c;
+    c.lhs = e.from;
+    c.p = e.p;
+    c.rhs = e.to;
+    c.q = e.q;
+    p.conjuncts.push_back(c);
+  }
+  // Drop quantified-but-unused variables, keeping conjunct (ring) order.
+  const NormalizedPredicate normalized = normalize(p);
+  assert(normalized.triviality == NormalTriviality::kNone);
+  return normalized.predicate;
+}
+
+WeakeningTrace weaken_to_canonical(const ForbiddenPredicate& cycle) {
+  // Reconstruct the ring; precondition: conjunct i's rhs is conjunct
+  // (i+1)'s lhs, closing back to conjunct 0.
+  Ring ring;
+  const std::size_t L = cycle.conjuncts.size();
+  assert(L >= 1);
+  for (std::size_t i = 0; i < L; ++i) {
+    const Conjunct& c = cycle.conjuncts[i];
+    const Conjunct& next = cycle.conjuncts[(i + 1) % L];
+    assert(c.rhs == next.lhs && "conjuncts must form a closed walk");
+    (void)next;
+    ring.vars.push_back(c.lhs);
+    ring.labels.emplace_back(c.p, c.q);
+  }
+
+  WeakeningTrace trace;
+  trace.steps.push_back(ring.to_predicate());
+  for (;;) {
+    if (ring.length() <= 2) break;
+    // Find a non-beta position to contract.
+    std::size_t victim = ring.length();
+    for (std::size_t i = 0; i < ring.length(); ++i) {
+      if (!ring.beta_at(i)) {
+        victim = i;
+        break;
+      }
+    }
+    if (victim == ring.length()) break;  // all beta: canonical SYNC form
+
+    // Merge edge (victim-1) and edge victim into one edge
+    // (prev_vertex -> next_vertex) with labels (p_{victim-1}, q_victim).
+    const std::size_t prev = (victim + ring.length() - 1) % ring.length();
+    ring.labels[prev] = {ring.labels[prev].first,
+                         ring.labels[victim].second};
+    ring.vars.erase(ring.vars.begin() + static_cast<long>(victim));
+    ring.labels.erase(ring.labels.begin() + static_cast<long>(victim));
+    trace.steps.push_back(ring.to_predicate());
+  }
+  return trace;
+}
+
+}  // namespace msgorder

@@ -1,0 +1,42 @@
+// Lemma 4: cycle contraction.  Given a predicate whose graph is a cycle,
+// repeatedly eliminate non-beta vertices by composing their incident
+// conjuncts:
+//    (x.p |> y.s) & (y.s |> z.q)   =>  (x.p |> z.q)     (transitivity)
+//    (x.p |> y.s) & (y.r |> z.q)   =>  (x.p |> z.q)     (via y.s |> y.r)
+//    (x.p |> y.r) & (y.r |> z.q)   =>  (x.p |> z.q)     (transitivity)
+// Each step yields a strictly weaker predicate (B => B') with the same
+// number of beta vertices, ending in a canonical cycle that either has
+// two vertices or consists solely of beta vertices — one of the Lemma 3
+// forms.
+#pragma once
+
+#include <vector>
+
+#include "src/spec/graph.hpp"
+#include "src/spec/predicate.hpp"
+
+namespace msgorder {
+
+/// The contraction trace: steps[0] is the input cycle predicate, each
+/// subsequent entry removes one non-beta vertex, and steps.back() is the
+/// canonical form.
+struct WeakeningTrace {
+  std::vector<ForbiddenPredicate> steps;
+
+  const ForbiddenPredicate& canonical() const { return steps.back(); }
+};
+
+/// Extract the cycle of `graph` given by `cycle_edges` as a standalone
+/// predicate over fresh variables v_0..v_{k-1} (conjunct i relates v_i to
+/// v_{i+1 mod k}).  This realizes the paper's B_c with B => B_c.
+ForbiddenPredicate cycle_predicate(const PredicateGraph& graph,
+                                   const std::vector<std::size_t>&
+                                       cycle_edges);
+
+/// Run Lemma 4's contraction to a canonical form.  `cycle` must be a
+/// predicate whose conjuncts form one cycle v_0 -> v_1 -> ... -> v_0 (as
+/// produced by cycle_predicate); passing anything else is a precondition
+/// violation.
+WeakeningTrace weaken_to_canonical(const ForbiddenPredicate& cycle);
+
+}  // namespace msgorder

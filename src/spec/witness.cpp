@@ -1,0 +1,144 @@
+#include "src/spec/witness.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "src/poset/poset.hpp"
+
+namespace msgorder {
+
+namespace {
+
+/// Tiny union-find for identifying process slots.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::optional<UserRun> witness_run(const ForbiddenPredicate& predicate) {
+  const NormalizedPredicate normalized = normalize(predicate);
+  if (normalized.triviality != NormalTriviality::kNone) return std::nullopt;
+  const ForbiddenPredicate& p = normalized.predicate;
+
+  // --- Processes: slot 2v = sender of x_v, 2v+1 = receiver, identified
+  // per the process-equality constraints.
+  UnionFind slots(2 * p.arity);
+  const auto slot = [](std::size_t var, UserEventKind kind) {
+    return 2 * var + (kind == UserEventKind::kDeliver ? 1 : 0);
+  };
+  for (const ProcessEquality& pe : p.process_constraints) {
+    slots.unite(slot(pe.var_a, pe.kind_a), slot(pe.var_b, pe.kind_b));
+  }
+  std::vector<ProcessId> slot_process(2 * p.arity);
+  {
+    std::vector<int> remap(2 * p.arity, -1);
+    int next = 0;
+    for (std::size_t s = 0; s < 2 * p.arity; ++s) {
+      const std::size_t root = slots.find(s);
+      if (remap[root] < 0) remap[root] = next++;
+      slot_process[s] = static_cast<ProcessId>(remap[root]);
+    }
+  }
+
+  // --- Colors; contradictions make B unsatisfiable.
+  std::vector<std::optional<int>> colors(p.arity);
+  for (const ColorConstraint& cc : p.color_constraints) {
+    if (colors[cc.var].has_value() && *colors[cc.var] != cc.color) {
+      return std::nullopt;
+    }
+    colors[cc.var] = cc.color;
+  }
+
+  // --- The abstract relation of the Theorem 2/4 construction: the
+  // conjuncts plus every message edge.  A cycle here means B implies
+  // some event precedes itself (the order-0 case): unrealizable.
+  Poset abstract(2 * p.arity);
+  const auto event_index = [&](std::size_t var, UserEventKind kind) {
+    return slot(var, kind);  // same packing: 2v / 2v+1
+  };
+  for (const Conjunct& c : p.conjuncts) {
+    abstract.add_edge(event_index(c.lhs, c.p), event_index(c.rhs, c.q));
+  }
+  for (std::size_t v = 0; v < p.arity; ++v) {
+    abstract.add_edge(event_index(v, UserEventKind::kSend),
+                      event_index(v, UserEventKind::kDeliver));
+  }
+  abstract.close();
+  const auto topo = abstract.topological_order();
+  if (!topo.has_value()) return std::nullopt;
+
+  // --- Messages: the variables, plus one relay per cross-process
+  // conjunct.  Relays are the "there exists a message z" of the paper's
+  // Lemma 3 equivalence proof: they mediate cross-process causality so
+  // that the witness is an actual (schedulable) run, not just a poset.
+  std::vector<Message> messages;
+  for (std::size_t v = 0; v < p.arity; ++v) {
+    Message m;
+    m.id = static_cast<MessageId>(v);
+    m.src = slot_process[slot(v, UserEventKind::kSend)];
+    m.dst = slot_process[slot(v, UserEventKind::kDeliver)];
+    m.color = colors[v].value_or(0);
+    messages.push_back(m);
+  }
+  std::vector<std::optional<MessageId>> relay_of(p.conjuncts.size());
+  for (std::size_t ci = 0; ci < p.conjuncts.size(); ++ci) {
+    const Conjunct& c = p.conjuncts[ci];
+    const ProcessId from = slot_process[slot(c.lhs, c.p)];
+    const ProcessId to = slot_process[slot(c.rhs, c.q)];
+    if (from == to) continue;  // process order will carry the relation
+    Message relay;
+    relay.id = static_cast<MessageId>(messages.size());
+    relay.src = from;
+    relay.dst = to;
+    relay_of[ci] = relay.id;
+    messages.push_back(relay);
+  }
+
+  // --- Schedules: walk the events in topological order; relay delivers
+  // go immediately before their target event, relay sends immediately
+  // after their source event.
+  std::size_t n_processes = 0;
+  for (const Message& m : messages) {
+    n_processes = std::max({n_processes, static_cast<std::size_t>(m.src) + 1,
+                            static_cast<std::size_t>(m.dst) + 1});
+  }
+  std::vector<std::vector<ScheduleStep>> schedules(n_processes);
+  for (const std::size_t e : *topo) {
+    const auto var = static_cast<MessageId>(e / 2);
+    const UserEventKind kind =
+        (e % 2) ? UserEventKind::kDeliver : UserEventKind::kSend;
+    const ProcessId at = slot_process[e];
+    for (std::size_t ci = 0; ci < p.conjuncts.size(); ++ci) {
+      const Conjunct& c = p.conjuncts[ci];
+      if (relay_of[ci].has_value() && c.rhs == var && c.q == kind) {
+        schedules[at].push_back({*relay_of[ci], UserEventKind::kDeliver});
+      }
+    }
+    schedules[at].push_back({var, kind});
+    for (std::size_t ci = 0; ci < p.conjuncts.size(); ++ci) {
+      const Conjunct& c = p.conjuncts[ci];
+      if (relay_of[ci].has_value() && c.lhs == var && c.p == kind) {
+        schedules[at].push_back({*relay_of[ci], UserEventKind::kSend});
+      }
+    }
+  }
+  return UserRun::from_schedules(std::move(messages), std::move(schedules));
+}
+
+}  // namespace msgorder

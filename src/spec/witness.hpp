@@ -1,0 +1,34 @@
+// The witness-run construction used by the proofs of Theorems 2 and 4:
+// given a forbidden predicate B(x_1..x_m), build the *smallest run
+// realizing B* — one message per variable, with the causality relation
+// the transitive closure of B's conjuncts plus the message edges, and
+// attributes (colors, process identifications) chosen to satisfy B's
+// range constraints.
+//
+// The construction characterizes the classification exactly:
+//   * min cycle order 0        -> the relation is cyclic, no witness
+//                                 exists (B is unsatisfiable in any
+//                                 partial order; X_B = X_async);
+//   * min order 1              -> witness exists, lies in X_async \ X_co;
+//   * min order >= 2           -> witness exists, lies in X_co \ X_sync;
+//   * acyclic (no cycle)       -> witness exists and is logically
+//                                 synchronous, which is why no protocol
+//                                 can forbid it (Theorem 2).
+// These invariants are enforced by witness_test.cpp for exhaustive
+// predicate censuses.
+#pragma once
+
+#include <optional>
+
+#include "src/poset/user_run.hpp"
+#include "src/spec/predicate.hpp"
+
+namespace msgorder {
+
+/// Build the Theorem-2/4 witness run for the (normalized) predicate, or
+/// nullopt when none exists: the predicate is trivial, its constraints
+/// are contradictory (two colors for one variable), or the induced
+/// relation is cyclic (the order-0 case).
+std::optional<UserRun> witness_run(const ForbiddenPredicate& predicate);
+
+}  // namespace msgorder

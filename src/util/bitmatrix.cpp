@@ -1,0 +1,44 @@
+#include "src/util/bitmatrix.hpp"
+
+#include <bit>
+
+namespace msgorder {
+
+BitMatrix::BitMatrix(std::size_t n)
+    : n_(n), words_((n + 63) / 64), bits_(n * words_, 0) {}
+
+void BitMatrix::or_row_into(std::size_t src, std::size_t dst) {
+  const std::uint64_t* s = row(src);
+  std::uint64_t* d = row(dst);
+  for (std::size_t w = 0; w < words_; ++w) d[w] |= s[w];
+}
+
+void BitMatrix::transitive_closure() {
+  for (std::size_t k = 0; k < n_; ++k) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (get(i, k)) or_row_into(k, i);
+    }
+  }
+}
+
+bool BitMatrix::any_diagonal() const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (get(i, i)) return true;
+  }
+  return false;
+}
+
+std::size_t BitMatrix::row_popcount(std::size_t i) const {
+  std::size_t total = 0;
+  const std::uint64_t* r = row(i);
+  for (std::size_t w = 0; w < words_; ++w) total += std::popcount(r[w]);
+  return total;
+}
+
+std::size_t BitMatrix::popcount() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : bits_) total += std::popcount(w);
+  return total;
+}
+
+}  // namespace msgorder

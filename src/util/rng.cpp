@@ -1,0 +1,45 @@
+#include "src/util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace msgorder {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Debiased multiply-shift (Lemire).  The retry loop terminates with
+  // overwhelming probability on the first iteration.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    const __uint128_t m = static_cast<__uint128_t>(r) * bound;
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+double Rng::exponential(double mean) {
+  assert(mean > 0);
+  double u = uniform01();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+Rng Rng::split() { return Rng((*this)() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace msgorder

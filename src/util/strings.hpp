@@ -1,0 +1,28 @@
+// Small string helpers shared by the parser, the pretty-printers, and the
+// table-emitting benchmark harnesses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msgorder {
+
+/// Split on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True iff text begins with prefix.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Join the pieces with the given separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Left-pad / right-pad to the given width (for plain-text tables).
+std::string pad_right(std::string_view text, std::size_t width);
+std::string pad_left(std::string_view text, std::size_t width);
+
+}  // namespace msgorder

@@ -1,0 +1,100 @@
+// Figure 1: the causal past of a run with respect to a process.
+#include <gtest/gtest.h>
+
+#include "src/poset/system_run.hpp"
+
+namespace msgorder {
+namespace {
+
+SystemEvent ev(MessageId m, EventKind k) { return {m, k}; }
+
+// Three processes; message 0: P0 -> P1 delivered, message 1: P2 -> P1
+// sent but not received, message 2: P0 -> P2 delivered.
+std::optional<SystemRun> sample_run() {
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 2, 1, 0}, {2, 0, 2, 0}};
+  return SystemRun::from_sequences(
+      ms,
+      {
+          {ev(0, EventKind::kInvoke), ev(0, EventKind::kSend),
+           ev(2, EventKind::kInvoke), ev(2, EventKind::kSend)},
+          {ev(0, EventKind::kReceive), ev(0, EventKind::kDeliver)},
+          {ev(1, EventKind::kInvoke), ev(1, EventKind::kSend),
+           ev(2, EventKind::kReceive), ev(2, EventKind::kDeliver)},
+      });
+}
+
+TEST(CausalPast, KeepsOwnHistoryEntirely) {
+  const auto run = sample_run();
+  ASSERT_TRUE(run.has_value());
+  for (ProcessId i = 0; i < 3; ++i) {
+    const SystemRun past = run->causal_past(i);
+    EXPECT_EQ(past.sequences()[i], run->sequences()[i]) << "process " << i;
+  }
+}
+
+TEST(CausalPast, KeepsOnlyEventsThatReachTheProcess) {
+  const auto run = sample_run();
+  ASSERT_TRUE(run.has_value());
+  const SystemRun past = run->causal_past(1);
+  // P1 saw message 0: its invoke+send at P0 are in the past.
+  EXPECT_TRUE(past.present(0, EventKind::kInvoke));
+  EXPECT_TRUE(past.present(0, EventKind::kSend));
+  // Message 2's send at P0 came after message 0's send and never reached
+  // P1: not in the past.
+  EXPECT_FALSE(past.present(2, EventKind::kInvoke));
+  // Message 1 was sent to P1 but never received: not in the past.
+  EXPECT_FALSE(past.present(1, EventKind::kSend));
+  EXPECT_TRUE(past.sequences()[2].empty());
+}
+
+TEST(CausalPast, IsAPrefixPerProcess) {
+  const auto run = sample_run();
+  ASSERT_TRUE(run.has_value());
+  for (ProcessId i = 0; i < 3; ++i) {
+    const SystemRun past = run->causal_past(i);
+    for (ProcessId j = 0; j < 3; ++j) {
+      const auto& full = run->sequences()[j];
+      const auto& cut = past.sequences()[j];
+      ASSERT_LE(cut.size(), full.size());
+      for (std::size_t k = 0; k < cut.size(); ++k) {
+        EXPECT_EQ(cut[k], full[k]);
+      }
+    }
+  }
+}
+
+TEST(CausalPast, EmptyRunHasEmptyPast) {
+  SystemRun run({{0, 0, 1, 0}}, 2);
+  const SystemRun past = run.causal_past(1);
+  EXPECT_EQ(past.event_count(), 0u);
+}
+
+TEST(CausalPast, TransitiveThroughIntermediateProcess) {
+  // P0 sends m0 to P1; P1 then sends m1 to P2.  P2's causal past must
+  // include P0's send of m0 (it reaches P2 via P1).
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 1, 2, 0}};
+  const auto run = SystemRun::from_sequences(
+      ms,
+      {
+          {ev(0, EventKind::kInvoke), ev(0, EventKind::kSend)},
+          {ev(0, EventKind::kReceive), ev(0, EventKind::kDeliver),
+           ev(1, EventKind::kInvoke), ev(1, EventKind::kSend)},
+          {ev(1, EventKind::kReceive), ev(1, EventKind::kDeliver)},
+      });
+  ASSERT_TRUE(run.has_value());
+  const SystemRun past = run->causal_past(2);
+  EXPECT_TRUE(past.present(0, EventKind::kSend));
+  EXPECT_TRUE(past.present(0, EventKind::kReceive));
+  EXPECT_TRUE(past.present(1, EventKind::kSend));
+}
+
+TEST(CausalPast, IdempotentForOwnProcess) {
+  const auto run = sample_run();
+  ASSERT_TRUE(run.has_value());
+  const SystemRun once = run->causal_past(1);
+  const SystemRun twice = once.causal_past(1);
+  EXPECT_EQ(once.key(), twice.key());
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,158 @@
+// Theorems 2, 3, 4 and the Section 4.3 table: the classification
+// algorithm on the canonical specifications.
+#include <gtest/gtest.h>
+
+#include "src/spec/classify.hpp"
+#include "src/spec/library.hpp"
+#include "src/spec/parser.hpp"
+
+namespace msgorder {
+namespace {
+
+constexpr UserEventKind S = UserEventKind::kSend;
+constexpr UserEventKind R = UserEventKind::kDeliver;
+
+TEST(Classify, CausalVariantsAreTagged) {
+  for (const ForbiddenPredicate& p :
+       {causal_ordering(), causal_ordering_b1(), causal_ordering_b3()}) {
+    const Classification c = classify(p);
+    EXPECT_EQ(c.protocol_class, ProtocolClass::kTagged) << p.to_string();
+    EXPECT_EQ(*c.min_order, 1u);
+  }
+}
+
+TEST(Classify, FifoIsTagged) {
+  EXPECT_EQ(classify(fifo()).protocol_class, ProtocolClass::kTagged);
+}
+
+TEST(Classify, AsyncZooIsTagless) {
+  for (const ForbiddenPredicate& p : async_zoo()) {
+    const Classification c = classify(p);
+    EXPECT_EQ(c.protocol_class, ProtocolClass::kTagless) << p.to_string();
+    EXPECT_EQ(*c.min_order, 0u);
+  }
+}
+
+TEST(Classify, CrownsAreGeneral) {
+  for (std::size_t k = 2; k <= 6; ++k) {
+    const Classification c = classify(sync_crown(k));
+    EXPECT_EQ(c.protocol_class, ProtocolClass::kGeneral);
+    EXPECT_EQ(*c.min_order, k);
+  }
+}
+
+TEST(Classify, KWeakerIsTagged) {
+  for (std::size_t k = 0; k <= 4; ++k) {
+    EXPECT_EQ(classify(k_weaker_causal(k)).protocol_class,
+              ProtocolClass::kTagged);
+  }
+}
+
+TEST(Classify, FlushFamilyIsTagged) {
+  EXPECT_EQ(classify(local_forward_flush()).protocol_class,
+            ProtocolClass::kTagged);
+  EXPECT_EQ(classify(global_forward_flush()).protocol_class,
+            ProtocolClass::kTagged);
+  EXPECT_EQ(classify(local_backward_flush()).protocol_class,
+            ProtocolClass::kTagged);
+  EXPECT_EQ(classify(two_way_flush()), ProtocolClass::kTagged);
+}
+
+TEST(Classify, HandoffNeedsControlMessages) {
+  EXPECT_EQ(classify(mobile_handoff()).protocol_class,
+            ProtocolClass::kGeneral);
+}
+
+TEST(Classify, ReceiveSecondBeforeFirstNotImplementable) {
+  const Classification c = classify(receive_second_before_first());
+  EXPECT_EQ(c.protocol_class, ProtocolClass::kNotImplementable);
+  EXPECT_FALSE(c.has_cycle);
+  EXPECT_FALSE(c.min_order.has_value());
+}
+
+TEST(Classify, LogicallySynchronousCompositeIsGeneral) {
+  EXPECT_EQ(classify(logically_synchronous(4)), ProtocolClass::kGeneral);
+}
+
+TEST(Classify, CompositeTakesMostDemanding) {
+  CompositeSpec spec;
+  spec.predicates = {causal_ordering(), sync_crown(2)};
+  EXPECT_EQ(classify(spec), ProtocolClass::kGeneral);
+  spec.predicates = {causal_ordering(), async_zoo()[0]};
+  EXPECT_EQ(classify(spec), ProtocolClass::kTagged);
+  spec.predicates = {async_zoo()[0]};
+  EXPECT_EQ(classify(spec), ProtocolClass::kTagless);
+  spec.predicates = {causal_ordering(), receive_second_before_first()};
+  EXPECT_EQ(classify(spec), ProtocolClass::kNotImplementable);
+}
+
+TEST(Classify, UnsatisfiablePredicateIsTagless) {
+  // Forbidding x.r |> x.s forbids nothing: X_B = X_async.
+  const Classification c = classify(make_predicate(1, {{0, R, 0, S}}));
+  EXPECT_EQ(c.protocol_class, ProtocolClass::kTagless);
+  EXPECT_EQ(c.normalized.triviality, NormalTriviality::kUnsatisfiable);
+}
+
+TEST(Classify, TautologicalPredicateNotImplementable) {
+  // Forbidding x.s |> x.r (always true) forbids every message.
+  const Classification c = classify(make_predicate(1, {{0, S, 0, R}}));
+  EXPECT_EQ(c.protocol_class, ProtocolClass::kNotImplementable);
+  EXPECT_EQ(c.normalized.triviality, NormalTriviality::kTautological);
+}
+
+TEST(Classify, WitnessCycleHasReportedOrder) {
+  for (const NamedSpec& spec : spec_zoo()) {
+    const Classification c = classify(spec.predicate);
+    if (!c.has_cycle) continue;
+    ASSERT_TRUE(c.witness.has_value());
+    EXPECT_EQ(c.witness->order, *c.min_order);
+  }
+}
+
+TEST(Classify, MixedOrdersPickMinimum) {
+  // Causal 2-cycle (order 1) plus an order-0 structure: tagless wins.
+  ForbiddenPredicate p = make_predicate(
+      4, {{0, S, 1, S}, {1, R, 0, R}, {2, S, 3, S}, {3, S, 2, S}});
+  EXPECT_EQ(classify(p).protocol_class, ProtocolClass::kTagless);
+}
+
+TEST(Classify, ChainPlusCrownIsGeneral) {
+  // A crown with an extra acyclic tail stays general (the tail adds no
+  // lower-order cycle).
+  ForbiddenPredicate p = sync_crown(3);
+  p.arity = 4;
+  p.conjuncts.push_back({3, S, 0, S});
+  EXPECT_EQ(classify(p).protocol_class, ProtocolClass::kGeneral);
+}
+
+TEST(Classify, SpecZooMatchesPaperExpectations) {
+  for (const NamedSpec& spec : spec_zoo()) {
+    EXPECT_EQ(classify(spec.predicate).protocol_class, spec.expected)
+        << spec.name;
+  }
+}
+
+TEST(Classify, ParsedMobileHandoffShape) {
+  const auto r = parse_predicate(
+      "(x.s |> y.r) & (y.s |> x.r) where color(x)=2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(classify(*r.predicate).protocol_class,
+            ProtocolClass::kGeneral);
+}
+
+TEST(Classify, ToStringMentionsClassAndOrder) {
+  const std::string text = classify(causal_ordering()).to_string();
+  EXPECT_NE(text.find("tagged"), std::string::npos);
+  EXPECT_NE(text.find("min order 1"), std::string::npos);
+}
+
+TEST(ProtocolClassNames, AllDistinct) {
+  EXPECT_EQ(to_string(ProtocolClass::kTagless), "tagless");
+  EXPECT_EQ(to_string(ProtocolClass::kTagged), "tagged");
+  EXPECT_EQ(to_string(ProtocolClass::kGeneral), "general");
+  EXPECT_EQ(to_string(ProtocolClass::kNotImplementable),
+            "not-implementable");
+}
+
+}  // namespace
+}  // namespace msgorder

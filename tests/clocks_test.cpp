@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "src/poset/clocks.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(VectorClock, StartsAtZero) {
+  VectorClock v(3);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[2], 0u);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(VectorClock, TickAndCompare) {
+  VectorClock a(3);
+  VectorClock b(3);
+  a.tick(0);
+  EXPECT_TRUE(b.leq(a));
+  EXPECT_TRUE(b.lt(a));
+  EXPECT_FALSE(a.leq(b));
+  EXPECT_FALSE(a.lt(a));
+  EXPECT_TRUE(a.leq(a));
+}
+
+TEST(VectorClock, ConcurrentClocks) {
+  VectorClock a(2);
+  VectorClock b(2);
+  a.tick(0);
+  b.tick(1);
+  EXPECT_TRUE(a.concurrent_with(b));
+  EXPECT_TRUE(b.concurrent_with(a));
+  EXPECT_FALSE(a.concurrent_with(a));
+}
+
+TEST(VectorClock, MergeTakesMaximum) {
+  VectorClock a(3);
+  VectorClock b(3);
+  a.tick(0);
+  a.tick(0);
+  b.tick(1);
+  a.merge(b);
+  EXPECT_EQ(a[0], 2u);
+  EXPECT_EQ(a[1], 1u);
+  EXPECT_TRUE(b.leq(a));
+}
+
+TEST(VectorClock, ByteSizeAndToString) {
+  VectorClock v(4);
+  EXPECT_EQ(v.byte_size(), 16u);
+  v.tick(2);
+  EXPECT_EQ(v.to_string(), "[0,0,1,0]");
+}
+
+TEST(MatrixClock, AtAndMerge) {
+  MatrixClock a(2);
+  MatrixClock b(2);
+  a.at(0, 1) = 3;
+  b.at(1, 0) = 2;
+  b.at(0, 1) = 1;
+  a.merge(b);
+  EXPECT_EQ(a.at(0, 1), 3u);
+  EXPECT_EQ(a.at(1, 0), 2u);
+  EXPECT_EQ(a.at(0, 0), 0u);
+}
+
+TEST(MatrixClock, ByteSize) {
+  MatrixClock m(3);
+  EXPECT_EQ(m.byte_size(), 36u);
+}
+
+TEST(MatrixClock, Equality) {
+  MatrixClock a(2);
+  MatrixClock b(2);
+  EXPECT_EQ(a, b);
+  a.at(0, 0) = 1;
+  EXPECT_NE(a, b);
+}
+
+TEST(MatrixClock, ToString) {
+  MatrixClock m(2);
+  m.at(0, 1) = 5;
+  EXPECT_EQ(m.to_string(), "[0,5][0,0]");
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,114 @@
+// The cross-product conformance matrix: every shipped protocol against
+// every zoo specification.  A protocol of a stronger class must satisfy
+// every spec its limit set is contained in (Theorem 1's containments made
+// operational); weaker protocols must *fail* strictly stronger specs on
+// some seed (showing the specs are not vacuous).
+#include <gtest/gtest.h>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/checker/violation.hpp"
+#include "src/protocols/registry.hpp"
+#include "src/spec/library.hpp"
+#include "tests/sim_harness.hpp"
+
+namespace msgorder {
+namespace {
+
+class ConformanceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConformanceTest, SyncProtocolsSatisfyEverythingImplementable) {
+  const std::uint64_t seed = GetParam();
+  for (const RegisteredProtocol& rp : standard_protocols()) {
+    if (rp.name != "sync-sequencer" && rp.name != "sync-token" &&
+        rp.name != "sync-locks") {
+      continue;
+    }
+    const auto result = run_protocol(rp.factory, 4, 60, seed,
+                                     /*red_fraction=*/0.3);
+    for (const NamedSpec& spec : spec_zoo()) {
+      if (spec.expected == ProtocolClass::kNotImplementable) continue;
+      EXPECT_TRUE(satisfies(result.run, spec.predicate))
+          << rp.name << " vs " << spec.name << " seed " << seed;
+    }
+  }
+}
+
+TEST_P(ConformanceTest, CausalProtocolsSatisfyTaggedAndTaglessSpecs) {
+  const std::uint64_t seed = GetParam();
+  for (const RegisteredProtocol& rp : standard_protocols()) {
+    if (rp.name != "causal-rst" && rp.name != "causal-ses") continue;
+    const auto result = run_protocol(rp.factory, 4, 80, seed,
+                                     /*red_fraction=*/0.3);
+    for (const NamedSpec& spec : spec_zoo()) {
+      if (spec.expected != ProtocolClass::kTagged &&
+          spec.expected != ProtocolClass::kTagless) {
+        continue;
+      }
+      EXPECT_TRUE(satisfies(result.run, spec.predicate))
+          << rp.name << " vs " << spec.name << " seed " << seed;
+    }
+  }
+}
+
+TEST_P(ConformanceTest, EveryProtocolSatisfiesTaglessSpecs) {
+  const std::uint64_t seed = GetParam();
+  for (const RegisteredProtocol& rp : standard_protocols()) {
+    const auto result = run_protocol(rp.factory, 4, 60, seed);
+    for (const NamedSpec& spec : spec_zoo()) {
+      if (spec.expected != ProtocolClass::kTagless) continue;
+      EXPECT_TRUE(satisfies(result.run, spec.predicate))
+          << rp.name << " vs " << spec.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConformanceTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ConformanceSeparation, AsyncEventuallyViolatesCausal) {
+  bool violated = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !violated; ++seed) {
+    const auto result = run_protocol(
+        standard_protocols()[0].factory, 4, 150, seed, 0.0, 1, 0.1);
+    violated = !in_causal(result.run);
+  }
+  EXPECT_TRUE(violated);
+}
+
+// Helper to pull a factory from the registry by name.
+ProtocolFactory factory_named(const std::string& name) {
+  for (const RegisteredProtocol& rp : standard_protocols()) {
+    if (rp.name == name) return rp.factory;
+  }
+  ADD_FAILURE() << name << " not registered";
+  return {};
+}
+
+TEST(ConformanceSeparation, CausalEventuallyViolatesSync) {
+  bool violated = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !violated; ++seed) {
+    const auto result =
+        run_protocol(factory_named("causal-rst"), 4, 120, seed);
+    violated = !in_sync(result.run);
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(ConformanceSeparation, FifoEventuallyViolatesGlobalFlushSpec) {
+  // FIFO is channel-local: a red message can still be overtaken across
+  // channels, violating the *global* forward flush spec.
+  ProtocolFactory fifo_factory;
+  for (const RegisteredProtocol& rp : standard_protocols()) {
+    if (rp.name == "fifo") fifo_factory = rp.factory;
+  }
+  bool violated = false;
+  for (std::uint64_t seed = 1; seed <= 30 && !violated; ++seed) {
+    const auto result = run_protocol(fifo_factory, 4, 150, seed,
+                                     /*red_fraction=*/0.4);
+    violated = !satisfies(result.run, global_forward_flush());
+  }
+  EXPECT_TRUE(violated);
+}
+
+}  // namespace
+}  // namespace msgorder

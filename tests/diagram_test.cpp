@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "src/poset/diagram.hpp"
+#include "src/poset/lift.hpp"
+#include "src/poset/run_generator.hpp"
+#include "src/spec/parser.hpp"
+
+namespace msgorder {
+namespace {
+
+constexpr UserEventKind S = UserEventKind::kSend;
+constexpr UserEventKind R = UserEventKind::kDeliver;
+
+TEST(Diagram, UserRunBasicShape) {
+  std::vector<Message> ms = {{0, 0, 1, 0}};
+  const auto run = UserRun::from_schedules(ms, {{{0, S}}, {{0, R}}});
+  ASSERT_TRUE(run.has_value());
+  const std::string text = time_diagram(*run);
+  // Two lines, send on P0's line before the delivery on P1's.
+  EXPECT_NE(text.find("P0: |s0"), std::string::npos) << text;
+  EXPECT_NE(text.find("P1: |"), std::string::npos);
+  EXPECT_LT(text.find("s0"), text.find("r0"));
+}
+
+TEST(Diagram, SystemRunShowsAllFourKinds) {
+  std::vector<Message> ms = {{0, 0, 1, 0}};
+  const auto run = UserRun::from_schedules(ms, {{{0, S}}, {{0, R}}});
+  ASSERT_TRUE(run.has_value());
+  const std::string text = time_diagram(lift(*run));
+  EXPECT_NE(text.find("s*0"), std::string::npos) << text;
+  EXPECT_NE(text.find("s0"), std::string::npos);
+  EXPECT_NE(text.find("r*0"), std::string::npos);
+  EXPECT_NE(text.find("r0"), std::string::npos);
+}
+
+TEST(Diagram, EveryEventAppearsExactlyOnce) {
+  Rng rng(5);
+  RandomRunOptions opts;
+  opts.n_processes = 3;
+  opts.n_messages = 6;
+  const UserRun run = random_scheduled_run(opts, rng);
+  const std::string text = time_diagram(run);
+  for (MessageId m = 0; m < run.message_count(); ++m) {
+    for (const char* kind : {"s", "r"}) {
+      const std::string label = kind + std::to_string(m);
+      std::size_t count = 0;
+      for (std::size_t pos = text.find(label); pos != std::string::npos;
+           pos = text.find(label, pos + 1)) {
+        // Avoid counting "s1" inside "s12" or "r*1": require the label
+        // to be followed by a non-digit and preceded by '|'.
+        const bool clean_left = pos > 0 && text[pos - 1] == '|';
+        const std::size_t end = pos + label.size();
+        const bool clean_right =
+            end >= text.size() || !std::isdigit(static_cast<unsigned char>(
+                                      text[end]));
+        if (clean_left && clean_right) ++count;
+      }
+      EXPECT_EQ(count, 1u) << label << "\n" << text;
+    }
+  }
+}
+
+TEST(Diagram, LinearizationRespectsCausality) {
+  // The column of a send is always left of its delivery's column.
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomRunOptions opts;
+    opts.n_processes = 3;
+    opts.n_messages = 5;
+    const UserRun run = random_scheduled_run(opts, rng);
+    const std::string text = time_diagram(run);
+    // First line's length equals the others': consistent column count.
+    const auto lines_end = text.find('\n');
+    ASSERT_NE(lines_end, std::string::npos);
+  }
+}
+
+TEST(ParseSpec, SplitsOnSemicolons) {
+  const auto r = parse_spec(
+      "(x.s |> y.s) & (y.r |> x.r) where color(y)=1 ;"
+      "(a.s |> b.s) & (b.r |> a.r) where color(a)=1");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.spec->predicates.size(), 2u);
+}
+
+TEST(ParseSpec, SinglePredicateWorks) {
+  const auto r = parse_spec("(x.s |> y.s) & (y.r |> x.r)");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.spec->predicates.size(), 1u);
+}
+
+TEST(ParseSpec, EmptyIsAnError) {
+  EXPECT_FALSE(parse_spec("").ok());
+  EXPECT_FALSE(parse_spec(" ; ; ").ok());
+}
+
+TEST(ParseSpec, PropagatesComponentErrors) {
+  const auto r = parse_spec("(x.s |> y.s) ; (broken");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.error.empty());
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,180 @@
+// Full-pipeline integration: DSL text -> classify -> synthesize ->
+// simulate on a hostile (lossy, jittered) network with the online
+// monitor attached -> offline oracle on the extracted run.  One test per
+// specification style.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/checker/monitor.hpp"
+#include "src/checker/violation.hpp"
+#include "src/poset/diagram.hpp"
+#include "src/protocols/reliable.hpp"
+#include "src/protocols/synthesized.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/spec/parser.hpp"
+
+namespace msgorder {
+namespace {
+
+struct PipelineResult {
+  Classification classification;
+  bool monitor_fired = false;
+  bool oracle_ok = false;
+  bool completed = false;
+};
+
+PipelineResult pipeline(const std::string& spec_text, double loss,
+                        double red_fraction, int red_color,
+                        std::uint64_t seed) {
+  PipelineResult out;
+  const ParseResult parsed = parse_predicate(spec_text);
+  EXPECT_TRUE(parsed.ok()) << parsed.error;
+  if (!parsed.ok()) return out;
+  const ForbiddenPredicate spec = *parsed.predicate;
+
+  const SynthesisResult synthesis = synthesize(spec);
+  out.classification = synthesis.classification;
+  EXPECT_TRUE(synthesis.factory.has_value()) << spec_text;
+  if (!synthesis.factory.has_value()) return out;
+
+  Rng rng(seed);
+  WorkloadOptions wopts;
+  wopts.n_processes = 4;
+  wopts.n_messages = 100;
+  wopts.mean_gap = 0.3;
+  wopts.red_fraction = red_fraction;
+  wopts.red_color = red_color;
+  const Workload workload = random_workload(wopts, rng);
+
+  auto monitor = std::make_shared<OnlineMonitor>(
+      workload_universe(workload), spec);
+  SimOptions sopts;
+  sopts.seed = seed * 3 + 1;
+  sopts.network.jitter_mean = 3.0;
+  sopts.network.loss_probability = loss;
+  sopts.observer = [monitor](ProcessId p, SystemEvent e, SimTime t) {
+    monitor->on_event(p, e, t);
+  };
+  ReliableOptions ropts;
+  ropts.retransmit_timeout = 15.0;
+  const ProtocolFactory stack =
+      loss > 0 ? ReliableProtocol::wrap(*synthesis.factory, ropts)
+               : *synthesis.factory;
+  const SimResult result =
+      simulate(workload, stack, wopts.n_processes, sopts);
+  out.completed = result.completed;
+  EXPECT_TRUE(result.completed) << result.error;
+  if (!result.completed) return out;
+
+  out.monitor_fired = monitor->violated();
+  const auto run = result.trace.to_user_run();
+  EXPECT_TRUE(run.has_value());
+  if (run.has_value()) out.oracle_ok = satisfies(*run, spec);
+  return out;
+}
+
+TEST(EndToEnd, CausalSpecOverLossyNetwork) {
+  const auto r = pipeline("(x.s |> y.s) & (y.r |> x.r)", 0.2, 0, 1, 7);
+  EXPECT_EQ(r.classification.protocol_class, ProtocolClass::kTagged);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.oracle_ok);
+  EXPECT_FALSE(r.monitor_fired);
+}
+
+TEST(EndToEnd, FifoSpec) {
+  const auto r = pipeline(
+      "(x.s |> y.s) & (y.r |> x.r) "
+      "where process(x.s)=process(y.s), process(x.r)=process(y.r)",
+      0.0, 0, 1, 9);
+  EXPECT_EQ(r.classification.protocol_class, ProtocolClass::kTagged);
+  EXPECT_TRUE(r.oracle_ok);
+  EXPECT_FALSE(r.monitor_fired);
+}
+
+TEST(EndToEnd, GlobalFlushSpecWithRedTraffic) {
+  const auto r = pipeline(
+      "(x.s |> y.s) & (y.r |> x.r) where color(y)=1", 0.0, 0.3, 1, 11);
+  EXPECT_EQ(r.classification.protocol_class, ProtocolClass::kTagged);
+  EXPECT_TRUE(r.oracle_ok);
+  EXPECT_FALSE(r.monitor_fired);
+}
+
+TEST(EndToEnd, HandoffSpecNeedsAndGetsControlMessages) {
+  const auto r = pipeline(
+      "(x.s |> y.r) & (y.s |> x.r) where color(x)=2", 0.0, 0.4, 2, 13);
+  EXPECT_EQ(r.classification.protocol_class, ProtocolClass::kGeneral);
+  EXPECT_TRUE(r.oracle_ok);
+  EXPECT_FALSE(r.monitor_fired);
+}
+
+TEST(EndToEnd, KWeakerChainSpec) {
+  const auto r = pipeline(
+      "(a.s |> b.s) & (b.s |> c.s) & (c.r |> a.r)", 0.1, 0, 1, 15);
+  EXPECT_EQ(r.classification.protocol_class, ProtocolClass::kTagged);
+  EXPECT_TRUE(r.oracle_ok);
+  EXPECT_FALSE(r.monitor_fired);
+}
+
+TEST(EndToEnd, TaglessSpecRunsBare) {
+  const auto r = pipeline("(x.s |> y.s) & (y.s |> x.s)", 0.0, 0, 1, 17);
+  EXPECT_EQ(r.classification.protocol_class, ProtocolClass::kTagless);
+  EXPECT_TRUE(r.oracle_ok);
+  EXPECT_FALSE(r.monitor_fired);
+}
+
+TEST(EndToEnd, MonitorCatchesDeliberateSabotage) {
+  // Run the *wrong* protocol (async) for a causal spec under heavy
+  // jitter: the monitor fires during the run and the oracle agrees.
+  const ParseResult parsed =
+      parse_predicate("(x.s |> y.s) & (y.r |> x.r)");
+  ASSERT_TRUE(parsed.ok());
+  Rng rng(19);
+  WorkloadOptions wopts;
+  wopts.n_processes = 3;
+  wopts.n_messages = 120;
+  wopts.mean_gap = 0.1;
+  const Workload workload = random_workload(wopts, rng);
+  auto monitor = std::make_shared<OnlineMonitor>(
+      workload_universe(workload), *parsed.predicate);
+  SimOptions sopts;
+  sopts.seed = 23;
+  sopts.network.jitter_mean = 4.0;
+  sopts.observer = [monitor](ProcessId p, SystemEvent e, SimTime t) {
+    monitor->on_event(p, e, t);
+  };
+  const SynthesisResult wrong = synthesize(
+      *parse_predicate("(x.s |> y.s) & (y.s |> x.s)").predicate);
+  ASSERT_TRUE(wrong.factory.has_value());  // the do-nothing protocol
+  const SimResult result =
+      simulate(workload, *wrong.factory, wopts.n_processes, sopts);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(monitor->violated());
+  const auto run = result.trace.to_user_run();
+  ASSERT_TRUE(run.has_value());
+  EXPECT_FALSE(satisfies(*run, *parsed.predicate));
+}
+
+TEST(EndToEnd, DiagramOfASynthesizedRunIsPrintable) {
+  const ParseResult parsed =
+      parse_predicate("(x.s |> y.s) & (y.r |> x.r)");
+  ASSERT_TRUE(parsed.ok());
+  const SynthesisResult synthesis = synthesize(*parsed.predicate);
+  ASSERT_TRUE(synthesis.factory.has_value());
+  Rng rng(29);
+  WorkloadOptions wopts;
+  wopts.n_processes = 3;
+  wopts.n_messages = 5;
+  const Workload workload = random_workload(wopts, rng);
+  const SimResult result =
+      simulate(workload, *synthesis.factory, wopts.n_processes);
+  ASSERT_TRUE(result.completed);
+  const auto system = result.trace.to_system_run();
+  ASSERT_TRUE(system.has_value());
+  const std::string text = time_diagram(*system);
+  EXPECT_NE(text.find("P0:"), std::string::npos);
+  EXPECT_NE(text.find("s*0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msgorder

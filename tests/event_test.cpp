@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "src/poset/event.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(EventKinds, PaperNotation) {
+  EXPECT_EQ(kind_name(EventKind::kInvoke), "s*");
+  EXPECT_EQ(kind_name(EventKind::kSend), "s");
+  EXPECT_EQ(kind_name(EventKind::kReceive), "r*");
+  EXPECT_EQ(kind_name(EventKind::kDeliver), "r");
+  EXPECT_EQ(kind_name(UserEventKind::kSend), "s");
+  EXPECT_EQ(kind_name(UserEventKind::kDeliver), "r");
+}
+
+TEST(EventKinds, UserProjection) {
+  EXPECT_FALSE(is_user_kind(EventKind::kInvoke));
+  EXPECT_TRUE(is_user_kind(EventKind::kSend));
+  EXPECT_FALSE(is_user_kind(EventKind::kReceive));
+  EXPECT_TRUE(is_user_kind(EventKind::kDeliver));
+  EXPECT_EQ(to_user_kind(EventKind::kSend), UserEventKind::kSend);
+  EXPECT_EQ(to_user_kind(EventKind::kDeliver), UserEventKind::kDeliver);
+  EXPECT_EQ(to_system_kind(UserEventKind::kSend), EventKind::kSend);
+  EXPECT_EQ(to_system_kind(UserEventKind::kDeliver),
+            EventKind::kDeliver);
+}
+
+TEST(EventKinds, RoundTrip) {
+  for (EventKind k : {EventKind::kSend, EventKind::kDeliver}) {
+    EXPECT_EQ(to_system_kind(to_user_kind(k)), k);
+  }
+}
+
+TEST(Events, ToString) {
+  EXPECT_EQ(to_string(SystemEvent{3, EventKind::kReceive}), "x3.r*");
+  EXPECT_EQ(to_string(SystemEvent{0, EventKind::kInvoke}), "x0.s*");
+  EXPECT_EQ(to_string(UserEvent{7, UserEventKind::kDeliver}), "x7.r");
+}
+
+TEST(Events, Equality) {
+  const SystemEvent a{1, EventKind::kSend};
+  const SystemEvent b{1, EventKind::kSend};
+  const SystemEvent c{1, EventKind::kDeliver};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Messages, DefaultsAndEquality) {
+  const Message m{4, 1, 2, 0};
+  EXPECT_EQ(m.mcast, -1);  // unicast by default
+  Message copy = m;
+  EXPECT_EQ(m, copy);
+  copy.color = 9;
+  EXPECT_NE(m, copy);
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,219 @@
+// The inductive X_P semantics (Section 3.2), Lemma 2's containments and
+// the knowledge-conformance definitions, model-checked on small message
+// universes.
+#include <gtest/gtest.h>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/poset/lift.hpp"
+#include "src/poset/run_generator.hpp"
+#include "src/semantics/explorer.hpp"
+#include "src/semantics/limit_protocols.hpp"
+
+namespace msgorder {
+namespace {
+
+std::vector<Message> crossing_universe() {
+  return {{0, 0, 1, 0}, {1, 1, 0, 0}};
+}
+
+std::vector<Message> channel_universe() {
+  return {{0, 0, 1, 0}, {1, 0, 1, 0}};
+}
+
+TEST(Explorer, TaglessReachesEverything) {
+  const TaglessAll protocol;
+  const auto result = explore(protocol, crossing_universe(), 2);
+  EXPECT_TRUE(result.liveness_violations.empty());
+  // Every complete scheduled run over the universe appears among the
+  // user views (X_P projects onto all of X_async for this universe).
+  const auto all_runs = enumerate_scheduled_runs(crossing_universe());
+  std::size_t full_views = 0;
+  for (const UserRun& v : result.complete_user_views) {
+    if (v.message_count() == 2) ++full_views;
+  }
+  EXPECT_EQ(full_views, all_runs.size());
+}
+
+TEST(Explorer, TaglessContainsAllLiftedRuns) {
+  // Lemma 2.3: X_tl subset X_P.  Lifted complete runs (stars immediate)
+  // are exactly the X_tl elements with everything delivered.
+  const TaglessAll protocol;
+  const auto result = explore(protocol, channel_universe(), 2);
+  for (const std::string& key :
+       lifted_keys(enumerate_scheduled_runs(channel_universe()))) {
+    EXPECT_TRUE(result.reachable_keys.count(key) > 0) << key;
+  }
+}
+
+TEST(Explorer, TaggedCausalSafetyAndLiveness) {
+  const TaggedCausal protocol;
+  for (const auto& universe : {crossing_universe(), channel_universe()}) {
+    const auto result = explore(protocol, universe, 2);
+    EXPECT_TRUE(result.liveness_violations.empty());
+    for (const UserRun& view : result.complete_user_views) {
+      EXPECT_TRUE(in_causal(view));
+    }
+  }
+}
+
+TEST(Explorer, TaggedCausalReachesExactlyCausalViews) {
+  // Theorem 1.2 on a small universe: the complete user views of the
+  // abstract causal protocol are exactly the causally ordered runs.
+  const TaggedCausal protocol;
+  const auto result = explore(protocol, channel_universe(), 2);
+  std::set<std::string> reached;
+  for (const UserRun& v : result.complete_user_views) {
+    if (v.message_count() == 2) reached.insert(v.to_string());
+  }
+  std::set<std::string> causal;
+  for (const UserRun& run : enumerate_scheduled_runs(channel_universe())) {
+    if (in_causal(run)) causal.insert(run.to_string());
+  }
+  EXPECT_EQ(reached, causal);
+}
+
+TEST(Explorer, TaggedCausalContainsLiftedCausalRuns) {
+  // Lemma 2.2 via Theorem 1's construction: every lifted causally
+  // ordered run is reachable under the tagged protocol.
+  const TaggedCausal protocol;
+  const auto result = explore(protocol, crossing_universe(), 2);
+  for (const UserRun& run : enumerate_scheduled_runs(crossing_universe())) {
+    if (!in_causal(run)) continue;
+    EXPECT_TRUE(result.reachable_keys.count(lift(run).key()) > 0)
+        << run.to_string();
+  }
+}
+
+TEST(Explorer, SerializerSafetyAndLiveness) {
+  const GeneralSerializer protocol;
+  for (const auto& universe : {crossing_universe(), channel_universe()}) {
+    const auto result = explore(protocol, universe, 2);
+    EXPECT_TRUE(result.liveness_violations.empty());
+    for (const UserRun& view : result.complete_user_views) {
+      EXPECT_TRUE(in_sync(view)) << view.to_string();
+    }
+  }
+}
+
+TEST(Explorer, SerializerReachesExactlySyncViews) {
+  const GeneralSerializer protocol;
+  const auto result = explore(protocol, crossing_universe(), 2);
+  std::set<std::string> reached;
+  for (const UserRun& v : result.complete_user_views) {
+    if (v.message_count() == 2) reached.insert(v.to_string());
+  }
+  std::set<std::string> sync;
+  for (const UserRun& run : enumerate_scheduled_runs(crossing_universe())) {
+    if (in_sync(run)) sync.insert(run.to_string());
+  }
+  EXPECT_EQ(reached, sync);
+}
+
+TEST(Explorer, StrictContainmentOfReachableSets) {
+  // X_P(serializer) subset X_P(causal) subset X_P(tagless), with each
+  // inclusion strict on a universe that can violate the stronger spec:
+  // on the crossing pair only synchrony can be violated (opposite
+  // directions cannot break causal ordering), on the channel pair the
+  // causal spec bites.
+  for (const auto& universe : {crossing_universe(), channel_universe()}) {
+    const auto sync_r = explore(GeneralSerializer(), universe, 2);
+    const auto co_r = explore(TaggedCausal(), universe, 2);
+    const auto all_r = explore(TaglessAll(), universe, 2);
+    for (const std::string& key : sync_r.reachable_keys) {
+      EXPECT_TRUE(co_r.reachable_keys.count(key) > 0);
+    }
+    for (const std::string& key : co_r.reachable_keys) {
+      EXPECT_TRUE(all_r.reachable_keys.count(key) > 0);
+    }
+    EXPECT_LT(sync_r.reachable_keys.size(), co_r.reachable_keys.size());
+  }
+  const auto co_channel = explore(TaggedCausal(), channel_universe(), 2);
+  const auto all_channel = explore(TaglessAll(), channel_universe(), 2);
+  EXPECT_LT(co_channel.reachable_keys.size(),
+            all_channel.reachable_keys.size());
+}
+
+TEST(Explorer, ConformanceHoldsForDeclaredClasses) {
+  ExploreOptions options;
+  options.check_conformance = true;
+  const auto universe = crossing_universe();
+  EXPECT_EQ(explore(TaglessAll(), universe, 2, options)
+                .conformance_violation,
+            "");
+  EXPECT_EQ(explore(TaggedCausal(), universe, 2, options)
+                .conformance_violation,
+            "");
+}
+
+TEST(Explorer, SerializerIsNotTagless) {
+  // The serializer decides on concurrent knowledge; pretending it is
+  // tagless must be caught by the conformance check.
+  class PretendTagless final : public EnabledSetProtocol {
+   public:
+    std::vector<SystemEvent> enabled_controllables(
+        const SystemRun& run, ProcessId i) const override {
+      return impl_.enabled_controllables(run, i);
+    }
+    KnowledgeClass knowledge_class() const override {
+      return KnowledgeClass::kTagless;
+    }
+    std::string name() const override { return "pretend-tagless"; }
+
+   private:
+    GeneralSerializer impl_;
+  };
+  ExploreOptions options;
+  options.check_conformance = true;
+  const auto result =
+      explore(PretendTagless(), crossing_universe(), 2, options);
+  EXPECT_NE(result.conformance_violation, "");
+}
+
+TEST(Explorer, SerializerIsNotTaggedEither) {
+  // Theorem 1's separation: the serializer's decisions cannot be a
+  // function of the causal past alone.
+  class PretendTagged final : public EnabledSetProtocol {
+   public:
+    std::vector<SystemEvent> enabled_controllables(
+        const SystemRun& run, ProcessId i) const override {
+      return impl_.enabled_controllables(run, i);
+    }
+    KnowledgeClass knowledge_class() const override {
+      return KnowledgeClass::kTagged;
+    }
+    std::string name() const override { return "pretend-tagged"; }
+
+   private:
+    GeneralSerializer impl_;
+  };
+  ExploreOptions options;
+  options.check_conformance = true;
+  const auto result =
+      explore(PretendTagged(), crossing_universe(), 2, options);
+  EXPECT_NE(result.conformance_violation, "");
+}
+
+TEST(Explorer, ThreeProcessRingUniverse) {
+  const std::vector<Message> ring = {
+      {0, 0, 1, 0}, {1, 1, 2, 0}, {2, 2, 0, 0}};
+  const auto result = explore(TaggedCausal(), ring, 3);
+  EXPECT_TRUE(result.liveness_violations.empty());
+  for (const UserRun& view : result.complete_user_views) {
+    EXPECT_TRUE(in_causal(view));
+  }
+}
+
+TEST(Explorer, SingleStepModeIsSubset) {
+  ExploreOptions simultaneous;
+  ExploreOptions single;
+  single.simultaneous_steps = false;
+  const auto sim = explore(TaglessAll(), crossing_universe(), 2,
+                           simultaneous);
+  const auto seq = explore(TaglessAll(), crossing_universe(), 2, single);
+  for (const std::string& key : seq.reachable_keys) {
+    EXPECT_TRUE(sim.reachable_keys.count(key) > 0);
+  }
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/spec/graph.hpp"
+#include "src/spec/library.hpp"
+#include "src/util/rng.hpp"
+
+namespace msgorder {
+namespace {
+
+constexpr UserEventKind S = UserEventKind::kSend;
+constexpr UserEventKind R = UserEventKind::kDeliver;
+
+TEST(PredicateGraph, EdgesMatchConjuncts) {
+  const PredicateGraph g(causal_ordering());
+  EXPECT_EQ(g.vertex_count(), 2u);
+  ASSERT_EQ(g.edges().size(), 2u);
+  EXPECT_EQ(g.edges()[0].from, 0u);
+  EXPECT_EQ(g.edges()[0].to, 1u);
+  EXPECT_EQ(g.edges()[0].p, S);
+  EXPECT_EQ(g.edges()[0].q, S);
+  EXPECT_EQ(g.edges()[1].q, R);
+}
+
+TEST(PredicateGraph, CausalCycleHasOrderOne) {
+  const PredicateGraph g(causal_ordering());
+  const auto cycles = g.simple_cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].order, 1u);
+  EXPECT_EQ(cycles[0].edges.size(), 2u);
+}
+
+TEST(PredicateGraph, CrownOrderEqualsK) {
+  for (std::size_t k = 2; k <= 6; ++k) {
+    const PredicateGraph g(sync_crown(k));
+    const auto cycles = g.simple_cycles();
+    ASSERT_EQ(cycles.size(), 1u) << "k=" << k;
+    EXPECT_EQ(cycles[0].order, k);
+    const auto walk = g.min_order_closed_walk();
+    ASSERT_TRUE(walk.has_value());
+    EXPECT_EQ(walk->order, k);
+  }
+}
+
+TEST(PredicateGraph, AsyncZooHasOrderZeroCycles) {
+  for (const ForbiddenPredicate& p : async_zoo()) {
+    const PredicateGraph g(p);
+    const auto walk = g.min_order_closed_walk();
+    ASSERT_TRUE(walk.has_value()) << p.to_string();
+    EXPECT_EQ(walk->order, 0u) << p.to_string();
+  }
+}
+
+TEST(PredicateGraph, AcyclicHasNoCycles) {
+  const PredicateGraph g(receive_second_before_first());
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_TRUE(g.simple_cycles().empty());
+  EXPECT_FALSE(g.min_order_closed_walk().has_value());
+}
+
+TEST(PredicateGraph, SelfLoopIsALengthOneCycle) {
+  // x.r |> x.s as a (satisfiable between DISTINCT conjunct endpoints?) —
+  // structurally: an edge from vertex 0 to itself entering at s.
+  const auto p = make_predicate(1, {{0, R, 0, S}});
+  // normalize() would call this unsatisfiable; the raw graph still has
+  // the structural self-loop, which is an order-0 cycle.
+  const PredicateGraph g(p);
+  const auto cycles = g.simple_cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].edges.size(), 1u);
+  EXPECT_EQ(cycles[0].order, 0u);
+}
+
+TEST(PredicateGraph, ParallelEdgesGiveDistinctCycles) {
+  // Two parallel edges x->y plus one y->x: two distinct 2-cycles.
+  const auto p =
+      make_predicate(2, {{0, S, 1, S}, {0, S, 1, R}, {1, R, 0, R}});
+  const PredicateGraph g(p);
+  EXPECT_EQ(g.simple_cycles().size(), 2u);
+}
+
+TEST(PredicateGraph, OrderOfComputesBetaJunctions) {
+  const PredicateGraph g(causal_ordering_b1());
+  // B1 = (x.s |> y.r) & (y.r |> x.r): junction at y: in r / out r (not
+  // beta); junction at x: in r / out s (beta).
+  const auto cycles = g.simple_cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].order, 1u);
+}
+
+TEST(PredicateGraph, MinWalkPrefersLowerOrderCycle) {
+  // Two cycles through disjoint vertices: a 2-crown (order 2) and a
+  // causal 2-cycle (order 1).  The minimum closed walk has order 1.
+  ForbiddenPredicate p = make_predicate(
+      4, {{0, S, 1, R}, {1, S, 0, R}, {2, S, 3, S}, {3, R, 2, R}});
+  const PredicateGraph g(p);
+  const auto walk = g.min_order_closed_walk();
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_EQ(walk->order, 1u);
+}
+
+TEST(PredicateGraph, WalkMinimumEqualsSimpleCycleMinimum) {
+  // DESIGN.md lemma: the minimum order over closed walks equals the
+  // minimum over simple cycles.  Sweep random multigraphs and compare
+  // the 0-1 BFS result with exhaustive enumeration.
+  Rng rng(2718);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 2 + rng.below(5);
+    const std::size_t n_edges = 1 + rng.below(2 * n);
+    std::vector<Conjunct> conjuncts;
+    for (std::size_t e = 0; e < n_edges; ++e) {
+      Conjunct c;
+      c.lhs = rng.below(n);
+      c.rhs = rng.below(n);
+      if (c.lhs == c.rhs) continue;  // keep satisfiable shapes
+      c.p = rng.chance(0.5) ? S : R;
+      c.q = rng.chance(0.5) ? S : R;
+      conjuncts.push_back(c);
+    }
+    if (conjuncts.empty()) continue;
+    const PredicateGraph g(make_predicate(n, conjuncts));
+    const auto walk = g.min_order_closed_walk();
+    const auto cycles = g.simple_cycles();
+    ASSERT_EQ(walk.has_value(), !cycles.empty());
+    if (!walk.has_value()) continue;
+    std::size_t best = cycles[0].order;
+    for (const Cycle& c : cycles) best = std::min(best, c.order);
+    EXPECT_EQ(walk->order, best) << "trial " << trial;
+  }
+}
+
+TEST(PredicateGraph, WitnessWalkIsContiguous) {
+  for (const ForbiddenPredicate& p :
+       {causal_ordering(), fifo(), sync_crown(4), k_weaker_causal(2)}) {
+    const PredicateGraph g(p);
+    const auto walk = g.min_order_closed_walk();
+    ASSERT_TRUE(walk.has_value());
+    const auto& es = walk->edges;
+    for (std::size_t i = 0; i < es.size(); ++i) {
+      EXPECT_EQ(g.edges()[es[i]].to,
+                g.edges()[es[(i + 1) % es.size()]].from);
+    }
+    EXPECT_EQ(g.order_of(es), walk->order);
+  }
+}
+
+TEST(PredicateGraph, KWeakerHasOrderOne) {
+  for (std::size_t k = 0; k <= 4; ++k) {
+    const PredicateGraph g(k_weaker_causal(k));
+    const auto walk = g.min_order_closed_walk();
+    ASSERT_TRUE(walk.has_value());
+    EXPECT_EQ(walk->order, 1u);
+    EXPECT_EQ(walk->edges.size(), k + 2);
+  }
+}
+
+TEST(PredicateGraph, MaxCyclesCapRespected) {
+  // Complete bidirectional 4-graph has many cycles; cap at 3.
+  std::vector<Conjunct> conjuncts;
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      if (a != b) conjuncts.push_back({a, S, b, S});
+    }
+  }
+  const PredicateGraph g(make_predicate(4, conjuncts));
+  EXPECT_EQ(g.simple_cycles(3).size(), 3u);
+}
+
+TEST(PredicateGraph, ToStringListsEdges) {
+  const PredicateGraph g(causal_ordering());
+  const std::string text = g.to_string(causal_ordering());
+  EXPECT_NE(text.find("x.s -> y.s"), std::string::npos);
+  EXPECT_NE(text.find("y.r -> x.r"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,213 @@
+// Lemma 3: the canonical predicates and their specification sets, checked
+// semantically against enumerated and random runs.
+#include <gtest/gtest.h>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/checker/violation.hpp"
+#include "src/poset/run_generator.hpp"
+#include "src/spec/library.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(Library, ZooIsNonTrivialAndNamed) {
+  const auto zoo = spec_zoo();
+  EXPECT_GE(zoo.size(), 20u);
+  for (const NamedSpec& s : zoo) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.paper_ref.empty());
+    EXPECT_GT(s.predicate.arity, 0u);
+  }
+}
+
+// Lemma 3.2: the three causal predicates define the same specification
+// set X_co, and it matches the direct in_causal() checker.
+TEST(Library, CausalVariantsAgreeWithCheckerOnEnumeratedRuns) {
+  const std::vector<Message> ms = {{0, 0, 1, 0}, {1, 1, 0, 0}, {2, 0, 1, 0}};
+  for (const UserRun& run : enumerate_scheduled_runs(ms)) {
+    const bool co = in_causal(run);
+    EXPECT_EQ(satisfies(run, causal_ordering()), co);
+    EXPECT_EQ(satisfies(run, causal_ordering_b1()), co);
+    EXPECT_EQ(satisfies(run, causal_ordering_b3()), co);
+  }
+}
+
+TEST(Library, CausalVariantsAgreeOnRandomRuns) {
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    RandomRunOptions opts;
+    opts.n_processes = 4;
+    opts.n_messages = 7;
+    opts.send_bias = 0.7;
+    const UserRun run = random_scheduled_run(opts, rng);
+    const bool b2 = satisfies(run, causal_ordering());
+    EXPECT_EQ(satisfies(run, causal_ordering_b1()), b2);
+    EXPECT_EQ(satisfies(run, causal_ordering_b3()), b2);
+    EXPECT_EQ(in_causal(run), b2);
+  }
+}
+
+// Lemma 3.3: the async predicates are never satisfiable in a partial
+// order, so every run satisfies the specification.
+TEST(Library, AsyncZooSatisfiedByEveryRun) {
+  Rng rng(37);
+  for (int trial = 0; trial < 100; ++trial) {
+    RandomRunOptions opts;
+    opts.n_processes = 3;
+    opts.n_messages = 6;
+    const UserRun run = random_scheduled_run(opts, rng);
+    for (const ForbiddenPredicate& p : async_zoo()) {
+      EXPECT_TRUE(satisfies(run, p)) << p.to_string();
+    }
+  }
+  // Including abstract (non-realizable) posets.
+  for (int trial = 0; trial < 100; ++trial) {
+    const UserRun run = random_abstract_run(5, 0.4, rng);
+    for (const ForbiddenPredicate& p : async_zoo()) {
+      EXPECT_TRUE(satisfies(run, p)) << p.to_string();
+    }
+  }
+}
+
+// Lemma 3.1 (k = 2): the 2-crown predicate is violated exactly by runs
+// outside X_sync... more precisely X_sync satisfies every crown.
+TEST(Library, SyncRunsSatisfyAllCrowns) {
+  Rng rng(41);
+  int sync_runs = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    RandomRunOptions opts;
+    opts.n_processes = 3;
+    opts.n_messages = 5;
+    opts.send_bias = 0.3;
+    const UserRun run = random_scheduled_run(opts, rng);
+    if (!in_sync(run)) continue;
+    ++sync_runs;
+    for (std::size_t k = 2; k <= 4; ++k) {
+      EXPECT_TRUE(satisfies(run, sync_crown(k)));
+    }
+  }
+  EXPECT_GT(sync_runs, 20);
+}
+
+TEST(Library, NonSyncRunViolatesSomeCrown) {
+  // The canonical crossing pair violates the 2-crown.
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 1, 0, 0}};
+  const auto run = UserRun::from_schedules(
+      ms, {{{0, UserEventKind::kSend}, {1, UserEventKind::kDeliver}},
+           {{1, UserEventKind::kSend}, {0, UserEventKind::kDeliver}}});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_FALSE(in_sync(*run));
+  EXPECT_FALSE(satisfies(*run, sync_crown(2)));
+}
+
+TEST(Library, FifoIgnoresOtherChannels) {
+  // Out-of-order deliveries on *different* channels do not violate FIFO.
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 0, 2, 0}};
+  const auto run = UserRun::from_schedules(
+      ms, {{{0, UserEventKind::kSend}, {1, UserEventKind::kSend}},
+           {{0, UserEventKind::kDeliver}},
+           {{1, UserEventKind::kDeliver}}});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(satisfies(*run, fifo()));
+}
+
+TEST(Library, FifoViolatedBySameChannelOvertaking) {
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 0, 1, 0}};
+  const auto run = UserRun::from_schedules(
+      ms, {{{0, UserEventKind::kSend}, {1, UserEventKind::kSend}},
+           {{1, UserEventKind::kDeliver}, {0, UserEventKind::kDeliver}}});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_FALSE(satisfies(*run, fifo()));
+  // But plain causal ordering is also violated here (same processes);
+  // global flush with no red message is fine:
+  EXPECT_TRUE(satisfies(*run, global_forward_flush()));
+}
+
+TEST(Library, ForwardFlushOnlyConstrainsRedMessages) {
+  // Message 1 is red and overtakes message 0: forbidden.
+  std::vector<Message> red = {{0, 0, 1, 0}, {1, 0, 1, 1}};
+  const auto run1 = UserRun::from_schedules(
+      red, {{{0, UserEventKind::kSend}, {1, UserEventKind::kSend}},
+            {{1, UserEventKind::kDeliver}, {0, UserEventKind::kDeliver}}});
+  ASSERT_TRUE(run1.has_value());
+  EXPECT_FALSE(satisfies(*run1, local_forward_flush()));
+  EXPECT_FALSE(satisfies(*run1, global_forward_flush()));
+
+  // Message 0 red, ordinary message 1 overtakes it: forward flush does
+  // not care (backward flush does).
+  std::vector<Message> red0 = {{0, 0, 1, 1}, {1, 0, 1, 0}};
+  const auto run2 = UserRun::from_schedules(
+      red0, {{{0, UserEventKind::kSend}, {1, UserEventKind::kSend}},
+             {{1, UserEventKind::kDeliver}, {0, UserEventKind::kDeliver}}});
+  ASSERT_TRUE(run2.has_value());
+  EXPECT_TRUE(satisfies(*run2, local_forward_flush()));
+  EXPECT_FALSE(satisfies(*run2, local_backward_flush()));
+  EXPECT_FALSE(satisfies(*run2, two_way_flush()));
+}
+
+TEST(Library, KWeakerAllowsShallowOvertaking) {
+  // Three messages on one channel, delivery order reversed for the last
+  // pair only: 1-weaker causal tolerates chains of length <= 2.
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 0, 1, 0}, {2, 0, 1, 0}};
+  const auto shallow = UserRun::from_schedules(
+      ms, {{{0, UserEventKind::kSend},
+            {1, UserEventKind::kSend},
+            {2, UserEventKind::kSend}},
+           {{1, UserEventKind::kDeliver},
+            {0, UserEventKind::kDeliver},
+            {2, UserEventKind::kDeliver}}});
+  ASSERT_TRUE(shallow.has_value());
+  EXPECT_FALSE(satisfies(*shallow, k_weaker_causal(0)));
+  EXPECT_TRUE(satisfies(*shallow, k_weaker_causal(1)));
+
+  // Deliver message 2 first: a 3-chain overtake, needs k >= 2.
+  const auto deep = UserRun::from_schedules(
+      ms, {{{0, UserEventKind::kSend},
+            {1, UserEventKind::kSend},
+            {2, UserEventKind::kSend}},
+           {{2, UserEventKind::kDeliver},
+            {0, UserEventKind::kDeliver},
+            {1, UserEventKind::kDeliver}}});
+  ASSERT_TRUE(deep.has_value());
+  EXPECT_FALSE(satisfies(*deep, k_weaker_causal(1)));
+  EXPECT_TRUE(satisfies(*deep, k_weaker_causal(2)));
+}
+
+TEST(Library, KWeakerNestsByK) {
+  Rng rng(53);
+  for (int trial = 0; trial < 150; ++trial) {
+    RandomRunOptions opts;
+    opts.n_processes = 3;
+    opts.n_messages = 6;
+    opts.send_bias = 0.8;
+    const UserRun run = random_scheduled_run(opts, rng);
+    for (std::size_t k = 0; k < 3; ++k) {
+      // X_{k-weaker} grows with k: satisfying k implies satisfying k+1.
+      if (satisfies(run, k_weaker_causal(k))) {
+        EXPECT_TRUE(satisfies(run, k_weaker_causal(k + 1)));
+      }
+    }
+    EXPECT_EQ(satisfies(run, k_weaker_causal(0)), in_causal(run));
+  }
+}
+
+TEST(Library, HandoffSpecIgnoresNonHandoffCrossings) {
+  // Two plain messages crossing: allowed by the handoff spec.
+  std::vector<Message> plain = {{0, 0, 1, 0}, {1, 1, 0, 0}};
+  const auto run = UserRun::from_schedules(
+      plain, {{{0, UserEventKind::kSend}, {1, UserEventKind::kDeliver}},
+              {{1, UserEventKind::kSend}, {0, UserEventKind::kDeliver}}});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(satisfies(*run, mobile_handoff()));
+
+  // Same crossing with a handoff-colored message: forbidden.
+  std::vector<Message> handoff = {{0, 0, 1, 2}, {1, 1, 0, 0}};
+  const auto run2 = UserRun::from_schedules(
+      handoff, {{{0, UserEventKind::kSend}, {1, UserEventKind::kDeliver}},
+                {{1, UserEventKind::kSend}, {0, UserEventKind::kDeliver}}});
+  ASSERT_TRUE(run2.has_value());
+  EXPECT_FALSE(satisfies(*run2, mobile_handoff()));
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,161 @@
+// Figure 5 / Theorem 1: lifting user runs to system runs, and the SYNC
+// numbering scheme.
+#include <gtest/gtest.h>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/poset/lift.hpp"
+#include "src/poset/run_generator.hpp"
+
+namespace msgorder {
+namespace {
+
+constexpr UserEventKind S = UserEventKind::kSend;
+constexpr UserEventKind R = UserEventKind::kDeliver;
+
+UserRun crossing_run() {
+  // P0 and P1 exchange crossing messages: not logically synchronous,
+  // but causally ordered.
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 1, 0, 0}};
+  auto run = UserRun::from_schedules(
+      ms, {{{0, S}, {1, R}}, {{1, S}, {0, R}}});
+  EXPECT_TRUE(run.has_value());
+  return *run;
+}
+
+UserRun serial_run() {
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 1, 0, 0}};
+  auto run = UserRun::from_schedules(
+      ms, {{{0, S}, {1, R}}, {{0, R}, {1, S}}});
+  EXPECT_TRUE(run.has_value());
+  return *run;
+}
+
+TEST(Lift, StarsImmediatelyPrecede) {
+  const SystemRun lifted = lift(serial_run());
+  for (const auto& seq : lifted.sequences()) {
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      if (seq[i].kind == EventKind::kSend) {
+        ASSERT_GT(i, 0u);
+        EXPECT_EQ(seq[i - 1].kind, EventKind::kInvoke);
+        EXPECT_EQ(seq[i - 1].msg, seq[i].msg);
+      }
+      if (seq[i].kind == EventKind::kDeliver) {
+        ASSERT_GT(i, 0u);
+        EXPECT_EQ(seq[i - 1].kind, EventKind::kReceive);
+        EXPECT_EQ(seq[i - 1].msg, seq[i].msg);
+      }
+    }
+  }
+}
+
+TEST(Lift, RoundTripsThroughUsersView) {
+  for (const UserRun& run : {serial_run(), crossing_run()}) {
+    const SystemRun lifted = lift(run);
+    const auto view = lifted.users_view();
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->schedules(), run.schedules());
+    EXPECT_EQ(view->order(), run.order());
+  }
+}
+
+TEST(Lift, RoundTripsOnRandomRuns) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    RandomRunOptions opts;
+    opts.n_processes = 2 + rng.below(3);
+    opts.n_messages = 1 + rng.below(8);
+    const UserRun run = random_scheduled_run(opts, rng);
+    const auto view = lift(run).users_view();
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->order(), run.order());
+  }
+}
+
+TEST(SyncTimestamps, ExistForSerialRun) {
+  const auto t = sync_timestamps(serial_run());
+  ASSERT_TRUE(t.has_value());
+  // Message 0 completed before message 1 started: T(0) < T(1).
+  EXPECT_LT((*t)[0], (*t)[1]);
+}
+
+TEST(SyncTimestamps, AbsentForCrossingRun) {
+  EXPECT_FALSE(sync_timestamps(crossing_run()).has_value());
+}
+
+TEST(SyncTimestamps, SatisfySyncCondition) {
+  Rng rng(7);
+  int checked = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    RandomRunOptions opts;
+    opts.n_processes = 3;
+    opts.n_messages = 4;
+    opts.send_bias = 0.3;  // mostly serial -> often synchronous
+    const UserRun run = random_scheduled_run(opts, rng);
+    const auto t = sync_timestamps(run);
+    if (!t.has_value()) continue;
+    ++checked;
+    for (MessageId x = 0; x < run.message_count(); ++x) {
+      for (MessageId y = 0; y < run.message_count(); ++y) {
+        if (x == y) continue;
+        for (UserEventKind h : {S, R}) {
+          for (UserEventKind f : {S, R}) {
+            if (run.before(x, h, y, f)) {
+              EXPECT_LT((*t)[x], (*t)[y]);
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(SyncNumbering, ConsecutivePerMessageAndMonotone) {
+  const UserRun run = serial_run();
+  const auto numbering = sync_numbering(run);
+  ASSERT_TRUE(numbering.has_value());
+  const SystemRun lifted = lift(run);
+  // N(x.r) = N(x.r*) + 1 = N(x.s) + 2 = N(x.s*) + 3.
+  for (MessageId m = 0; m < run.message_count(); ++m) {
+    const auto n_invoke = (*numbering)[SystemRun::index(m, EventKind::kInvoke)];
+    EXPECT_EQ((*numbering)[SystemRun::index(m, EventKind::kSend)],
+              n_invoke + 1);
+    EXPECT_EQ((*numbering)[SystemRun::index(m, EventKind::kReceive)],
+              n_invoke + 2);
+    EXPECT_EQ((*numbering)[SystemRun::index(m, EventKind::kDeliver)],
+              n_invoke + 3);
+  }
+  // h -> g implies N(h) < N(g) on the lifted run.
+  for (const Message& a : lifted.universe()) {
+    for (const Message& b : lifted.universe()) {
+      for (int ka = 0; ka < 4; ++ka) {
+        for (int kb = 0; kb < 4; ++kb) {
+          const SystemEvent ea{a.id, static_cast<EventKind>(ka)};
+          const SystemEvent eb{b.id, static_cast<EventKind>(kb)};
+          if (lifted.before(ea, eb)) {
+            EXPECT_LT((*numbering)[SystemRun::index(ea.msg, ea.kind)],
+                      (*numbering)[SystemRun::index(eb.msg, eb.kind)]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SyncNumbering, AbsentForNonSyncRun) {
+  EXPECT_FALSE(sync_numbering(crossing_run()).has_value());
+}
+
+TEST(LimitSets, SerialRunIsSync) {
+  EXPECT_EQ(finest_limit_set(serial_run()), LimitSet::kSync);
+}
+
+TEST(LimitSets, CrossingRunIsCausalNotSync) {
+  const UserRun run = crossing_run();
+  EXPECT_TRUE(in_causal(run));
+  EXPECT_FALSE(in_sync(run));
+  EXPECT_EQ(finest_limit_set(run), LimitSet::kCausal);
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,127 @@
+// Section 3.4: the limit sets X_sync subset X_co subset X_async and the
+// membership checkers.
+#include <gtest/gtest.h>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/poset/run_generator.hpp"
+
+namespace msgorder {
+namespace {
+
+constexpr UserEventKind S = UserEventKind::kSend;
+constexpr UserEventKind R = UserEventKind::kDeliver;
+
+TEST(LimitSets, ContainmentChainOnEnumeratedRuns) {
+  const std::vector<Message> ms = {
+      {0, 0, 1, 0}, {1, 1, 0, 0}, {2, 0, 1, 0}};
+  std::size_t n_sync = 0;
+  std::size_t n_co = 0;
+  std::size_t n_all = 0;
+  for (const UserRun& run : enumerate_scheduled_runs(ms)) {
+    ++n_all;
+    EXPECT_TRUE(in_async(run));
+    if (in_sync(run)) {
+      ++n_sync;
+      EXPECT_TRUE(in_causal(run)) << "X_sync must be inside X_co";
+    }
+    if (in_causal(run)) ++n_co;
+  }
+  EXPECT_GT(n_sync, 0u);
+  EXPECT_GT(n_co, n_sync);
+  EXPECT_GT(n_all, n_co);
+}
+
+TEST(LimitSets, ContainmentChainOnRandomRuns) {
+  Rng rng(61);
+  for (int trial = 0; trial < 400; ++trial) {
+    RandomRunOptions opts;
+    opts.n_processes = 2 + rng.below(3);
+    opts.n_messages = 1 + rng.below(7);
+    opts.send_bias = rng.uniform01();
+    const UserRun run = random_scheduled_run(opts, rng);
+    EXPECT_TRUE(in_async(run));
+    if (in_sync(run)) {
+      EXPECT_TRUE(in_causal(run));
+    }
+  }
+}
+
+TEST(LimitSets, EmptyRunIsSync) {
+  const auto run = UserRun::from_edges({}, {});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(finest_limit_set(*run), LimitSet::kSync);
+}
+
+TEST(LimitSets, SingleMessageIsSync) {
+  std::vector<Message> ms = {{0, 0, 1, 0}};
+  const auto run =
+      UserRun::from_schedules(ms, {{{0, S}}, {{0, R}}});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(finest_limit_set(*run), LimitSet::kSync);
+}
+
+TEST(LimitSets, PipelinedMessagesAreCausalNotSync) {
+  // Two overlapping (but causally ordered) messages on one channel.
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 0, 1, 0}};
+  const auto run = UserRun::from_schedules(
+      ms, {{{0, S}, {1, S}}, {{0, R}, {1, R}}});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(in_causal(*run));
+  // x0.s |> x1.s and x1.s |> ... hmm: is this sync?  The message digraph
+  // 0 -> 1 has no cycle, so it IS logically synchronous.
+  EXPECT_TRUE(in_sync(*run));
+}
+
+TEST(LimitSets, CrossingPairIsCausalNotSync) {
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 1, 0, 0}};
+  const auto run = UserRun::from_schedules(
+      ms, {{{0, S}, {1, R}}, {{1, S}, {0, R}}});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(in_causal(*run));
+  EXPECT_FALSE(in_sync(*run));
+  EXPECT_EQ(finest_limit_set(*run), LimitSet::kCausal);
+}
+
+TEST(LimitSets, OvertakingIsAsyncOnly) {
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 0, 1, 0}};
+  const auto run = UserRun::from_schedules(
+      ms, {{{0, S}, {1, S}}, {{1, R}, {0, R}}});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_FALSE(in_causal(*run));
+  EXPECT_EQ(finest_limit_set(*run), LimitSet::kAsync);
+}
+
+TEST(LimitSets, ThreeCrownIsCausalNotSync) {
+  // Three messages in a crown: x_i.s |> x_{i+1}.r, no 2-crossing.
+  // P0 sends m0 to P1, P1 sends m1 to P2, P2 sends m2 to P0, with each
+  // send before the incoming delivery.
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 1, 2, 0}, {2, 2, 0, 0}};
+  const auto run = UserRun::from_schedules(
+      ms, {{{0, S}, {2, R}}, {{1, S}, {0, R}}, {{2, S}, {1, R}}});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(in_causal(*run));
+  EXPECT_FALSE(in_sync(*run));
+}
+
+TEST(LimitSets, AbstractRunsClassified) {
+  Rng rng(67);
+  std::size_t asyncs = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const UserRun run = random_abstract_run(4, 0.5, rng);
+    const LimitSet s = finest_limit_set(run);
+    if (s == LimitSet::kAsync) ++asyncs;
+    if (s == LimitSet::kSync) {
+      EXPECT_TRUE(in_causal(run));
+    }
+  }
+  EXPECT_GT(asyncs, 0u);
+}
+
+TEST(LimitSets, Names) {
+  EXPECT_EQ(to_string(LimitSet::kSync), "sync");
+  EXPECT_EQ(to_string(LimitSet::kCausal), "causal");
+  EXPECT_EQ(to_string(LimitSet::kAsync), "async");
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,159 @@
+// The online monitor: incremental causality, first-violation detection,
+// and agreement with the offline oracle over simulations.
+#include <gtest/gtest.h>
+
+#include "src/checker/monitor.hpp"
+#include "src/checker/violation.hpp"
+#include "src/protocols/async.hpp"
+#include "src/protocols/causal_rst.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/spec/library.hpp"
+
+namespace msgorder {
+namespace {
+
+constexpr EventKind S = EventKind::kSend;
+constexpr EventKind R = EventKind::kReceive;
+constexpr EventKind D = EventKind::kDeliver;
+constexpr EventKind I = EventKind::kInvoke;
+
+TEST(OnlineMonitor, DetectsCausalViolationAtTheCompletingEvent) {
+  // Channel P0 -> P1, message 1 overtakes message 0.
+  std::vector<Message> universe = {{0, 0, 1, 0}, {1, 0, 1, 0}};
+  OnlineMonitor monitor(universe, causal_ordering());
+  EXPECT_FALSE(monitor.on_event(0, {0, I}, 0));
+  EXPECT_FALSE(monitor.on_event(0, {0, S}, 1));
+  EXPECT_FALSE(monitor.on_event(0, {1, S}, 2));
+  EXPECT_FALSE(monitor.on_event(1, {1, R}, 3));
+  EXPECT_FALSE(monitor.on_event(1, {1, D}, 4));
+  EXPECT_FALSE(monitor.violated());
+  // Delivering message 0 now completes (x.s |> y.s) & (y.r |> x.r).
+  EXPECT_TRUE(monitor.on_event(1, {0, D}, 5));
+  ASSERT_TRUE(monitor.violated());
+  EXPECT_EQ(monitor.first_violation_time(), 5);
+  EXPECT_EQ((*monitor.first_witness())[0], 0u);
+  EXPECT_EQ((*monitor.first_witness())[1], 1u);
+}
+
+TEST(OnlineMonitor, CleanRunNeverFires) {
+  std::vector<Message> universe = {{0, 0, 1, 0}, {1, 0, 1, 0}};
+  OnlineMonitor monitor(universe, causal_ordering());
+  monitor.on_event(0, {0, S}, 0);
+  monitor.on_event(0, {1, S}, 1);
+  monitor.on_event(1, {0, D}, 2);
+  monitor.on_event(1, {1, D}, 3);
+  EXPECT_FALSE(monitor.violated());
+  EXPECT_EQ(monitor.violation_count(), 0u);
+}
+
+TEST(OnlineMonitor, IncrementalCausalityMatchesDefinition) {
+  std::vector<Message> universe = {{0, 0, 1, 0}, {1, 1, 2, 0}};
+  OnlineMonitor monitor(universe, causal_ordering());
+  monitor.on_event(0, {0, S}, 0);
+  monitor.on_event(1, {0, D}, 1);
+  monitor.on_event(1, {1, S}, 2);
+  monitor.on_event(2, {1, D}, 3);
+  using UK = UserEventKind;
+  EXPECT_TRUE(monitor.before({0, UK::kSend}, {1, UK::kSend}));
+  EXPECT_TRUE(monitor.before({0, UK::kSend}, {1, UK::kDeliver}));
+  EXPECT_FALSE(monitor.before({1, UK::kSend}, {0, UK::kSend}));
+  EXPECT_FALSE(monitor.before({1, UK::kDeliver}, {0, UK::kDeliver}));
+}
+
+TEST(OnlineMonitor, RespectsColorConstraints) {
+  std::vector<Message> universe = {{0, 0, 1, 0}, {1, 0, 1, 0}};
+  OnlineMonitor plain(universe, global_forward_flush(1));
+  plain.on_event(0, {0, S}, 0);
+  plain.on_event(0, {1, S}, 1);
+  plain.on_event(1, {1, D}, 2);
+  plain.on_event(1, {0, D}, 3);
+  EXPECT_FALSE(plain.violated());  // nothing red
+
+  std::vector<Message> red = {{0, 0, 1, 0}, {1, 0, 1, 1}};
+  OnlineMonitor monitor(red, global_forward_flush(1));
+  monitor.on_event(0, {0, S}, 0);
+  monitor.on_event(0, {1, S}, 1);
+  monitor.on_event(1, {1, D}, 2);
+  EXPECT_TRUE(monitor.on_event(1, {0, D}, 3));
+}
+
+TEST(OnlineMonitor, AgreesWithOfflineOracleOnSimulations) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    WorkloadOptions wopts;
+    wopts.n_processes = 3;
+    wopts.n_messages = 60;
+    wopts.mean_gap = 0.2;
+    const Workload workload = random_workload(wopts, rng);
+    auto monitor = std::make_shared<OnlineMonitor>(
+        workload_universe(workload), causal_ordering());
+    SimOptions sopts;
+    sopts.seed = seed;
+    sopts.network.jitter_mean = 3.0;
+    sopts.observer = [monitor](ProcessId p, SystemEvent e, SimTime t) {
+      monitor->on_event(p, e, t);
+    };
+    const SimResult result =
+        simulate(workload, AsyncProtocol::factory(), 3, sopts);
+    ASSERT_TRUE(result.completed);
+    const auto run = result.trace.to_user_run();
+    ASSERT_TRUE(run.has_value());
+    EXPECT_EQ(monitor->violated(),
+              find_violation(*run, causal_ordering()).has_value())
+        << "seed " << seed;
+  }
+}
+
+TEST(OnlineMonitor, NeverFiresUnderCausalProtocol) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    WorkloadOptions wopts;
+    wopts.n_processes = 4;
+    wopts.n_messages = 80;
+    wopts.mean_gap = 0.3;
+    const Workload workload = random_workload(wopts, rng);
+    auto monitor = std::make_shared<OnlineMonitor>(
+        workload_universe(workload), causal_ordering());
+    SimOptions sopts;
+    sopts.seed = seed;
+    sopts.network.jitter_mean = 3.0;
+    sopts.observer = [monitor](ProcessId p, SystemEvent e, SimTime t) {
+      monitor->on_event(p, e, t);
+    };
+    const SimResult result =
+        simulate(workload, CausalRstProtocol::factory(), 4, sopts);
+    ASSERT_TRUE(result.completed);
+    EXPECT_FALSE(monitor->violated()) << "seed " << seed;
+  }
+}
+
+TEST(OnlineMonitor, FirstViolationTimeIsEarliest) {
+  // Monitor a run with two separate violations; the recorded time is the
+  // first one.
+  std::vector<Message> universe = {
+      {0, 0, 1, 0}, {1, 0, 1, 0}, {2, 0, 1, 0}, {3, 0, 1, 0}};
+  OnlineMonitor monitor(universe, causal_ordering());
+  monitor.on_event(0, {0, S}, 0);
+  monitor.on_event(0, {1, S}, 1);
+  monitor.on_event(0, {2, S}, 2);
+  monitor.on_event(0, {3, S}, 3);
+  monitor.on_event(1, {1, D}, 4);
+  EXPECT_TRUE(monitor.on_event(1, {0, D}, 5));   // first violation
+  monitor.on_event(1, {3, D}, 6);
+  EXPECT_TRUE(monitor.on_event(1, {2, D}, 7));   // second
+  EXPECT_EQ(monitor.first_violation_time(), 5);
+  EXPECT_EQ(monitor.violation_count(), 2u);
+}
+
+TEST(OnlineMonitor, CrownSpecAcrossProcesses) {
+  // The crossing pair completes the 2-crown at the second delivery.
+  std::vector<Message> universe = {{0, 0, 1, 0}, {1, 1, 0, 0}};
+  OnlineMonitor monitor(universe, sync_crown(2));
+  monitor.on_event(0, {0, S}, 0);
+  monitor.on_event(1, {1, S}, 1);
+  EXPECT_FALSE(monitor.on_event(1, {0, D}, 2));
+  EXPECT_TRUE(monitor.on_event(0, {1, D}, 3));
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,190 @@
+// The multicast extension (paper conclusion): causal broadcast (tagged)
+// and total-order broadcast (general), validated by group-aware oracles.
+#include <gtest/gtest.h>
+
+#include "src/apps/multicast.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace msgorder {
+namespace {
+
+struct BcastOutcome {
+  bool completed = false;
+  UserRun run;
+  Trace trace;
+};
+
+BcastOutcome run_broadcast(const ProtocolFactory& factory,
+                           std::uint64_t seed, std::size_t n = 4,
+                           std::size_t broadcasts = 40,
+                           double gap = 0.4) {
+  Rng rng(seed);
+  BroadcastWorkloadOptions opts;
+  opts.n_processes = n;
+  opts.n_broadcasts = broadcasts;
+  opts.mean_gap = gap;
+  const Workload workload = broadcast_workload(opts, rng);
+  SimOptions sopts;
+  sopts.seed = seed * 17 + 1;
+  sopts.network.jitter_mean = 3.0;
+  SimResult result = simulate(workload, factory, n, sopts);
+  BcastOutcome outcome{result.completed,
+                       UserRun{},
+                       std::move(result.trace)};
+  if (outcome.completed) {
+    auto run = outcome.trace.to_user_run();
+    EXPECT_TRUE(run.has_value());
+    if (run.has_value()) outcome.run = std::move(*run);
+  }
+  return outcome;
+}
+
+TEST(BroadcastWorkload, ExpandsToCopies) {
+  Rng rng(1);
+  BroadcastWorkloadOptions opts;
+  opts.n_processes = 5;
+  opts.n_broadcasts = 10;
+  const Workload w = broadcast_workload(opts, rng);
+  ASSERT_EQ(w.size(), 40u);  // 10 * (5-1)
+  for (const InvokeRequest& req : w) {
+    EXPECT_GE(req.message.mcast, 0);
+    EXPECT_LT(req.message.mcast, 10);
+    EXPECT_NE(req.message.src, req.message.dst);
+  }
+  // All copies of a group share src and time.
+  for (int g = 0; g < 10; ++g) {
+    ProcessId src = 0;
+    bool first = true;
+    for (const InvokeRequest& req : w) {
+      if (req.message.mcast != g) continue;
+      if (first) {
+        src = req.message.src;
+        first = false;
+      }
+      EXPECT_EQ(req.message.src, src);
+    }
+  }
+}
+
+TEST(CausalBroadcastBss, SatisfiesCausalBroadcastOrder) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const BcastOutcome outcome =
+        run_broadcast(CausalBroadcastBss::factory(), seed);
+    ASSERT_TRUE(outcome.completed) << "seed " << seed;
+    EXPECT_TRUE(causal_broadcast_ok(outcome.run)) << "seed " << seed;
+  }
+}
+
+TEST(CausalBroadcastBss, NoControlMessagesLinearTag) {
+  const BcastOutcome outcome =
+      run_broadcast(CausalBroadcastBss::factory(), 3, 6);
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.trace.control_packets(), 0u);
+  EXPECT_EQ(outcome.trace.mean_tag_bytes(), 6 * 4.0);  // one vector
+}
+
+TEST(AsyncBroadcast, EventuallyViolatesCausalOrder) {
+  bool violated = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !violated; ++seed) {
+    const BcastOutcome outcome =
+        run_broadcast(AsyncBroadcast::factory(), seed, 4, 50, 0.2);
+    if (!outcome.completed) continue;
+    violated = !causal_broadcast_ok(outcome.run);
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(AsyncBroadcast, EventuallyViolatesTotalOrder) {
+  bool violated = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !violated; ++seed) {
+    const BcastOutcome outcome =
+        run_broadcast(AsyncBroadcast::factory(), seed, 4, 50, 0.2);
+    if (!outcome.completed) continue;
+    violated = !total_order_ok(outcome.run);
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(TotalOrderBroadcast, SatisfiesTotalOrder) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const BcastOutcome outcome =
+        run_broadcast(TotalOrderBroadcast::factory(), seed);
+    ASSERT_TRUE(outcome.completed) << "seed " << seed;
+    EXPECT_TRUE(total_order_ok(outcome.run)) << "seed " << seed;
+  }
+}
+
+TEST(TotalOrderBroadcast, UsesControlMessages) {
+  const BcastOutcome outcome =
+      run_broadcast(TotalOrderBroadcast::factory(), 5);
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_GT(outcome.trace.control_packets(), 0u);
+}
+
+TEST(CausalBroadcastBss, DoesNotGuaranteeTotalOrder) {
+  // Causal broadcast leaves concurrent broadcasts unordered: some seed
+  // must show disagreement.
+  bool violated = false;
+  for (std::uint64_t seed = 1; seed <= 25 && !violated; ++seed) {
+    const BcastOutcome outcome = run_broadcast(
+        CausalBroadcastBss::factory(), seed, 4, 60, 0.15);
+    if (!outcome.completed) continue;
+    violated = !total_order_ok(outcome.run);
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(Checkers, HandCraftedViolations) {
+  // Two broadcasts (group 0 by P0, group 1 by P1) to a third process;
+  // P2 delivers them one way, P3... use 2 copies each to 2 receivers.
+  std::vector<Message> ms = {
+      {0, 0, 2, 0, 0}, {1, 0, 3, 0, 0},  // group 0 from P0
+      {2, 1, 2, 0, 1}, {3, 1, 3, 0, 1},  // group 1 from P1
+  };
+  using K = UserEventKind;
+  // Disagreement: P2 delivers g0 then g1; P3 delivers g1 then g0.
+  auto run = UserRun::from_schedules(
+      ms, {{{0, K::kSend}, {1, K::kSend}},
+           {{2, K::kSend}, {3, K::kSend}},
+           {{0, K::kDeliver}, {2, K::kDeliver}},
+           {{3, K::kDeliver}, {1, K::kDeliver}}});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_FALSE(total_order_ok(*run));
+  // The sends are concurrent, so causal broadcast order still holds.
+  EXPECT_TRUE(causal_broadcast_ok(*run));
+}
+
+TEST(Checkers, CausalViolationDetected) {
+  // P0 broadcasts g0; P1 delivers it, then broadcasts g1; P2 gets g1
+  // before g0: causal violation.
+  std::vector<Message> ms = {
+      {0, 0, 1, 0, 0}, {1, 0, 2, 0, 0},  // group 0 from P0
+      {2, 1, 0, 0, 1}, {3, 1, 2, 0, 1},  // group 1 from P1
+  };
+  using K = UserEventKind;
+  auto run = UserRun::from_schedules(
+      ms, {{{0, K::kSend}, {1, K::kSend}, {2, K::kDeliver}},
+           {{0, K::kDeliver}, {2, K::kSend}, {3, K::kSend}},
+           {{3, K::kDeliver}, {1, K::kDeliver}}});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_FALSE(causal_broadcast_ok(*run));
+}
+
+TEST(Checkers, GroupHelpers) {
+  std::vector<Message> ms = {{0, 0, 1, 0, 7}, {1, 0, 2, 0, 7}};
+  using K = UserEventKind;
+  auto run = UserRun::from_schedules(
+      ms, {{{0, K::kSend}, {1, K::kSend}},
+           {{0, K::kDeliver}},
+           {{1, K::kDeliver}}});
+  ASSERT_TRUE(run.has_value());
+  const auto send = group_send(*run, 7);
+  ASSERT_TRUE(send.has_value());
+  EXPECT_EQ(send->msg, 0u);
+  EXPECT_EQ(group_copy_at(*run, 7, 2), std::optional<MessageId>(1));
+  EXPECT_FALSE(group_copy_at(*run, 7, 0).has_value());
+  EXPECT_FALSE(group_send(*run, 9).has_value());
+}
+
+}  // namespace
+}  // namespace msgorder

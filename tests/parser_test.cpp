@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "src/spec/library.hpp"
+#include "src/spec/parser.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(Parser, CausalOrdering) {
+  const auto r = parse_predicate("(x.s |> y.s) & (y.r |> x.r)");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.predicate->arity, 2u);
+  EXPECT_EQ(r.predicate->conjuncts, causal_ordering().conjuncts);
+}
+
+TEST(Parser, AlternativeRelationSymbols) {
+  for (const char* text :
+       {"x.s < y.s & y.r < x.r", "x.s -> y.s & y.r -> x.r",
+        "(x.s<y.s)&(y.r<x.r)"}) {
+    const auto r = parse_predicate(text);
+    ASSERT_TRUE(r.ok()) << text << ": " << r.error;
+    EXPECT_EQ(r.predicate->conjuncts, causal_ordering().conjuncts);
+  }
+}
+
+TEST(Parser, VariablesRegisteredInOrder) {
+  const auto r = parse_predicate("(b.r |> a.s)");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.predicate->var_names.size(), 2u);
+  EXPECT_EQ(r.predicate->var_names[0], "b");
+  EXPECT_EQ(r.predicate->var_names[1], "a");
+  EXPECT_EQ(r.predicate->conjuncts[0].lhs, 0u);
+  EXPECT_EQ(r.predicate->conjuncts[0].rhs, 1u);
+  EXPECT_EQ(r.predicate->conjuncts[0].p, UserEventKind::kDeliver);
+  EXPECT_EQ(r.predicate->conjuncts[0].q, UserEventKind::kSend);
+}
+
+TEST(Parser, FifoWithWhereClause) {
+  const auto r = parse_predicate(
+      "(x.s |> y.s) & (y.r |> x.r) "
+      "where process(x.s)=process(y.s), process(x.r)=process(y.r)");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.predicate->process_constraints, fifo().process_constraints);
+}
+
+TEST(Parser, ColorConstraint) {
+  const auto r = parse_predicate(
+      "(x.s |> y.s) & (y.r |> x.r) where color(y)=1");
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.predicate->color_constraints.size(), 1u);
+  EXPECT_EQ(r.predicate->color_constraints[0].var, 1u);
+  EXPECT_EQ(r.predicate->color_constraints[0].color, 1);
+}
+
+TEST(Parser, NegativeColor) {
+  const auto r = parse_predicate("(x.s |> y.s) where color(x)=-3");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.predicate->color_constraints[0].color, -3);
+}
+
+TEST(Parser, MixedConstraints) {
+  const auto r = parse_predicate(
+      "(x.s |> y.s) & (y.r |> x.r) "
+      "where color(y)=1, process(x.s)=process(y.s)");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.predicate->color_constraints.size(), 1u);
+  EXPECT_EQ(r.predicate->process_constraints.size(), 1u);
+}
+
+TEST(Parser, LongCrownPredicate) {
+  const auto r = parse_predicate(
+      "(x1.s |> x2.r) & (x2.s |> x3.r) & (x3.s |> x1.r)");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.predicate->arity, 3u);
+  EXPECT_EQ(r.predicate->conjuncts.size(), 3u);
+}
+
+TEST(Parser, WhitespaceInsensitive) {
+  const auto r = parse_predicate("  ( x.s   |>y.s )&(y.r|> x.r)  ");
+  ASSERT_TRUE(r.ok()) << r.error;
+}
+
+TEST(Parser, ErrorMissingKind) {
+  const auto r = parse_predicate("(x |> y.s)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("'.'"), std::string::npos);
+}
+
+TEST(Parser, ErrorBadKind) {
+  const auto r = parse_predicate("(x.q |> y.s)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, ErrorMissingRelation) {
+  EXPECT_FALSE(parse_predicate("(x.s y.s)").ok());
+}
+
+TEST(Parser, ErrorUnbalancedParen) {
+  EXPECT_FALSE(parse_predicate("(x.s |> y.s").ok());
+}
+
+TEST(Parser, ErrorTrailingGarbage) {
+  const auto r = parse_predicate("(x.s |> y.s) garbage");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("trailing"), std::string::npos);
+}
+
+TEST(Parser, ErrorEmptyInput) {
+  EXPECT_FALSE(parse_predicate("").ok());
+  EXPECT_FALSE(parse_predicate("   ").ok());
+}
+
+TEST(Parser, ErrorBadConstraint) {
+  EXPECT_FALSE(
+      parse_predicate("(x.s |> y.s) where banana(x)=1").ok());
+  EXPECT_FALSE(parse_predicate("(x.s |> y.s) where color(x)=red").ok());
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  // to_string output parses back to the same predicate (default names).
+  const ForbiddenPredicate original = fifo();
+  const auto r = parse_predicate(original.to_string());
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.predicate->conjuncts, original.conjuncts);
+  EXPECT_EQ(r.predicate->process_constraints,
+            original.process_constraints);
+}
+
+}  // namespace
+}  // namespace msgorder

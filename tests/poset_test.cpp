@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/poset/poset.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(Poset, EmptyIsPartialOrder) {
+  Poset p(4);
+  p.close();
+  EXPECT_TRUE(p.is_partial_order());
+  EXPECT_EQ(p.pair_count(), 0u);
+}
+
+TEST(Poset, PrecedesAfterClosure) {
+  Poset p(4);
+  p.add_edge(0, 1);
+  p.add_edge(1, 2);
+  p.close();
+  EXPECT_TRUE(p.precedes(0, 2));
+  EXPECT_FALSE(p.precedes(2, 0));
+  EXPECT_TRUE(p.concurrent(0, 3));
+  EXPECT_FALSE(p.concurrent(0, 0));
+}
+
+TEST(Poset, CycleIsNotPartialOrder) {
+  Poset p(3);
+  p.add_edge(0, 1);
+  p.add_edge(1, 0);
+  p.close();
+  EXPECT_FALSE(p.is_partial_order());
+}
+
+TEST(Poset, TopologicalOrderRespectsEdges) {
+  Poset p(5);
+  p.add_edge(0, 2);
+  p.add_edge(1, 2);
+  p.add_edge(2, 3);
+  p.add_edge(3, 4);
+  p.close();
+  const auto order = p.topological_order();
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> pos(5);
+  for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[2]);
+  EXPECT_LT(pos[2], pos[3]);
+  EXPECT_LT(pos[3], pos[4]);
+}
+
+TEST(Poset, TopologicalOrderFailsOnCycle) {
+  Poset p(3);
+  p.add_edge(0, 1);
+  p.add_edge(1, 2);
+  p.add_edge(2, 0);
+  p.close();
+  EXPECT_FALSE(p.topological_order().has_value());
+}
+
+TEST(Poset, PairsMatchPrecedes) {
+  Poset p(4);
+  p.add_edge(0, 1);
+  p.add_edge(1, 3);
+  p.close();
+  const auto pairs = p.pairs();
+  EXPECT_EQ(pairs.size(), p.pair_count());
+  for (const auto& [u, v] : pairs) {
+    EXPECT_TRUE(p.precedes(u, v));
+  }
+  EXPECT_NE(std::find(pairs.begin(), pairs.end(),
+                      std::make_pair<std::size_t, std::size_t>(0, 3)),
+            pairs.end());
+}
+
+TEST(Poset, Equality) {
+  Poset a(3);
+  a.add_edge(0, 1);
+  a.close();
+  Poset b(3);
+  b.add_edge(0, 1);
+  b.close();
+  EXPECT_EQ(a, b);
+  Poset c(3);
+  c.close();
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace msgorder

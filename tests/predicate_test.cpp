@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "src/spec/library.hpp"
+#include "src/spec/predicate.hpp"
+
+namespace msgorder {
+namespace {
+
+constexpr UserEventKind S = UserEventKind::kSend;
+constexpr UserEventKind R = UserEventKind::kDeliver;
+
+TEST(Predicate, ToStringCausal) {
+  EXPECT_EQ(causal_ordering().to_string(),
+            "(x.s |> y.s) & (y.r |> x.r)");
+}
+
+TEST(Predicate, ToStringWithConstraints) {
+  const std::string text = fifo().to_string();
+  EXPECT_NE(text.find("process(x.s)=process(y.s)"), std::string::npos);
+  EXPECT_NE(text.find("process(x.r)=process(y.r)"), std::string::npos);
+}
+
+TEST(Predicate, ToStringColor) {
+  const std::string text = global_forward_flush(1).to_string();
+  EXPECT_NE(text.find("color(y)=1"), std::string::npos);
+}
+
+TEST(Predicate, VarNamesDefaultAndCustom) {
+  ForbiddenPredicate p = make_predicate(5, {{4, S, 0, R}});
+  EXPECT_EQ(p.var_name(0), "x");
+  EXPECT_EQ(p.var_name(3), "w");
+  EXPECT_EQ(p.var_name(4), "x4");
+  p.var_names = {"a", "b", "c", "d", "e"};
+  EXPECT_EQ(p.var_name(4), "e");
+}
+
+TEST(Normalize, PlainPredicateUnchanged) {
+  const auto n = normalize(causal_ordering());
+  EXPECT_EQ(n.triviality, NormalTriviality::kNone);
+  EXPECT_EQ(n.predicate.conjuncts, causal_ordering().conjuncts);
+}
+
+TEST(Normalize, DropsTautologicalSelfConjunct) {
+  // (x.s |> x.r) & (x.s |> y.s) & (y.r |> x.r)
+  const auto p = make_predicate(
+      2, {{0, S, 0, R}, {0, S, 1, S}, {1, R, 0, R}});
+  const auto n = normalize(p);
+  EXPECT_EQ(n.triviality, NormalTriviality::kNone);
+  EXPECT_EQ(n.predicate.conjuncts.size(), 2u);
+}
+
+TEST(Normalize, UnsatisfiableSelfLoops) {
+  for (const Conjunct c : {Conjunct{0, S, 0, S}, Conjunct{0, R, 0, R},
+                           Conjunct{0, R, 0, S}}) {
+    const auto n = normalize(make_predicate(1, {c}));
+    EXPECT_EQ(n.triviality, NormalTriviality::kUnsatisfiable);
+  }
+}
+
+TEST(Normalize, EmptyConjunctionIsTautological) {
+  EXPECT_EQ(normalize(make_predicate(2, {})).triviality,
+            NormalTriviality::kTautological);
+  // Only tautological self conjuncts -> also tautological overall.
+  EXPECT_EQ(normalize(make_predicate(1, {{0, S, 0, R}})).triviality,
+            NormalTriviality::kTautological);
+}
+
+TEST(Normalize, DeduplicatesConjuncts) {
+  const auto p =
+      make_predicate(2, {{0, S, 1, S}, {0, S, 1, S}, {1, R, 0, R}});
+  const auto n = normalize(p);
+  EXPECT_EQ(n.predicate.conjuncts.size(), 2u);
+}
+
+TEST(Normalize, DropsUnusedVariablesAndRemaps) {
+  // Variable 1 is unused; 0 and 2 form the causal pair.
+  const auto p = make_predicate(3, {{0, S, 2, S}, {2, R, 0, R}},
+                                {{0, S, 2, S}}, {{2, 7}});
+  const auto n = normalize(p);
+  EXPECT_EQ(n.triviality, NormalTriviality::kNone);
+  EXPECT_EQ(n.predicate.arity, 2u);
+  EXPECT_EQ(n.predicate.conjuncts[0].rhs, 1u);
+  ASSERT_EQ(n.predicate.color_constraints.size(), 1u);
+  EXPECT_EQ(n.predicate.color_constraints[0].var, 1u);
+  ASSERT_EQ(n.predicate.process_constraints.size(), 1u);
+  EXPECT_EQ(n.predicate.process_constraints[0].var_b, 1u);
+}
+
+TEST(Normalize, DropsConstraintsOnUnusedVariables) {
+  const auto p =
+      make_predicate(3, {{0, S, 1, S}, {1, R, 0, R}}, {}, {{2, 1}});
+  const auto n = normalize(p);
+  EXPECT_TRUE(n.predicate.color_constraints.empty());
+}
+
+TEST(CompositeSpec, ToStringJoins) {
+  const CompositeSpec spec = two_way_flush();
+  const std::string text = spec.to_string();
+  EXPECT_NE(text.find("AND"), std::string::npos);
+  EXPECT_NE(text.find("forbid"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msgorder

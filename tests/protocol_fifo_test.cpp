@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/checker/violation.hpp"
+#include "src/protocols/fifo.hpp"
+#include "src/spec/library.hpp"
+#include "tests/sim_harness.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(FifoProtocol, SatisfiesFifoSpecAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto result =
+        run_protocol(FifoProtocol::factory(), 4, 120, seed);
+    EXPECT_TRUE(satisfies(result.run, fifo())) << "seed " << seed;
+    EXPECT_TRUE(result.sim.trace.all_delivered());
+  }
+}
+
+TEST(FifoProtocol, IsTaggedOnly) {
+  const auto result = run_protocol(FifoProtocol::factory(), 4, 120, 3);
+  EXPECT_EQ(result.sim.trace.control_packets(), 0u);
+  EXPECT_EQ(result.sim.trace.mean_tag_bytes(), 4.0);
+}
+
+TEST(FifoProtocol, DoesNotEnforceCausalOrdering) {
+  // FIFO is weaker than causal: across enough seeds some run must
+  // violate plain causal ordering (triangle patterns).
+  bool causal_violation_seen = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !causal_violation_seen;
+       ++seed) {
+    const auto result =
+        run_protocol(FifoProtocol::factory(), 4, 150, seed);
+    causal_violation_seen = !in_causal(result.run);
+  }
+  EXPECT_TRUE(causal_violation_seen);
+}
+
+TEST(FifoProtocol, PerChannelOrderIsTotalAndMonotone) {
+  const auto result = run_protocol(FifoProtocol::factory(), 3, 100, 5);
+  const UserRun& run = result.run;
+  for (MessageId a = 0; a < run.message_count(); ++a) {
+    for (MessageId b = 0; b < run.message_count(); ++b) {
+      if (a == b) continue;
+      const Message& ma = run.message(a);
+      const Message& mb = run.message(b);
+      if (ma.src != mb.src || ma.dst != mb.dst) continue;
+      if (run.before(a, UserEventKind::kSend, b, UserEventKind::kSend)) {
+        EXPECT_TRUE(run.before(a, UserEventKind::kDeliver, b,
+                               UserEventKind::kDeliver));
+      }
+    }
+  }
+}
+
+TEST(FifoProtocol, SingleChannelBurst) {
+  // Everything on one channel: delivery order == send order.
+  std::vector<std::tuple<SimTime, ProcessId, ProcessId, int>> entries;
+  for (int i = 0; i < 40; ++i) entries.push_back({0.01 * i, 0, 1, 0});
+  const Workload w = scripted_workload(entries);
+  SimOptions sopts;
+  sopts.network.jitter_mean = 10.0;  // extreme reorder pressure
+  const SimResult sim = simulate(w, FifoProtocol::factory(), 2, sopts);
+  ASSERT_TRUE(sim.completed);
+  const auto run = sim.trace.to_user_run();
+  ASSERT_TRUE(run.has_value());
+  for (MessageId m = 0; m + 1 < 40; ++m) {
+    EXPECT_TRUE(run->before(m, UserEventKind::kDeliver, m + 1,
+                            UserEventKind::kDeliver));
+  }
+}
+
+}  // namespace
+}  // namespace msgorder

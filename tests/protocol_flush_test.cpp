@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "src/checker/violation.hpp"
+#include "src/protocols/flush.hpp"
+#include "src/spec/library.hpp"
+#include "tests/sim_harness.hpp"
+
+namespace msgorder {
+namespace {
+
+constexpr UserEventKind R = UserEventKind::kDeliver;
+constexpr UserEventKind S = UserEventKind::kSend;
+
+TEST(FlushChannel, OrdinaryTrafficUnconstrained) {
+  // With only ordinary messages the flush protocol behaves like async:
+  // nothing buffered, no control messages, O(1) tag.
+  const auto result =
+      run_protocol(FlushChannelProtocol::factory(), 4, 150, 3);
+  EXPECT_EQ(result.sim.trace.control_packets(), 0u);
+  EXPECT_EQ(result.sim.trace.mean_delivery_delay(), 0.0);
+}
+
+TEST(FlushChannel, ForwardFlushWaitsForPredecessors) {
+  // Channel burst with a forward-flush message in the middle.
+  std::vector<std::tuple<SimTime, ProcessId, ProcessId, int>> entries;
+  for (int i = 0; i < 10; ++i) entries.push_back({0.01 * i, 0, 1, 0});
+  entries.push_back({0.2, 0, 1, kForwardFlush});                  // id 10
+  for (int i = 0; i < 10; ++i) entries.push_back({0.3 + 0.01 * i, 0, 1, 0});
+  const Workload w = scripted_workload(entries);
+  SimOptions sopts;
+  sopts.network.jitter_mean = 8.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sopts.seed = seed;
+    const SimResult sim =
+        simulate(w, FlushChannelProtocol::factory(), 2, sopts);
+    ASSERT_TRUE(sim.completed) << sim.error;
+    const auto run = sim.trace.to_user_run();
+    ASSERT_TRUE(run.has_value());
+    // Everything sent before the flush is delivered before it.
+    for (MessageId m = 0; m < 10; ++m) {
+      EXPECT_TRUE(run->before(m, R, 10, R)) << "seed " << seed;
+    }
+    // Later ordinary messages may overtake the flush (forward only).
+    EXPECT_TRUE(satisfies(*run, local_forward_flush(kForwardFlush)));
+  }
+}
+
+TEST(FlushChannel, BackwardFlushBlocksSuccessors) {
+  std::vector<std::tuple<SimTime, ProcessId, ProcessId, int>> entries;
+  entries.push_back({0.0, 0, 1, kBackwardFlush});  // id 0
+  for (int i = 0; i < 10; ++i) entries.push_back({0.1 + 0.01 * i, 0, 1, 0});
+  const Workload w = scripted_workload(entries);
+  SimOptions sopts;
+  sopts.network.jitter_mean = 8.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sopts.seed = seed;
+    const SimResult sim =
+        simulate(w, FlushChannelProtocol::factory(), 2, sopts);
+    ASSERT_TRUE(sim.completed) << sim.error;
+    const auto run = sim.trace.to_user_run();
+    ASSERT_TRUE(run.has_value());
+    for (MessageId m = 1; m <= 10; ++m) {
+      EXPECT_TRUE(run->before(0, R, m, R)) << "seed " << seed;
+    }
+    EXPECT_TRUE(satisfies(*run, local_backward_flush(kBackwardFlush)));
+  }
+}
+
+TEST(FlushChannel, TwoWayFlushIsABarrier) {
+  std::vector<std::tuple<SimTime, ProcessId, ProcessId, int>> entries;
+  for (int i = 0; i < 8; ++i) entries.push_back({0.01 * i, 0, 1, 0});
+  entries.push_back({0.2, 0, 1, kTwoWayFlush});  // id 8
+  for (int i = 0; i < 8; ++i) entries.push_back({0.3 + 0.01 * i, 0, 1, 0});
+  const Workload w = scripted_workload(entries);
+  SimOptions sopts;
+  sopts.network.jitter_mean = 8.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sopts.seed = seed;
+    const SimResult sim =
+        simulate(w, FlushChannelProtocol::factory(), 2, sopts);
+    ASSERT_TRUE(sim.completed) << sim.error;
+    const auto run = sim.trace.to_user_run();
+    ASSERT_TRUE(run.has_value());
+    for (MessageId m = 0; m < 8; ++m) {
+      EXPECT_TRUE(run->before(m, R, 8, R));
+      EXPECT_TRUE(run->before(8, R, m + 9, R));
+    }
+  }
+}
+
+TEST(FlushChannel, OrdinaryMessagesMayOvertakeEachOther) {
+  // Flush channels are weaker than FIFO: some seed shows ordinary
+  // overtaking on a channel.
+  std::vector<std::tuple<SimTime, ProcessId, ProcessId, int>> entries;
+  for (int i = 0; i < 20; ++i) entries.push_back({0.01 * i, 0, 1, 0});
+  const Workload w = scripted_workload(entries);
+  SimOptions sopts;
+  sopts.network.jitter_mean = 8.0;
+  bool overtaking = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !overtaking; ++seed) {
+    sopts.seed = seed;
+    const SimResult sim =
+        simulate(w, FlushChannelProtocol::factory(), 2, sopts);
+    ASSERT_TRUE(sim.completed);
+    const auto run = sim.trace.to_user_run();
+    ASSERT_TRUE(run.has_value());
+    for (MessageId a = 0; a < 20 && !overtaking; ++a) {
+      for (MessageId b = a + 1; b < 20 && !overtaking; ++b) {
+        overtaking = run->before(b, R, a, R);
+      }
+    }
+  }
+  EXPECT_TRUE(overtaking);
+}
+
+TEST(FlushChannel, MixedRandomTrafficSatisfiesFlushSpecs) {
+  // Random traffic where "red" messages are two-way flushes: both the
+  // forward and backward single-channel specs must hold.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto result =
+        run_protocol(FlushChannelProtocol::factory(), 3, 150, seed,
+                     /*red_fraction=*/0.2, /*red_color=*/kTwoWayFlush);
+    EXPECT_TRUE(
+        satisfies(result.run, local_forward_flush(kTwoWayFlush)))
+        << "seed " << seed;
+    EXPECT_TRUE(
+        satisfies(result.run, local_backward_flush(kTwoWayFlush)))
+        << "seed " << seed;
+  }
+}
+
+TEST(FlushChannel, IndependentChannelsDoNotBlock) {
+  // A flush on channel (0,1) must not delay traffic on (0,2).
+  const Workload w = scripted_workload({
+      {0.0, 0, 1, kTwoWayFlush},
+      {0.1, 0, 2, 0},
+  });
+  const SimResult sim = simulate(w, FlushChannelProtocol::factory(), 3);
+  ASSERT_TRUE(sim.completed);
+  const auto run = sim.trace.to_user_run();
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(run->concurrent({0, R}, {1, R}));
+}
+
+}  // namespace
+}  // namespace msgorder

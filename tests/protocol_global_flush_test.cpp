@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/checker/violation.hpp"
+#include "src/protocols/causal_rst.hpp"
+#include "src/protocols/global_flush.hpp"
+#include "src/protocols/synthesized.hpp"
+#include "src/spec/library.hpp"
+#include "tests/sim_harness.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(GlobalFlush, SatisfiesItsSpecAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto result = run_protocol(GlobalFlushProtocol::factory(1), 4,
+                                     150, seed, /*red_fraction=*/0.3);
+    EXPECT_TRUE(satisfies(result.run, global_forward_flush(1)))
+        << "seed " << seed;
+    EXPECT_TRUE(result.sim.trace.all_delivered());
+    EXPECT_EQ(result.sim.trace.control_packets(), 0u);
+  }
+}
+
+TEST(GlobalFlush, WeakerThanCausalOrdering) {
+  // Ordinary traffic may overtake: some seed violates plain causal.
+  bool non_causal = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !non_causal; ++seed) {
+    const auto result = run_protocol(GlobalFlushProtocol::factory(1), 4,
+                                     150, seed, /*red_fraction=*/0.2);
+    non_causal = !in_causal(result.run);
+  }
+  EXPECT_TRUE(non_causal);
+}
+
+TEST(GlobalFlush, BuffersLessThanCausal) {
+  double flush_total = 0;
+  double causal_total = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto flush = run_protocol(GlobalFlushProtocol::factory(1), 4,
+                                    200, seed, /*red_fraction=*/0.15);
+    const auto causal = run_protocol(CausalRstProtocol::factory(), 4, 200,
+                                     seed, /*red_fraction=*/0.15);
+    flush_total += flush.sim.trace.mean_delivery_delay();
+    causal_total += causal.sim.trace.mean_delivery_delay();
+  }
+  EXPECT_LT(flush_total, causal_total);
+}
+
+TEST(GlobalFlush, AllRedDegeneratesTowardCausal) {
+  // With every message red, the red check dominates and causal ordering
+  // holds outright.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto result = run_protocol(GlobalFlushProtocol::factory(1), 4,
+                                     120, seed, /*red_fraction=*/1.0);
+    EXPECT_TRUE(in_causal(result.run)) << "seed " << seed;
+  }
+}
+
+TEST(GlobalFlush, NoRedBehavesLikeAsync) {
+  const auto result = run_protocol(GlobalFlushProtocol::factory(1), 4,
+                                   150, 5, /*red_fraction=*/0.0);
+  EXPECT_EQ(result.sim.trace.mean_delivery_delay(), 0.0);
+}
+
+TEST(GlobalFlush, CrossProcessRelayScenario) {
+  // x: P0 -> P2 (slow).  red y: P0 -> P1 (so x.s |> y.s).  After
+  // delivering y, P1 relays w: P1 -> P2.  If w overtook x at P2, the
+  // user view would contain y.r |> w.s |> w.r |> ... with x.r after —
+  // completing the forbidden pattern; the red frontier on w must block
+  // it.
+  const Workload w = scripted_workload({
+      {0.0, 0, 2, 0},  // x ordinary, slow
+      {0.1, 0, 1, 1},  // y red
+      {5.0, 1, 2, 0},  // w ordinary relay (after y delivered)
+  });
+  SimOptions sopts;
+  sopts.network.jitter_mean = 20.0;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    sopts.seed = seed;
+    const SimResult sim =
+        simulate(w, GlobalFlushProtocol::factory(1), 3, sopts);
+    ASSERT_TRUE(sim.completed) << sim.error;
+    const auto run = sim.trace.to_user_run();
+    ASSERT_TRUE(run.has_value());
+    EXPECT_TRUE(satisfies(*run, global_forward_flush(1)))
+        << "seed " << seed;
+  }
+}
+
+TEST(GlobalFlush, ShapeDetection) {
+  int red = 0;
+  EXPECT_TRUE(is_global_flush_shaped(global_forward_flush(3), &red));
+  EXPECT_EQ(red, 3);
+  EXPECT_FALSE(is_global_flush_shaped(causal_ordering()));
+  EXPECT_FALSE(is_global_flush_shaped(local_forward_flush()));
+  EXPECT_FALSE(is_global_flush_shaped(fifo()));
+  // Color on the overtaken variable instead (backward-ish): not the
+  // forward-flush shape.
+  ForbiddenPredicate backward = causal_ordering();
+  backward.color_constraints = {{0, 1}};
+  EXPECT_FALSE(is_global_flush_shaped(backward));
+}
+
+TEST(GlobalFlush, SynthesizerPicksIt) {
+  const SynthesisResult r = synthesize(global_forward_flush(1));
+  ASSERT_TRUE(r.factory.has_value());
+  EXPECT_NE(r.rationale.find("global-flush"), std::string::npos);
+  const auto result =
+      run_protocol(*r.factory, 4, 120, 3, /*red_fraction=*/0.3);
+  EXPECT_TRUE(satisfies(result.run, global_forward_flush(1)));
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/checker/violation.hpp"
+#include "src/protocols/causal_rst.hpp"
+#include "src/protocols/kweaker.hpp"
+#include "src/spec/library.hpp"
+#include "tests/sim_harness.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(KWeaker, SatisfiesItsSpecAcrossSeedsAndK) {
+  for (std::size_t k = 0; k <= 3; ++k) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const auto result =
+          run_protocol(KWeakerCausalProtocol::factory(k), 4, 120, seed);
+      EXPECT_TRUE(satisfies(result.run, k_weaker_causal(k)))
+          << "k=" << k << " seed=" << seed;
+    }
+  }
+}
+
+TEST(KWeaker, KZeroIsCausalOrdering) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto result =
+        run_protocol(KWeakerCausalProtocol::factory(0), 4, 120, seed);
+    EXPECT_TRUE(in_causal(result.run)) << "seed " << seed;
+  }
+}
+
+TEST(KWeaker, LargerKPermitsMoreReordering) {
+  // With k >= 1 some seed must produce a non-causal (but k-weaker-valid)
+  // run — that is the point of relaxing the ordering.
+  bool non_causal_seen = false;
+  for (std::uint64_t seed = 1; seed <= 25 && !non_causal_seen; ++seed) {
+    const auto result =
+        run_protocol(KWeakerCausalProtocol::factory(1), 4, 150, seed);
+    non_causal_seen = !in_causal(result.run);
+  }
+  EXPECT_TRUE(non_causal_seen);
+}
+
+TEST(KWeaker, DeliveryDelayDecreasesWithK) {
+  // Relaxation pays: buffering time decreases monotonically-ish in k.
+  double previous = 1e18;
+  for (std::size_t k : {0u, 2u, 6u}) {
+    double total = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const auto result =
+          run_protocol(KWeakerCausalProtocol::factory(k), 4, 200, seed);
+      total += result.sim.trace.mean_delivery_delay();
+    }
+    EXPECT_LE(total, previous * 1.05) << "k=" << k;
+    previous = total;
+  }
+}
+
+TEST(KWeaker, NoControlMessages) {
+  const auto result =
+      run_protocol(KWeakerCausalProtocol::factory(2), 4, 100, 3);
+  EXPECT_EQ(result.sim.trace.control_packets(), 0u);
+  EXPECT_GT(result.sim.trace.mean_tag_bytes(), 0.0);
+}
+
+TEST(KWeaker, SingleChannelChainScenario) {
+  // A burst on one channel: with slack k, a message may overtake at most
+  // k causal-chain predecessors.
+  std::vector<std::tuple<SimTime, ProcessId, ProcessId, int>> entries;
+  for (int i = 0; i < 30; ++i) entries.push_back({0.01 * i, 0, 1, 0});
+  const Workload w = scripted_workload(entries);
+  SimOptions sopts;
+  sopts.network.jitter_mean = 10.0;
+  for (std::size_t k : {0u, 1u, 3u}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      sopts.seed = seed;
+      const SimResult sim =
+          simulate(w, KWeakerCausalProtocol::factory(k), 2, sopts);
+      ASSERT_TRUE(sim.completed) << sim.error;
+      const auto run = sim.trace.to_user_run();
+      ASSERT_TRUE(run.has_value());
+      EXPECT_TRUE(satisfies(*run, k_weaker_causal(k)))
+          << "k=" << k << " seed=" << seed;
+      // On a single channel, chain depth == send distance: message m may
+      // not be delivered after m+k+1.
+      for (MessageId m = 0; m + k + 1 < 30; ++m) {
+        EXPECT_FALSE(run->before(m + k + 1, UserEventKind::kDeliver, m,
+                                 UserEventKind::kDeliver));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msgorder

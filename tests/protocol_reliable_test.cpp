@@ -1,0 +1,189 @@
+// Failure injection: lossy channels break bare protocols; the
+// reliability decorator restores the paper's reliable-system assumption
+// and composes with every ordering stack.
+#include <gtest/gtest.h>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/checker/violation.hpp"
+#include "src/protocols/async.hpp"
+#include "src/protocols/causal_rst.hpp"
+#include "src/protocols/fifo.hpp"
+#include "src/protocols/reliable.hpp"
+#include "src/protocols/sync_sequencer.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/spec/library.hpp"
+
+namespace msgorder {
+namespace {
+
+SimResult run_lossy(const ProtocolFactory& factory, double loss,
+                    std::uint64_t seed, std::size_t n_messages = 120) {
+  Rng rng(seed);
+  WorkloadOptions wopts;
+  wopts.n_processes = 4;
+  wopts.n_messages = n_messages;
+  wopts.mean_gap = 0.4;
+  const Workload workload = random_workload(wopts, rng);
+  SimOptions sopts;
+  sopts.seed = seed * 7 + 5;
+  sopts.network.jitter_mean = 2.0;
+  sopts.network.loss_probability = loss;
+  return simulate(workload, factory, wopts.n_processes, sopts);
+}
+
+TEST(LossyNetwork, BareProtocolLosesMessages) {
+  const SimResult result = run_lossy(AsyncProtocol::factory(), 0.2, 1);
+  EXPECT_FALSE(result.completed);
+  EXPECT_GT(result.trace.drops(), 0u);
+}
+
+TEST(LossyNetwork, NoLossMeansNoDrops) {
+  const SimResult result = run_lossy(AsyncProtocol::factory(), 0.0, 1);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.trace.drops(), 0u);
+  EXPECT_EQ(result.trace.retransmissions(), 0u);
+}
+
+TEST(Reliable, DeliversEverythingUnderHeavyLoss) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const SimResult result =
+        run_lossy(ReliableProtocol::wrap(AsyncProtocol::factory()), 0.3,
+                  seed);
+    EXPECT_TRUE(result.completed) << result.error << " seed " << seed;
+    EXPECT_GT(result.trace.retransmissions(), 0u);
+    EXPECT_GT(result.trace.drops(), 0u);
+  }
+}
+
+TEST(Reliable, NoSpuriousWorkWithoutLoss) {
+  // With an RTO safely above the worst round trip, a loss-free network
+  // triggers no retransmissions at all.
+  ReliableOptions options;
+  options.retransmit_timeout = 60.0;
+  const SimResult result = run_lossy(
+      ReliableProtocol::wrap(AsyncProtocol::factory(), options), 0.0, 2);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.trace.retransmissions(), 0u);
+  EXPECT_EQ(result.trace.duplicate_arrivals(), 0u);
+}
+
+TEST(Reliable, TightTimeoutCausesSpuriousButHarmlessRetransmits) {
+  ReliableOptions options;
+  options.retransmit_timeout = 1.5;  // below the mean round trip
+  const SimResult result = run_lossy(
+      ReliableProtocol::wrap(AsyncProtocol::factory(), options), 0.0, 2);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.trace.retransmissions(), 0u);
+  // Duplicates are filtered before the inner protocol: the trace is
+  // still a valid run with exactly one delivery per message.
+  EXPECT_TRUE(result.trace.to_system_run().has_value());
+}
+
+TEST(Reliable, ComposesWithFifoUnderLoss) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const SimResult result =
+        run_lossy(ReliableProtocol::wrap(FifoProtocol::factory()), 0.25,
+                  seed);
+    ASSERT_TRUE(result.completed) << result.error;
+    const auto run = result.trace.to_user_run();
+    ASSERT_TRUE(run.has_value());
+    EXPECT_TRUE(satisfies(*run, fifo())) << "seed " << seed;
+  }
+}
+
+TEST(Reliable, ComposesWithCausalUnderLoss) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const SimResult result = run_lossy(
+        ReliableProtocol::wrap(CausalRstProtocol::factory()), 0.25, seed);
+    ASSERT_TRUE(result.completed) << result.error;
+    const auto run = result.trace.to_user_run();
+    ASSERT_TRUE(run.has_value());
+    EXPECT_TRUE(in_causal(*run)) << "seed " << seed;
+  }
+}
+
+TEST(Reliable, ComposesWithSequencerUnderLoss) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const SimResult result = run_lossy(
+        ReliableProtocol::wrap(SyncSequencerProtocol::factory()), 0.2,
+        seed, 50);
+    ASSERT_TRUE(result.completed) << result.error;
+    const auto run = result.trace.to_user_run();
+    ASSERT_TRUE(run.has_value());
+    EXPECT_TRUE(in_sync(*run)) << "seed " << seed;
+  }
+}
+
+TEST(Reliable, DuplicatesSuppressedAtHigherLayer) {
+  // Inner protocols must see each packet once even when ACK loss causes
+  // duplicate transmissions: duplicate arrivals exist at the engine but
+  // every message is delivered exactly once (trace validation would
+  // reject double deliveries).
+  const SimResult result =
+      run_lossy(ReliableProtocol::wrap(AsyncProtocol::factory()), 0.35, 9);
+  ASSERT_TRUE(result.completed) << result.error;
+  EXPECT_GT(result.trace.duplicate_arrivals(), 0u);
+  EXPECT_TRUE(result.trace.to_system_run().has_value());
+}
+
+TEST(Reliable, GiveUpBoundStopsRetransmitting) {
+  ReliableOptions options;
+  options.max_retransmissions = 1;
+  const SimResult result = run_lossy(
+      ReliableProtocol::wrap(AsyncProtocol::factory(), options), 0.6, 3);
+  // With a give-up bound and heavy loss, some message is abandoned.
+  EXPECT_FALSE(result.completed);
+}
+
+TEST(Reliable, RetransmissionsScaleWithLoss) {
+  double previous = -1;
+  for (double loss : {0.05, 0.2, 0.4}) {
+    const SimResult result = run_lossy(
+        ReliableProtocol::wrap(AsyncProtocol::factory()), loss, 11);
+    ASSERT_TRUE(result.completed);
+    const auto retx = static_cast<double>(result.trace.retransmissions());
+    EXPECT_GT(retx, previous);
+    previous = retx;
+  }
+}
+
+TEST(Reliable, TimerNamespacesDoNotCollide) {
+  // An inner protocol that uses its own timers still works when wrapped.
+  class TimerUser final : public Protocol {
+   public:
+    explicit TimerUser(Host& host) : host_(host) {}
+    void on_invoke(const Message& m) override {
+      held_.push_back(m.id);
+      host_.set_timer(0.5, m.id);  // delay every send by half a unit
+    }
+    void on_timer(std::uint64_t cookie) override {
+      for (auto it = held_.begin(); it != held_.end(); ++it) {
+        if (*it == cookie) {
+          Packet pkt;
+          pkt.dst = host_.message(*it).dst;
+          pkt.user_msg = *it;
+          host_.send_packet(std::move(pkt));
+          held_.erase(it);
+          return;
+        }
+      }
+    }
+    void on_packet(const Packet& packet) override {
+      if (!packet.is_control) host_.deliver(packet.user_msg);
+    }
+    std::string name() const override { return "timer-user"; }
+
+   private:
+    Host& host_;
+    std::vector<MessageId> held_;
+  };
+  const auto factory = [](Host& host) {
+    return std::make_unique<TimerUser>(host);
+  };
+  const SimResult result =
+      run_lossy(ReliableProtocol::wrap(factory), 0.2, 13);
+  EXPECT_TRUE(result.completed) << result.error;
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/protocols/registry.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(Registry, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (const RegisteredProtocol& rp : standard_protocols()) {
+    EXPECT_FALSE(rp.name.empty());
+    EXPECT_FALSE(rp.description.empty());
+    EXPECT_TRUE(names.insert(rp.name).second) << rp.name;
+  }
+  EXPECT_GE(names.size(), 10u);
+}
+
+TEST(Registry, FactoriesProduceWorkingInstances) {
+  // Each factory must construct and survive a minimal exchange.
+  const Workload w = scripted_workload({{0.0, 0, 1, 0}, {0.5, 1, 2, 0}});
+  for (const RegisteredProtocol& rp : standard_protocols()) {
+    const SimResult result = simulate(w, rp.factory, 3);
+    EXPECT_TRUE(result.completed) << rp.name << ": " << result.error;
+  }
+}
+
+TEST(Registry, RegisteredNameMatchesInstanceName) {
+  // The instance's self-reported name should start with the registry
+  // key's stem (parameterized protocols append their arguments).
+  class Probe final : public Host {
+   public:
+    void send_packet(Packet) override {}
+    void deliver(MessageId) override {}
+    void set_timer(SimTime, std::uint64_t) override {}
+    SimTime now() const override { return 0; }
+    ProcessId self() const override { return 0; }
+    std::size_t process_count() const override { return 4; }
+    const Message& message(MessageId) const override {
+      static Message m{0, 0, 1, 0};
+      return m;
+    }
+  };
+  Probe probe;
+  for (const RegisteredProtocol& rp : standard_protocols()) {
+    const auto instance = rp.factory(probe);
+    const std::string instance_name = instance->name();
+    const std::string stem = rp.name.substr(0, rp.name.find('-'));
+    EXPECT_NE(instance_name.find(stem.substr(0, 4)), std::string::npos)
+        << rp.name << " vs " << instance_name;
+  }
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/poset/run_generator.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(RandomScheduledRun, ProducesValidCompleteRuns) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    RandomRunOptions opts;
+    opts.n_processes = 2 + rng.below(4);
+    opts.n_messages = rng.below(10);
+    const UserRun run = random_scheduled_run(opts, rng);
+    EXPECT_EQ(run.message_count(), opts.n_messages);
+    EXPECT_TRUE(run.has_schedules() || opts.n_messages == 0);
+    EXPECT_TRUE(in_async(run));
+    for (const Message& m : run.messages()) {
+      EXPECT_NE(m.src, m.dst);
+      EXPECT_LT(m.src, opts.n_processes);
+      EXPECT_LT(m.dst, opts.n_processes);
+    }
+  }
+}
+
+TEST(RandomScheduledRun, Deterministic) {
+  RandomRunOptions opts;
+  Rng a(42);
+  Rng b(42);
+  const UserRun ra = random_scheduled_run(opts, a);
+  const UserRun rb = random_scheduled_run(opts, b);
+  EXPECT_EQ(ra.schedules(), rb.schedules());
+}
+
+TEST(RandomScheduledRun, RedFractionProducesColors) {
+  RandomRunOptions opts;
+  opts.n_messages = 200;
+  opts.red_fraction = 0.5;
+  Rng rng(5);
+  const UserRun run = random_scheduled_run(opts, rng);
+  std::size_t red = 0;
+  for (const Message& m : run.messages()) red += (m.color == 1);
+  EXPECT_GT(red, 50u);
+  EXPECT_LT(red, 150u);
+}
+
+TEST(RandomScheduledRun, SendBiasShapesOrdering) {
+  // With bias ~0, each message is delivered before the next is sent, so
+  // every run is logically synchronous.
+  RandomRunOptions opts;
+  opts.n_messages = 10;
+  opts.send_bias = 0.0;
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    EXPECT_TRUE(in_sync(random_scheduled_run(opts, rng)));
+  }
+}
+
+TEST(RandomAbstractRun, ValidPosets) {
+  Rng rng(11);
+  for (double density : {0.0, 0.2, 0.8}) {
+    for (int trial = 0; trial < 30; ++trial) {
+      const UserRun run = random_abstract_run(5, density, rng);
+      EXPECT_TRUE(in_async(run));
+      EXPECT_FALSE(run.has_schedules());
+      for (MessageId m = 0; m < run.message_count(); ++m) {
+        EXPECT_TRUE(run.before(m, UserEventKind::kSend, m,
+                               UserEventKind::kDeliver));
+      }
+    }
+  }
+}
+
+TEST(RandomAbstractRun, DensityOneIsTotalOrder) {
+  Rng rng(13);
+  const UserRun run = random_abstract_run(4, 1.0, rng);
+  // Every pair of distinct events must be related.
+  for (std::size_t a = 0; a < run.event_count(); ++a) {
+    for (std::size_t b = a + 1; b < run.event_count(); ++b) {
+      EXPECT_FALSE(run.concurrent(UserRun::event_of_index(a),
+                                  UserRun::event_of_index(b)));
+    }
+  }
+}
+
+TEST(EnumerateScheduledRuns, SingleMessageHasOneRun) {
+  const auto runs = enumerate_scheduled_runs({{0, 0, 1, 0}});
+  EXPECT_EQ(runs.size(), 1u);
+}
+
+TEST(EnumerateScheduledRuns, TwoMessagesSameChannel) {
+  // Sends are on one process line (2 orders) and deliveries on another
+  // (2 orders): 4 distinct decomposed runs.
+  const auto runs =
+      enumerate_scheduled_runs({{0, 0, 1, 0}, {1, 0, 1, 0}});
+  EXPECT_EQ(runs.size(), 4u);
+}
+
+TEST(EnumerateScheduledRuns, CrossingPairCounts) {
+  // Two messages in opposite directions between P0 and P1: each process
+  // line interleaves one send and one delivery => 2 x 2 orders, but the
+  // doubly-crossed one (r before s on both lines) is not a run: 3 remain.
+  const auto runs =
+      enumerate_scheduled_runs({{0, 0, 1, 0}, {1, 1, 0, 0}});
+  EXPECT_EQ(runs.size(), 3u);
+}
+
+TEST(EnumerateScheduledRuns, AllValidAndDistinct) {
+  const auto runs = enumerate_scheduled_runs(
+      {{0, 0, 1, 0}, {1, 1, 2, 0}, {2, 2, 0, 0}});
+  std::set<std::string> keys;
+  for (const UserRun& run : runs) {
+    EXPECT_TRUE(in_async(run));
+    keys.insert(run.to_string());
+  }
+  EXPECT_EQ(keys.size(), runs.size());
+  // Each process line interleaves one send and one delivery (2^3 = 8
+  // combinations); only the fully crossed one is causally cyclic.
+  EXPECT_EQ(runs.size(), 7u);
+}
+
+TEST(EnumerateScheduledRuns, ContainsBothOrderings) {
+  const auto runs =
+      enumerate_scheduled_runs({{0, 0, 1, 0}, {1, 0, 1, 0}});
+  bool in_order = false;
+  bool out_of_order = false;
+  for (const UserRun& run : runs) {
+    if (run.before(0, UserEventKind::kDeliver, 1, UserEventKind::kDeliver)) {
+      in_order = true;
+    }
+    if (run.before(1, UserEventKind::kDeliver, 0, UserEventKind::kDeliver)) {
+      out_of_order = true;
+    }
+  }
+  EXPECT_TRUE(in_order);
+  EXPECT_TRUE(out_of_order);
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,155 @@
+// Section 3.2: enabled-set protocols, property P1 and the liveness
+// condition, on the three canonical limit protocols.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/semantics/limit_protocols.hpp"
+
+namespace msgorder {
+namespace {
+
+SystemEvent ev(MessageId m, EventKind k) { return {m, k}; }
+
+std::vector<Message> crossing_universe() {
+  return {{0, 0, 1, 0}, {1, 1, 0, 0}};
+}
+
+bool contains(const std::vector<SystemEvent>& events, SystemEvent e) {
+  return std::find(events.begin(), events.end(), e) != events.end();
+}
+
+TEST(EnabledSets, P1InvokesAndReceivesAlwaysEnabled) {
+  const TaglessAll protocol;
+  SystemRun run(crossing_universe(), 2);
+  auto enabled = enabled_events(protocol, run, 0);
+  EXPECT_TRUE(contains(enabled, ev(0, EventKind::kInvoke)));
+  run = run.executed(ev(0, EventKind::kInvoke));
+  run = run.executed(ev(0, EventKind::kSend));
+  enabled = enabled_events(protocol, run, 1);
+  EXPECT_TRUE(contains(enabled, ev(0, EventKind::kReceive)));
+}
+
+TEST(EnabledSets, ControllablesSubsetOfPending) {
+  // Whatever the protocol, enabled controllables must be pending S/D.
+  const TaglessAll tagless;
+  const TaggedCausal tagged;
+  const GeneralSerializer general;
+  SystemRun run(crossing_universe(), 2);
+  run = run.executed(ev(0, EventKind::kInvoke));
+  run = run.executed(ev(1, EventKind::kInvoke));
+  for (const EnabledSetProtocol* p :
+       std::initializer_list<const EnabledSetProtocol*>{&tagless, &tagged,
+                                                        &general}) {
+    for (ProcessId i = 0; i < 2; ++i) {
+      const auto ctl = run.controllable(i);
+      for (const SystemEvent& e : p->enabled_controllables(run, i)) {
+        EXPECT_TRUE(contains(ctl, e)) << p->name();
+      }
+    }
+  }
+}
+
+TEST(EnabledSets, LivenessHoldsInitially) {
+  const TaglessAll protocol;
+  SystemRun run(crossing_universe(), 2);
+  EXPECT_TRUE(liveness_holds_at(protocol, run));
+}
+
+TEST(TaglessAll, EnablesEverythingPending) {
+  const TaglessAll protocol;
+  SystemRun run(crossing_universe(), 2);
+  run = run.executed(ev(0, EventKind::kInvoke));
+  const auto enabled = protocol.enabled_controllables(run, 0);
+  EXPECT_TRUE(contains(enabled, ev(0, EventKind::kSend)));
+  EXPECT_EQ(protocol.knowledge_class(), KnowledgeClass::kTagless);
+}
+
+TEST(TaggedCausal, DelaysCausallyLaterDelivery) {
+  // m0: P0 -> P2 and then m1: P0 -> P1 -> relayed knowledge m2: P1 -> P2;
+  // simpler canonical case: m0 and m2 both to P2, m0.s -> m2.s, m2
+  // received first: its delivery must be disabled until m0 delivered.
+  std::vector<Message> universe = {{0, 0, 2, 0}, {1, 0, 1, 0}, {2, 1, 2, 0}};
+  SystemRun run(universe, 3);
+  for (const SystemEvent& e :
+       {ev(0, EventKind::kInvoke), ev(0, EventKind::kSend),
+        ev(1, EventKind::kInvoke), ev(1, EventKind::kSend),
+        ev(1, EventKind::kReceive), ev(1, EventKind::kDeliver),
+        ev(2, EventKind::kInvoke), ev(2, EventKind::kSend),
+        ev(2, EventKind::kReceive)}) {
+    run = run.executed(e);
+  }
+  const TaggedCausal protocol;
+  // m0.s -> m1.s -> m1.r -> m2.s, and m0 (to P2) is undelivered: the
+  // delivery of m2 at P2 must be inhibited.
+  auto enabled = protocol.enabled_controllables(run, 2);
+  EXPECT_FALSE(contains(enabled, ev(2, EventKind::kDeliver)));
+  // After m0 is received and delivered, m2 becomes deliverable.
+  run = run.executed(ev(0, EventKind::kReceive));
+  enabled = protocol.enabled_controllables(run, 2);
+  EXPECT_TRUE(contains(enabled, ev(0, EventKind::kDeliver)));
+  run = run.executed(ev(0, EventKind::kDeliver));
+  enabled = protocol.enabled_controllables(run, 2);
+  EXPECT_TRUE(contains(enabled, ev(2, EventKind::kDeliver)));
+}
+
+TEST(TaggedCausal, ConcurrentSendsUnconstrained) {
+  const TaggedCausal protocol;
+  SystemRun run(crossing_universe(), 2);
+  run = run.executed(ev(0, EventKind::kInvoke));
+  run = run.executed(ev(1, EventKind::kInvoke));
+  EXPECT_TRUE(contains(protocol.enabled_controllables(run, 0),
+                       ev(0, EventKind::kSend)));
+  EXPECT_TRUE(contains(protocol.enabled_controllables(run, 1),
+                       ev(1, EventKind::kSend)));
+}
+
+TEST(GeneralSerializer, OnlySmallestPendingSendEnabled) {
+  const GeneralSerializer protocol;
+  SystemRun run(crossing_universe(), 2);
+  run = run.executed(ev(0, EventKind::kInvoke));
+  run = run.executed(ev(1, EventKind::kInvoke));
+  EXPECT_TRUE(contains(protocol.enabled_controllables(run, 0),
+                       ev(0, EventKind::kSend)));
+  EXPECT_TRUE(protocol.enabled_controllables(run, 1).empty());
+}
+
+TEST(GeneralSerializer, SendsBlockedWhileExchangeOpen) {
+  const GeneralSerializer protocol;
+  SystemRun run(crossing_universe(), 2);
+  run = run.executed(ev(0, EventKind::kInvoke));
+  run = run.executed(ev(1, EventKind::kInvoke));
+  run = run.executed(ev(0, EventKind::kSend));
+  // Message 0 is open: no sends anywhere, but its delivery path runs.
+  EXPECT_TRUE(protocol.enabled_controllables(run, 1).empty());
+  run = run.executed(ev(0, EventKind::kReceive));
+  EXPECT_TRUE(contains(protocol.enabled_controllables(run, 1),
+                       ev(0, EventKind::kDeliver)));
+  run = run.executed(ev(0, EventKind::kDeliver));
+  // Exchange closed: message 1's send becomes the smallest pending.
+  EXPECT_TRUE(contains(protocol.enabled_controllables(run, 1),
+                       ev(1, EventKind::kSend)));
+}
+
+TEST(GeneralSerializer, LivenessAcrossAFullExchange) {
+  const GeneralSerializer protocol;
+  SystemRun run(crossing_universe(), 2);
+  for (const SystemEvent& e :
+       {ev(0, EventKind::kInvoke), ev(1, EventKind::kInvoke),
+        ev(0, EventKind::kSend), ev(0, EventKind::kReceive),
+        ev(0, EventKind::kDeliver), ev(1, EventKind::kSend),
+        ev(1, EventKind::kReceive), ev(1, EventKind::kDeliver)}) {
+    EXPECT_TRUE(liveness_holds_at(protocol, run));
+    run = run.executed(e);
+  }
+  EXPECT_TRUE(run.quiescent());
+}
+
+TEST(KnowledgeClassNames, Distinct) {
+  EXPECT_EQ(to_string(KnowledgeClass::kGeneral), "general");
+  EXPECT_EQ(to_string(KnowledgeClass::kTagged), "tagged");
+  EXPECT_EQ(to_string(KnowledgeClass::kTagless), "tagless");
+}
+
+}  // namespace
+}  // namespace msgorder

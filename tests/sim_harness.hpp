@@ -1,0 +1,43 @@
+// Shared helper for protocol tests: run a protocol over a randomized
+// workload on an adversarial (high-jitter, non-FIFO) network and return
+// the trace plus its user view.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.hpp"
+
+namespace msgorder {
+
+struct HarnessResult {
+  SimResult sim;
+  UserRun run;
+};
+
+inline HarnessResult run_protocol(const ProtocolFactory& factory,
+                                  std::size_t n_processes,
+                                  std::size_t n_messages,
+                                  std::uint64_t seed,
+                                  double red_fraction = 0.0,
+                                  int red_color = 1,
+                                  double mean_gap = 0.3) {
+  Rng rng(seed);
+  WorkloadOptions wopts;
+  wopts.n_processes = n_processes;
+  wopts.n_messages = n_messages;
+  wopts.mean_gap = mean_gap;  // hot by default: plenty of reordering
+  wopts.red_fraction = red_fraction;
+  wopts.red_color = red_color;
+  const Workload workload = random_workload(wopts, rng);
+  SimOptions sopts;
+  sopts.seed = seed ^ 0x5bd1e995;
+  sopts.network.jitter_mean = 3.0;  // aggressive reordering
+  SimResult sim = simulate(workload, factory, n_processes, sopts);
+  EXPECT_TRUE(sim.completed) << sim.error;
+  std::string error;
+  auto run = sim.trace.to_user_run(&error);
+  EXPECT_TRUE(run.has_value()) << error;
+  return {std::move(sim), std::move(*run)};
+}
+
+}  // namespace msgorder

@@ -1,0 +1,197 @@
+// The discrete-event simulator: traces, determinism, network models,
+// workload generation.
+#include <gtest/gtest.h>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/protocols/async.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(Workload, RandomWorkloadShape) {
+  Rng rng(1);
+  WorkloadOptions opts;
+  opts.n_processes = 5;
+  opts.n_messages = 300;
+  opts.red_fraction = 0.25;
+  const Workload w = random_workload(opts, rng);
+  ASSERT_EQ(w.size(), 300u);
+  SimTime last = 0;
+  std::size_t red = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(w[i].message.id, i);  // numbered in time order
+    EXPECT_GE(w[i].time, last);
+    last = w[i].time;
+    EXPECT_NE(w[i].message.src, w[i].message.dst);
+    EXPECT_LT(w[i].message.src, 5u);
+    red += w[i].message.color == 1;
+  }
+  EXPECT_GT(red, 40u);
+  EXPECT_LT(red, 120u);
+}
+
+TEST(Workload, ScriptedPreservesEntries) {
+  const Workload w = scripted_workload(
+      {{0.0, 0, 1, 0}, {1.0, 1, 2, 3}, {0.5, 2, 0, 0}});
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0].message.id, 0u);
+  EXPECT_EQ(w[1].message.id, 2u);  // sorted by time, ids by entry order
+  EXPECT_EQ(w[2].message.color, 3);
+  const auto universe = workload_universe(w);
+  EXPECT_EQ(universe[2].src, 2u);
+}
+
+TEST(Network, FifoToggleOrdersArrivals) {
+  NetworkOptions opts;
+  opts.base_delay = 1.0;
+  opts.jitter_mean = 5.0;
+  opts.fifo_channels = true;
+  Network net(opts, Rng(3));
+  SimTime last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const SimTime arrival = net.arrival_time(0, 1, 0.0);
+    EXPECT_GT(arrival, last);
+    last = arrival;
+  }
+}
+
+TEST(Network, NonFifoReorders) {
+  NetworkOptions opts;
+  opts.jitter_mean = 5.0;
+  Network net(opts, Rng(3));
+  bool reordered = false;
+  SimTime last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const SimTime arrival = net.arrival_time(0, 1, 0.0);
+    if (arrival < last) reordered = true;
+    last = arrival;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Simulator, AsyncDeliversEverything) {
+  Rng rng(7);
+  WorkloadOptions opts;
+  opts.n_processes = 4;
+  opts.n_messages = 150;
+  const Workload w = random_workload(opts, rng);
+  const SimResult result = simulate(w, AsyncProtocol::factory(), 4);
+  ASSERT_TRUE(result.completed) << result.error;
+  EXPECT_TRUE(result.trace.all_delivered());
+  EXPECT_EQ(result.trace.user_packets(), 150u);
+  EXPECT_EQ(result.trace.control_packets(), 0u);
+  EXPECT_EQ(result.trace.tag_bytes(), 0u);
+}
+
+TEST(Simulator, TraceIsAValidSystemRun) {
+  Rng rng(9);
+  WorkloadOptions opts;
+  opts.n_processes = 3;
+  opts.n_messages = 80;
+  const Workload w = random_workload(opts, rng);
+  const SimResult result = simulate(w, AsyncProtocol::factory(), 3);
+  ASSERT_TRUE(result.completed);
+  std::string error;
+  const auto system = result.trace.to_system_run(&error);
+  ASSERT_TRUE(system.has_value()) << error;
+  EXPECT_TRUE(system->quiescent());
+  const auto user = result.trace.to_user_run(&error);
+  ASSERT_TRUE(user.has_value()) << error;
+  EXPECT_TRUE(in_async(*user));
+  EXPECT_EQ(user->message_count(), 80u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  WorkloadOptions opts;
+  opts.n_processes = 3;
+  opts.n_messages = 50;
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const Workload wa = random_workload(opts, rng_a);
+  const Workload wb = random_workload(opts, rng_b);
+  SimOptions sopts;
+  sopts.seed = 5;
+  const SimResult a = simulate(wa, AsyncProtocol::factory(), 3, sopts);
+  const SimResult b = simulate(wb, AsyncProtocol::factory(), 3, sopts);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(a.trace.to_system_run()->key(), b.trace.to_system_run()->key());
+  EXPECT_EQ(a.trace.mean_latency(), b.trace.mean_latency());
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  WorkloadOptions opts;
+  opts.n_processes = 3;
+  opts.n_messages = 50;
+  Rng rng(11);
+  const Workload w = random_workload(opts, rng);
+  SimOptions a;
+  a.seed = 1;
+  SimOptions b;
+  b.seed = 2;
+  const SimResult ra = simulate(w, AsyncProtocol::factory(), 3, a);
+  const SimResult rb = simulate(w, AsyncProtocol::factory(), 3, b);
+  EXPECT_NE(ra.trace.to_system_run()->key(),
+            rb.trace.to_system_run()->key());
+}
+
+TEST(Simulator, NonFifoNetworkProducesNonCausalRunsUnderAsync) {
+  // The whole reason protocols exist: the raw network reorders.
+  Rng rng(13);
+  WorkloadOptions opts;
+  opts.n_processes = 3;
+  opts.n_messages = 120;
+  opts.mean_gap = 0.2;  // hot traffic -> overtaking likely
+  const Workload w = random_workload(opts, rng);
+  SimOptions sopts;
+  sopts.network.jitter_mean = 3.0;
+  const SimResult result = simulate(w, AsyncProtocol::factory(), 3, sopts);
+  ASSERT_TRUE(result.completed);
+  const auto user = result.trace.to_user_run();
+  ASSERT_TRUE(user.has_value());
+  EXPECT_FALSE(in_causal(*user));
+}
+
+TEST(Simulator, MessageTimesAreOrdered) {
+  Rng rng(17);
+  WorkloadOptions opts;
+  opts.n_processes = 3;
+  opts.n_messages = 60;
+  const Workload w = random_workload(opts, rng);
+  const SimResult result = simulate(w, AsyncProtocol::factory(), 3);
+  ASSERT_TRUE(result.completed);
+  for (MessageId m = 0; m < 60; ++m) {
+    const MessageTimes& t = result.trace.times(m);
+    EXPECT_LE(t.invoke, t.send);
+    EXPECT_LT(t.send, t.receive);
+    EXPECT_LE(t.receive, t.deliver);
+    EXPECT_GE(t.latency(), 0.0);
+  }
+  EXPECT_GT(result.trace.mean_latency(), 0.0);
+  EXPECT_GE(result.trace.max_latency(), result.trace.mean_latency());
+}
+
+TEST(Simulator, EmptyWorkloadCompletes) {
+  const SimResult result = simulate({}, AsyncProtocol::factory(), 2);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.trace.user_packets(), 0u);
+}
+
+TEST(Simulator, LivelockProtectionTriggers) {
+  // A protocol that never sends: the run cannot complete.
+  class SilentProtocol final : public Protocol {
+   public:
+    void on_invoke(const Message&) override {}
+    void on_packet(const Packet&) override {}
+    std::string name() const override { return "silent"; }
+  };
+  const Workload w = scripted_workload({{0.0, 0, 1, 0}});
+  const SimResult result = simulate(
+      w, [](Host&) { return std::make_unique<SilentProtocol>(); }, 2);
+  EXPECT_FALSE(result.completed);
+  EXPECT_FALSE(result.error.empty());
+}
+
+}  // namespace
+}  // namespace msgorder

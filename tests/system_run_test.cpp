@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "src/poset/system_run.hpp"
+
+namespace msgorder {
+namespace {
+
+std::vector<Message> two_messages() {
+  return {{0, 0, 1, 0}, {1, 1, 0, 0}};
+}
+
+SystemEvent ev(MessageId m, EventKind k) { return {m, k}; }
+
+TEST(SystemRun, EmptyRunProperties) {
+  SystemRun run(two_messages(), 2);
+  EXPECT_EQ(run.event_count(), 0u);
+  EXPECT_TRUE(run.quiescent());
+  EXPECT_TRUE(run.user_complete());
+  EXPECT_EQ(run.pending_invokes(0).size(), 1u);  // message 0 from P0
+  EXPECT_EQ(run.pending_invokes(1).size(), 1u);
+  EXPECT_TRUE(run.pending_sends(0).empty());
+}
+
+TEST(SystemRun, ExecuteFullMessageLifecycle) {
+  SystemRun run(two_messages(), 2);
+  EXPECT_TRUE(run.can_execute(ev(0, EventKind::kInvoke)));
+  EXPECT_FALSE(run.can_execute(ev(0, EventKind::kSend)));
+  run = run.executed(ev(0, EventKind::kInvoke));
+  EXPECT_EQ(run.pending_sends(0).size(), 1u);
+  EXPECT_FALSE(run.quiescent());
+  run = run.executed(ev(0, EventKind::kSend));
+  EXPECT_EQ(run.pending_receives(1).size(), 1u);
+  run = run.executed(ev(0, EventKind::kReceive));
+  EXPECT_EQ(run.pending_deliveries(1).size(), 1u);
+  EXPECT_FALSE(run.user_complete());
+  run = run.executed(ev(0, EventKind::kDeliver));
+  EXPECT_TRUE(run.quiescent());
+  EXPECT_TRUE(run.user_complete());
+  EXPECT_TRUE(run.before(ev(0, EventKind::kInvoke),
+                         ev(0, EventKind::kDeliver)));
+}
+
+TEST(SystemRun, FromSequencesValid) {
+  const auto run = SystemRun::from_sequences(
+      two_messages(),
+      {
+          {ev(0, EventKind::kInvoke), ev(0, EventKind::kSend),
+           ev(1, EventKind::kReceive), ev(1, EventKind::kDeliver)},
+          {ev(1, EventKind::kInvoke), ev(1, EventKind::kSend),
+           ev(0, EventKind::kReceive), ev(0, EventKind::kDeliver)},
+      });
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(run->event_count(), 8u);
+  EXPECT_TRUE(run->quiescent());
+}
+
+TEST(SystemRun, RejectsReceiveWithoutSend) {
+  std::string error;
+  const auto run = SystemRun::from_sequences(
+      two_messages(),
+      {{}, {ev(0, EventKind::kReceive)}}, &error);
+  EXPECT_FALSE(run.has_value());
+  EXPECT_NE(error.find("receive without send"), std::string::npos);
+}
+
+TEST(SystemRun, RejectsSendWithoutInvoke) {
+  std::string error;
+  const auto run = SystemRun::from_sequences(
+      two_messages(), {{ev(0, EventKind::kSend)}, {}}, &error);
+  EXPECT_FALSE(run.has_value());
+  EXPECT_NE(error.find("send without invoke"), std::string::npos);
+}
+
+TEST(SystemRun, RejectsWrongHome) {
+  std::string error;
+  const auto run = SystemRun::from_sequences(
+      two_messages(), {{}, {ev(0, EventKind::kInvoke)}}, &error);
+  EXPECT_FALSE(run.has_value());
+  EXPECT_NE(error.find("wrong process"), std::string::npos);
+}
+
+TEST(SystemRun, RejectsInvokeAfterSendOrder) {
+  std::string error;
+  const auto run = SystemRun::from_sequences(
+      two_messages(),
+      {{ev(0, EventKind::kSend), ev(0, EventKind::kInvoke)}, {}}, &error);
+  EXPECT_FALSE(run.has_value());
+}
+
+TEST(SystemRun, RejectsCrossingTimeCycle) {
+  // P0 receives message 1 before sending 0; P1 receives 0 before
+  // sending 1 — physically impossible, the relation is cyclic.
+  std::string error;
+  const auto run = SystemRun::from_sequences(
+      two_messages(),
+      {
+          {ev(1, EventKind::kReceive), ev(0, EventKind::kInvoke),
+           ev(0, EventKind::kSend)},
+          {ev(0, EventKind::kReceive), ev(1, EventKind::kInvoke),
+           ev(1, EventKind::kSend)},
+      },
+      &error);
+  EXPECT_FALSE(run.has_value());
+  EXPECT_NE(error.find("partial order"), std::string::npos);
+}
+
+TEST(SystemRun, CrossProcessCausalityViaMessage) {
+  const auto run = SystemRun::from_sequences(
+      two_messages(),
+      {
+          {ev(0, EventKind::kInvoke), ev(0, EventKind::kSend)},
+          {ev(0, EventKind::kReceive), ev(0, EventKind::kDeliver),
+           ev(1, EventKind::kInvoke), ev(1, EventKind::kSend)},
+      });
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(run->before(ev(0, EventKind::kSend),
+                          ev(1, EventKind::kSend)));
+  EXPECT_FALSE(run->before(ev(1, EventKind::kSend),
+                           ev(0, EventKind::kSend)));
+}
+
+TEST(SystemRun, PrefixIsARun) {
+  const auto run = SystemRun::from_sequences(
+      two_messages(),
+      {
+          {ev(0, EventKind::kInvoke), ev(0, EventKind::kSend)},
+          {ev(0, EventKind::kReceive), ev(0, EventKind::kDeliver)},
+      });
+  ASSERT_TRUE(run.has_value());
+  const auto cut = run->prefix({2, 1});
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(cut->event_count(), 3u);
+  EXPECT_TRUE(cut->present(0, EventKind::kReceive));
+  EXPECT_FALSE(cut->present(0, EventKind::kDeliver));
+}
+
+TEST(SystemRun, PrefixRejectsBadLengths) {
+  SystemRun run(two_messages(), 2);
+  EXPECT_FALSE(run.prefix({1, 0}).has_value());   // longer than run
+  EXPECT_FALSE(run.prefix({0}).has_value());      // wrong arity
+}
+
+TEST(SystemRun, UsersViewProjectsAndRenumbers) {
+  // Only message 1 completes; message 0 is never sent.
+  std::vector<Message> universe = two_messages();
+  const auto run = SystemRun::from_sequences(
+      universe,
+      {
+          {ev(1, EventKind::kReceive), ev(1, EventKind::kDeliver)},
+          {ev(1, EventKind::kInvoke), ev(1, EventKind::kSend)},
+      });
+  ASSERT_TRUE(run.has_value());
+  const auto view = run->users_view();
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->message_count(), 1u);
+  EXPECT_EQ(view->message(0).src, 1u);  // renumbered copy of message 1
+  EXPECT_EQ(view->message(0).dst, 0u);
+}
+
+TEST(SystemRun, UsersViewFailsWhenIncomplete) {
+  const auto run = SystemRun::from_sequences(
+      two_messages(),
+      {{ev(0, EventKind::kInvoke), ev(0, EventKind::kSend)}, {}});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_FALSE(run->user_complete());
+  EXPECT_FALSE(run->users_view().has_value());
+}
+
+TEST(SystemRun, UsersViewHidesProtocolDelays) {
+  // Figure 4: with FIFO delaying delivery, s2 -> r1 holds in the system
+  // view but not in the user view.
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 0, 1, 0}};
+  const auto run = SystemRun::from_sequences(
+      ms,
+      {
+          {ev(0, EventKind::kInvoke), ev(0, EventKind::kSend),
+           ev(1, EventKind::kInvoke), ev(1, EventKind::kSend)},
+          // Message 1 arrives first, is buffered; 0 arrives, both deliver
+          // in FIFO order.
+          {ev(1, EventKind::kReceive), ev(0, EventKind::kReceive),
+           ev(0, EventKind::kDeliver), ev(1, EventKind::kDeliver)},
+      });
+  ASSERT_TRUE(run.has_value());
+  // System view: x1.s -> x0.r* chain exists via receive ordering.
+  EXPECT_TRUE(run->before(ev(1, EventKind::kSend),
+                          ev(0, EventKind::kDeliver)));
+  const auto view = run->users_view();
+  ASSERT_TRUE(view.has_value());
+  // User view: message 1's send does NOT precede message 0's delivery.
+  EXPECT_FALSE(view->before(1, UserEventKind::kSend, 0,
+                            UserEventKind::kDeliver));
+  EXPECT_TRUE(view->before(0, UserEventKind::kSend, 1,
+                           UserEventKind::kDeliver));
+}
+
+TEST(SystemRun, KeyDistinguishesRuns) {
+  SystemRun a(two_messages(), 2);
+  const SystemRun b = a.executed(ev(0, EventKind::kInvoke));
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_EQ(a.key(), SystemRun(two_messages(), 2).key());
+}
+
+TEST(SystemRun, ControllableIsSendsPlusDeliveries) {
+  SystemRun run(two_messages(), 2);
+  run = run.executed(ev(0, EventKind::kInvoke));
+  run = run.executed(ev(1, EventKind::kInvoke));
+  run = run.executed(ev(1, EventKind::kSend));
+  run = run.executed(ev(1, EventKind::kReceive));
+  const auto c0 = run.controllable(0);
+  ASSERT_EQ(c0.size(), 2u);  // send of 0, delivery of 1
+  EXPECT_EQ(c0[0].kind, EventKind::kSend);
+  EXPECT_EQ(c0[1].kind, EventKind::kDeliver);
+}
+
+}  // namespace
+}  // namespace msgorder

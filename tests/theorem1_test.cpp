@@ -1,0 +1,103 @@
+// Theorem 1 end-to-end: for each protocol class, the limit set is
+// exactly characterized — the canonical protocol of the class reaches
+// every lifted run of its limit set (sufficiency/Lemma 2) and nothing
+// outside it (safety), on exhaustively explored small universes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/poset/lift.hpp"
+#include "src/poset/run_generator.hpp"
+#include "src/semantics/explorer.hpp"
+#include "src/semantics/limit_protocols.hpp"
+
+namespace msgorder {
+namespace {
+
+struct Universe {
+  const char* name;
+  std::vector<Message> messages;
+  std::size_t n_processes;
+};
+
+std::vector<Universe> universes() {
+  return {
+      {"channel-pair", {{0, 0, 1, 0}, {1, 0, 1, 0}}, 2},
+      {"crossing-pair", {{0, 0, 1, 0}, {1, 1, 0, 0}}, 2},
+      {"fan-in", {{0, 0, 2, 0}, {1, 1, 2, 0}}, 3},
+      {"relay", {{0, 0, 1, 0}, {1, 1, 2, 0}}, 3},
+      {"triangle", {{0, 0, 1, 0}, {1, 1, 2, 0}, {2, 2, 0, 0}}, 3},
+      {"mixed-three", {{0, 0, 1, 0}, {1, 1, 0, 0}, {2, 0, 1, 0}}, 2},
+  };
+}
+
+std::set<std::string> views_of(const ExplorationResult& result,
+                               std::size_t full_size) {
+  std::set<std::string> keys;
+  for (const UserRun& v : result.complete_user_views) {
+    if (v.message_count() == full_size) keys.insert(v.to_string());
+  }
+  return keys;
+}
+
+TEST(Theorem1, TaglessCharacterizesAsync) {
+  for (const Universe& u : universes()) {
+    const auto result = explore(TaglessAll(), u.messages, u.n_processes);
+    EXPECT_TRUE(result.liveness_violations.empty()) << u.name;
+    std::set<std::string> expected;
+    for (const UserRun& run : enumerate_scheduled_runs(u.messages)) {
+      expected.insert(run.to_string());
+    }
+    EXPECT_EQ(views_of(result, u.messages.size()), expected) << u.name;
+  }
+}
+
+TEST(Theorem1, TaggedCharacterizesCausal) {
+  for (const Universe& u : universes()) {
+    const auto result = explore(TaggedCausal(), u.messages, u.n_processes);
+    EXPECT_TRUE(result.liveness_violations.empty()) << u.name;
+    std::set<std::string> expected;
+    for (const UserRun& run : enumerate_scheduled_runs(u.messages)) {
+      if (in_causal(run)) expected.insert(run.to_string());
+    }
+    EXPECT_EQ(views_of(result, u.messages.size()), expected) << u.name;
+  }
+}
+
+TEST(Theorem1, GeneralCharacterizesSync) {
+  for (const Universe& u : universes()) {
+    const auto result =
+        explore(GeneralSerializer(), u.messages, u.n_processes);
+    EXPECT_TRUE(result.liveness_violations.empty()) << u.name;
+    std::set<std::string> expected;
+    for (const UserRun& run : enumerate_scheduled_runs(u.messages)) {
+      if (in_sync(run)) expected.insert(run.to_string());
+    }
+    EXPECT_EQ(views_of(result, u.messages.size()), expected) << u.name;
+  }
+}
+
+TEST(Theorem1, Lemma2LiftedContainments) {
+  // X_tl / X_td / X_gn (lifted complete runs filtered by limit set) are
+  // inside X_P of the respective protocols.
+  for (const Universe& u : universes()) {
+    const auto tagless = explore(TaglessAll(), u.messages, u.n_processes);
+    const auto tagged = explore(TaggedCausal(), u.messages, u.n_processes);
+    const auto general =
+        explore(GeneralSerializer(), u.messages, u.n_processes);
+    for (const UserRun& run : enumerate_scheduled_runs(u.messages)) {
+      const std::string key = lift(run).key();
+      EXPECT_TRUE(tagless.reachable_keys.count(key) > 0) << u.name;
+      if (in_causal(run)) {
+        EXPECT_TRUE(tagged.reachable_keys.count(key) > 0) << u.name;
+      }
+      if (in_sync(run)) {
+        EXPECT_TRUE(general.reachable_keys.count(key) > 0) << u.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "src/poset/user_run.hpp"
+
+namespace msgorder {
+namespace {
+
+constexpr UserEventKind S = UserEventKind::kSend;
+constexpr UserEventKind R = UserEventKind::kDeliver;
+
+// Two messages P0 -> P1, delivered in order.
+UserRun fifo_run() {
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 0, 1, 0}};
+  std::vector<std::vector<ScheduleStep>> scheds = {
+      {{0, S}, {1, S}},
+      {{0, R}, {1, R}},
+  };
+  auto run = UserRun::from_schedules(ms, scheds);
+  EXPECT_TRUE(run.has_value());
+  return *run;
+}
+
+TEST(UserRun, FromSchedulesBasicCausality) {
+  const UserRun run = fifo_run();
+  EXPECT_TRUE(run.before(0, S, 1, S));   // process order at P0
+  EXPECT_TRUE(run.before(0, S, 0, R));   // message edge
+  EXPECT_TRUE(run.before(0, S, 1, R));   // transitive
+  EXPECT_FALSE(run.before(1, R, 0, R));
+  EXPECT_EQ(run.process_count(), 2u);
+  EXPECT_TRUE(run.has_schedules());
+}
+
+TEST(UserRun, OutOfOrderDeliveryIsStillARun) {
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 0, 1, 0}};
+  std::vector<std::vector<ScheduleStep>> scheds = {
+      {{0, S}, {1, S}},
+      {{1, R}, {0, R}},  // overtaking
+  };
+  const auto run = UserRun::from_schedules(ms, scheds);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(run->before(1, R, 0, R));
+  EXPECT_TRUE(run->before(0, S, 1, S));
+}
+
+TEST(UserRun, RejectsWrongProcess) {
+  std::vector<Message> ms = {{0, 0, 1, 0}};
+  std::vector<std::vector<ScheduleStep>> scheds = {
+      {{0, S}, {0, R}},  // delivery scheduled at sender
+      {},
+  };
+  std::string error;
+  EXPECT_FALSE(UserRun::from_schedules(ms, scheds, &error).has_value());
+  EXPECT_NE(error.find("wrong process"), std::string::npos);
+}
+
+TEST(UserRun, RejectsMissingEvent) {
+  std::vector<Message> ms = {{0, 0, 1, 0}};
+  std::vector<std::vector<ScheduleStep>> scheds = {{{0, S}}, {}};
+  EXPECT_FALSE(UserRun::from_schedules(ms, scheds).has_value());
+}
+
+TEST(UserRun, RejectsDuplicateEvent) {
+  std::vector<Message> ms = {{0, 0, 1, 0}};
+  std::vector<std::vector<ScheduleStep>> scheds = {
+      {{0, S}},
+      {{0, R}, {0, R}},
+  };
+  EXPECT_FALSE(UserRun::from_schedules(ms, scheds).has_value());
+}
+
+TEST(UserRun, RejectsNonDenseIds) {
+  std::vector<Message> ms = {{5, 0, 1, 0}};
+  std::vector<std::vector<ScheduleStep>> scheds = {{{5, S}}, {{5, R}}};
+  EXPECT_FALSE(UserRun::from_schedules(ms, scheds).has_value());
+}
+
+TEST(UserRun, RejectsDeliveryBeforeSendOnProcessLine) {
+  // P0 delivers message 1 (from P1) before sending 0; P1 delivers 0
+  // before sending 1 -> a causality cycle.
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 1, 0, 0}};
+  std::vector<std::vector<ScheduleStep>> scheds = {
+      {{1, R}, {0, S}},
+      {{0, R}, {1, S}},
+  };
+  std::string error;
+  EXPECT_FALSE(UserRun::from_schedules(ms, scheds, &error).has_value());
+}
+
+TEST(UserRun, FromEdgesAbstractRun) {
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 2, 3, 0}};
+  const auto run = UserRun::from_edges(
+      ms, {{UserEvent{0, S}, UserEvent{1, S}}});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(run->before(0, S, 1, S));
+  EXPECT_TRUE(run->before(0, S, 1, R));  // via message edge of 1
+  EXPECT_FALSE(run->has_schedules());
+}
+
+TEST(UserRun, FromEdgesRejectsCycle) {
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 2, 3, 0}};
+  std::string error;
+  const auto run = UserRun::from_edges(
+      ms,
+      {{UserEvent{0, S}, UserEvent{1, S}}, {UserEvent{1, R}, UserEvent{0, S}}},
+      &error);
+  EXPECT_FALSE(run.has_value());
+}
+
+TEST(UserRun, FromEdgesRejectsDeliverBeforeSendOfSameMessage) {
+  std::vector<Message> ms = {{0, 0, 1, 0}};
+  EXPECT_FALSE(UserRun::from_edges(
+                   ms, {{UserEvent{0, R}, UserEvent{0, S}}})
+                   .has_value());
+}
+
+TEST(UserRun, AttributeAccessors) {
+  std::vector<Message> ms = {{0, 3, 7, 2}};
+  const auto run = UserRun::from_edges(ms, {});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(run->process_of({0, S}), 3u);
+  EXPECT_EQ(run->process_of({0, R}), 7u);
+  EXPECT_EQ(run->color_of(0), 2);
+}
+
+TEST(UserRun, IndexRoundTrip) {
+  for (MessageId m = 0; m < 5; ++m) {
+    for (UserEventKind k : {S, R}) {
+      const auto i = UserRun::index(m, k);
+      const UserEvent e = UserRun::event_of_index(i);
+      EXPECT_EQ(e.msg, m);
+      EXPECT_EQ(e.kind, k);
+    }
+  }
+}
+
+TEST(UserRun, ConcurrentEvents) {
+  std::vector<Message> ms = {{0, 0, 1, 0}, {1, 2, 3, 0}};
+  const auto run = UserRun::from_edges(ms, {});
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(run->concurrent({0, S}, {1, S}));
+  EXPECT_FALSE(run->concurrent({0, S}, {0, R}));
+}
+
+TEST(UserRun, ToStringMentionsProcesses) {
+  const UserRun run = fifo_run();
+  const std::string text = run.to_string();
+  EXPECT_NE(text.find("P0:"), std::string::npos);
+  EXPECT_NE(text.find("P1:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msgorder

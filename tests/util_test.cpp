@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/bitmatrix.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/strings.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  bool lo_seen = false;
+  bool hi_seen = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo_seen |= (v == -2);
+    hi_seen |= (v == 2);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(17);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.exponential(2.0);
+  const double mean = total / n;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+}
+
+TEST(Rng, SplitIndependent) {
+  Rng a(5);
+  Rng child = a.split();
+  EXPECT_NE(a(), child());
+}
+
+TEST(BitMatrix, SetGetClear) {
+  BitMatrix m(70);  // cross word boundary
+  EXPECT_FALSE(m.get(3, 65));
+  m.set(3, 65);
+  EXPECT_TRUE(m.get(3, 65));
+  m.clear(3, 65);
+  EXPECT_FALSE(m.get(3, 65));
+}
+
+TEST(BitMatrix, TransitiveClosureChain) {
+  BitMatrix m(5);
+  m.set(0, 1);
+  m.set(1, 2);
+  m.set(2, 3);
+  m.transitive_closure();
+  EXPECT_TRUE(m.get(0, 3));
+  EXPECT_TRUE(m.get(1, 3));
+  EXPECT_FALSE(m.get(3, 0));
+  EXPECT_FALSE(m.any_diagonal());
+}
+
+TEST(BitMatrix, TransitiveClosureCycleSetsDiagonal) {
+  BitMatrix m(3);
+  m.set(0, 1);
+  m.set(1, 2);
+  m.set(2, 0);
+  m.transitive_closure();
+  EXPECT_TRUE(m.any_diagonal());
+  EXPECT_TRUE(m.get(0, 0));
+}
+
+TEST(BitMatrix, Popcounts) {
+  BitMatrix m(4);
+  m.set(0, 1);
+  m.set(0, 2);
+  m.set(3, 0);
+  EXPECT_EQ(m.row_popcount(0), 2u);
+  EXPECT_EQ(m.row_popcount(1), 0u);
+  EXPECT_EQ(m.popcount(), 3u);
+}
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hello\t "), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("forbid x", "forbid"));
+  EXPECT_FALSE(starts_with("for", "forbid"));
+}
+
+TEST(Strings, JoinAndPad) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+}
+
+}  // namespace
+}  // namespace msgorder

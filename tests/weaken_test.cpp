@@ -1,0 +1,134 @@
+// Lemma 4: contraction of cycles to canonical forms, preserving order
+// and implication.
+#include <gtest/gtest.h>
+
+#include "src/checker/violation.hpp"
+#include "src/poset/run_generator.hpp"
+#include "src/spec/classify.hpp"
+#include "src/spec/library.hpp"
+#include "src/spec/weaken.hpp"
+
+namespace msgorder {
+namespace {
+
+constexpr UserEventKind S = UserEventKind::kSend;
+constexpr UserEventKind R = UserEventKind::kDeliver;
+
+ForbiddenPredicate witness_cycle(const ForbiddenPredicate& p) {
+  const PredicateGraph g(p);
+  const auto walk = g.min_order_closed_walk();
+  EXPECT_TRUE(walk.has_value());
+  return cycle_predicate(g, walk->edges);
+}
+
+std::size_t order_of(const ForbiddenPredicate& p) {
+  const auto c = classify(p);
+  EXPECT_TRUE(c.min_order.has_value());
+  return *c.min_order;
+}
+
+TEST(Weaken, TwoVertexCycleIsAlreadyCanonical) {
+  const WeakeningTrace trace =
+      weaken_to_canonical(witness_cycle(causal_ordering()));
+  EXPECT_EQ(trace.steps.size(), 1u);
+  EXPECT_EQ(trace.canonical().arity, 2u);
+}
+
+TEST(Weaken, KWeakerContractsToCausalShape) {
+  // The k-weaker chain (order 1, k+2 vertices) must contract to a
+  // 2-vertex order-1 cycle: one of the Lemma 3.2 forms.
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const WeakeningTrace trace =
+        weaken_to_canonical(witness_cycle(k_weaker_causal(k)));
+    const ForbiddenPredicate& canon = trace.canonical();
+    EXPECT_EQ(canon.arity, 2u) << "k=" << k;
+    EXPECT_EQ(order_of(canon), 1u);
+    // Exactly k steps removed the k surplus vertices.
+    EXPECT_EQ(trace.steps.size(), k + 1);
+  }
+}
+
+TEST(Weaken, CrownIsAllBetaAndStaysIntact) {
+  for (std::size_t k = 3; k <= 5; ++k) {
+    const WeakeningTrace trace =
+        weaken_to_canonical(witness_cycle(sync_crown(k)));
+    EXPECT_EQ(trace.steps.size(), 1u);
+    EXPECT_EQ(trace.canonical().arity, k);
+    EXPECT_EQ(order_of(trace.canonical()), k);
+  }
+}
+
+TEST(Weaken, OrderPreservedAtEveryStep) {
+  const ForbiddenPredicate chains[] = {
+      k_weaker_causal(3),
+      make_predicate(4, {{0, S, 1, S}, {1, R, 2, R}, {2, R, 3, S},
+                         {3, R, 0, R}}),
+  };
+  for (const ForbiddenPredicate& p : chains) {
+    const ForbiddenPredicate cycle = witness_cycle(p);
+    const std::size_t order = order_of(cycle);
+    const WeakeningTrace trace = weaken_to_canonical(cycle);
+    for (const ForbiddenPredicate& step : trace.steps) {
+      EXPECT_EQ(order_of(step), order) << step.to_string();
+    }
+  }
+}
+
+TEST(Weaken, EachStepRemovesOneVertex) {
+  const WeakeningTrace trace =
+      weaken_to_canonical(witness_cycle(k_weaker_causal(3)));
+  for (std::size_t i = 0; i + 1 < trace.steps.size(); ++i) {
+    EXPECT_EQ(trace.steps[i].arity, trace.steps[i + 1].arity + 1);
+  }
+}
+
+TEST(Weaken, ImplicationHoldsOnRandomRuns) {
+  // B => B': every run violating the weakened predicate... rather,
+  // whenever the original predicate holds in a run, each weakened step
+  // also holds (satisfies() is the complement).
+  Rng rng(4242);
+  const ForbiddenPredicate original = k_weaker_causal(2);
+  const WeakeningTrace trace =
+      weaken_to_canonical(witness_cycle(original));
+  int violated_originals = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    RandomRunOptions opts;
+    opts.n_processes = 3;
+    opts.n_messages = 6;
+    opts.send_bias = 0.8;  // deep reorderings
+    const UserRun run = random_scheduled_run(opts, rng);
+    if (satisfies(run, trace.steps.front())) continue;
+    ++violated_originals;
+    for (const ForbiddenPredicate& step : trace.steps) {
+      EXPECT_FALSE(satisfies(run, step))
+          << "weakened step not implied: " << step.to_string();
+    }
+  }
+  EXPECT_GT(violated_originals, 5);
+}
+
+TEST(CyclePredicate, ExtractsRingInOrder) {
+  const PredicateGraph g(k_weaker_causal(1));
+  const auto walk = g.min_order_closed_walk();
+  ASSERT_TRUE(walk.has_value());
+  const ForbiddenPredicate ring = cycle_predicate(g, walk->edges);
+  ASSERT_EQ(ring.conjuncts.size(), 3u);
+  for (std::size_t i = 0; i < ring.conjuncts.size(); ++i) {
+    EXPECT_EQ(ring.conjuncts[i].rhs,
+              ring.conjuncts[(i + 1) % ring.conjuncts.size()].lhs);
+  }
+}
+
+TEST(Weaken, CanonicalOfOrderZeroIsLemma33Shape) {
+  // An order-0 4-cycle contracts to one of the async canonical forms.
+  const auto p = make_predicate(
+      4, {{0, S, 1, S}, {1, S, 2, S}, {2, R, 3, R}, {3, R, 0, S}});
+  const ForbiddenPredicate cycle = witness_cycle(p);
+  EXPECT_EQ(order_of(cycle), 0u);
+  const WeakeningTrace trace = weaken_to_canonical(cycle);
+  EXPECT_EQ(trace.canonical().arity, 2u);
+  EXPECT_EQ(order_of(trace.canonical()), 0u);
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,146 @@
+// The Theorem 2/4 witness construction characterizes the classification
+// exactly — enforced here for the spec zoo and for exhaustive 2-variable
+// predicate censuses.
+#include <gtest/gtest.h>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/checker/violation.hpp"
+#include "src/spec/classify.hpp"
+#include "src/spec/library.hpp"
+#include "src/spec/witness.hpp"
+
+namespace msgorder {
+namespace {
+
+constexpr UserEventKind kKinds[] = {UserEventKind::kSend,
+                                    UserEventKind::kDeliver};
+
+void check_characterization(const ForbiddenPredicate& predicate) {
+  const Classification verdict = classify(predicate);
+  const auto witness = witness_run(predicate);
+  switch (verdict.protocol_class) {
+    case ProtocolClass::kTagless:
+      // Order-0 cycle: B forces an event before itself, no witness.
+      EXPECT_FALSE(witness.has_value()) << predicate.to_string();
+      break;
+    case ProtocolClass::kTagged:
+      ASSERT_TRUE(witness.has_value()) << predicate.to_string();
+      EXPECT_TRUE(in_async(*witness));
+      EXPECT_FALSE(in_causal(*witness)) << predicate.to_string();
+      EXPECT_FALSE(satisfies(*witness, predicate));
+      break;
+    case ProtocolClass::kGeneral:
+      ASSERT_TRUE(witness.has_value()) << predicate.to_string();
+      EXPECT_TRUE(in_causal(*witness)) << predicate.to_string();
+      EXPECT_FALSE(in_sync(*witness)) << predicate.to_string();
+      EXPECT_FALSE(satisfies(*witness, predicate));
+      break;
+    case ProtocolClass::kNotImplementable:
+      if (verdict.normalized.triviality == NormalTriviality::kTautological) {
+        EXPECT_FALSE(witness.has_value());
+        break;
+      }
+      ASSERT_TRUE(witness.has_value()) << predicate.to_string();
+      EXPECT_TRUE(in_sync(*witness)) << predicate.to_string();
+      EXPECT_FALSE(satisfies(*witness, predicate));
+      break;
+  }
+}
+
+TEST(Witness, CausalOrderingWitnessIsTheOvertakingPair) {
+  const auto witness = witness_run(causal_ordering());
+  ASSERT_TRUE(witness.has_value());
+  // Variables x (id 0) and y (id 1) plus one relay per cross-process
+  // conjunct (the "message z" of the Lemma 3 proof).
+  EXPECT_EQ(witness->message_count(), 4u);
+  EXPECT_TRUE(witness->has_schedules());  // realizable, not just a poset
+  EXPECT_TRUE(witness->before(0, UserEventKind::kSend, 1,
+                              UserEventKind::kSend));
+  EXPECT_TRUE(witness->before(1, UserEventKind::kDeliver, 0,
+                              UserEventKind::kDeliver));
+  EXPECT_FALSE(in_causal(*witness));
+}
+
+TEST(Witness, CrownWitnessIsCausalButNotSync) {
+  for (std::size_t k = 2; k <= 5; ++k) {
+    const auto witness = witness_run(sync_crown(k));
+    ASSERT_TRUE(witness.has_value());
+    EXPECT_TRUE(in_causal(*witness)) << k;
+    EXPECT_FALSE(in_sync(*witness)) << k;
+  }
+}
+
+TEST(Witness, AsyncZooHasNoWitness) {
+  for (const ForbiddenPredicate& p : async_zoo()) {
+    EXPECT_FALSE(witness_run(p).has_value()) << p.to_string();
+  }
+}
+
+TEST(Witness, NotImplementableWitnessIsSync) {
+  const auto witness = witness_run(receive_second_before_first());
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(in_sync(*witness));
+  EXPECT_FALSE(satisfies(*witness, receive_second_before_first()));
+}
+
+TEST(Witness, RespectsColorConstraints) {
+  const auto witness = witness_run(global_forward_flush(5));
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->color_of(1), 5);
+  EXPECT_FALSE(satisfies(*witness, global_forward_flush(5)));
+}
+
+TEST(Witness, RespectsProcessConstraints) {
+  const auto witness = witness_run(fifo());
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->message(0).src, witness->message(1).src);
+  EXPECT_EQ(witness->message(0).dst, witness->message(1).dst);
+  EXPECT_FALSE(satisfies(*witness, fifo()));
+}
+
+TEST(Witness, ContradictoryColorsYieldNothing) {
+  ForbiddenPredicate p = causal_ordering();
+  p.color_constraints = {{0, 1}, {0, 2}};
+  EXPECT_FALSE(witness_run(p).has_value());
+}
+
+TEST(Witness, ZooCharacterization) {
+  for (const NamedSpec& spec : spec_zoo()) {
+    check_characterization(spec.predicate);
+  }
+}
+
+TEST(Witness, ExhaustiveTwoConjunctCharacterization) {
+  std::vector<Conjunct> edges;
+  for (std::size_t from = 0; from < 2; ++from) {
+    for (UserEventKind pk : kKinds) {
+      for (UserEventKind q : kKinds) {
+        edges.push_back({from, pk, 1 - from, q});
+      }
+    }
+  }
+  for (const Conjunct& a : edges) {
+    for (const Conjunct& b : edges) {
+      if (a == b) continue;
+      check_characterization(make_predicate(2, {a, b}));
+    }
+  }
+}
+
+TEST(Witness, KWeakerWitnessChainLength) {
+  for (std::size_t k = 0; k <= 3; ++k) {
+    const auto witness = witness_run(k_weaker_causal(k));
+    ASSERT_TRUE(witness.has_value());
+    // k+2 variables plus one relay per conjunct (k+2 of them).
+    EXPECT_EQ(witness->message_count(), 2 * (k + 2));
+    EXPECT_FALSE(satisfies(*witness, k_weaker_causal(k)));
+    // The relays themselves extend the send chain (x1, z1, x2, ..., w),
+    // so the realized witness only satisfies specs with slack beyond the
+    // doubled chain length 2k+4.
+    EXPECT_TRUE(satisfies(*witness, k_weaker_causal(2 * k + 3)));
+    EXPECT_FALSE(satisfies(*witness, k_weaker_causal(2 * k + 2)));
+  }
+}
+
+}  // namespace
+}  // namespace msgorder
