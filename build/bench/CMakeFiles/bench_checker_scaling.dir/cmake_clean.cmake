@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checker_scaling.dir/bench_checker_scaling.cpp.o"
+  "CMakeFiles/bench_checker_scaling.dir/bench_checker_scaling.cpp.o.d"
+  "bench_checker_scaling"
+  "bench_checker_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checker_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flush_specialization.dir/bench_flush_specialization.cpp.o"
+  "CMakeFiles/bench_flush_specialization.dir/bench_flush_specialization.cpp.o.d"
+  "bench_flush_specialization"
+  "bench_flush_specialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flush_specialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kweaker_tradeoff.dir/bench_kweaker_tradeoff.cpp.o"
+  "CMakeFiles/bench_kweaker_tradeoff.dir/bench_kweaker_tradeoff.cpp.o.d"
+  "bench_kweaker_tradeoff"
+  "bench_kweaker_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kweaker_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

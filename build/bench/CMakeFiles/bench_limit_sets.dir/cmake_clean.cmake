@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_limit_sets.dir/bench_limit_sets.cpp.o"
+  "CMakeFiles/bench_limit_sets.dir/bench_limit_sets.cpp.o.d"
+  "bench_limit_sets"
+  "bench_limit_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_limit_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

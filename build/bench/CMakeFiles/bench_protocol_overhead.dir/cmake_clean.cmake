@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_overhead.dir/bench_protocol_overhead.cpp.o"
+  "CMakeFiles/bench_protocol_overhead.dir/bench_protocol_overhead.cpp.o.d"
+  "bench_protocol_overhead"
+  "bench_protocol_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_semantics_explorer.dir/bench_semantics_explorer.cpp.o"
+  "CMakeFiles/bench_semantics_explorer.dir/bench_semantics_explorer.cpp.o.d"
+  "bench_semantics_explorer"
+  "bench_semantics_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semantics_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

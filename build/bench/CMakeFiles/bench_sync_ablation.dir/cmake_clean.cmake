@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sync_ablation.dir/bench_sync_ablation.cpp.o"
+  "CMakeFiles/bench_sync_ablation.dir/bench_sync_ablation.cpp.o.d"
+  "bench_sync_ablation"
+  "bench_sync_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sync_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_classify_spec.dir/classify_spec.cpp.o"
+  "CMakeFiles/example_classify_spec.dir/classify_spec.cpp.o.d"
+  "example_classify_spec"
+  "example_classify_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_classify_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_global_snapshot.dir/global_snapshot.cpp.o"
+  "CMakeFiles/example_global_snapshot.dir/global_snapshot.cpp.o.d"
+  "example_global_snapshot"
+  "example_global_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_global_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

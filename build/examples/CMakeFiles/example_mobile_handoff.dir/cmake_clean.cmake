@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mobile_handoff.dir/mobile_handoff.cpp.o"
+  "CMakeFiles/example_mobile_handoff.dir/mobile_handoff.cpp.o.d"
+  "example_mobile_handoff"
+  "example_mobile_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mobile_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

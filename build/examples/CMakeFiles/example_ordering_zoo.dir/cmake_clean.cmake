@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ordering_zoo.dir/ordering_zoo.cpp.o"
+  "CMakeFiles/example_ordering_zoo.dir/ordering_zoo.cpp.o.d"
+  "example_ordering_zoo"
+  "example_ordering_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ordering_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

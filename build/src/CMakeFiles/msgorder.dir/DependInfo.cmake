@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/multicast.cpp" "src/CMakeFiles/msgorder.dir/apps/multicast.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/apps/multicast.cpp.o.d"
+  "/root/repo/src/apps/snapshot.cpp" "src/CMakeFiles/msgorder.dir/apps/snapshot.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/apps/snapshot.cpp.o.d"
+  "/root/repo/src/checker/limit_sets.cpp" "src/CMakeFiles/msgorder.dir/checker/limit_sets.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/checker/limit_sets.cpp.o.d"
+  "/root/repo/src/checker/monitor.cpp" "src/CMakeFiles/msgorder.dir/checker/monitor.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/checker/monitor.cpp.o.d"
+  "/root/repo/src/checker/violation.cpp" "src/CMakeFiles/msgorder.dir/checker/violation.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/checker/violation.cpp.o.d"
+  "/root/repo/src/poset/clocks.cpp" "src/CMakeFiles/msgorder.dir/poset/clocks.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/poset/clocks.cpp.o.d"
+  "/root/repo/src/poset/diagram.cpp" "src/CMakeFiles/msgorder.dir/poset/diagram.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/poset/diagram.cpp.o.d"
+  "/root/repo/src/poset/event.cpp" "src/CMakeFiles/msgorder.dir/poset/event.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/poset/event.cpp.o.d"
+  "/root/repo/src/poset/lift.cpp" "src/CMakeFiles/msgorder.dir/poset/lift.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/poset/lift.cpp.o.d"
+  "/root/repo/src/poset/poset.cpp" "src/CMakeFiles/msgorder.dir/poset/poset.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/poset/poset.cpp.o.d"
+  "/root/repo/src/poset/run_generator.cpp" "src/CMakeFiles/msgorder.dir/poset/run_generator.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/poset/run_generator.cpp.o.d"
+  "/root/repo/src/poset/system_run.cpp" "src/CMakeFiles/msgorder.dir/poset/system_run.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/poset/system_run.cpp.o.d"
+  "/root/repo/src/poset/user_run.cpp" "src/CMakeFiles/msgorder.dir/poset/user_run.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/poset/user_run.cpp.o.d"
+  "/root/repo/src/protocols/async.cpp" "src/CMakeFiles/msgorder.dir/protocols/async.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/protocols/async.cpp.o.d"
+  "/root/repo/src/protocols/causal_rst.cpp" "src/CMakeFiles/msgorder.dir/protocols/causal_rst.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/protocols/causal_rst.cpp.o.d"
+  "/root/repo/src/protocols/causal_ses.cpp" "src/CMakeFiles/msgorder.dir/protocols/causal_ses.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/protocols/causal_ses.cpp.o.d"
+  "/root/repo/src/protocols/fifo.cpp" "src/CMakeFiles/msgorder.dir/protocols/fifo.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/protocols/fifo.cpp.o.d"
+  "/root/repo/src/protocols/flush.cpp" "src/CMakeFiles/msgorder.dir/protocols/flush.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/protocols/flush.cpp.o.d"
+  "/root/repo/src/protocols/global_flush.cpp" "src/CMakeFiles/msgorder.dir/protocols/global_flush.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/protocols/global_flush.cpp.o.d"
+  "/root/repo/src/protocols/kweaker.cpp" "src/CMakeFiles/msgorder.dir/protocols/kweaker.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/protocols/kweaker.cpp.o.d"
+  "/root/repo/src/protocols/protocol.cpp" "src/CMakeFiles/msgorder.dir/protocols/protocol.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/protocols/protocol.cpp.o.d"
+  "/root/repo/src/protocols/reliable.cpp" "src/CMakeFiles/msgorder.dir/protocols/reliable.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/protocols/reliable.cpp.o.d"
+  "/root/repo/src/protocols/sync_locks.cpp" "src/CMakeFiles/msgorder.dir/protocols/sync_locks.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/protocols/sync_locks.cpp.o.d"
+  "/root/repo/src/protocols/sync_sequencer.cpp" "src/CMakeFiles/msgorder.dir/protocols/sync_sequencer.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/protocols/sync_sequencer.cpp.o.d"
+  "/root/repo/src/protocols/sync_token.cpp" "src/CMakeFiles/msgorder.dir/protocols/sync_token.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/protocols/sync_token.cpp.o.d"
+  "/root/repo/src/protocols/synthesized.cpp" "src/CMakeFiles/msgorder.dir/protocols/synthesized.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/protocols/synthesized.cpp.o.d"
+  "/root/repo/src/semantics/enabled_sets.cpp" "src/CMakeFiles/msgorder.dir/semantics/enabled_sets.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/semantics/enabled_sets.cpp.o.d"
+  "/root/repo/src/semantics/explorer.cpp" "src/CMakeFiles/msgorder.dir/semantics/explorer.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/semantics/explorer.cpp.o.d"
+  "/root/repo/src/semantics/limit_protocols.cpp" "src/CMakeFiles/msgorder.dir/semantics/limit_protocols.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/semantics/limit_protocols.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/msgorder.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/msgorder.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/msgorder.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/CMakeFiles/msgorder.dir/sim/workload.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/sim/workload.cpp.o.d"
+  "/root/repo/src/spec/classify.cpp" "src/CMakeFiles/msgorder.dir/spec/classify.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/spec/classify.cpp.o.d"
+  "/root/repo/src/spec/graph.cpp" "src/CMakeFiles/msgorder.dir/spec/graph.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/spec/graph.cpp.o.d"
+  "/root/repo/src/spec/library.cpp" "src/CMakeFiles/msgorder.dir/spec/library.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/spec/library.cpp.o.d"
+  "/root/repo/src/spec/parser.cpp" "src/CMakeFiles/msgorder.dir/spec/parser.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/spec/parser.cpp.o.d"
+  "/root/repo/src/spec/predicate.cpp" "src/CMakeFiles/msgorder.dir/spec/predicate.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/spec/predicate.cpp.o.d"
+  "/root/repo/src/spec/weaken.cpp" "src/CMakeFiles/msgorder.dir/spec/weaken.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/spec/weaken.cpp.o.d"
+  "/root/repo/src/spec/witness.cpp" "src/CMakeFiles/msgorder.dir/spec/witness.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/spec/witness.cpp.o.d"
+  "/root/repo/src/util/bitmatrix.cpp" "src/CMakeFiles/msgorder.dir/util/bitmatrix.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/util/bitmatrix.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/msgorder.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/msgorder.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/util/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_past_test.dir/causal_past_test.cpp.o"
+  "CMakeFiles/causal_past_test.dir/causal_past_test.cpp.o.d"
+  "causal_past_test"
+  "causal_past_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_past_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

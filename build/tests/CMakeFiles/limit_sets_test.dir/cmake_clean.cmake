@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limit_sets_test.dir/limit_sets_test.cpp.o"
+  "CMakeFiles/limit_sets_test.dir/limit_sets_test.cpp.o.d"
+  "limit_sets_test"
+  "limit_sets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limit_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poset_test.dir/poset_test.cpp.o"
+  "CMakeFiles/poset_test.dir/poset_test.cpp.o.d"
+  "poset_test"
+  "poset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_causal_test.dir/protocol_causal_test.cpp.o"
+  "CMakeFiles/protocol_causal_test.dir/protocol_causal_test.cpp.o.d"
+  "protocol_causal_test"
+  "protocol_causal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_causal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

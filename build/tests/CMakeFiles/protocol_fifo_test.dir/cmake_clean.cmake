@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_fifo_test.dir/protocol_fifo_test.cpp.o"
+  "CMakeFiles/protocol_fifo_test.dir/protocol_fifo_test.cpp.o.d"
+  "protocol_fifo_test"
+  "protocol_fifo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_fifo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

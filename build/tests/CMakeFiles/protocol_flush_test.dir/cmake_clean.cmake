@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_flush_test.dir/protocol_flush_test.cpp.o"
+  "CMakeFiles/protocol_flush_test.dir/protocol_flush_test.cpp.o.d"
+  "protocol_flush_test"
+  "protocol_flush_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_flush_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

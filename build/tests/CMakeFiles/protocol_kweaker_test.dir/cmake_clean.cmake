@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_kweaker_test.dir/protocol_kweaker_test.cpp.o"
+  "CMakeFiles/protocol_kweaker_test.dir/protocol_kweaker_test.cpp.o.d"
+  "protocol_kweaker_test"
+  "protocol_kweaker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_kweaker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

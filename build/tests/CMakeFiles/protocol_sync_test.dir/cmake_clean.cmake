@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_sync_test.dir/protocol_sync_test.cpp.o"
+  "CMakeFiles/protocol_sync_test.dir/protocol_sync_test.cpp.o.d"
+  "protocol_sync_test"
+  "protocol_sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_generator_test.dir/run_generator_test.cpp.o"
+  "CMakeFiles/run_generator_test.dir/run_generator_test.cpp.o.d"
+  "run_generator_test"
+  "run_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesized_test.dir/synthesized_test.cpp.o"
+  "CMakeFiles/synthesized_test.dir/synthesized_test.cpp.o.d"
+  "synthesized_test"
+  "synthesized_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_run_test.dir/system_run_test.cpp.o"
+  "CMakeFiles/system_run_test.dir/system_run_test.cpp.o.d"
+  "system_run_test"
+  "system_run_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

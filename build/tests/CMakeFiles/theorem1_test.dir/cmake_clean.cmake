@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem1_test.dir/theorem1_test.cpp.o"
+  "CMakeFiles/theorem1_test.dir/theorem1_test.cpp.o.d"
+  "theorem1_test"
+  "theorem1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_run_test.dir/user_run_test.cpp.o"
+  "CMakeFiles/user_run_test.dir/user_run_test.cpp.o.d"
+  "user_run_test"
+  "user_run_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weaken_test.dir/weaken_test.cpp.o"
+  "CMakeFiles/weaken_test.dir/weaken_test.cpp.o.d"
+  "weaken_test"
+  "weaken_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weaken_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
