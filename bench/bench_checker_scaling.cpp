@@ -2,11 +2,30 @@
 // O(|M|^arity) with pruning; the dedicated limit-set checkers are
 // polynomial.  Sweeps run size for both, plus closure cost for the run
 // representation itself.
+//
+// ISSUE 2: before the google-benchmark sweep runs, a deterministic
+// chrono sweep writes BENCH_checker_scaling.json (schema
+// msgorder.bench.checker_scaling/1, see DESIGN.md "Observability"):
+// per run size, wall time of the offline oracle and the dedicated
+// checkers, plus the online monitor's per-event cost and its
+// events-to-detection on a violating feed.  Flags (ours are consumed
+// before google-benchmark sees argv):
+//   --json <path>   output path (default BENCH_checker_scaling.json)
+//   --json-only     write the JSON report and skip the gbench sweep
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
 #include "src/checker/limit_sets.hpp"
+#include "src/checker/monitor.hpp"
 #include "src/checker/violation.hpp"
+#include "src/obs/json.hpp"
 #include "src/poset/run_generator.hpp"
+#include "src/protocols/async.hpp"
+#include "src/sim/simulator.hpp"
 #include "src/spec/library.hpp"
 
 namespace msgorder {
@@ -89,7 +108,117 @@ BENCHMARK(BM_RunConstructionClosure)
     ->Range(8, 512)
     ->Complexity();
 
+/// Median-free micro timer: run `fn` repeatedly until ~10ms of work (or
+/// the iteration cap) and return seconds per call.
+template <typename Fn>
+double seconds_per_call(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t iterations = 0;
+  double elapsed = 0;
+  do {
+    fn();
+    ++iterations;
+    elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  } while (elapsed < 0.01 && iterations < 1000);
+  return elapsed / static_cast<double>(iterations);
+}
+
+/// The deterministic sweep behind BENCH_checker_scaling.json.
+int write_scaling_report(const std::string& path) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "msgorder.bench.checker_scaling/1");
+  w.kv("bench", "checker_scaling");
+  w.kv("n_processes", 6);
+  w.kv("spec", causal_ordering().to_string());
+  w.key("rows").begin_array();
+
+  for (const std::size_t n : {16, 32, 64, 128, 256}) {
+    const UserRun run = sized_run(n, 3);
+    const ForbiddenPredicate spec = causal_ordering();
+
+    const double oracle_s =
+        seconds_per_call([&] { (void)find_violation(run, spec); });
+    const double direct_causal_s =
+        seconds_per_call([&] { (void)in_causal(run); });
+    const double direct_sync_s =
+        seconds_per_call([&] { (void)in_sync(run); });
+
+    // Online monitor cost: feed it a raw-async simulation of the same
+    // size on a jittered network (causal violations appear quickly), and
+    // record per-event wall cost plus events-to-detection.
+    Rng rng(17);
+    WorkloadOptions wopts;
+    wopts.n_processes = 6;
+    wopts.n_messages = n;
+    wopts.mean_gap = 0.2;
+    const Workload workload = random_workload(wopts, rng);
+    auto monitor = std::make_shared<OnlineMonitor>(
+        workload_universe(workload), spec);
+    monitor->enable_timing();
+    SimOptions sopts;
+    sopts.seed = 29;
+    sopts.network.jitter_mean = 3.0;
+    sopts.observers.add(monitor_observer(monitor));
+    const SimResult result = simulate(workload, AsyncProtocol::factory(),
+                                      wopts.n_processes, sopts);
+
+    w.begin_object();
+    w.kv("n_messages", n);
+    w.kv("oracle_seconds", oracle_s);
+    w.kv("direct_causal_seconds", direct_causal_s);
+    w.kv("direct_sync_seconds", direct_sync_s);
+    w.kv("monitor_events", monitor->events_seen());
+    w.kv("monitor_seconds_per_event",
+         monitor->timed_events() > 0
+             ? monitor->on_event_seconds() /
+                   static_cast<double>(monitor->timed_events())
+             : 0.0);
+    w.kv("monitor_violated", monitor->violated());
+    w.kv("monitor_events_to_detection", monitor->events_to_detection());
+    w.kv("sim_completed", result.completed);
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+
+  std::string error;
+  if (!write_text_file(path, w.str(), &error)) {
+    std::fprintf(stderr, "could not write %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace msgorder
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_checker_scaling.json";
+  bool json_only = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json-only") == 0) {
+      json_only = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  const int report_status = msgorder::write_scaling_report(json_path);
+  if (json_only || report_status != 0) return report_status;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,28 +6,120 @@
 //   * delivery buffering and end-to-end latency, and
 //   * which limit set the produced run lands in,
 // reproducing the paper's class separations (Sections 2, 3.2, 5).
+//
+// ISSUE 2: besides the stdout table the bench now writes
+// BENCH_protocol_overhead.json (schema
+// msgorder.bench.protocol_overhead/1, see DESIGN.md "Observability"),
+// with per-protocol latency/delay histogram percentiles collected by
+// the metrics registry.  Flags:
+//   --json <path>       output path (default BENCH_protocol_overhead.json)
+//   --overhead-guard    instead of the sweep, microbench the simulator
+//                       with observability disabled vs fully enabled
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "src/checker/limit_sets.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/observability.hpp"
+#include "src/protocols/fifo.hpp"
 #include "src/protocols/registry.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/util/strings.hpp"
 
 using namespace msgorder;
 
-int main() {
-  const std::size_t kProcesses = 6;
-  const std::size_t kMessages = 2000;
-  Rng rng(77);
+namespace {
+
+constexpr std::size_t kProcesses = 6;
+constexpr std::size_t kMessages = 2000;
+constexpr std::uint64_t kWorkloadSeed = 77;
+constexpr std::uint64_t kSimSeed = 101;
+constexpr double kJitterMean = 3.0;
+
+Workload bench_workload() {
+  Rng rng(kWorkloadSeed);
   WorkloadOptions wopts;
   wopts.n_processes = kProcesses;
   wopts.n_messages = kMessages;
   wopts.mean_gap = 0.5;
-  const Workload workload = random_workload(wopts, rng);
+  return random_workload(wopts, rng);
+}
 
+SimOptions bench_sim_options() {
   SimOptions sopts;
-  sopts.seed = 101;
-  sopts.network.jitter_mean = 3.0;
+  sopts.seed = kSimSeed;
+  sopts.network.jitter_mean = kJitterMean;
+  return sopts;
+}
+
+/// The tentpole's zero-cost promise: with SimOptions::observability left
+/// at nullptr (the default) the instrumentation must be invisible.  This
+/// microbench times the same simulation disabled vs fully enabled
+/// (metrics + span tracer); the *disabled* configuration is the one the
+/// driver compares against the seed revision (< 2% budget) — here we
+/// report both so a regression of the disabled path shows up as its
+/// time converging toward the enabled one.
+int overhead_guard() {
+  const Workload workload = bench_workload();
+  const auto time_run = [&](Observability* obs) {
+    SimOptions sopts = bench_sim_options();
+    sopts.observability = obs;
+    // Warm-up + 3 timed repetitions, keep the best (least noisy) time.
+    double best = 1e100;
+    for (int rep = 0; rep < 4; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      const SimResult result = simulate(workload, FifoProtocol::factory(),
+                                        kProcesses, sopts);
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (!result.completed) {
+        std::printf("overhead guard run failed: %s\n",
+                    result.error.c_str());
+        return -1.0;
+      }
+      if (rep > 0 && elapsed < best) best = elapsed;
+    }
+    return best;
+  };
+
+  const double disabled = time_run(nullptr);
+  if (disabled < 0) return 1;
+  Observability obs({.tracing = true, .label = "fifo"});
+  const double enabled = time_run(&obs);
+  if (enabled < 0) return 1;
+
+  const double ratio = enabled / disabled;
+  std::printf("observability off: %.4fs   on (metrics+tracer): %.4fs   "
+              "ratio %.3f\n",
+              disabled, enabled, ratio);
+  // Generous bound: even the fully *enabled* path must stay cheap; the
+  // disabled path is two pointer tests per event and is what the seed
+  // comparison budgets at < 2%.
+  const bool ok = ratio < 1.5;
+  std::printf("RESULT: %s\n",
+              ok ? "observability overhead within budget"
+                 : "FAIL: enabled observability too expensive");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_protocol_overhead.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--overhead-guard") == 0) {
+      return overhead_guard();
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  const Workload workload = bench_workload();
 
   std::printf("E2: protocol overhead on %zu processes, %zu messages, "
               "non-FIFO network\n\n",
@@ -37,19 +129,45 @@ int main() {
               "buffer", "latency", "max lat", "run in");
   std::printf("%s\n", std::string(84, '-').c_str());
 
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "msgorder.bench.protocol_overhead/1");
+  w.kv("bench", "protocol_overhead");
+  w.kv("n_processes", kProcesses);
+  w.kv("n_messages", kMessages);
+  w.kv("workload_seed", kWorkloadSeed);
+  w.kv("sim_seed", kSimSeed);
+  w.key("network").begin_object();
+  w.kv("jitter_mean", kJitterMean);
+  w.kv("fifo_channels", false);
+  w.end_object();
+  w.key("rows").begin_array();
+
   bool ok = true;
   for (const RegisteredProtocol& rp : standard_protocols()) {
+    Observability obs({.label = rp.name});
+    SimOptions sopts = bench_sim_options();
+    sopts.observability = &obs;
     const SimResult result =
         simulate(workload, rp.factory, kProcesses, sopts);
+
+    w.begin_object();
+    w.kv("protocol", rp.name);
+    w.kv("completed", result.completed);
+
     if (!result.completed) {
       std::printf("%s FAILED: %s\n", rp.name.c_str(),
                   result.error.c_str());
       ok = false;
+      w.kv("error", result.error);
+      w.end_object();
       continue;
     }
     const auto run = result.trace.to_user_run();
     if (!run.has_value()) {
       ok = false;
+      w.kv("error", "trace has no user view");
+      w.end_object();
       continue;
     }
     const LimitSet set = finest_limit_set(*run);
@@ -60,6 +178,26 @@ int main() {
                 result.trace.mean_delivery_delay(),
                 result.trace.mean_latency(), result.trace.max_latency(),
                 to_string(set).c_str());
+
+    w.kv("limit_set", to_string(set));
+    w.kv("control_packets_per_message",
+         result.trace.control_packets_per_message());
+    w.kv("mean_tag_bytes", result.trace.mean_tag_bytes());
+    w.kv("control_packets", result.trace.control_packets());
+    w.kv("control_bytes", result.trace.control_bytes());
+    w.kv("tag_bytes", result.trace.tag_bytes());
+    w.kv("drops", result.trace.drops());
+    w.kv("retransmissions", result.trace.retransmissions());
+    w.kv("duplicate_arrivals", result.trace.duplicate_arrivals());
+    const SimInstruments& ins = obs.instruments();
+    w.key("latency");
+    write_histogram_json(w, *ins.latency);
+    w.key("send_delay");
+    write_histogram_json(w, *ins.send_delay);
+    w.key("delivery_delay");
+    write_histogram_json(w, *ins.delivery_delay);
+    w.kv("buffered_depth_max", ins.buffered_depth->max());
+    w.end_object();
 
     // Class invariants from the paper.
     const bool is_general = rp.name == "sync-sequencer" ||
@@ -79,6 +217,19 @@ int main() {
       std::printf("  ^ causal protocol produced a non-causal run\n");
       ok = false;
     }
+  }
+
+  w.end_array();
+  w.kv("invariants_hold", ok);
+  w.end_object();
+
+  std::string io_error;
+  if (!write_text_file(json_path, w.str(), &io_error)) {
+    std::printf("could not write %s: %s\n", json_path.c_str(),
+                io_error.c_str());
+    ok = false;
+  } else {
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
 
   std::printf("\nexpected shape: async tag 0 / fifo tag 4 / causal tags "

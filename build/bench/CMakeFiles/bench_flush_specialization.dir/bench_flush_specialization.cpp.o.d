@@ -225,11 +225,15 @@ bench/CMakeFiles/bench_flush_specialization.dir/bench_flush_specialization.cpp.o
  /root/repo/src/../src/poset/clocks.hpp \
  /root/repo/src/../src/protocols/global_flush.hpp \
  /root/repo/src/../src/sim/simulator.hpp \
- /root/repo/src/../src/sim/network.hpp /usr/include/c++/12/map \
+ /root/repo/src/../src/obs/observability.hpp \
+ /root/repo/src/../src/obs/metrics.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/../src/util/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/../src/sim/trace.hpp \
+ /root/repo/src/../src/obs/tracer.hpp \
+ /root/repo/src/../src/obs/observer.hpp \
+ /root/repo/src/../src/sim/network.hpp /root/repo/src/../src/util/rng.hpp \
+ /usr/include/c++/12/limits /root/repo/src/../src/sim/trace.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/../src/poset/system_run.hpp \
  /root/repo/src/../src/sim/workload.hpp \
  /root/repo/src/../src/spec/library.hpp \

@@ -226,7 +226,12 @@ bench/CMakeFiles/bench_reliability.dir/bench_reliability.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/../src/sim/simulator.hpp \
+ /root/repo/src/../src/obs/observability.hpp \
+ /root/repo/src/../src/obs/metrics.hpp \
+ /root/repo/src/../src/obs/tracer.hpp \
+ /root/repo/src/../src/obs/observer.hpp \
  /root/repo/src/../src/sim/network.hpp /root/repo/src/../src/util/rng.hpp \
  /usr/include/c++/12/limits /root/repo/src/../src/sim/trace.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/../src/poset/system_run.hpp \
  /root/repo/src/../src/sim/workload.hpp

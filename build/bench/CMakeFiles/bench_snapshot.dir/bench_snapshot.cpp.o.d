@@ -218,9 +218,14 @@ bench/CMakeFiles/bench_snapshot.dir/bench_snapshot.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/../src/poset/event.hpp \
  /root/repo/src/../src/sim/simulator.hpp \
- /root/repo/src/../src/sim/network.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/../src/util/rng.hpp \
+ /root/repo/src/../src/obs/observability.hpp \
+ /root/repo/src/../src/obs/metrics.hpp \
+ /root/repo/src/../src/obs/tracer.hpp \
+ /root/repo/src/../src/obs/observer.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/../src/sim/network.hpp /root/repo/src/../src/util/rng.hpp \
  /usr/include/c++/12/limits /root/repo/src/../src/sim/trace.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/../src/poset/system_run.hpp \
  /root/repo/src/../src/poset/poset.hpp \
  /root/repo/src/../src/util/bitmatrix.hpp \

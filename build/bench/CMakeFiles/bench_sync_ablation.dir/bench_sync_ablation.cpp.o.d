@@ -224,7 +224,12 @@ bench/CMakeFiles/bench_sync_ablation.dir/bench_sync_ablation.cpp.o: \
  /root/repo/src/../src/protocols/sync_sequencer.hpp \
  /root/repo/src/../src/protocols/sync_token.hpp \
  /root/repo/src/../src/sim/simulator.hpp \
+ /root/repo/src/../src/obs/observability.hpp \
+ /root/repo/src/../src/obs/metrics.hpp \
+ /root/repo/src/../src/obs/tracer.hpp \
+ /root/repo/src/../src/obs/observer.hpp \
  /root/repo/src/../src/sim/network.hpp /root/repo/src/../src/util/rng.hpp \
  /usr/include/c++/12/limits /root/repo/src/../src/sim/trace.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/../src/poset/system_run.hpp \
  /root/repo/src/../src/sim/workload.hpp

@@ -135,19 +135,21 @@ examples/CMakeFiles/example_mobile_handoff.dir/mobile_handoff.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/util/bitmatrix.hpp \
  /root/repo/src/../src/spec/predicate.hpp \
- /root/repo/src/../src/protocols/causal_rst.hpp \
- /root/repo/src/../src/poset/clocks.hpp \
- /root/repo/src/../src/protocols/protocol.hpp /usr/include/c++/12/any \
- /usr/include/c++/12/functional /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map \
+ /root/repo/src/../src/obs/cli.hpp /root/repo/src/../src/obs/json.hpp \
+ /root/repo/src/../src/obs/observability.hpp \
+ /root/repo/src/../src/obs/metrics.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
- /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/../src/obs/tracer.hpp \
+ /root/repo/src/../src/protocols/protocol.hpp /usr/include/c++/12/any \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -222,15 +224,16 @@ examples/CMakeFiles/example_mobile_handoff.dir/mobile_handoff.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/../src/protocols/causal_rst.hpp \
+ /root/repo/src/../src/poset/clocks.hpp \
  /root/repo/src/../src/protocols/sync_sequencer.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/../src/sim/simulator.hpp \
- /root/repo/src/../src/sim/network.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/../src/util/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/../src/sim/trace.hpp \
+ /root/repo/src/../src/obs/observer.hpp \
+ /root/repo/src/../src/sim/network.hpp /root/repo/src/../src/util/rng.hpp \
+ /usr/include/c++/12/limits /root/repo/src/../src/sim/trace.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/../src/poset/system_run.hpp \
  /root/repo/src/../src/sim/workload.hpp \
  /root/repo/src/../src/spec/classify.hpp \

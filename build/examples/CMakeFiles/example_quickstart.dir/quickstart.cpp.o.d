@@ -133,30 +133,14 @@ examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/../src/poset/poset.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/util/bitmatrix.hpp \
- /root/repo/src/../src/checker/violation.hpp \
- /root/repo/src/../src/spec/predicate.hpp \
- /root/repo/src/../src/protocols/synthesized.hpp \
- /root/repo/src/../src/protocols/protocol.hpp /usr/include/c++/12/any \
- /usr/include/c++/12/functional /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/ext/aligned_buffer.h \
- /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
+ /root/repo/src/../src/checker/monitor.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
- /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/ostream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
  /usr/include/pthread.h /usr/include/sched.h \
@@ -190,6 +174,7 @@ examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/ext/concurrence.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -221,15 +206,34 @@ examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/../src/spec/classify.hpp \
- /root/repo/src/../src/spec/graph.hpp \
+ /root/repo/src/../src/checker/violation.hpp \
+ /root/repo/src/../src/spec/predicate.hpp \
+ /root/repo/src/../src/obs/observer.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/../src/protocols/protocol.hpp /usr/include/c++/12/any \
+ /root/repo/src/../src/obs/cli.hpp /root/repo/src/../src/obs/report.hpp \
  /root/repo/src/../src/sim/simulator.hpp \
- /root/repo/src/../src/sim/network.hpp /usr/include/c++/12/map \
+ /root/repo/src/../src/obs/observability.hpp \
+ /root/repo/src/../src/obs/metrics.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/../src/util/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/../src/sim/trace.hpp \
+ /root/repo/src/../src/obs/tracer.hpp \
+ /root/repo/src/../src/sim/network.hpp /root/repo/src/../src/util/rng.hpp \
+ /usr/include/c++/12/limits /root/repo/src/../src/sim/trace.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/../src/poset/system_run.hpp \
  /root/repo/src/../src/sim/workload.hpp \
+ /root/repo/src/../src/protocols/synthesized.hpp \
+ /root/repo/src/../src/spec/classify.hpp \
+ /root/repo/src/../src/spec/graph.hpp \
  /root/repo/src/../src/spec/library.hpp \
  /root/repo/src/../src/spec/parser.hpp

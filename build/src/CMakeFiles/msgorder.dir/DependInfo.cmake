@@ -13,6 +13,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/checker/limit_sets.cpp" "src/CMakeFiles/msgorder.dir/checker/limit_sets.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/checker/limit_sets.cpp.o.d"
   "/root/repo/src/checker/monitor.cpp" "src/CMakeFiles/msgorder.dir/checker/monitor.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/checker/monitor.cpp.o.d"
   "/root/repo/src/checker/violation.cpp" "src/CMakeFiles/msgorder.dir/checker/violation.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/checker/violation.cpp.o.d"
+  "/root/repo/src/obs/cli.cpp" "src/CMakeFiles/msgorder.dir/obs/cli.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/obs/cli.cpp.o.d"
+  "/root/repo/src/obs/json.cpp" "src/CMakeFiles/msgorder.dir/obs/json.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/obs/json.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/CMakeFiles/msgorder.dir/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/observability.cpp" "src/CMakeFiles/msgorder.dir/obs/observability.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/obs/observability.cpp.o.d"
+  "/root/repo/src/obs/report.cpp" "src/CMakeFiles/msgorder.dir/obs/report.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/obs/report.cpp.o.d"
+  "/root/repo/src/obs/tracer.cpp" "src/CMakeFiles/msgorder.dir/obs/tracer.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/obs/tracer.cpp.o.d"
   "/root/repo/src/poset/clocks.cpp" "src/CMakeFiles/msgorder.dir/poset/clocks.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/poset/clocks.cpp.o.d"
   "/root/repo/src/poset/diagram.cpp" "src/CMakeFiles/msgorder.dir/poset/diagram.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/poset/diagram.cpp.o.d"
   "/root/repo/src/poset/event.cpp" "src/CMakeFiles/msgorder.dir/poset/event.cpp.o" "gcc" "src/CMakeFiles/msgorder.dir/poset/event.cpp.o.d"

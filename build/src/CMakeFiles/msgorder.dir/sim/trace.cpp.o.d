@@ -1,6 +1,6 @@
 src/CMakeFiles/msgorder.dir/sim/trace.cpp.o: /root/repo/src/sim/trace.cpp \
  /usr/include/stdc-predef.h /root/repo/src/../src/sim/trace.hpp \
- /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/cassert \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -11,7 +11,8 @@ src/CMakeFiles/msgorder.dir/sim/trace.cpp.o: /root/repo/src/sim/trace.cpp \
  /usr/include/x86_64-linux-gnu/gnu/stubs.h \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
- /usr/include/c++/12/pstl/pstl_config.h \
+ /usr/include/c++/12/pstl/pstl_config.h /usr/include/assert.h \
+ /usr/include/c++/12/cstddef \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/include/c++/12/optional /usr/include/c++/12/type_traits \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception.h \

@@ -300,14 +300,18 @@ tests/CMakeFiles/end_to_end_test.dir/end_to_end_test.cpp.o: \
  /root/repo/src/../src/poset/poset.hpp \
  /root/repo/src/../src/util/bitmatrix.hpp \
  /root/repo/src/../src/spec/predicate.hpp \
+ /root/repo/src/../src/obs/observer.hpp \
+ /root/repo/src/../src/protocols/protocol.hpp \
  /root/repo/src/../src/poset/diagram.hpp \
  /root/repo/src/../src/poset/system_run.hpp \
  /root/repo/src/../src/protocols/reliable.hpp \
- /root/repo/src/../src/protocols/protocol.hpp \
  /root/repo/src/../src/protocols/synthesized.hpp \
  /root/repo/src/../src/spec/classify.hpp \
  /root/repo/src/../src/spec/graph.hpp \
  /root/repo/src/../src/sim/simulator.hpp \
+ /root/repo/src/../src/obs/observability.hpp \
+ /root/repo/src/../src/obs/metrics.hpp \
+ /root/repo/src/../src/obs/tracer.hpp \
  /root/repo/src/../src/sim/network.hpp /root/repo/src/../src/util/rng.hpp \
  /root/repo/src/../src/sim/trace.hpp \
  /root/repo/src/../src/sim/workload.hpp \

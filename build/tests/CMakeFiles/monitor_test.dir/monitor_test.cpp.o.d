@@ -300,11 +300,15 @@ tests/CMakeFiles/monitor_test.dir/monitor_test.cpp.o: \
  /root/repo/src/../src/poset/poset.hpp \
  /root/repo/src/../src/util/bitmatrix.hpp \
  /root/repo/src/../src/spec/predicate.hpp \
- /root/repo/src/../src/protocols/async.hpp \
+ /root/repo/src/../src/obs/observer.hpp \
  /root/repo/src/../src/protocols/protocol.hpp \
+ /root/repo/src/../src/protocols/async.hpp \
  /root/repo/src/../src/protocols/causal_rst.hpp \
  /root/repo/src/../src/poset/clocks.hpp \
  /root/repo/src/../src/sim/simulator.hpp \
+ /root/repo/src/../src/obs/observability.hpp \
+ /root/repo/src/../src/obs/metrics.hpp \
+ /root/repo/src/../src/obs/tracer.hpp \
  /root/repo/src/../src/sim/network.hpp /root/repo/src/../src/util/rng.hpp \
  /root/repo/src/../src/sim/trace.hpp \
  /root/repo/src/../src/poset/system_run.hpp \

@@ -303,6 +303,10 @@ tests/CMakeFiles/multicast_test.dir/multicast_test.cpp.o: \
  /root/repo/src/../src/sim/workload.hpp \
  /root/repo/src/../src/util/rng.hpp \
  /root/repo/src/../src/sim/simulator.hpp \
+ /root/repo/src/../src/obs/observability.hpp \
+ /root/repo/src/../src/obs/metrics.hpp \
+ /root/repo/src/../src/obs/tracer.hpp \
+ /root/repo/src/../src/obs/observer.hpp \
  /root/repo/src/../src/sim/network.hpp \
  /root/repo/src/../src/sim/trace.hpp \
  /root/repo/src/../src/poset/system_run.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_observer_test.dir/obs_observer_test.cpp.o"
+  "CMakeFiles/obs_observer_test.dir/obs_observer_test.cpp.o.d"
+  "obs_observer_test"
+  "obs_observer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_observer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_report_test.dir/obs_report_test.cpp.o"
+  "CMakeFiles/obs_report_test.dir/obs_report_test.cpp.o.d"
+  "obs_report_test"
+  "obs_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

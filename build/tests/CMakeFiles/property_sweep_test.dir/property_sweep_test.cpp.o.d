@@ -312,6 +312,10 @@ tests/CMakeFiles/property_sweep_test.dir/property_sweep_test.cpp.o: \
  /root/repo/src/../src/spec/witness.hpp \
  /root/repo/src/../tests/sim_harness.hpp \
  /root/repo/src/../src/sim/simulator.hpp \
+ /root/repo/src/../src/obs/observability.hpp \
+ /root/repo/src/../src/obs/metrics.hpp \
+ /root/repo/src/../src/obs/tracer.hpp \
+ /root/repo/src/../src/obs/observer.hpp \
  /root/repo/src/../src/sim/network.hpp \
  /root/repo/src/../src/sim/trace.hpp \
  /root/repo/src/../src/poset/system_run.hpp \

@@ -309,6 +309,10 @@ tests/CMakeFiles/protocol_kweaker_test.dir/protocol_kweaker_test.cpp.o: \
  /root/repo/src/../src/spec/graph.hpp \
  /root/repo/src/../tests/sim_harness.hpp \
  /root/repo/src/../src/sim/simulator.hpp \
+ /root/repo/src/../src/obs/observability.hpp \
+ /root/repo/src/../src/obs/metrics.hpp \
+ /root/repo/src/../src/obs/tracer.hpp \
+ /root/repo/src/../src/obs/observer.hpp \
  /root/repo/src/../src/sim/network.hpp /root/repo/src/../src/util/rng.hpp \
  /root/repo/src/../src/sim/trace.hpp \
  /root/repo/src/../src/poset/system_run.hpp \

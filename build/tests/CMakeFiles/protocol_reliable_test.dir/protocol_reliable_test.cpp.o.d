@@ -310,6 +310,10 @@ tests/CMakeFiles/protocol_reliable_test.dir/protocol_reliable_test.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/../src/sim/simulator.hpp \
+ /root/repo/src/../src/obs/observability.hpp \
+ /root/repo/src/../src/obs/metrics.hpp \
+ /root/repo/src/../src/obs/tracer.hpp \
+ /root/repo/src/../src/obs/observer.hpp \
  /root/repo/src/../src/sim/network.hpp /root/repo/src/../src/util/rng.hpp \
  /root/repo/src/../src/sim/trace.hpp \
  /root/repo/src/../src/poset/system_run.hpp \

@@ -297,6 +297,10 @@ tests/CMakeFiles/registry_test.dir/registry_test.cpp.o: \
  /root/repo/src/../src/protocols/protocol.hpp \
  /root/repo/src/../src/poset/event.hpp \
  /root/repo/src/../src/sim/simulator.hpp \
+ /root/repo/src/../src/obs/observability.hpp \
+ /root/repo/src/../src/obs/metrics.hpp \
+ /root/repo/src/../src/obs/tracer.hpp \
+ /root/repo/src/../src/obs/observer.hpp \
  /root/repo/src/../src/sim/network.hpp /root/repo/src/../src/util/rng.hpp \
  /root/repo/src/../src/sim/trace.hpp \
  /root/repo/src/../src/poset/system_run.hpp \

@@ -2,14 +2,20 @@
 //
 //   example_classify_spec '(x.s |> y.s) & (y.r |> x.r)'
 //   example_classify_spec --demo
+//   example_classify_spec --json out.json 'spec' ...
 //
 // Parses a forbidden predicate, prints the predicate graph, the simple
 // cycles with their beta orders, the Lemma 4 weakening trace of a
 // minimum-order cycle, the classification verdict, and the protocol
-// Theorem 3 prescribes.
+// Theorem 3 prescribes.  With --json <path> the verdicts are also
+// written as a machine-readable document
+// (schema msgorder.classification/1).
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "src/obs/cli.hpp"
+#include "src/obs/json.hpp"
 #include "src/protocols/synthesized.hpp"
 #include "src/spec/graph.hpp"
 #include "src/spec/library.hpp"
@@ -20,25 +26,47 @@ using namespace msgorder;
 
 namespace {
 
+/// One verdict for the --json report.
+struct ClassifyRow {
+  std::string input;
+  bool ok = false;
+  std::string error;
+  std::string classification;
+  std::string rationale;
+  bool implementable = false;
+};
+
+std::vector<ClassifyRow> g_rows;
+
 void analyze(const std::string& text) {
+  ClassifyRow row;
+  row.input = text;
   std::printf("==================================================\n");
   std::printf("input: forbid %s\n\n", text.c_str());
   const ParseResult parsed = parse_predicate(text);
   if (!parsed.ok()) {
     std::printf("parse error: %s\n", parsed.error.c_str());
+    row.error = parsed.error;
+    g_rows.push_back(row);
     return;
   }
   const ForbiddenPredicate& predicate = *parsed.predicate;
+  row.ok = true;
 
   const NormalizedPredicate normalized = normalize(predicate);
   switch (normalized.triviality) {
     case NormalTriviality::kUnsatisfiable:
       std::printf("the predicate can never hold: the specification is all "
                   "of X_async; the do-nothing protocol suffices\n");
+      row.classification = "trivial: all of X_async";
+      row.implementable = true;
+      g_rows.push_back(row);
       return;
     case NormalTriviality::kTautological:
       std::printf("the predicate always holds: the specification admits "
                   "no runs with messages; not implementable\n");
+      row.classification = "trivial: no runs with messages";
+      g_rows.push_back(row);
       return;
     case NormalTriviality::kNone:
       break;
@@ -80,6 +108,37 @@ void analyze(const std::string& text) {
 
   const SynthesisResult synthesis = synthesize(predicate);
   std::printf("\nverdict: %s\n", synthesis.rationale.c_str());
+
+  row.classification = verdict.to_string();
+  row.rationale = synthesis.rationale;
+  row.implementable = synthesis.factory.has_value();
+  g_rows.push_back(row);
+}
+
+int write_classification_json(const std::string& path) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "msgorder.classification/1");
+  w.key("rows").begin_array();
+  for (const ClassifyRow& row : g_rows) {
+    w.begin_object();
+    w.kv("input", row.input);
+    w.kv("ok", row.ok);
+    if (!row.ok) w.kv("error", row.error);
+    w.kv("classification", row.classification);
+    w.kv("rationale", row.rationale);
+    w.kv("implementable", row.implementable);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::string error;
+  if (!write_text_file(path, w.str(), &error)) {
+    std::printf("could not write %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("wrote classification report %s\n", path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -104,8 +163,14 @@ void analyze_composite(const std::string& text) {
 }
 
 int main(int argc, char** argv) {
+  const ObsCli cli = parse_obs_cli(argc, argv);
+  if (!cli.ok) {
+    std::printf("%s\n", cli.error.c_str());
+    return 2;
+  }
   if (argc >= 2 && std::string(argv[1]) != "--demo") {
     for (int i = 1; i < argc; ++i) analyze_composite(argv[i]);
+    if (!cli.json_path.empty()) return write_classification_json(cli.json_path);
     return 0;
   }
   // Demo: the paper's worked specifications.
@@ -118,5 +183,6 @@ int main(int argc, char** argv) {
   analyze("(x.s |> y.r) & (y.s |> x.r) where color(x)=2");  // handoff
   analyze("(x.s |> y.s) & (x.r |> y.r)");  // receive 2nd before 1st
   analyze("(x1.s |> x2.r) & (x2.s |> x3.r) & (x3.s |> x1.r)");  // 3-crown
+  if (!cli.json_path.empty()) return write_classification_json(cli.json_path);
   return 0;
 }

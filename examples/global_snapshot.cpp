@@ -2,9 +2,18 @@
 // 1-2): run Chandy-Lamport over the simulator twice — once with markers
 // sequenced FIFO with the traffic, once racing them — and show what the
 // recorded cuts look like.
+//
+// Observability flags (ISSUE 2):
+//   --json <path>    write both variants' verdicts as JSON
+//                    (schema msgorder.example.global_snapshot/1)
+//   --trace <path>   write a Chrome-trace JSON of the FIFO-marker run
 #include <cstdio>
+#include <string>
 
 #include "src/apps/snapshot.hpp"
+#include "src/obs/cli.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/observability.hpp"
 #include "src/poset/diagram.hpp"
 #include "src/sim/simulator.hpp"
 
@@ -12,7 +21,16 @@ using namespace msgorder;
 
 namespace {
 
-void run_variant(bool fifo_markers) {
+struct VariantOutcome {
+  bool completed = false;
+  bool complete = false;
+  bool consistent = false;
+  bool channels_account = false;
+};
+
+VariantOutcome run_variant(bool fifo_markers,
+                           const std::string& trace_path = "") {
+  VariantOutcome outcome;
   Rng rng(7);
   WorkloadOptions wopts;
   wopts.n_processes = 3;
@@ -22,9 +40,13 @@ void run_variant(bool fifo_markers) {
   SnapshotProtocol::Registry registry;
   SnapshotProtocol::Options options;
   options.fifo_markers = fifo_markers;
+  ObservabilityOptions oopts;
+  oopts.tracing = !trace_path.empty();
+  Observability obs(oopts);
   SimOptions sopts;
   sopts.seed = 11;
   sopts.network.jitter_mean = 4.0;
+  sopts.observability = &obs;
   const SimResult result =
       simulate(workload, SnapshotProtocol::factory(options, &registry),
                wopts.n_processes, sopts);
@@ -32,20 +54,41 @@ void run_variant(bool fifo_markers) {
               fifo_markers ? "FIFO with traffic" : "racing the traffic");
   if (!result.completed) {
     std::printf("simulation failed: %s\n", result.error.c_str());
-    return;
+    return outcome;
   }
+  outcome.completed = true;
   const GlobalSnapshot snapshot = collect(registry);
   std::printf("%s", snapshot.to_string().c_str());
-  std::printf("complete:  %s\n", snapshot.complete() ? "yes" : "no");
+  outcome.complete = snapshot.complete();
+  outcome.consistent = snapshot.consistent();
+  outcome.channels_account = snapshot.channel_states_account();
+  std::printf("complete:  %s\n", outcome.complete ? "yes" : "no");
   std::printf("consistent cut:        %s\n",
-              snapshot.consistent() ? "yes" : "NO");
+              outcome.consistent ? "yes" : "NO");
   std::printf("channel states account: %s\n\n",
-              snapshot.channel_states_account() ? "yes" : "NO");
+              outcome.channels_account ? "yes" : "NO");
+  if (!trace_path.empty()) {
+    std::string io_error;
+    if (!obs.tracer()->write_chrome_trace(trace_path, &io_error)) {
+      std::printf("could not write %s: %s\n", trace_path.c_str(),
+                  io_error.c_str());
+    } else {
+      std::printf("wrote chrome trace %s "
+                  "(open in https://ui.perfetto.dev)\n\n",
+                  trace_path.c_str());
+    }
+  }
+  return outcome;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsCli cli = parse_obs_cli(argc, argv);
+  if (!cli.ok) {
+    std::printf("%s\n", cli.error.c_str());
+    return 2;
+  }
   std::printf("Chandy-Lamport global snapshot needs FIFO ordering.\n\n");
 
   // A tiny run first, drawn as a time diagram.
@@ -66,9 +109,34 @@ int main() {
     }
   }
 
-  run_variant(true);
-  run_variant(false);
+  const VariantOutcome fifo = run_variant(true, cli.trace_path);
+  const VariantOutcome racing = run_variant(false);
   std::printf("the FIFO variant records a consistent cut every time; "
               "see bench_snapshot for the full sweep.\n");
+
+  if (!cli.json_path.empty()) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "msgorder.example.global_snapshot/1");
+    w.key("variants").begin_array();
+    for (const auto* v : {&fifo, &racing}) {
+      w.begin_object();
+      w.kv("fifo_markers", v == &fifo);
+      w.kv("completed", v->completed);
+      w.kv("complete", v->complete);
+      w.kv("consistent", v->consistent);
+      w.kv("channel_states_account", v->channels_account);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::string io_error;
+    if (!write_text_file(cli.json_path, w.str(), &io_error)) {
+      std::printf("could not write %s: %s\n", cli.json_path.c_str(),
+                  io_error.c_str());
+      return 1;
+    }
+    std::printf("wrote report %s\n", cli.json_path.c_str());
+  }
   return 0;
 }

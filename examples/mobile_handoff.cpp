@@ -6,9 +6,19 @@
 //   * a tagged causal protocol eventually lets a handoff message cross
 //     ordinary traffic (spec violated), while
 //   * the general sequencer protocol never does.
+//
+// Observability flags (ISSUE 2):
+//   --json <path>    write the separation result as JSON
+//                    (schema msgorder.example.mobile_handoff/1)
+//   --trace <path>   write a Chrome-trace JSON of one sync-sequencer
+//                    handoff run (the control traffic is visible as
+//                    extra latency between x.s* and x.s)
 #include <cstdio>
 
 #include "src/checker/violation.hpp"
+#include "src/obs/cli.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/observability.hpp"
 #include "src/protocols/causal_rst.hpp"
 #include "src/protocols/sync_sequencer.hpp"
 #include "src/sim/simulator.hpp"
@@ -70,7 +80,12 @@ std::size_t violations_over_seeds(const ProtocolFactory& factory,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsCli cli = parse_obs_cli(argc, argv);
+  if (!cli.ok) {
+    std::printf("%s\n", cli.error.c_str());
+    return 2;
+  }
   const ForbiddenPredicate spec = mobile_handoff(kHandoffColor);
   std::printf("handoff specification: forbid %s\n",
               spec.to_string().c_str());
@@ -100,5 +115,52 @@ int main() {
                     "handoff; control messages can"
                   : "UNEXPECTED: the separation did not show on these "
                     "seeds");
+
+  std::string io_error;
+  if (!cli.json_path.empty()) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "msgorder.example.mobile_handoff/1");
+    w.kv("spec", spec.to_string());
+    w.kv("classification", verdict.to_string());
+    w.kv("runs_per_protocol", 25);
+    w.key("rows").begin_array();
+    w.begin_object();
+    w.kv("protocol", "causal-rst");
+    w.kv("violations", causal_violations);
+    w.kv("control_packets", causal_ctrl);
+    w.end_object();
+    w.begin_object();
+    w.kv("protocol", "sync-sequencer");
+    w.kv("violations", seq_violations);
+    w.kv("control_packets", seq_ctrl);
+    w.end_object();
+    w.end_array();
+    w.kv("as_predicted", as_predicted);
+    w.end_object();
+    if (!write_text_file(cli.json_path, w.str(), &io_error)) {
+      std::printf("could not write %s: %s\n", cli.json_path.c_str(),
+                  io_error.c_str());
+      return 1;
+    }
+    std::printf("wrote report %s\n", cli.json_path.c_str());
+  }
+  if (!cli.trace_path.empty()) {
+    Observability obs({.tracing = true, .label = "sync-sequencer"});
+    SimOptions sopts;
+    sopts.seed = 1;
+    sopts.network.jitter_mean = 3.0;
+    sopts.observability = &obs;
+    const SimResult result = simulate(
+        handoff_workload(1), SyncSequencerProtocol::factory(), 4, sopts);
+    if (!result.completed ||
+        !obs.tracer()->write_chrome_trace(cli.trace_path, &io_error)) {
+      std::printf("could not write %s: %s\n", cli.trace_path.c_str(),
+                  (result.completed ? io_error : result.error).c_str());
+      return 1;
+    }
+    std::printf("wrote chrome trace %s (open in https://ui.perfetto.dev)\n",
+                cli.trace_path.c_str());
+  }
   return as_predicted ? 0 : 1;
 }

@@ -2,11 +2,21 @@
 // workload, judged against every specification in the zoo.  The matrix
 // visualizes the paper's containment structure: stronger protocol
 // classes satisfy everything below them.
+//
+// Observability flags (ISSUE 2):
+//   --json <path>    write the matrix as JSON (msgorder.conformance/1)
+//   --trace <path>   write a Chrome-trace JSON of one representative
+//                    causal-rst run — open it in https://ui.perfetto.dev
+//                    to see each message's x.s* -> x.s -> x.r* -> x.r
+//                    lifecycle and the causal send->receive flow arrows
 #include <cstdio>
 #include <vector>
 
 #include "src/checker/limit_sets.hpp"
 #include "src/checker/violation.hpp"
+#include "src/obs/cli.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/observability.hpp"
 #include "src/protocols/registry.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/spec/library.hpp"
@@ -14,7 +24,12 @@
 
 using namespace msgorder;
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsCli cli = parse_obs_cli(argc, argv);
+  if (!cli.ok) {
+    std::printf("%s\n", cli.error.c_str());
+    return 2;
+  }
   const std::size_t kProcesses = 4;
   const std::size_t kMessages = 150;
   Rng rng(86);
@@ -78,5 +93,66 @@ int main() {
               "(X_sync is inside every implementable spec); causal "
               "columns satisfy every tagged/tagless spec; async "
               "satisfies only the tagless rows.\n");
+
+  std::string io_error;
+  if (!cli.json_path.empty()) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "msgorder.conformance/1");
+    w.kv("n_processes", kProcesses);
+    w.kv("n_messages", kMessages);
+    w.key("protocols").begin_array();
+    for (const RegisteredProtocol& rp : protocols) w.value(rp.name);
+    w.end_array();
+    w.key("rows").begin_array();
+    for (std::size_t s = 0; s < zoo.size(); ++s) {
+      if (zoo[s].predicate.arity > 3) continue;
+      w.begin_object();
+      w.kv("spec", zoo[s].name);
+      w.kv("predicate", zoo[s].predicate.to_string());
+      w.key("satisfied").begin_array();
+      for (std::size_t p = 0; p < protocols.size(); ++p) {
+        w.value(static_cast<bool>(satisfied[s][p]));
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!write_text_file(cli.json_path, w.str(), &io_error)) {
+      std::printf("could not write %s: %s\n", cli.json_path.c_str(),
+                  io_error.c_str());
+      return 1;
+    }
+    std::printf("wrote conformance matrix %s\n", cli.json_path.c_str());
+  }
+
+  if (!cli.trace_path.empty()) {
+    // One representative traced run: causal-rst is tagged (no control
+    // traffic), so the Perfetto view shows pure buffer slices where
+    // deliveries wait for their causal predecessors.
+    for (const RegisteredProtocol& rp : protocols) {
+      if (rp.name != "causal-rst") continue;
+      Observability obs({.tracing = true, .label = rp.name});
+      SimOptions sopts;
+      sopts.seed = 1;
+      sopts.network.jitter_mean = 3.0;
+      sopts.observability = &obs;
+      const SimResult result =
+          simulate(workload, rp.factory, kProcesses, sopts);
+      if (!result.completed) {
+        std::printf("traced run failed: %s\n", result.error.c_str());
+        return 1;
+      }
+      if (!obs.tracer()->write_chrome_trace(cli.trace_path, &io_error)) {
+        std::printf("could not write %s: %s\n", cli.trace_path.c_str(),
+                    io_error.c_str());
+        return 1;
+      }
+      std::printf("wrote chrome trace of a causal-rst run to %s "
+                  "(open in https://ui.perfetto.dev)\n",
+                  cli.trace_path.c_str());
+    }
+  }
   return 0;
 }

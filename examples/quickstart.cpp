@@ -1,9 +1,16 @@
 // Quickstart: specify a message ordering with a forbidden predicate,
 // classify it, and run the synthesized protocol on a random workload.
+//
+// Observability flags (ISSUE 2):
+//   --json <path>    write a msgorder.run_report/1 JSON report
+//   --trace <path>   write a Chrome-trace JSON (open in Perfetto)
 #include <cstdio>
 
 #include "src/checker/limit_sets.hpp"
+#include "src/checker/monitor.hpp"
 #include "src/checker/violation.hpp"
+#include "src/obs/cli.hpp"
+#include "src/obs/report.hpp"
 #include "src/protocols/synthesized.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/spec/library.hpp"
@@ -11,7 +18,13 @@
 
 using namespace msgorder;
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsCli cli = parse_obs_cli(argc, argv);
+  if (!cli.ok) {
+    std::printf("%s\n", cli.error.c_str());
+    return 2;
+  }
+
   // 1. Specify: causal ordering as a forbidden predicate.
   const ParseResult parsed =
       parse_predicate("(x.s |> y.s) & (y.r |> x.r)");
@@ -32,14 +45,26 @@ int main() {
   if (!synthesis.factory.has_value()) return 1;
 
   // 4. Simulate it on a random 4-process workload over a non-FIFO
-  //    network and verify the produced run against the specification.
+  //    network and verify the produced run against the specification —
+  //    both offline (the oracle on the finished run) and online (a
+  //    monitor watching the event stream).
   Rng rng(2024);
   WorkloadOptions wopts;
   wopts.n_processes = 4;
   wopts.n_messages = 200;
   const Workload workload = random_workload(wopts, rng);
+
+  ObservabilityOptions oopts;
+  oopts.tracing = !cli.trace_path.empty();
+  Observability obs(oopts);
+  auto monitor =
+      std::make_shared<OnlineMonitor>(workload_universe(workload), spec);
+  SimOptions sopts;
+  sopts.observability = &obs;
+  sopts.observers.add(monitor_observer(monitor));
+
   const SimResult result =
-      simulate(workload, *synthesis.factory, wopts.n_processes);
+      simulate(workload, *synthesis.factory, wopts.n_processes, sopts);
   if (!result.completed) {
     std::printf("simulation failed: %s\n", result.error.c_str());
     return 1;
@@ -56,5 +81,31 @@ int main() {
               in_causal(*run) ? "yes" : "NO");
   std::printf("run satisfies the forbidden predicate spec: %s\n",
               satisfies(*run, spec) ? "yes" : "NO");
+  std::printf("online monitor agrees: %s\n",
+              monitor->violated() ? "NO (violation seen)" : "yes");
+
+  std::string io_error;
+  if (!cli.json_path.empty()) {
+    RunReportOptions ropts;
+    ropts.protocol = "synthesized";
+    ropts.n_processes = wopts.n_processes;
+    ropts.seed = sopts.seed;
+    if (!write_run_report(cli.json_path, result, ropts, &obs,
+                          monitor.get(), &io_error)) {
+      std::printf("could not write %s: %s\n", cli.json_path.c_str(),
+                  io_error.c_str());
+      return 1;
+    }
+    std::printf("wrote run report %s\n", cli.json_path.c_str());
+  }
+  if (!cli.trace_path.empty()) {
+    if (!obs.tracer()->write_chrome_trace(cli.trace_path, &io_error)) {
+      std::printf("could not write %s: %s\n", cli.trace_path.c_str(),
+                  io_error.c_str());
+      return 1;
+    }
+    std::printf("wrote chrome trace %s (open in https://ui.perfetto.dev)\n",
+                cli.trace_path.c_str());
+  }
   return 0;
 }

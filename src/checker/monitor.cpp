@@ -1,6 +1,7 @@
 #include "src/checker/monitor.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace msgorder {
 
@@ -88,6 +89,22 @@ bool OnlineMonitor::search_with_pin(std::size_t pinned_var,
 
 bool OnlineMonitor::on_event(ProcessId process, SystemEvent event,
                              double time) {
+  ++events_seen_;
+  if (timing_) {
+    const auto start = std::chrono::steady_clock::now();
+    const bool fired = on_event_impl(process, event, time);
+    on_event_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    ++timed_events_;
+    return fired;
+  }
+  return on_event_impl(process, event, time);
+}
+
+bool OnlineMonitor::on_event_impl(ProcessId process, SystemEvent event,
+                                  double time) {
   if (!is_user_kind(event.kind)) return false;
   const UserEventKind kind = to_user_kind(event.kind);
   const std::size_t idx = index(event.msg, kind);
@@ -121,11 +138,19 @@ bool OnlineMonitor::on_event(ProcessId process, SystemEvent event,
       if (!first_violation_.has_value()) {
         first_violation_ = assignment;
         first_violation_time_ = time;
+        events_to_detection_ = events_seen_;
       }
       return true;
     }
   }
   return false;
+}
+
+SimObserver monitor_observer(std::shared_ptr<OnlineMonitor> monitor) {
+  return [monitor = std::move(monitor)](ProcessId p, SystemEvent e,
+                                        SimTime t) {
+    monitor->on_event(p, e, t);
+  };
 }
 
 }  // namespace msgorder

@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "src/checker/violation.hpp"
+#include "src/obs/observer.hpp"
 #include "src/poset/event.hpp"
 #include "src/spec/predicate.hpp"
 #include "src/util/bitmatrix.hpp"
@@ -41,6 +43,25 @@ class OnlineMonitor {
   }
   double first_violation_time() const { return first_violation_time_; }
 
+  const ForbiddenPredicate& specification() const { return spec_; }
+
+  // --- monitor cost observability (ISSUE 2) ---
+
+  /// Measure wall time spent in on_event (steady_clock around each
+  /// call; off by default because the clock reads dominate the cost of
+  /// trivial events).
+  void enable_timing(bool on = true) { timing_ = on; }
+  /// Total system events fed so far (including ignored invoke/receive).
+  std::uint64_t events_seen() const { return events_seen_; }
+  /// Events fed up to and including the one that completed the first
+  /// violation (0 when nothing fired yet) — the detection-latency
+  /// metric of the run reports.
+  std::uint64_t events_to_detection() const { return events_to_detection_; }
+  /// Wall time accumulated inside on_event while timing was enabled.
+  double on_event_seconds() const { return on_event_seconds_; }
+  /// Number of on_event calls measured; divides on_event_seconds().
+  std::uint64_t timed_events() const { return timed_events_; }
+
   /// The monitor's view of causality so far (for tests).
   bool before(UserEvent a, UserEvent b) const;
 
@@ -49,6 +70,8 @@ class OnlineMonitor {
     return 2 * static_cast<std::size_t>(m) +
            (k == UserEventKind::kDeliver ? 1 : 0);
   }
+
+  bool on_event_impl(ProcessId process, SystemEvent event, double time);
 
   bool search_with_pin(std::size_t pinned_var, MessageId pinned_msg,
                        std::size_t next_var,
@@ -68,6 +91,15 @@ class OnlineMonitor {
   std::optional<ViolationWitness> first_violation_;
   double first_violation_time_ = 0;
   std::size_t violation_count_ = 0;
+  bool timing_ = false;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t events_to_detection_ = 0;
+  std::uint64_t timed_events_ = 0;
+  double on_event_seconds_ = 0;
 };
+
+/// Adapter for the simulator's observer fan-out:
+///   sopts.observers.add(monitor_observer(monitor));
+SimObserver monitor_observer(std::shared_ptr<OnlineMonitor> monitor);
 
 }  // namespace msgorder

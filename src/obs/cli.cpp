@@ -1,0 +1,32 @@
+#include "src/obs/cli.hpp"
+
+#include <cstring>
+
+namespace msgorder {
+
+ObsCli parse_obs_cli(int& argc, char** argv) {
+  ObsCli out;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string* target = nullptr;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      target = &out.json_path;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      target = &out.trace_path;
+    }
+    if (target == nullptr) {
+      argv[kept++] = argv[i];
+      continue;
+    }
+    if (i + 1 >= argc) {
+      out.ok = false;
+      out.error = std::string(argv[i]) + " requires a path argument";
+      break;
+    }
+    *target = argv[++i];
+  }
+  argc = kept;
+  return out;
+}
+
+}  // namespace msgorder

@@ -1,0 +1,24 @@
+// Shared flag parsing for the example binaries (ISSUE 2):
+//   --json <path>    write a machine-readable report
+//   --trace <path>   write a Chrome-trace JSON of a traced run
+// Unrecognized arguments are left in place (compacted to the front of
+// argv past argv[0]) so examples with their own positional arguments
+// keep working.
+#pragma once
+
+#include <string>
+
+namespace msgorder {
+
+struct ObsCli {
+  std::string json_path;   // empty = no report requested
+  std::string trace_path;  // empty = no chrome trace requested
+  bool ok = true;
+  std::string error;
+};
+
+/// Extract --json/--trace from argv, shifting the remaining arguments
+/// down and updating argc.
+ObsCli parse_obs_cli(int& argc, char** argv);
+
+}  // namespace msgorder

@@ -1,0 +1,143 @@
+// Metrics registry for the observability layer (ISSUE 2 tentpole):
+// counters, gauges, and fixed-bucket histograms with percentile queries.
+//
+// Design constraints:
+//  * "Lock-cheap": the simulator is single-threaded, so instruments are
+//    plain integer/double cells with no atomics or locks; the registry
+//    hands out *stable* references (node-based storage), so hot paths
+//    register once and then touch only the instrument, never the map.
+//  * Fixed buckets: histograms pre-allocate their buckets at
+//    construction (default: 64 power-of-two buckets, which covers the
+//    simulator's full latency range from sub-unit async delivery to the
+//    ~10^4 latencies of the sync protocols); recording is an O(1)
+//    bucket increment with exact sum/min/max tracked on the side.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msgorder {
+
+class JsonWriter;
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous level with high-watermark tracking (e.g. the number of
+/// messages currently buffered by the protocols).
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  void add(double delta) { set(value_ + delta); }
+  double value() const { return value_; }
+  double max() const { return max_; }
+
+ private:
+  double value_ = 0;
+  double max_ = 0;
+};
+
+struct HistogramOptions {
+  enum class Scale {
+    kLinear,  // bucket i covers (i*width, (i+1)*width]
+    kExp2,    // bucket i covers (width*2^(i-1), width*2^i], bucket 0 = [0,width]
+  };
+  Scale scale = Scale::kExp2;
+  /// Upper edge of the first bucket (and the linear bucket width).
+  double width = 1.0;
+  /// Number of finite buckets; values past the last edge land in an
+  /// overflow bucket whose percentile estimate is the observed max.
+  std::size_t buckets = 64;
+};
+
+/// Fixed-bucket histogram: O(1) record, percentile by bucket scan with
+/// linear interpolation inside the winning bucket (exact min/max/sum are
+/// tracked separately, so p0/p100 and mean are exact).
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  void record(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+
+  /// Estimate of the p-th percentile (p in [0,100]).  0 when empty.
+  double percentile(double p) const;
+
+  const HistogramOptions& options() const { return options_; }
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  /// Upper edge of finite bucket i.
+  double bucket_upper(std::size_t i) const;
+
+ private:
+  std::size_t bucket_index(double v) const;
+
+  HistogramOptions options_;
+  std::vector<std::uint64_t> counts_;  // options_.buckets + 1 (overflow)
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Named instrument store.  Same name => same instrument (the first
+/// registration's histogram options win).  References remain valid for
+/// the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, HistogramOptions options = {});
+
+  /// Lookup without creating; nullptr when absent.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  /// Serialize every instrument into the open object of `w` under the
+  /// keys "counters" / "gauges" / "histograms"
+  /// (see also write_histogram_json below for the histogram layout)
+  /// (schema: msgorder.metrics/1, documented in DESIGN.md).
+  void write_json(JsonWriter& w) const;
+  /// Whole registry as a standalone JSON object.
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// The stable histogram summary object used by every report schema:
+/// {"count": n, "mean": x, "min": x, "max": x, "p50": x, "p90": x,
+///  "p99": x}.
+void write_histogram_json(JsonWriter& w, const Histogram& h);
+
+}  // namespace msgorder

@@ -1,0 +1,37 @@
+#include "src/obs/observability.hpp"
+
+namespace msgorder {
+
+SimInstruments SimInstruments::create(
+    MetricsRegistry& registry, const std::string& label,
+    const HistogramOptions& delay_histogram) {
+  const std::string prefix = label.empty() ? "" : label + ".";
+  SimInstruments ins;
+  ins.events = &registry.counter(prefix + "sim.events");
+  ins.timer_fires = &registry.counter(prefix + "sim.timer_fires");
+  ins.user_packets = &registry.counter(prefix + "net.user_packets");
+  ins.control_packets = &registry.counter(prefix + "net.control_packets");
+  ins.control_bytes = &registry.counter(prefix + "net.control_bytes");
+  ins.tag_bytes = &registry.counter(prefix + "net.tag_bytes");
+  ins.drops = &registry.counter(prefix + "net.drops");
+  ins.retransmissions = &registry.counter(prefix + "net.retransmissions");
+  ins.duplicate_arrivals =
+      &registry.counter(prefix + "net.duplicate_arrivals");
+  ins.latency =
+      &registry.histogram(prefix + "delay.latency", delay_histogram);
+  ins.send_delay =
+      &registry.histogram(prefix + "delay.send", delay_histogram);
+  ins.delivery_delay =
+      &registry.histogram(prefix + "delay.delivery", delay_histogram);
+  ins.buffered_depth = &registry.gauge(prefix + "sim.buffered_depth");
+  return ins;
+}
+
+Observability::Observability(ObservabilityOptions options)
+    : options_(std::move(options)),
+      instruments_(SimInstruments::create(metrics_, options_.label,
+                                          options_.delay_histogram)) {
+  if (options_.tracing) tracer_.emplace(options_.tracer);
+}
+
+}  // namespace msgorder

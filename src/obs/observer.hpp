@@ -1,0 +1,42 @@
+// Observer fan-out for the simulator (ISSUE 2 satellite): the old
+// SimOptions::observer was a single std::function slot, forcing the
+// online monitor, tracers, and user callbacks to wrap each other by
+// hand.  ObserverMux lets any number of observers attach to one run;
+// the engine notifies them in attachment order after each recorded
+// system event.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/poset/event.hpp"
+#include "src/protocols/protocol.hpp"
+
+namespace msgorder {
+
+/// Called after every recorded system event (invoke/send/receive/
+/// deliver) with the process it occurred at and the simulation time.
+using SimObserver = std::function<void(ProcessId, SystemEvent, SimTime)>;
+
+class ObserverMux {
+ public:
+  /// Attach an observer; returns *this so attachments chain.
+  ObserverMux& add(SimObserver observer) {
+    observers_.push_back(std::move(observer));
+    return *this;
+  }
+
+  void clear() { observers_.clear(); }
+  bool empty() const { return observers_.empty(); }
+  std::size_t size() const { return observers_.size(); }
+
+  void notify(ProcessId p, SystemEvent e, SimTime t) const {
+    for (const SimObserver& observer : observers_) observer(p, e, t);
+  }
+
+ private:
+  std::vector<SimObserver> observers_;
+};
+
+}  // namespace msgorder

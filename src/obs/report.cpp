@@ -1,0 +1,135 @@
+#include "src/obs/report.hpp"
+
+#include "src/checker/monitor.hpp"
+#include "src/obs/json.hpp"
+
+namespace msgorder {
+
+namespace {
+
+void write_latency_percentiles(JsonWriter& w, const Observability* obs) {
+  const Histogram* h = nullptr;
+  if (obs != nullptr) {
+    const std::string prefix =
+        obs->options().label.empty() ? "" : obs->options().label + ".";
+    h = obs->metrics().find_histogram(prefix + "delay.latency");
+  }
+  if (h == nullptr || h->count() == 0) {
+    w.key("percentiles").null();
+    return;
+  }
+  w.key("percentiles").begin_object();
+  w.kv("p50", h->percentile(50));
+  w.kv("p90", h->percentile(90));
+  w.kv("p99", h->percentile(99));
+  w.end_object();
+}
+
+void write_monitor_section(JsonWriter& w, const OnlineMonitor* monitor,
+                           const Trace& trace) {
+  if (monitor == nullptr) {
+    w.key("monitor").null();
+    return;
+  }
+  w.key("monitor").begin_object();
+  w.kv("violated", monitor->violated());
+  w.kv("violation_count", monitor->violation_count());
+  w.kv("events_seen", monitor->events_seen());
+  w.kv("events_to_detection", monitor->events_to_detection());
+  if (monitor->violated()) {
+    w.kv("first_violation_time", monitor->first_violation_time());
+    w.kv("specification", monitor->specification().to_string());
+    w.key("witness").begin_array();
+    const ViolationWitness& witness = *monitor->first_witness();
+    for (std::size_t v = 0; v < witness.size(); ++v) {
+      const MessageId m = witness[v];
+      w.begin_object();
+      w.kv("var", monitor->specification().var_name(v));
+      w.kv("msg", m);
+      if (m < trace.universe().size()) {
+        const Message& msg = trace.universe()[m];
+        w.kv("src", static_cast<std::uint64_t>(msg.src));
+        w.kv("dst", static_cast<std::uint64_t>(msg.dst));
+        w.kv("color", msg.color);
+      }
+      w.end_object();
+    }
+    w.end_array();
+  } else {
+    w.key("witness").null();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string run_report_json(const SimResult& result,
+                            const RunReportOptions& options,
+                            const Observability* obs,
+                            const OnlineMonitor* monitor) {
+  const Trace& trace = result.trace;
+  std::size_t invoked = 0;
+  std::size_t delivered = 0;
+  for (MessageId m = 0; m < trace.universe().size(); ++m) {
+    const MessageTimes& mt = trace.times(m);
+    if (mt.invoke.has_value()) ++invoked;
+    if (mt.complete()) ++delivered;
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "msgorder.run_report/1");
+  w.kv("protocol", options.protocol);
+  w.kv("n_processes", options.n_processes);
+  w.kv("seed", options.seed);
+  w.kv("completed", result.completed);
+  w.kv("error", result.error);
+
+  w.key("messages").begin_object();
+  w.kv("universe", trace.universe().size());
+  w.kv("invoked", invoked);
+  w.kv("delivered", delivered);
+  w.end_object();
+
+  w.key("overhead").begin_object();
+  w.kv("user_packets", trace.user_packets());
+  w.kv("control_packets", trace.control_packets());
+  w.kv("control_bytes", trace.control_bytes());
+  w.kv("tag_bytes", trace.tag_bytes());
+  w.kv("control_packets_per_message", trace.control_packets_per_message());
+  w.kv("mean_tag_bytes", trace.mean_tag_bytes());
+  w.kv("drops", trace.drops());
+  w.kv("retransmissions", trace.retransmissions());
+  w.kv("duplicate_arrivals", trace.duplicate_arrivals());
+  w.end_object();
+
+  w.key("latency").begin_object();
+  w.kv("mean", trace.mean_latency());
+  w.kv("max", trace.max_latency());
+  w.kv("mean_delivery_delay", trace.mean_delivery_delay());
+  write_latency_percentiles(w, obs);
+  w.end_object();
+
+  write_monitor_section(w, monitor, trace);
+
+  if (obs != nullptr) {
+    w.key("metrics").begin_object();
+    obs->metrics().write_json(w);
+    w.end_object();
+  } else {
+    w.key("metrics").null();
+  }
+
+  w.end_object();
+  return w.take();
+}
+
+bool write_run_report(const std::string& path, const SimResult& result,
+                      const RunReportOptions& options,
+                      const Observability* obs, const OnlineMonitor* monitor,
+                      std::string* error) {
+  return write_text_file(path, run_report_json(result, options, obs, monitor),
+                         error);
+}
+
+}  // namespace msgorder

@@ -1,0 +1,60 @@
+// Machine-readable run reports (ISSUE 2 tentpole): serialize a
+// SimResult — plus the attached metrics registry and the online
+// monitor's first violation witness, when present — to a stable JSON
+// schema, so every simulation is an exportable artifact.
+//
+// Schema "msgorder.run_report/1" (field-by-field docs in DESIGN.md,
+// "Observability"):
+//
+// {
+//   "schema": "msgorder.run_report/1",
+//   "protocol": "...", "n_processes": N, "seed": S,
+//   "completed": true, "error": "",
+//   "messages": {"universe": n, "invoked": n, "delivered": n},
+//   "overhead": {"user_packets": n, "control_packets": n,
+//                "control_bytes": n, "tag_bytes": n,
+//                "control_packets_per_message": x, "mean_tag_bytes": x,
+//                "drops": n, "retransmissions": n,
+//                "duplicate_arrivals": n},
+//   "latency": {"mean": x, "max": x, "mean_delivery_delay": x,
+//               "percentiles": {"p50": x, "p90": x, "p99": x} | null},
+//   "monitor": {"violated": b, "violation_count": n,
+//               "events_seen": n, "events_to_detection": n,
+//               "first_violation_time": x,
+//               "witness": [{"var": "x", "msg": id, "src": p, "dst": p,
+//                            "color": c}, ...] | null} | null,
+//   "metrics": {...msgorder.metrics/1 body...} | null
+// }
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/simulator.hpp"
+
+namespace msgorder {
+
+class OnlineMonitor;
+
+struct RunReportOptions {
+  /// Name of the protocol under test (free-form label).
+  std::string protocol;
+  std::size_t n_processes = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Render the report document.  `obs` and `monitor` are optional; when
+/// absent the corresponding sections are null.
+std::string run_report_json(const SimResult& result,
+                            const RunReportOptions& options,
+                            const Observability* obs = nullptr,
+                            const OnlineMonitor* monitor = nullptr);
+
+/// run_report_json + write_text_file.
+bool write_run_report(const std::string& path, const SimResult& result,
+                      const RunReportOptions& options,
+                      const Observability* obs = nullptr,
+                      const OnlineMonitor* monitor = nullptr,
+                      std::string* error = nullptr);
+
+}  // namespace msgorder

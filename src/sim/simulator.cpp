@@ -54,7 +54,13 @@ class Engine {
         loss_rng_(options.seed ^ 0xa5a5a5a5deadbeefULL),
         trace_(universe_, n_processes),
         send_seen_(universe_.size(), false),
-        receive_seen_(universe_.size(), false) {
+        receive_seen_(universe_.size(), false),
+        instruments_(options.observability != nullptr
+                         ? &options.observability->instruments()
+                         : nullptr),
+        tracer_(options.observability != nullptr
+                    ? options.observability->tracer()
+                    : nullptr) {
     hosts_.reserve(n_processes);
     protocols_.reserve(n_processes);
     for (ProcessId p = 0; p < n_processes; ++p) {
@@ -96,17 +102,29 @@ class Engine {
           const Packet& pkt = entry.packet;
           if (pkt.is_control) {
             trace_.count_control_packet(pkt.tag_bytes);
+            if (instruments_ != nullptr) {
+              instruments_->control_packets->inc();
+              instruments_->control_bytes->inc(pkt.tag_bytes);
+            }
           } else if (!receive_seen_[pkt.user_msg]) {
             receive_seen_[pkt.user_msg] = true;
             trace_.count_user_packet(pkt.tag_bytes);
+            if (instruments_ != nullptr) {
+              instruments_->user_packets->inc();
+              instruments_->tag_bytes->inc(pkt.tag_bytes);
+            }
             record(pkt.dst, {pkt.user_msg, EventKind::kReceive});
           } else {
             trace_.count_duplicate_arrival();
+            if (instruments_ != nullptr) {
+              instruments_->duplicate_arrivals->inc();
+            }
           }
           protocols_[pkt.dst]->on_packet(pkt);
           break;
         }
         case QueueEntry::Kind::kTimer:
+          if (instruments_ != nullptr) instruments_->timer_fires->inc();
           protocols_[entry.timer_process]->on_timer(entry.timer_cookie);
           break;
       }
@@ -130,11 +148,13 @@ class Engine {
         record(from, {packet.user_msg, EventKind::kSend});
       } else {
         trace_.count_retransmission();
+        if (instruments_ != nullptr) instruments_->retransmissions->inc();
       }
     }
     if (options_.network.loss_probability > 0 &&
         loss_rng_.chance(options_.network.loss_probability)) {
       trace_.count_drop();
+      if (instruments_ != nullptr) instruments_->drops->inc();
       return;
     }
     QueueEntry entry;
@@ -162,7 +182,33 @@ class Engine {
 
   void record(ProcessId at, SystemEvent e) {
     trace_.record(at, e, now_);
-    if (options_.observer) options_.observer(at, e, now_);
+    if (instruments_ != nullptr) update_instruments(e);
+    if (tracer_ != nullptr) tracer_->on_event(at, e, now_);
+    options_.observers.notify(at, e, now_);
+  }
+
+  /// Per-event metric updates; only reached with observability attached.
+  void update_instruments(SystemEvent e) {
+    instruments_->events->inc();
+    switch (e.kind) {
+      case EventKind::kReceive:
+        instruments_->buffered_depth->add(1);
+        break;
+      case EventKind::kDeliver: {
+        instruments_->buffered_depth->add(-1);
+        const MessageTimes& mt = trace_.times(e.msg);
+        // The full lifecycle exists once x.r is recorded (guard anyway:
+        // a misbehaving protocol must not turn metrics into UB).
+        if (mt.invoke && mt.send && mt.receive) {
+          instruments_->latency->record(mt.latency());
+          instruments_->send_delay->record(mt.send_delay());
+          instruments_->delivery_delay->record(mt.delivery_delay());
+        }
+        break;
+      }
+      default:
+        break;
+    }
   }
 
   SimTime now() const { return now_; }
@@ -186,6 +232,9 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::size_t invokes_remaining_ = 0;
   SimTime now_ = 0;
+  /// Cached observability hooks (nullptr = disabled, the fast path).
+  SimInstruments* instruments_ = nullptr;
+  SpanTracer* tracer_ = nullptr;
 };
 
 void HostImpl::send_packet(Packet packet) {

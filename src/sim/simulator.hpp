@@ -6,10 +6,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 
+#include "src/obs/observability.hpp"
+#include "src/obs/observer.hpp"
 #include "src/protocols/protocol.hpp"
 #include "src/sim/network.hpp"
 #include "src/sim/trace.hpp"
@@ -22,9 +23,16 @@ struct SimOptions {
   std::uint64_t seed = 1;
   /// Hard cap on processed events (guards against protocol livelock).
   std::size_t max_events = 10'000'000;
-  /// Called after every recorded system event (invoke/send/receive/
-  /// deliver) — hook for online monitors (src/checker/monitor.hpp).
-  std::function<void(ProcessId, SystemEvent, SimTime)> observer;
+  /// Observer fan-out, called after every recorded system event
+  /// (invoke/send/receive/deliver): online monitors
+  /// (src/checker/monitor.hpp), tracers, and user callbacks all attach
+  /// here via observers.add(...).
+  ObserverMux observers;
+  /// Optional metrics + span-tracing bundle, owned by the caller and
+  /// filled during the run (src/obs/observability.hpp).  nullptr — the
+  /// default — disables the whole layer at the cost of one pointer test
+  /// per event.
+  Observability* observability = nullptr;
 };
 
 struct SimResult {

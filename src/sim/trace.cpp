@@ -77,7 +77,7 @@ double Trace::max_latency() const {
 
 bool Trace::all_delivered() const {
   for (const MessageTimes& mt : times_) {
-    if (mt.invoke >= 0 && !mt.complete()) return false;
+    if (mt.invoke.has_value() && !mt.complete()) return false;
   }
   return true;
 }

@@ -3,6 +3,7 @@
 // UserRun (user view), plus the overhead statistics of bench E2.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <optional>
 #include <string>
@@ -19,19 +20,32 @@ struct TimedEvent {
   SimTime time = 0;
 };
 
+/// The four lifecycle timestamps of a message (empty until the event
+/// occurs — a message that was never invoked or is still in flight has
+/// no latency, and asking for one is a programming error, enforced by
+/// assert rather than the silent garbage the old -1 sentinels produced).
 struct MessageTimes {
-  SimTime invoke = -1;
-  SimTime send = -1;
-  SimTime receive = -1;
-  SimTime deliver = -1;
+  std::optional<SimTime> invoke;
+  std::optional<SimTime> send;
+  std::optional<SimTime> receive;
+  std::optional<SimTime> deliver;
 
-  bool complete() const { return deliver >= 0; }
-  /// End-to-end latency as the user perceives it.
-  SimTime latency() const { return deliver - invoke; }
+  bool complete() const { return deliver.has_value(); }
+  /// End-to-end latency as the user perceives it.  Requires complete().
+  SimTime latency() const {
+    assert(invoke && deliver);
+    return *deliver - *invoke;
+  }
   /// Time the protocol held the message at the sender (x.s* to x.s).
-  SimTime send_delay() const { return send - invoke; }
+  SimTime send_delay() const {
+    assert(invoke && send);
+    return *send - *invoke;
+  }
   /// Time the protocol buffered the message at the receiver (x.r* to x.r).
-  SimTime delivery_delay() const { return deliver - receive; }
+  SimTime delivery_delay() const {
+    assert(receive && deliver);
+    return *deliver - *receive;
+  }
 };
 
 class Trace {

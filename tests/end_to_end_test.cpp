@@ -53,9 +53,7 @@ PipelineResult pipeline(const std::string& spec_text, double loss,
   sopts.seed = seed * 3 + 1;
   sopts.network.jitter_mean = 3.0;
   sopts.network.loss_probability = loss;
-  sopts.observer = [monitor](ProcessId p, SystemEvent e, SimTime t) {
-    monitor->on_event(p, e, t);
-  };
+  sopts.observers.add(monitor_observer(monitor));
   ReliableOptions ropts;
   ropts.retransmit_timeout = 15.0;
   const ProtocolFactory stack =
@@ -140,9 +138,7 @@ TEST(EndToEnd, MonitorCatchesDeliberateSabotage) {
   SimOptions sopts;
   sopts.seed = 23;
   sopts.network.jitter_mean = 4.0;
-  sopts.observer = [monitor](ProcessId p, SystemEvent e, SimTime t) {
-    monitor->on_event(p, e, t);
-  };
+  sopts.observers.add(monitor_observer(monitor));
   const SynthesisResult wrong = synthesize(
       *parse_predicate("(x.s |> y.s) & (y.s |> x.s)").predicate);
   ASSERT_TRUE(wrong.factory.has_value());  // the do-nothing protocol

@@ -90,9 +90,7 @@ TEST(OnlineMonitor, AgreesWithOfflineOracleOnSimulations) {
     SimOptions sopts;
     sopts.seed = seed;
     sopts.network.jitter_mean = 3.0;
-    sopts.observer = [monitor](ProcessId p, SystemEvent e, SimTime t) {
-      monitor->on_event(p, e, t);
-    };
+    sopts.observers.add(monitor_observer(monitor));
     const SimResult result =
         simulate(workload, AsyncProtocol::factory(), 3, sopts);
     ASSERT_TRUE(result.completed);
@@ -117,9 +115,7 @@ TEST(OnlineMonitor, NeverFiresUnderCausalProtocol) {
     SimOptions sopts;
     sopts.seed = seed;
     sopts.network.jitter_mean = 3.0;
-    sopts.observer = [monitor](ProcessId p, SystemEvent e, SimTime t) {
-      monitor->on_event(p, e, t);
-    };
+    sopts.observers.add(monitor_observer(monitor));
     const SimResult result =
         simulate(workload, CausalRstProtocol::factory(), 4, sopts);
     ASSERT_TRUE(result.completed);

@@ -1,0 +1,155 @@
+// Tests for the observability metrics layer (ISSUE 2): counters,
+// gauges, fixed-bucket histograms with percentile queries, the registry,
+// and the JSON writer/validator the reports are built on.
+#include <gtest/gtest.h>
+
+#include "src/obs/json.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, TracksValueAndHighWatermark) {
+  Gauge g;
+  g.add(3);
+  g.add(4);
+  g.add(-5);
+  EXPECT_DOUBLE_EQ(g.value(), 2);
+  EXPECT_DOUBLE_EQ(g.max(), 7);
+  g.set(100);
+  EXPECT_DOUBLE_EQ(g.max(), 100);
+}
+
+TEST(Histogram, EmptyHistogramReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0);
+  EXPECT_DOUBLE_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0);
+}
+
+TEST(Histogram, ExactStatsAreExact) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 10.0}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16);
+  EXPECT_DOUBLE_EQ(h.mean(), 4);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 10);
+}
+
+TEST(Histogram, LinearPercentilesAreMonotoneAndBounded) {
+  HistogramOptions opts;
+  opts.scale = HistogramOptions::Scale::kLinear;
+  opts.width = 1.0;
+  opts.buckets = 128;
+  Histogram h(opts);
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  double prev = 0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    // A unit-wide bucket pins each percentile to within one bucket.
+    EXPECT_NEAR(v, p, 1.5) << "p" << p;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100);
+}
+
+TEST(Histogram, Exp2PercentilesCoverWideRanges) {
+  Histogram h;  // default exp2 x 64 buckets
+  for (int i = 0; i < 1000; ++i) h.record(0.5);
+  h.record(10000.0);
+  EXPECT_LE(h.percentile(50), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10000.0);
+  // The single large value sits in the tail, not in the median.
+  EXPECT_LT(h.percentile(90), 2.0);
+}
+
+TEST(Histogram, OverflowBucketReportsObservedMax) {
+  HistogramOptions opts;
+  opts.scale = HistogramOptions::Scale::kLinear;
+  opts.width = 1.0;
+  opts.buckets = 4;
+  Histogram h(opts);
+  for (int i = 0; i < 10; ++i) h.record(1e6);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 1e6);
+}
+
+TEST(MetricsRegistry, SameNameSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("net.drops");
+  Counter& b = reg.counter("net.drops");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(reg.find_counter("net.drops"), &a);
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+}
+
+TEST(MetricsRegistry, ReferencesSurviveLaterRegistrations) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("a");
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("c" + std::to_string(i));
+  }
+  first.inc(7);
+  EXPECT_EQ(reg.find_counter("a")->value(), 7u);
+}
+
+TEST(MetricsRegistry, ToJsonIsValidAndCarriesInstruments) {
+  MetricsRegistry reg;
+  reg.counter("sim.events").inc(5);
+  reg.gauge("depth").set(3);
+  reg.histogram("lat").record(2.0);
+  const std::string json = reg.to_json();
+  std::string error;
+  EXPECT_TRUE(json_validate(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"sim.events\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("msgorder.metrics/1"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("k", "a\"b\\c\nd");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"k\":\"a\\\"b\\\\c\\nd\"}");
+  std::string error;
+  EXPECT_TRUE(json_validate(w.str(), &error)) << error;
+}
+
+TEST(JsonWriter, NestedContainersGetCommasRight) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").begin_array().value(1).value(2).end_array();
+  w.kv("b", true);
+  w.key("c").begin_object().kv("x", 1.5).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\":[1,2],\"b\":true,\"c\":{\"x\":1.5}}");
+}
+
+TEST(JsonValidate, AcceptsAndRejects) {
+  EXPECT_TRUE(json_validate("{\"a\": [1, 2.5, -3e2, null, true, \"x\"]}"));
+  EXPECT_TRUE(json_validate("  42  "));
+  std::string error;
+  EXPECT_FALSE(json_validate("{\"a\":}", &error));
+  EXPECT_FALSE(json_validate("[1, 2", &error));
+  EXPECT_FALSE(json_validate("{\"a\":1} trailing", &error));
+  EXPECT_FALSE(json_validate("{'a':1}", &error));
+  EXPECT_FALSE(json_validate("", &error));
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -1,0 +1,132 @@
+// Tests for the causal span tracer (ISSUE 2): a traced simulation must
+// produce well-formed Chrome Trace Event JSON with one named track per
+// process, the full four-event lifecycle of every delivered message,
+// and a flow arrow per causal send->receive edge.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/json.hpp"
+#include "src/obs/observability.hpp"
+#include "src/protocols/fifo.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace msgorder {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+constexpr std::size_t kProcesses = 3;
+constexpr std::size_t kMessages = 25;
+
+SimResult traced_run(Observability& obs) {
+  Rng rng(5);
+  WorkloadOptions wopts;
+  wopts.n_processes = kProcesses;
+  wopts.n_messages = kMessages;
+  const Workload workload = random_workload(wopts, rng);
+  SimOptions sopts;
+  sopts.seed = 9;
+  sopts.network.jitter_mean = 2.0;
+  sopts.observability = &obs;
+  return simulate(workload, FifoProtocol::factory(), kProcesses, sopts);
+}
+
+TEST(SpanTracer, TracerIsNullUnlessRequested) {
+  Observability without;
+  EXPECT_EQ(without.tracer(), nullptr);
+  ObservabilityOptions oopts;
+  oopts.tracing = true;
+  Observability with(oopts);
+  EXPECT_NE(with.tracer(), nullptr);
+}
+
+TEST(SpanTracer, EveryDeliveredMessageHasACompleteSpan) {
+  ObservabilityOptions oopts;
+  oopts.tracing = true;
+  Observability obs(oopts);
+  const SimResult result = traced_run(obs);
+  ASSERT_TRUE(result.completed) << result.error;
+
+  const SpanTracer& tracer = *obs.tracer();
+  EXPECT_EQ(tracer.message_count(), kMessages);
+  EXPECT_EQ(tracer.complete_span_count(), kMessages);
+  EXPECT_EQ(tracer.process_count(), kProcesses);
+}
+
+TEST(SpanTracer, ChromeTraceIsValidJsonWithTracksSpansAndFlows) {
+  ObservabilityOptions oopts;
+  oopts.tracing = true;
+  Observability obs(oopts);
+  const SimResult result = traced_run(obs);
+  ASSERT_TRUE(result.completed) << result.error;
+
+  const std::string json = obs.tracer()->chrome_trace_json();
+  std::string error;
+  ASSERT_TRUE(json_validate(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  // One named track (thread) per simulated process.
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"thread_name\""), kProcesses);
+  for (std::size_t p = 0; p < kProcesses; ++p) {
+    EXPECT_NE(json.find("\"name\":\"P" + std::to_string(p) + "\""),
+              std::string::npos)
+        << "track P" << p;
+  }
+
+  // The four lifecycle instants, in the paper's notation, per message.
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"lifecycle\""), 4 * kMessages);
+  EXPECT_NE(json.find("\"name\":\"x0.s*\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"x0.s\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"x0.r*\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"x0.r\""), std::string::npos);
+
+  // Hold + buffer interval per message (complete spans, ph "X").
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"hold\""), kMessages);
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"buffer\""), kMessages);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 2 * kMessages);
+
+  // One flow arrow (start + finish) per causal send->receive edge.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"s\""), kMessages);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"f\""), kMessages);
+  EXPECT_EQ(count_occurrences(json, "\"bp\":\"e\""), kMessages);
+}
+
+TEST(SpanTracer, TimeScaleStretchesTimestamps) {
+  SpanTracerOptions topts;
+  topts.time_scale = 10.0;
+  SpanTracer tracer(topts);
+  tracer.on_event(0, SystemEvent{0, EventKind::kInvoke}, 2.0);
+  tracer.on_event(0, SystemEvent{0, EventKind::kSend}, 3.0);
+  const std::string json = tracer.chrome_trace_json();
+  std::string error;
+  ASSERT_TRUE(json_validate(json, &error)) << error;
+  EXPECT_NE(json.find("\"ts\":20"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":30"), std::string::npos) << json;
+  EXPECT_EQ(tracer.complete_span_count(), 0u);
+  EXPECT_EQ(tracer.message_count(), 1u);
+}
+
+TEST(SpanTracer, PartialLifecyclesNeverEmitFlowsOrBuffers) {
+  SpanTracer tracer;
+  // Only invoke+send observed: a hold slice and instants, but no
+  // receive-side artifacts.
+  tracer.on_event(1, SystemEvent{0, EventKind::kInvoke}, 1.0);
+  tracer.on_event(1, SystemEvent{0, EventKind::kSend}, 1.5);
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"hold\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"buffer\""), 0u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"s\""), 0u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"f\""), 0u);
+}
+
+}  // namespace
+}  // namespace msgorder

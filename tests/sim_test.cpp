@@ -163,13 +163,50 @@ TEST(Simulator, MessageTimesAreOrdered) {
   ASSERT_TRUE(result.completed);
   for (MessageId m = 0; m < 60; ++m) {
     const MessageTimes& t = result.trace.times(m);
-    EXPECT_LE(t.invoke, t.send);
-    EXPECT_LT(t.send, t.receive);
-    EXPECT_LE(t.receive, t.deliver);
+    ASSERT_TRUE(t.complete());
+    EXPECT_LE(*t.invoke, *t.send);
+    EXPECT_LT(*t.send, *t.receive);
+    EXPECT_LE(*t.receive, *t.deliver);
     EXPECT_GE(t.latency(), 0.0);
   }
   EXPECT_GT(result.trace.mean_latency(), 0.0);
   EXPECT_GE(result.trace.max_latency(), result.trace.mean_latency());
+}
+
+// Regression for ISSUE 2: MessageTimes used -1 sentinels on double and
+// latency()/send_delay()/delivery_delay() silently returned garbage on
+// incomplete messages.  Now the timestamps are optionals: a message the
+// protocol never released has empty send/receive/deliver, complete() is
+// false, and the aggregate statistics skip it instead of averaging
+// nonsense.
+TEST(Simulator, IncompleteMessageTimesAreEmptyNotGarbage) {
+  // A protocol that swallows every invoke: nothing is ever sent.
+  class BlackHole final : public Protocol {
+   public:
+    void on_invoke(const Message&) override {}
+    void on_packet(const Packet&) override {}
+    std::string name() const override { return "black-hole"; }
+  };
+  Rng rng(23);
+  WorkloadOptions opts;
+  opts.n_processes = 2;
+  opts.n_messages = 5;
+  const Workload w = random_workload(opts, rng);
+  const SimResult result = simulate(
+      w, [](Host&) { return std::make_unique<BlackHole>(); }, 2);
+  EXPECT_FALSE(result.completed);
+  for (MessageId m = 0; m < 5; ++m) {
+    const MessageTimes& t = result.trace.times(m);
+    EXPECT_TRUE(t.invoke.has_value());
+    EXPECT_FALSE(t.send.has_value());
+    EXPECT_FALSE(t.receive.has_value());
+    EXPECT_FALSE(t.deliver.has_value());
+    EXPECT_FALSE(t.complete());
+  }
+  // Aggregates over a trace with no complete message are well-defined.
+  EXPECT_EQ(result.trace.mean_latency(), 0.0);
+  EXPECT_EQ(result.trace.max_latency(), 0.0);
+  EXPECT_FALSE(result.trace.all_delivered());
 }
 
 TEST(Simulator, EmptyWorkloadCompletes) {

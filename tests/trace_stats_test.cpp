@@ -1,0 +1,106 @@
+// Tests for the Trace overhead statistics (ISSUE 2 satellite): the
+// count_* accounting (control/user packets, bytes, drops,
+// retransmissions, duplicates) across protocol classes and networks,
+// and the metrics instruments mirroring those counts.
+#include <gtest/gtest.h>
+
+#include "src/obs/observability.hpp"
+#include "src/protocols/async.hpp"
+#include "src/protocols/fifo.hpp"
+#include "src/protocols/reliable.hpp"
+#include "src/protocols/sync_sequencer.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace msgorder {
+namespace {
+
+constexpr std::size_t kProcesses = 4;
+constexpr std::size_t kMessages = 80;
+
+SimResult run(const ProtocolFactory& factory, Observability* obs = nullptr,
+              double loss = 0.0) {
+  Rng rng(13);
+  WorkloadOptions wopts;
+  wopts.n_processes = kProcesses;
+  wopts.n_messages = kMessages;
+  wopts.mean_gap = 0.3;
+  const Workload workload = random_workload(wopts, rng);
+  SimOptions sopts;
+  sopts.seed = 21;
+  sopts.network.jitter_mean = 2.0;
+  sopts.network.loss_probability = loss;
+  sopts.observability = obs;
+  return simulate(workload, factory, kProcesses, sopts);
+}
+
+TEST(TraceStats, AsyncIsPureZeroOverhead) {
+  const SimResult result = run(AsyncProtocol::factory());
+  ASSERT_TRUE(result.completed) << result.error;
+  const Trace& t = result.trace;
+  EXPECT_EQ(t.user_packets(), kMessages);
+  EXPECT_EQ(t.control_packets(), 0u);
+  EXPECT_EQ(t.control_bytes(), 0u);
+  EXPECT_EQ(t.tag_bytes(), 0u);
+  EXPECT_EQ(t.drops(), 0u);
+  EXPECT_EQ(t.retransmissions(), 0u);
+  EXPECT_EQ(t.duplicate_arrivals(), 0u);
+  EXPECT_DOUBLE_EQ(t.control_packets_per_message(), 0);
+  EXPECT_DOUBLE_EQ(t.mean_tag_bytes(), 0);
+}
+
+TEST(TraceStats, FifoPaysFourTagBytesPerMessage) {
+  const SimResult result = run(FifoProtocol::factory());
+  ASSERT_TRUE(result.completed) << result.error;
+  const Trace& t = result.trace;
+  EXPECT_EQ(t.control_packets(), 0u);
+  EXPECT_EQ(t.tag_bytes(), 4 * kMessages);
+  EXPECT_DOUBLE_EQ(t.mean_tag_bytes(), 4);
+}
+
+TEST(TraceStats, SyncSequencerPaysControlTraffic) {
+  const SimResult result = run(SyncSequencerProtocol::factory());
+  ASSERT_TRUE(result.completed) << result.error;
+  const Trace& t = result.trace;
+  EXPECT_EQ(t.user_packets(), kMessages);
+  EXPECT_GT(t.control_packets(), 0u);
+  EXPECT_GT(t.control_bytes(), 0u);
+  EXPECT_GT(t.control_packets_per_message(), 0.0);
+}
+
+TEST(TraceStats, LossyNetworkCountsDropsRetransmissionsAndDuplicates) {
+  const SimResult result =
+      run(ReliableProtocol::wrap(AsyncProtocol::factory()), nullptr, 0.2);
+  ASSERT_TRUE(result.completed) << result.error;
+  const Trace& t = result.trace;
+  EXPECT_TRUE(t.all_delivered());
+  EXPECT_GT(t.drops(), 0u);
+  EXPECT_GT(t.retransmissions(), 0u);
+  // A retransmission whose original survived arrives twice.
+  EXPECT_GT(t.duplicate_arrivals(), 0u);
+}
+
+TEST(TraceStats, InstrumentsMirrorTheTraceCounts) {
+  Observability obs;
+  const SimResult result =
+      run(ReliableProtocol::wrap(FifoProtocol::factory()), &obs, 0.15);
+  ASSERT_TRUE(result.completed) << result.error;
+  const Trace& t = result.trace;
+  const SimInstruments& ins = obs.instruments();
+  EXPECT_EQ(ins.user_packets->value(), t.user_packets());
+  EXPECT_EQ(ins.control_packets->value(), t.control_packets());
+  EXPECT_EQ(ins.control_bytes->value(), t.control_bytes());
+  EXPECT_EQ(ins.tag_bytes->value(), t.tag_bytes());
+  EXPECT_EQ(ins.drops->value(), t.drops());
+  EXPECT_EQ(ins.retransmissions->value(), t.retransmissions());
+  EXPECT_EQ(ins.duplicate_arrivals->value(), t.duplicate_arrivals());
+  // Every message's latency was recorded once; the buffered-depth gauge
+  // returned to zero after the last delivery.
+  EXPECT_EQ(ins.latency->count(), kMessages);
+  EXPECT_DOUBLE_EQ(ins.buffered_depth->value(), 0);
+  EXPECT_GE(ins.buffered_depth->max(), 0);
+  // 4 system events per delivered message, at least.
+  EXPECT_GE(ins.events->value(), 4 * kMessages);
+}
+
+}  // namespace
+}  // namespace msgorder
