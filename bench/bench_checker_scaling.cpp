@@ -5,28 +5,40 @@
 //
 // ISSUE 2: before the google-benchmark sweep runs, a deterministic
 // chrono sweep writes BENCH_checker_scaling.json (schema
-// msgorder.bench.checker_scaling/1, see DESIGN.md "Observability"):
+// msgorder.bench.checker_scaling/2, see DESIGN.md "Observability"):
 // per run size, wall time of the offline oracle and the dedicated
 // checkers, plus the online monitor's per-event cost and its
-// events-to-detection on a violating feed.  Flags (ours are consumed
-// before google-benchmark sees argv):
+// events-to-detection on a violating feed.  ISSUE 3 bumps the schema:
+// every timed checker now also reports the seed (naive) implementation
+// and the speedup ratio, the pruned and naive monitors run over the
+// same simulated feed and the row records their parity (same verdict,
+// first witness, and detection event — the sweep exits nonzero on any
+// mismatch), and independent (size) cells fan out over a thread pool.
+// Flags (ours are consumed before google-benchmark sees argv):
 //   --json <path>   output path (default BENCH_checker_scaling.json)
 //   --json-only     write the JSON report and skip the gbench sweep
+//   --quick         small sizes only (CI smoke configuration)
+//   --threads <n>   sweep worker threads (default: hardware concurrency)
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/checker/limit_sets.hpp"
 #include "src/checker/monitor.hpp"
+#include "src/checker/sync_incremental.hpp"
 #include "src/checker/violation.hpp"
 #include "src/obs/json.hpp"
 #include "src/poset/run_generator.hpp"
 #include "src/protocols/async.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/spec/library.hpp"
+#include "src/util/parallel.hpp"
 
 namespace msgorder {
 namespace {
@@ -38,6 +50,22 @@ UserRun sized_run(std::size_t n_messages, std::uint64_t seed) {
   opts.n_messages = n_messages;
   opts.send_bias = 0.7;
   return random_scheduled_run(opts, rng);
+}
+
+/// A serial (one sender, in-order delivery) run: violation-free for the
+/// causal spec, so oracle timings on it measure the exhaustive search
+/// (no early exit on a flagrant witness, which the random async runs
+/// above hand to the naive scan almost immediately).
+UserRun clean_serial_run(std::size_t n_messages) {
+  std::vector<Message> ms(n_messages);
+  std::vector<ScheduleStep> sends(n_messages), delivers(n_messages);
+  for (std::size_t i = 0; i < n_messages; ++i) {
+    ms[i] = {static_cast<MessageId>(i), 0, 1, 0};
+    sends[i] = {static_cast<MessageId>(i), UserEventKind::kSend};
+    delivers[i] = {static_cast<MessageId>(i), UserEventKind::kDeliver};
+  }
+  auto run = UserRun::from_schedules(std::move(ms), {sends, delivers});
+  return *run;
 }
 
 void BM_CausalOracle(benchmark::State& state) {
@@ -125,63 +153,160 @@ double seconds_per_call(Fn&& fn) {
   return elapsed / static_cast<double>(iterations);
 }
 
+/// One (run size) cell of the deterministic sweep; computed on a worker
+/// thread, serialized by the caller after the join.
+struct ScalingCell {
+  std::size_t n_messages = 0;
+  double oracle_s = 0, oracle_naive_s = 0;
+  double oracle_clean_s = 0, oracle_clean_naive_s = 0;
+  double causal_s = 0, causal_naive_s = 0;
+  double sync_s = 0, sync_naive_s = 0;
+  double incr_sync_s = 0;
+  bool incr_sync_agrees = false;
+  std::uint64_t monitor_events = 0;
+  double monitor_spe = 0, monitor_naive_spe = 0;
+  bool monitor_violated = false;
+  std::uint64_t monitor_events_to_detection = 0;
+  bool monitor_parity_ok = false;
+  bool sim_completed = false;
+};
+
+ScalingCell measure_scaling_cell(std::size_t n) {
+  ScalingCell cell;
+  cell.n_messages = n;
+  const UserRun run = sized_run(n, 3);
+  const ForbiddenPredicate spec = causal_ordering();
+
+  cell.oracle_s =
+      seconds_per_call([&] { (void)find_violation(run, spec); });
+  cell.oracle_naive_s =
+      seconds_per_call([&] { (void)find_violation_naive(run, spec); });
+  const UserRun clean = clean_serial_run(n);
+  cell.oracle_clean_s =
+      seconds_per_call([&] { (void)find_violation(clean, spec); });
+  cell.oracle_clean_naive_s =
+      seconds_per_call([&] { (void)find_violation_naive(clean, spec); });
+  cell.causal_s = seconds_per_call([&] { (void)in_causal(run); });
+  cell.causal_naive_s =
+      seconds_per_call([&] { (void)in_causal_naive(run); });
+  cell.sync_s = seconds_per_call([&] { (void)in_sync(run); });
+  cell.sync_naive_s = seconds_per_call([&] { (void)in_sync_naive(run); });
+
+  // Online monitor cost: feed a raw-async simulation of the same size on
+  // a jittered network (causal violations appear quickly) to the pruned
+  // and the naive monitor — the same feed, so their verdict, first
+  // witness, and detection event must agree — and record per-event wall
+  // cost for each.  The incremental X_sync checker rides the same feed.
+  Rng rng(17);
+  WorkloadOptions wopts;
+  wopts.n_processes = 6;
+  wopts.n_messages = n;
+  wopts.mean_gap = 0.2;
+  const Workload workload = random_workload(wopts, rng);
+  auto monitor = std::make_shared<OnlineMonitor>(
+      workload_universe(workload), spec, MonitorSearchMode::kPruned);
+  auto naive_monitor = std::make_shared<OnlineMonitor>(
+      workload_universe(workload), spec, MonitorSearchMode::kNaive);
+  monitor->enable_timing();
+  naive_monitor->enable_timing();
+  std::vector<std::pair<ProcessId, SystemEvent>> feed;
+  SimOptions sopts;
+  sopts.seed = 29;
+  sopts.network.jitter_mean = 3.0;
+  sopts.observers.add(monitor_observer(monitor));
+  sopts.observers.add(monitor_observer(naive_monitor));
+  sopts.observers.add([&feed](ProcessId p, SystemEvent e, SimTime) {
+    feed.emplace_back(p, e);
+  });
+  const SimResult result = simulate(workload, AsyncProtocol::factory(),
+                                    wopts.n_processes, sopts);
+
+  const auto per_event = [](const OnlineMonitor& m) {
+    return m.timed_events() > 0
+               ? m.on_event_seconds() / static_cast<double>(m.timed_events())
+               : 0.0;
+  };
+  cell.monitor_events = monitor->events_seen();
+  cell.monitor_spe = per_event(*monitor);
+  cell.monitor_naive_spe = per_event(*naive_monitor);
+  cell.monitor_violated = monitor->violated();
+  cell.monitor_events_to_detection = monitor->events_to_detection();
+  cell.monitor_parity_ok =
+      monitor->violated() == naive_monitor->violated() &&
+      monitor->violation_count() == naive_monitor->violation_count() &&
+      monitor->events_to_detection() ==
+          naive_monitor->events_to_detection() &&
+      monitor->first_witness() == naive_monitor->first_witness();
+  cell.sim_completed = result.completed;
+
+  // Replay the recorded feed through the incremental checker under the
+  // timer, and compare its verdict with the batch oracle on the lifted
+  // user run.
+  const auto replay = [&] {
+    IncrementalSyncChecker incr(n);
+    for (const auto& [p, e] : feed) incr.on_event(p, e);
+    return incr.in_sync();
+  };
+  cell.incr_sync_s = seconds_per_call(replay);
+  const auto lifted = result.trace.to_user_run();
+  cell.incr_sync_agrees =
+      !lifted.has_value() || replay() == in_sync(*lifted);
+  return cell;
+}
+
 /// The deterministic sweep behind BENCH_checker_scaling.json.
-int write_scaling_report(const std::string& path) {
+int write_scaling_report(const std::string& path, bool quick,
+                         std::size_t n_threads) {
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{16, 32, 64}
+            : std::vector<std::size_t>{16, 32, 64, 128, 256};
+  if (n_threads == 0) n_threads = default_sweep_threads(sizes.size());
+  std::vector<ScalingCell> cells(sizes.size());
+  parallel_for(sizes.size(), n_threads,
+               [&](std::size_t i) { cells[i] = measure_scaling_cell(sizes[i]); });
+
+  const auto speedup = [](double naive, double fast) {
+    return fast > 0 ? naive / fast : 0.0;
+  };
+  bool parity_ok = true;
   JsonWriter w;
   w.begin_object();
-  w.kv("schema", "msgorder.bench.checker_scaling/1");
+  w.kv("schema", "msgorder.bench.checker_scaling/2");
   w.kv("bench", "checker_scaling");
   w.kv("n_processes", 6);
   w.kv("spec", causal_ordering().to_string());
+  w.kv("sweep_threads", static_cast<std::uint64_t>(n_threads));
+  w.kv("quick", quick);
   w.key("rows").begin_array();
-
-  for (const std::size_t n : {16, 32, 64, 128, 256}) {
-    const UserRun run = sized_run(n, 3);
-    const ForbiddenPredicate spec = causal_ordering();
-
-    const double oracle_s =
-        seconds_per_call([&] { (void)find_violation(run, spec); });
-    const double direct_causal_s =
-        seconds_per_call([&] { (void)in_causal(run); });
-    const double direct_sync_s =
-        seconds_per_call([&] { (void)in_sync(run); });
-
-    // Online monitor cost: feed it a raw-async simulation of the same
-    // size on a jittered network (causal violations appear quickly), and
-    // record per-event wall cost plus events-to-detection.
-    Rng rng(17);
-    WorkloadOptions wopts;
-    wopts.n_processes = 6;
-    wopts.n_messages = n;
-    wopts.mean_gap = 0.2;
-    const Workload workload = random_workload(wopts, rng);
-    auto monitor = std::make_shared<OnlineMonitor>(
-        workload_universe(workload), spec);
-    monitor->enable_timing();
-    SimOptions sopts;
-    sopts.seed = 29;
-    sopts.network.jitter_mean = 3.0;
-    sopts.observers.add(monitor_observer(monitor));
-    const SimResult result = simulate(workload, AsyncProtocol::factory(),
-                                      wopts.n_processes, sopts);
-
+  for (const ScalingCell& c : cells) {
+    parity_ok = parity_ok && c.monitor_parity_ok && c.incr_sync_agrees;
     w.begin_object();
-    w.kv("n_messages", n);
-    w.kv("oracle_seconds", oracle_s);
-    w.kv("direct_causal_seconds", direct_causal_s);
-    w.kv("direct_sync_seconds", direct_sync_s);
-    w.kv("monitor_events", monitor->events_seen());
-    w.kv("monitor_seconds_per_event",
-         monitor->timed_events() > 0
-             ? monitor->on_event_seconds() /
-                   static_cast<double>(monitor->timed_events())
-             : 0.0);
-    w.kv("monitor_violated", monitor->violated());
-    w.kv("monitor_events_to_detection", monitor->events_to_detection());
-    w.kv("sim_completed", result.completed);
+    w.kv("n_messages", c.n_messages);
+    w.kv("oracle_seconds", c.oracle_s);
+    w.kv("oracle_seconds_naive", c.oracle_naive_s);
+    w.kv("oracle_speedup", speedup(c.oracle_naive_s, c.oracle_s));
+    w.kv("oracle_clean_seconds", c.oracle_clean_s);
+    w.kv("oracle_clean_seconds_naive", c.oracle_clean_naive_s);
+    w.kv("oracle_clean_speedup",
+         speedup(c.oracle_clean_naive_s, c.oracle_clean_s));
+    w.kv("direct_causal_seconds", c.causal_s);
+    w.kv("direct_causal_seconds_naive", c.causal_naive_s);
+    w.kv("direct_causal_speedup", speedup(c.causal_naive_s, c.causal_s));
+    w.kv("direct_sync_seconds", c.sync_s);
+    w.kv("direct_sync_seconds_naive", c.sync_naive_s);
+    w.kv("direct_sync_speedup", speedup(c.sync_naive_s, c.sync_s));
+    w.kv("incremental_sync_seconds", c.incr_sync_s);
+    w.kv("incremental_sync_agrees", c.incr_sync_agrees);
+    w.kv("monitor_events", c.monitor_events);
+    w.kv("monitor_seconds_per_event", c.monitor_spe);
+    w.kv("monitor_seconds_per_event_naive", c.monitor_naive_spe);
+    w.kv("monitor_speedup", speedup(c.monitor_naive_spe, c.monitor_spe));
+    w.kv("monitor_parity_ok", c.monitor_parity_ok);
+    w.kv("monitor_violated", c.monitor_violated);
+    w.kv("monitor_events_to_detection", c.monitor_events_to_detection);
+    w.kv("sim_completed", c.sim_completed);
     w.end_object();
   }
-
   w.end_array();
   w.end_object();
 
@@ -192,6 +317,13 @@ int write_scaling_report(const std::string& path) {
     return 1;
   }
   std::printf("wrote %s\n", path.c_str());
+  if (!parity_ok) {
+    std::fprintf(stderr,
+                 "monitor parity mismatch: pruned and naive checkers "
+                 "disagree (see %s)\n",
+                 path.c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -201,19 +333,26 @@ int write_scaling_report(const std::string& path) {
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_checker_scaling.json";
   bool json_only = false;
+  bool quick = false;
+  std::size_t threads = 0;  // 0: pick from hardware concurrency
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json-only") == 0) {
       json_only = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
 
-  const int report_status = msgorder::write_scaling_report(json_path);
+  const int report_status =
+      msgorder::write_scaling_report(json_path, quick, threads);
   if (json_only || report_status != 0) return report_status;
 
   benchmark::Initialize(&argc, argv);

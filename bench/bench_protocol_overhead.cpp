@@ -11,14 +11,24 @@
 // BENCH_protocol_overhead.json (schema
 // msgorder.bench.protocol_overhead/1, see DESIGN.md "Observability"),
 // with per-protocol latency/delay histogram percentiles collected by
-// the metrics registry.  Flags:
+// the metrics registry.  ISSUE 3: the per-protocol cells are
+// independent (each simulates the same workload under its own protocol
+// and Observability), so they fan out over the shared parallel_for
+// sweep runner; rows are serialized in registry order after the join,
+// and the report records the worker count.  Flags:
 //   --json <path>       output path (default BENCH_protocol_overhead.json)
 //   --overhead-guard    instead of the sweep, microbench the simulator
 //                       with observability disabled vs fully enabled
+//   --quick             smaller workload (CI smoke configuration)
+//   --threads <n>       sweep worker threads (default: hardware concurrency)
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "src/checker/limit_sets.hpp"
 #include "src/obs/json.hpp"
@@ -26,6 +36,7 @@
 #include "src/protocols/fifo.hpp"
 #include "src/protocols/registry.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/strings.hpp"
 
 using namespace msgorder;
@@ -34,15 +45,16 @@ namespace {
 
 constexpr std::size_t kProcesses = 6;
 constexpr std::size_t kMessages = 2000;
+constexpr std::size_t kQuickMessages = 300;
 constexpr std::uint64_t kWorkloadSeed = 77;
 constexpr std::uint64_t kSimSeed = 101;
 constexpr double kJitterMean = 3.0;
 
-Workload bench_workload() {
+Workload bench_workload(std::size_t n_messages = kMessages) {
   Rng rng(kWorkloadSeed);
   WorkloadOptions wopts;
   wopts.n_processes = kProcesses;
-  wopts.n_messages = kMessages;
+  wopts.n_messages = n_messages;
   wopts.mean_gap = 0.5;
   return random_workload(wopts, rng);
 }
@@ -106,37 +118,75 @@ int overhead_guard() {
   return ok ? 0 : 1;
 }
 
+/// One protocol's sweep cell: simulated on a worker thread; the
+/// Observability lives on the heap so its histograms survive until the
+/// caller serializes the row after the join.
+struct ProtocolCell {
+  std::unique_ptr<Observability> obs;
+  std::optional<SimResult> result;
+  std::optional<UserRun> run;
+  LimitSet set = LimitSet::kAsync;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_protocol_overhead.json";
+  bool quick = false;
+  std::size_t threads = 0;  // 0: pick from hardware concurrency
+  bool guard = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--overhead-guard") == 0) {
-      return overhead_guard();
-    }
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      guard = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
     }
   }
+  if (guard) return overhead_guard();
 
-  const Workload workload = bench_workload();
+  const std::size_t n_messages = quick ? kQuickMessages : kMessages;
+  const Workload workload = bench_workload(n_messages);
 
   std::printf("E2: protocol overhead on %zu processes, %zu messages, "
               "non-FIFO network\n\n",
-              kProcesses, kMessages);
+              kProcesses, n_messages);
   std::printf("%s %-10s %-10s %-10s %-10s %-10s %-8s\n",
               pad_right("protocol", 16).c_str(), "ctrl/msg", "tag B/msg",
               "buffer", "latency", "max lat", "run in");
   std::printf("%s\n", std::string(84, '-').c_str());
+
+  // Fan the independent protocol cells out over the sweep pool: each
+  // cell only touches its own slot; stdout and JSON stay in registry
+  // order because serialization happens after the join.
+  const std::vector<RegisteredProtocol> protocols = standard_protocols();
+  if (threads == 0) threads = default_sweep_threads(protocols.size());
+  std::vector<ProtocolCell> cells(protocols.size());
+  parallel_for(protocols.size(), threads, [&](std::size_t i) {
+    ProtocolCell& cell = cells[i];
+    cell.obs = std::make_unique<Observability>(
+        ObservabilityOptions{.label = protocols[i].name});
+    SimOptions sopts = bench_sim_options();
+    sopts.observability = cell.obs.get();
+    cell.result =
+        simulate(workload, protocols[i].factory, kProcesses, sopts);
+    if (!cell.result->completed) return;
+    cell.run = cell.result->trace.to_user_run();
+    if (cell.run.has_value()) cell.set = finest_limit_set(*cell.run);
+  });
 
   JsonWriter w;
   w.begin_object();
   w.kv("schema", "msgorder.bench.protocol_overhead/1");
   w.kv("bench", "protocol_overhead");
   w.kv("n_processes", kProcesses);
-  w.kv("n_messages", kMessages);
+  w.kv("n_messages", n_messages);
   w.kv("workload_seed", kWorkloadSeed);
   w.kv("sim_seed", kSimSeed);
+  w.kv("sweep_threads", static_cast<std::uint64_t>(threads));
   w.key("network").begin_object();
   w.kv("jitter_mean", kJitterMean);
   w.kv("fifo_channels", false);
@@ -144,12 +194,10 @@ int main(int argc, char** argv) {
   w.key("rows").begin_array();
 
   bool ok = true;
-  for (const RegisteredProtocol& rp : standard_protocols()) {
-    Observability obs({.label = rp.name});
-    SimOptions sopts = bench_sim_options();
-    sopts.observability = &obs;
-    const SimResult result =
-        simulate(workload, rp.factory, kProcesses, sopts);
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    const RegisteredProtocol& rp = protocols[i];
+    const ProtocolCell& cell = cells[i];
+    const SimResult& result = *cell.result;
 
     w.begin_object();
     w.kv("protocol", rp.name);
@@ -163,14 +211,13 @@ int main(int argc, char** argv) {
       w.end_object();
       continue;
     }
-    const auto run = result.trace.to_user_run();
-    if (!run.has_value()) {
+    if (!cell.run.has_value()) {
       ok = false;
       w.kv("error", "trace has no user view");
       w.end_object();
       continue;
     }
-    const LimitSet set = finest_limit_set(*run);
+    const LimitSet set = cell.set;
     std::printf("%s %-10.2f %-10.1f %-10.2f %-10.2f %-10.2f %-8s\n",
                 pad_right(rp.name, 16).c_str(),
                 result.trace.control_packets_per_message(),
@@ -189,7 +236,7 @@ int main(int argc, char** argv) {
     w.kv("drops", result.trace.drops());
     w.kv("retransmissions", result.trace.retransmissions());
     w.kv("duplicate_arrivals", result.trace.duplicate_arrivals());
-    const SimInstruments& ins = obs.instruments();
+    const SimInstruments& ins = cell.obs->instruments();
     w.key("latency");
     write_histogram_json(w, *ins.latency);
     w.key("send_delay");

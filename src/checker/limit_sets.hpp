@@ -26,11 +26,24 @@ std::string to_string(LimitSet s);
 bool in_async(const UserRun& run);
 
 /// X_co: no pair of messages with (x.s |> y.s) and (y.r |> x.r).
+/// Word-parallel: for each x, the messages whose send follows x.s and
+/// the messages whose delivery precedes x.r are materialized as packed
+/// bitsets (a row slice and a transposed-row slice) and intersected a
+/// word at a time (DESIGN.md "Checker performance").
 bool in_causal(const UserRun& run);
 
 /// X_sync: a message numbering T with x.h |> y.f  =>  T(x) < T(y) exists
 /// (equivalently, the message digraph is acyclic; Section 3.4 and [18]).
+/// Runs Kahn's algorithm directly on the word-parallel message digraph
+/// of lift.hpp — no transitive closure of the digraph is needed.
 bool in_sync(const UserRun& run);
+
+/// Reference implementations retained from the seed checkers: the
+/// O(m^2) single-bit double loop and the closure-based digraph test.
+/// The equivalence tests and the before/after speedup rows of
+/// BENCH_checker_scaling.json compare against these.
+bool in_causal_naive(const UserRun& run);
+bool in_sync_naive(const UserRun& run);
 
 LimitSet finest_limit_set(const UserRun& run);
 

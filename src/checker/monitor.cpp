@@ -6,11 +6,19 @@
 namespace msgorder {
 
 OnlineMonitor::OnlineMonitor(std::vector<Message> universe,
-                             ForbiddenPredicate specification)
+                             ForbiddenPredicate specification,
+                             MonitorSearchMode mode)
     : universe_(std::move(universe)),
       spec_(std::move(specification)),
+      mode_(mode),
+      engine_(spec_, universe_),
       ancestors_(2 * universe_.size()),
-      present_(2 * universe_.size(), false) {
+      descendants_(2 * universe_.size()),
+      present_(2 * universe_.size(), false),
+      present_send_((universe_.size() + 63) / 64, 0),
+      present_deliver_((universe_.size() + 63) / 64, 0),
+      assignment_scratch_(spec_.arity, 0),
+      used_scratch_(universe_.size(), false) {
   std::size_t n_processes = 0;
   for (const Message& m : universe_) {
     n_processes = std::max({n_processes, static_cast<std::size_t>(m.src) + 1,
@@ -120,23 +128,49 @@ bool OnlineMonitor::on_event_impl(ProcessId process, SystemEvent event,
     ancestors_.or_row_into(send, idx);
     ancestors_.set(idx, send);
   }
+  // Mirror the new column into the descendant rows: the new event is a
+  // fresh descendant of each of its ancestors (its own row stays empty —
+  // a maximal event has no descendants yet).
+  ancestors_.for_each_set(
+      idx, [&](std::size_t a) { descendants_.set(a, idx); });
   present_[idx] = true;
+  if (kind == UserEventKind::kSend) {
+    present_send_[event.msg >> 6] |= 1ULL << (event.msg & 63);
+  } else {
+    present_deliver_[event.msg >> 6] |= 1ULL << (event.msg & 63);
+  }
   last_event_[process] = static_cast<long>(idx);
 
   // A newly completed pattern must bind some variable to this message.
   if (spec_.arity == 0 || spec_.arity > universe_.size()) return false;
-  std::vector<MessageId> assignment(spec_.arity, 0);
-  std::vector<bool> used(universe_.size(), false);
+  if (mode_ == MonitorSearchMode::kPruned) {
+    const WitnessEngine::View view{&descendants_, &ancestors_,
+                                   present_send_.data(),
+                                   present_deliver_.data()};
+    for (std::size_t v = 0; v < spec_.arity; ++v) {
+      if (engine_.search_pinned(view, v, event.msg, assignment_scratch_)) {
+        ++violation_count_;
+        if (!first_violation_.has_value()) {
+          first_violation_ = assignment_scratch_;
+          first_violation_time_ = time;
+          events_to_detection_ = events_seen_;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
   for (std::size_t v = 0; v < spec_.arity; ++v) {
-    assignment.assign(spec_.arity, 0);
-    std::fill(used.begin(), used.end(), false);
-    used[event.msg] = true;
-    if (!conjuncts_hold(assignment, 0, v, event.msg)) continue;
-    if (search_with_pin(v, event.msg, 0, assignment, used)) {
-      assignment[v] = event.msg;
+    assignment_scratch_.assign(spec_.arity, 0);
+    std::fill(used_scratch_.begin(), used_scratch_.end(), false);
+    used_scratch_[event.msg] = true;
+    if (!conjuncts_hold(assignment_scratch_, 0, v, event.msg)) continue;
+    if (search_with_pin(v, event.msg, 0, assignment_scratch_,
+                        used_scratch_)) {
+      assignment_scratch_[v] = event.msg;
       ++violation_count_;
       if (!first_violation_.has_value()) {
-        first_violation_ = assignment;
+        first_violation_ = assignment_scratch_;
         first_violation_time_ = time;
         events_to_detection_ = events_seen_;
       }

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/checker/search.hpp"
 #include "src/checker/violation.hpp"
 #include "src/obs/observer.hpp"
 #include "src/poset/event.hpp"
@@ -25,10 +26,18 @@
 
 namespace msgorder {
 
+/// Which witness-search implementation the monitor runs per event.
+/// kPruned (the default) is the bitset-pruned WitnessEngine; kNaive is
+/// the seed's scan-every-message search, retained as the reference for
+/// the equivalence tests and the before/after bench rows — both modes
+/// produce identical verdicts, witnesses, and detection events.
+enum class MonitorSearchMode { kPruned, kNaive };
+
 class OnlineMonitor {
  public:
   OnlineMonitor(std::vector<Message> universe,
-                ForbiddenPredicate specification);
+                ForbiddenPredicate specification,
+                MonitorSearchMode mode = MonitorSearchMode::kPruned);
 
   /// Feed the next system event (in execution order).  Invoke and
   /// receive events are ignored; sends and deliveries extend the user
@@ -83,11 +92,27 @@ class OnlineMonitor {
 
   std::vector<Message> universe_;
   ForbiddenPredicate spec_;
+  MonitorSearchMode mode_;
+  /// The bitset-pruned search engine (holds the static candidate masks
+  /// and all per-query scratch, so on_event never allocates).
+  WitnessEngine engine_;
   /// ancestors_.get(e, a) == true iff a |> e.
   BitMatrix ancestors_;
+  /// descendants_.get(e, d) == true iff e |> d — the transpose of
+  /// ancestors_, maintained incrementally (a new event joins the
+  /// descendant row of each of its ancestors) so the engine can slice
+  /// candidate sets from either direction of a conjunct.
+  BitMatrix descendants_;
   std::vector<bool> present_;
+  /// Packed presence bitsets (bit m: m's send / delivery has happened).
+  std::vector<std::uint64_t> present_send_;
+  std::vector<std::uint64_t> present_deliver_;
   /// Last user event index per process, or -1.
   std::vector<long> last_event_;
+  /// Hoisted per-event scratch for both search modes (ISSUE 3
+  /// satellite: no per-event vector construction).
+  std::vector<MessageId> assignment_scratch_;
+  std::vector<bool> used_scratch_;
   std::optional<ViolationWitness> first_violation_;
   double first_violation_time_ = 0;
   std::size_t violation_count_ = 0;

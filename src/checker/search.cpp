@@ -1,0 +1,227 @@
+#include "src/checker/search.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace msgorder {
+
+namespace {
+
+constexpr bool bit_set(const std::uint64_t* words, std::size_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1u;
+}
+
+}  // namespace
+
+WitnessEngine::WitnessEngine(ForbiddenPredicate spec,
+                             std::vector<Message> universe)
+    : spec_(std::move(spec)),
+      universe_(std::move(universe)),
+      msg_words_((universe_.size() + 63) / 64) {
+  const std::size_t arity = spec_.arity;
+  const std::size_t n = universe_.size();
+
+  std::size_t n_processes = 0;
+  for (const Message& m : universe_) {
+    n_processes = std::max({n_processes, static_cast<std::size_t>(m.src) + 1,
+                            static_cast<std::size_t>(m.dst) + 1});
+  }
+  by_src_arena_.assign(n_processes * msg_words_, 0);
+  by_dst_arena_.assign(n_processes * msg_words_, 0);
+  for (MessageId m = 0; m < n; ++m) {
+    by_src_arena_[universe_[m].src * msg_words_ + (m >> 6)] |=
+        1ULL << (m & 63);
+    by_dst_arena_[universe_[m].dst * msg_words_ + (m >> 6)] |=
+        1ULL << (m & 63);
+  }
+
+  // Static per-variable candidates: start from "every message", then
+  // intersect the attribute constraints that do not depend on any other
+  // binding (colors, same-variable process equalities).
+  static_arena_.assign(arity * msg_words_, ~0ULL);
+  if (msg_words_ > 0 && (n & 63) != 0) {
+    const std::uint64_t tail = (1ULL << (n & 63)) - 1;
+    for (std::size_t v = 0; v < arity; ++v) {
+      static_arena_[v * msg_words_ + msg_words_ - 1] &= tail;
+    }
+  }
+  const auto clear_static = [&](std::size_t v, MessageId m) {
+    static_arena_[v * msg_words_ + (m >> 6)] &= ~(1ULL << (m & 63));
+  };
+  for (const ColorConstraint& cc : spec_.color_constraints) {
+    for (MessageId m = 0; m < n; ++m) {
+      if (universe_[m].color != cc.color) clear_static(cc.var, m);
+    }
+  }
+
+  filters_.resize(arity);
+  self_conjuncts_.resize(arity);
+  needs_send_.assign(arity, false);
+  needs_deliver_.assign(arity, false);
+  const auto note_kind = [&](std::size_t v, UserEventKind k) {
+    (k == UserEventKind::kSend ? needs_send_ : needs_deliver_)[v] = true;
+  };
+  for (const Conjunct& c : spec_.conjuncts) {
+    note_kind(c.lhs, c.p);
+    note_kind(c.rhs, c.q);
+    if (c.lhs == c.rhs) {
+      self_conjuncts_[c.lhs].push_back(c);
+      continue;
+    }
+    filters_[c.lhs].push_back(
+        {PairFilter::Type::kVarOnLhs, c.p, c.q, c.rhs});
+    filters_[c.rhs].push_back(
+        {PairFilter::Type::kVarOnRhs, c.q, c.p, c.lhs});
+  }
+  for (const ProcessEquality& pe : spec_.process_constraints) {
+    if (pe.var_a == pe.var_b) {
+      // process(x.kind_a) == process(x.kind_b): static per message.
+      for (MessageId m = 0; m < n; ++m) {
+        const ProcessId a = pe.kind_a == UserEventKind::kSend
+                                ? universe_[m].src
+                                : universe_[m].dst;
+        const ProcessId b = pe.kind_b == UserEventKind::kSend
+                                ? universe_[m].src
+                                : universe_[m].dst;
+        if (a != b) clear_static(pe.var_a, m);
+      }
+      continue;
+    }
+    filters_[pe.var_a].push_back(
+        {PairFilter::Type::kSameProcess, pe.kind_a, pe.kind_b, pe.var_b});
+    filters_[pe.var_b].push_back(
+        {PairFilter::Type::kSameProcess, pe.kind_b, pe.kind_a, pe.var_a});
+  }
+
+  cand_arena_.assign(arity * msg_words_, 0);
+  used_words_.assign(msg_words_, 0);
+}
+
+void WitnessEngine::and_kind_slice(std::uint64_t* cand,
+                                   const std::uint64_t* event_row,
+                                   std::size_t event_words,
+                                   UserEventKind kind) const {
+  const unsigned phase = kind == UserEventKind::kDeliver ? 1u : 0u;
+  for (std::size_t w = 0; w < msg_words_; ++w) {
+    const std::uint64_t lo = 2 * w < event_words ? event_row[2 * w] : 0;
+    const std::uint64_t hi =
+        2 * w + 1 < event_words ? event_row[2 * w + 1] : 0;
+    cand[w] &= compress_stride2(lo, phase) |
+               (compress_stride2(hi, phase) << 32);
+  }
+}
+
+bool WitnessEngine::self_conjuncts_ok(const View& view, std::size_t var,
+                                      MessageId msg) const {
+  for (const Conjunct& c : self_conjuncts_[var]) {
+    if (!view.descendants->get(index(msg, c.p), index(msg, c.q))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WitnessEngine::unary_ok(const View& view, std::size_t var,
+                             MessageId msg) const {
+  if (!bit_set(static_row(var), msg)) return false;
+  if (needs_send_[var] && view.present_send != nullptr &&
+      !bit_set(view.present_send, msg)) {
+    return false;
+  }
+  if (needs_deliver_[var] && view.present_deliver != nullptr &&
+      !bit_set(view.present_deliver, msg)) {
+    return false;
+  }
+  return self_conjuncts_ok(view, var, msg);
+}
+
+bool WitnessEngine::dfs(const View& view, std::size_t var,
+                        std::size_t pinned_var,
+                        std::vector<MessageId>& out) {
+  const std::size_t arity = spec_.arity;
+  if (var == arity) return true;
+  if (var == pinned_var) return dfs(view, var + 1, pinned_var, out);
+
+  std::uint64_t* cand = cand_row(var);
+  const std::uint64_t* stat = static_row(var);
+  for (std::size_t w = 0; w < msg_words_; ++w) {
+    std::uint64_t c = stat[w] & ~used_words_[w];
+    if (needs_send_[var] && view.present_send != nullptr) {
+      c &= view.present_send[w];
+    }
+    if (needs_deliver_[var] && view.present_deliver != nullptr) {
+      c &= view.present_deliver[w];
+    }
+    cand[w] = c;
+  }
+  for (const PairFilter& f : filters_[var]) {
+    if (f.other >= var && f.other != pinned_var) continue;  // not bound yet
+    const MessageId om = out[f.other];
+    switch (f.type) {
+      case PairFilter::Type::kVarOnLhs:
+        // x_var.var_kind |> x_om.other_kind: the candidate's event must
+        // be an ancestor of the bound event.
+        and_kind_slice(cand,
+                       view.ancestors->row_data(index(om, f.other_kind)),
+                       view.ancestors->words_per_row(), f.var_kind);
+        break;
+      case PairFilter::Type::kVarOnRhs:
+        // x_om.other_kind |> x_var.var_kind: a descendant of it.
+        and_kind_slice(cand,
+                       view.descendants->row_data(index(om, f.other_kind)),
+                       view.descendants->words_per_row(), f.var_kind);
+        break;
+      case PairFilter::Type::kSameProcess: {
+        const Message& mo = universe_[om];
+        const ProcessId p =
+            f.other_kind == UserEventKind::kSend ? mo.src : mo.dst;
+        const std::uint64_t* mask =
+            (f.var_kind == UserEventKind::kSend ? by_src_arena_
+                                                : by_dst_arena_)
+                .data() +
+            static_cast<std::size_t>(p) * msg_words_;
+        for (std::size_t w = 0; w < msg_words_; ++w) cand[w] &= mask[w];
+        break;
+      }
+    }
+  }
+
+  const bool check_self = !self_conjuncts_[var].empty();
+  for (std::size_t w = 0; w < msg_words_; ++w) {
+    std::uint64_t bits = cand[w];
+    while (bits != 0) {
+      const auto m = static_cast<MessageId>(
+          64 * w + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      if (check_self && !self_conjuncts_ok(view, var, m)) continue;
+      out[var] = m;
+      used_words_[m >> 6] |= 1ULL << (m & 63);
+      if (dfs(view, var + 1, pinned_var, out)) return true;
+      used_words_[m >> 6] &= ~(1ULL << (m & 63));
+    }
+  }
+  return false;
+}
+
+bool WitnessEngine::search_pinned(const View& view, std::size_t pinned_var,
+                                  MessageId pinned_msg,
+                                  std::vector<MessageId>& out) {
+  const std::size_t arity = spec_.arity;
+  if (arity == 0 || arity > universe_.size()) return false;
+  if (!unary_ok(view, pinned_var, pinned_msg)) return false;
+  out.assign(arity, 0);
+  out[pinned_var] = pinned_msg;
+  std::fill(used_words_.begin(), used_words_.end(), 0);
+  used_words_[pinned_msg >> 6] |= 1ULL << (pinned_msg & 63);
+  return dfs(view, 0, pinned_var, out);
+}
+
+bool WitnessEngine::search(const View& view, std::vector<MessageId>& out) {
+  const std::size_t arity = spec_.arity;
+  if (arity == 0 || arity > universe_.size()) return false;
+  out.assign(arity, 0);
+  std::fill(used_words_.begin(), used_words_.end(), 0);
+  return dfs(view, 0, spec_.arity, out);
+}
+
+}  // namespace msgorder

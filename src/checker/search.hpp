@@ -1,0 +1,124 @@
+// Bitset-pruned witness search (ISSUE 3 tentpole): the engine behind
+// both the online monitor and the offline oracle.
+//
+// The seed searches scanned every message at every DFS level and tested
+// conjuncts one get() at a time.  This engine instead materializes, per
+// quantified variable, a packed *candidate bitset* and intersects it
+// word-parallel:
+//   * statically (once per spec x universe): color constraints,
+//     same-variable process equalities, and per-process sender/receiver
+//     masks for cross-variable process equalities;
+//   * per binding: a conjunct  x_v.p |> x_w.q  with w already bound
+//     restricts v's candidates to a kind-slice of an ancestor row
+//     (v on the left) or a descendant row (v on the right) of the
+//     causality matrix — one AND per 64 messages.
+// The DFS then enumerates only surviving candidates, in ascending
+// message order, which makes the traversal — and therefore the first
+// witness found — *identical* to the seed's lexicographic search
+// (pruning only skips bindings the seed would have rejected).
+//
+// All scratch lives in the engine, so a long-lived caller (the online
+// monitor) performs zero allocations per query.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/poset/event.hpp"
+#include "src/spec/predicate.hpp"
+#include "src/util/bitmatrix.hpp"
+
+namespace msgorder {
+
+class WitnessEngine {
+ public:
+  /// Causality context for one query.  Both matrices are indexed by the
+  /// packed user-event index 2*msg + (deliver ? 1 : 0):
+  ///   descendants->get(e, d)  iff  e |> d
+  ///   ancestors->get(e, a)    iff  a |> e
+  /// (for a closed UserRun poset these are the matrix and its
+  /// transpose; the monitor maintains both incrementally).  The packed
+  /// presence bitsets restrict bindings to messages whose send /
+  /// delivery has happened; nullptr means "all present" (complete runs).
+  struct View {
+    const BitMatrix* descendants = nullptr;
+    const BitMatrix* ancestors = nullptr;
+    const std::uint64_t* present_send = nullptr;
+    const std::uint64_t* present_deliver = nullptr;
+  };
+
+  WitnessEngine(ForbiddenPredicate spec, std::vector<Message> universe);
+
+  const ForbiddenPredicate& spec() const { return spec_; }
+  const std::vector<Message>& universe() const { return universe_; }
+
+  /// Unary feasibility of binding `msg` to `var`: color constraints,
+  /// same-variable process equalities, presence of every event kind the
+  /// conjuncts require of `var`, and same-variable conjuncts.  The
+  /// monitor's per-event early-out: if the newly delivered message fails
+  /// this for a pin, the whole pinned search is skipped.
+  bool unary_ok(const View& view, std::size_t var, MessageId msg) const;
+
+  /// Find the lexicographically-first satisfying assignment with
+  /// variable `pinned_var` fixed to `pinned_msg` (and excluded from the
+  /// other variables).  Returns false if none; on success `out` holds
+  /// the full assignment.
+  bool search_pinned(const View& view, std::size_t pinned_var,
+                     MessageId pinned_msg, std::vector<MessageId>& out);
+
+  /// Unpinned variant (the offline oracle's entry point).
+  bool search(const View& view, std::vector<MessageId>& out);
+
+ private:
+  static std::size_t index(MessageId m, UserEventKind k) {
+    return 2 * static_cast<std::size_t>(m) +
+           (k == UserEventKind::kDeliver ? 1 : 0);
+  }
+
+  /// One cross-variable constraint contributing a candidate filter for
+  /// `var` once `other` is bound.
+  struct PairFilter {
+    enum class Type : std::uint8_t {
+      kVarOnLhs,     // x_var.var_kind |> x_other.other_kind
+      kVarOnRhs,     // x_other.other_kind |> x_var.var_kind
+      kSameProcess,  // process(x_var.var_kind) == process(x_other.other_kind)
+    };
+    Type type;
+    UserEventKind var_kind;
+    UserEventKind other_kind;
+    std::size_t other;
+  };
+
+  std::uint64_t* cand_row(std::size_t var) {
+    return cand_arena_.data() + var * msg_words_;
+  }
+  const std::uint64_t* static_row(std::size_t var) const {
+    return static_arena_.data() + var * msg_words_;
+  }
+
+  bool self_conjuncts_ok(const View& view, std::size_t var,
+                         MessageId msg) const;
+  void and_kind_slice(std::uint64_t* cand, const std::uint64_t* event_row,
+                      std::size_t event_words, UserEventKind kind) const;
+  bool dfs(const View& view, std::size_t var, std::size_t pinned_var,
+           std::vector<MessageId>& out);
+
+  ForbiddenPredicate spec_;
+  std::vector<Message> universe_;
+  std::size_t msg_words_ = 0;
+
+  // --- static, computed once per (spec, universe) ---
+  std::vector<std::uint64_t> static_arena_;   // arity x msg_words_
+  std::vector<std::uint64_t> by_src_arena_;   // process x msg_words_
+  std::vector<std::uint64_t> by_dst_arena_;   // process x msg_words_
+  std::vector<std::vector<PairFilter>> filters_;     // per var
+  std::vector<std::vector<Conjunct>> self_conjuncts_;  // lhs == rhs == var
+  std::vector<bool> needs_send_;
+  std::vector<bool> needs_deliver_;
+
+  // --- reusable query scratch ---
+  std::vector<std::uint64_t> cand_arena_;  // arity x msg_words_
+  std::vector<std::uint64_t> used_words_;
+};
+
+}  // namespace msgorder

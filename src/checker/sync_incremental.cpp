@@ -1,0 +1,107 @@
+#include "src/checker/sync_incremental.hpp"
+
+#include <bit>
+
+namespace msgorder {
+
+IncrementalSyncChecker::IncrementalSyncChecker(std::size_t n_messages)
+    : n_messages_(n_messages),
+      msg_words_((n_messages + 63) / 64),
+      ancestors_(2 * n_messages),
+      reach_(n_messages),
+      reach_t_(n_messages),
+      sources_(msg_words_, 0),
+      targets_(msg_words_, 0),
+      pred_msgs_(msg_words_, 0) {}
+
+void IncrementalSyncChecker::add_edge(MessageId x, MessageId y) {
+  if (reach_.get(x, y)) return;  // implied already: closure unchanged
+  if (reach_.get(y, x)) {        // y -> ... -> x plus x -> y: a cycle
+    cyclic_ = true;
+    ++edge_count_;
+    return;
+  }
+  ++edge_count_;
+  // Snapshot both frontiers, then splice: everything that reaches x now
+  // also reaches y and y's descendants, word-parallel per row.
+  for (std::size_t w = 0; w < msg_words_; ++w) {
+    sources_[w] = reach_t_.row_data(x)[w];
+    targets_[w] = reach_.row_data(y)[w];
+  }
+  sources_[x >> 6] |= 1ULL << (x & 63);
+  targets_[y >> 6] |= 1ULL << (y & 63);
+  for (std::size_t w = 0; w < msg_words_; ++w) {
+    std::uint64_t bits = sources_[w];
+    while (bits != 0) {
+      const std::size_t z =
+          64 * w + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      reach_.or_words_into(targets_.data(), z);
+    }
+  }
+  for (std::size_t w = 0; w < msg_words_; ++w) {
+    std::uint64_t bits = targets_[w];
+    while (bits != 0) {
+      const std::size_t z =
+          64 * w + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      reach_t_.or_words_into(sources_.data(), z);
+    }
+  }
+}
+
+bool IncrementalSyncChecker::on_event(ProcessId process, SystemEvent event,
+                                      double /*time*/) {
+  if (cyclic_) return false;  // absorbing: a cycle never goes away
+  if (!is_user_kind(event.kind)) return true;
+  const UserEventKind kind = to_user_kind(event.kind);
+  const std::size_t idx = index(event.msg, kind);
+  if (process >= last_event_.size()) {
+    last_event_.resize(static_cast<std::size_t>(process) + 1, -1);
+  }
+  if (last_event_[process] >= 0) {
+    const auto prev = static_cast<std::size_t>(last_event_[process]);
+    ancestors_.or_row_into(prev, idx);
+    ancestors_.set(idx, prev);
+  }
+  if (kind == UserEventKind::kDeliver) {
+    const std::size_t send = index(event.msg, UserEventKind::kSend);
+    ancestors_.or_row_into(send, idx);
+    ancestors_.set(idx, send);
+  }
+  last_event_[process] = static_cast<long>(idx);
+
+  // Fold the event-level ancestor row message-wise: bit x iff some event
+  // of x precedes the new event — each such x gains the digraph edge
+  // x -> event.msg.
+  const std::uint64_t* anc = ancestors_.row_data(idx);
+  const std::size_t event_words = ancestors_.words_per_row();
+  for (std::size_t w = 0; w < msg_words_; ++w) {
+    const std::uint64_t lo = 2 * w < event_words ? anc[2 * w] : 0;
+    const std::uint64_t hi = 2 * w + 1 < event_words ? anc[2 * w + 1] : 0;
+    pred_msgs_[w] = (compress_stride2(lo, 0) | compress_stride2(lo, 1)) |
+                    ((compress_stride2(hi, 0) | compress_stride2(hi, 1))
+                     << 32);
+  }
+  pred_msgs_[event.msg >> 6] &= ~(1ULL << (event.msg & 63));
+
+  for (std::size_t w = 0; w < msg_words_ && !cyclic_; ++w) {
+    std::uint64_t bits = pred_msgs_[w];
+    while (bits != 0 && !cyclic_) {
+      const auto x = static_cast<MessageId>(
+          64 * w + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      add_edge(x, event.msg);
+    }
+  }
+  return !cyclic_;
+}
+
+SimObserver sync_observer(std::shared_ptr<IncrementalSyncChecker> checker) {
+  return [checker = std::move(checker)](ProcessId p, SystemEvent e,
+                                        SimTime t) {
+    checker->on_event(p, e, t);
+  };
+}
+
+}  // namespace msgorder

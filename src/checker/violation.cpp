@@ -1,5 +1,7 @@
 #include "src/checker/violation.hpp"
 
+#include "src/checker/search.hpp"
+
 namespace msgorder {
 
 namespace {
@@ -70,6 +72,17 @@ class ViolationSearch {
 }  // namespace
 
 std::optional<ViolationWitness> find_violation(
+    const UserRun& run, const ForbiddenPredicate& predicate) {
+  WitnessEngine engine(predicate, run.messages());
+  const BitMatrix ancestors = run.order().matrix().transposed();
+  const WitnessEngine::View view{&run.order().matrix(), &ancestors,
+                                 nullptr, nullptr};
+  ViolationWitness witness;
+  if (engine.search(view, witness)) return witness;
+  return std::nullopt;
+}
+
+std::optional<ViolationWitness> find_violation_naive(
     const UserRun& run, const ForbiddenPredicate& predicate) {
   return ViolationSearch(run, predicate).search();
 }

@@ -22,8 +22,16 @@ using ViolationWitness = std::vector<MessageId>;
 /// paper's quantifiers range over tuples of different messages (with
 /// repeats allowed, the trivially true x.s |> x.r conjunct would make
 /// every crown predicate hold in every non-empty run and X_sync would be
-/// empty).  Worst case O(|M|^arity) with conjunct-level pruning.
+/// empty).  Runs on the bitset-pruned WitnessEngine (candidate bitsets
+/// intersected word-parallel from the poset's reachability rows); returns
+/// the same lexicographically-first witness as the seed scan.
 std::optional<ViolationWitness> find_violation(
+    const UserRun& run, const ForbiddenPredicate& predicate);
+
+/// The seed's unpruned backtracking scan, kept as the reference
+/// implementation for the equivalence tests and before/after benches.
+/// Worst case O(|M|^arity) with conjunct-level pruning only.
+std::optional<ViolationWitness> find_violation_naive(
     const UserRun& run, const ForbiddenPredicate& predicate);
 
 /// True iff the run is in X_B.

@@ -1,5 +1,6 @@
 #include "src/poset/lift.hpp"
 
+#include <bit>
 #include <cassert>
 
 #include "src/poset/poset.hpp"
@@ -29,31 +30,78 @@ SystemRun lift(const UserRun& run) {
   return *lifted;
 }
 
-std::optional<std::vector<std::uint32_t>> sync_timestamps(
-    const UserRun& run) {
+std::vector<std::uint64_t> message_digraph(const UserRun& run) {
   const std::size_t m = run.message_count();
-  // Message digraph: x -> y iff some event of x precedes some event of y.
-  Poset digraph(m);
-  static constexpr UserEventKind kKinds[] = {UserEventKind::kSend,
-                                             UserEventKind::kDeliver};
+  const std::size_t words = (m + 63) / 64;
+  const BitMatrix& reach = run.order().matrix();
+  const std::size_t event_words = reach.words_per_row();
+  std::vector<std::uint64_t> rows(m * words, 0);
   for (MessageId x = 0; x < m; ++x) {
-    for (MessageId y = 0; y < m; ++y) {
-      if (x == y) continue;
-      for (UserEventKind h : kKinds) {
-        for (UserEventKind f : kKinds) {
-          if (run.before(x, h, y, f)) digraph.add_edge(x, y);
-        }
+    // Events reachable from either event of x, folded message-wise:
+    // bit y set iff x.s or x.r precedes y.s or y.r.
+    const std::uint64_t* send_row =
+        reach.row_data(UserRun::index(x, UserEventKind::kSend));
+    const std::uint64_t* del_row =
+        reach.row_data(UserRun::index(x, UserEventKind::kDeliver));
+    std::uint64_t* out = rows.data() + static_cast<std::size_t>(x) * words;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t lo = 2 * w < event_words
+                                   ? send_row[2 * w] | del_row[2 * w]
+                                   : 0;
+      const std::uint64_t hi = 2 * w + 1 < event_words
+                                   ? send_row[2 * w + 1] | del_row[2 * w + 1]
+                                   : 0;
+      out[w] = (compress_stride2(lo, 0) | compress_stride2(lo, 1)) |
+               ((compress_stride2(hi, 0) | compress_stride2(hi, 1)) << 32);
+    }
+    out[x >> 6] &= ~(1ULL << (x & 63));  // the digraph ignores x -> x
+  }
+  return rows;
+}
+
+std::optional<std::vector<std::uint32_t>> digraph_timestamps(
+    const std::vector<std::uint64_t>& rows, std::size_t n) {
+  const std::size_t words = n == 0 ? 0 : rows.size() / n;
+  const auto row = [&](std::size_t x) { return rows.data() + x * words; };
+  std::vector<std::uint32_t> indegree(n, 0);
+  for (std::size_t x = 0; x < n; ++x) {
+    const std::uint64_t* r = row(x);
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = r[w];
+      while (bits != 0) {
+        ++indegree[64 * w + static_cast<std::size_t>(std::countr_zero(bits))];
+        bits &= bits - 1;
       }
     }
   }
-  digraph.close();
-  const auto topo = digraph.topological_order();
-  if (!topo.has_value()) return std::nullopt;
-  std::vector<std::uint32_t> t(m, 0);
-  for (std::size_t pos = 0; pos < topo->size(); ++pos) {
-    t[(*topo)[pos]] = static_cast<std::uint32_t>(pos);
+  std::vector<std::size_t> ready;
+  for (std::size_t x = 0; x < n; ++x) {
+    if (indegree[x] == 0) ready.push_back(x);
   }
+  std::vector<std::uint32_t> t(n, 0);
+  std::uint32_t next = 0;
+  while (!ready.empty()) {
+    const std::size_t x = ready.back();
+    ready.pop_back();
+    t[x] = next++;
+    const std::uint64_t* r = row(x);
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = r[w];
+      while (bits != 0) {
+        const std::size_t y =
+            64 * w + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (--indegree[y] == 0) ready.push_back(y);
+      }
+    }
+  }
+  if (next != n) return std::nullopt;
   return t;
+}
+
+std::optional<std::vector<std::uint32_t>> sync_timestamps(
+    const UserRun& run) {
+  return digraph_timestamps(message_digraph(run), run.message_count());
 }
 
 std::optional<std::vector<std::uint32_t>> sync_numbering(

@@ -18,6 +18,22 @@ namespace msgorder {
 /// UsersView(lift(run)) == run.  Requires run.has_schedules().
 SystemRun lift(const UserRun& run);
 
+/// Packed adjacency rows of the Section-3.4 message digraph: bit y of
+/// word `x * words + y/64` is set iff x != y and some event of x
+/// precedes some event of y.  Built word-parallel from the run's
+/// reachability rows (OR the two event rows of x, then fold the
+/// send/deliver bit pair of every message), so the whole digraph costs
+/// O(m^2 / 64) words instead of the 4*m^2 single-bit queries of the
+/// naive definition.  `words` is (message_count + 63) / 64.
+std::vector<std::uint64_t> message_digraph(const UserRun& run);
+
+/// Kahn topological numbering of a packed digraph with `n` nodes as
+/// produced by message_digraph(); nullopt iff the digraph has a cycle.
+/// Works on the raw (unclosed) adjacency — no transitive closure needed
+/// for either the order or the cycle test.
+std::optional<std::vector<std::uint32_t>> digraph_timestamps(
+    const std::vector<std::uint64_t>& rows, std::size_t n);
+
 /// If the run is logically synchronous, a function T : M -> N with
 /// x.h |> y.f  =>  T(x) < T(y)   (the SYNC condition of Section 3.4);
 /// otherwise nullopt.  This is the constructive X_sync membership test:

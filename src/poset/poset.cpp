@@ -6,9 +6,7 @@ std::optional<std::vector<std::size_t>> Poset::topological_order() const {
   const std::size_t n = size();
   std::vector<std::size_t> indegree(n, 0);
   for (std::size_t u = 0; u < n; ++u) {
-    for (std::size_t v = 0; v < n; ++v) {
-      if (precedes(u, v)) ++indegree[v];
-    }
+    reach_.for_each_set(u, [&](std::size_t v) { ++indegree[v]; });
   }
   std::vector<std::size_t> ready;
   for (std::size_t v = 0; v < n; ++v) {
@@ -20,9 +18,9 @@ std::optional<std::vector<std::size_t>> Poset::topological_order() const {
     const std::size_t u = ready.back();
     ready.pop_back();
     order.push_back(u);
-    for (std::size_t v = 0; v < n; ++v) {
-      if (precedes(u, v) && --indegree[v] == 0) ready.push_back(v);
-    }
+    reach_.for_each_set(u, [&](std::size_t v) {
+      if (--indegree[v] == 0) ready.push_back(v);
+    });
   }
   if (order.size() != n) return std::nullopt;
   return order;
@@ -31,9 +29,7 @@ std::optional<std::vector<std::size_t>> Poset::topological_order() const {
 std::vector<std::pair<std::size_t, std::size_t>> Poset::pairs() const {
   std::vector<std::pair<std::size_t, std::size_t>> out;
   for (std::size_t u = 0; u < size(); ++u) {
-    for (std::size_t v = 0; v < size(); ++v) {
-      if (precedes(u, v)) out.emplace_back(u, v);
-    }
+    reach_.for_each_set(u, [&](std::size_t v) { out.emplace_back(u, v); });
   }
   return out;
 }

@@ -48,6 +48,11 @@ class Poset {
   /// Number of ordered pairs in the closed relation.
   std::size_t pair_count() const { return reach_.popcount(); }
 
+  /// The packed reachability matrix itself: row u is the descendant set
+  /// of u.  The word-parallel checkers (src/checker) build candidate
+  /// bitsets directly from these rows.
+  const BitMatrix& matrix() const { return reach_; }
+
   bool operator==(const Poset&) const = default;
 
  private:

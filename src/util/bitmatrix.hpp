@@ -1,13 +1,32 @@
 // Dense square bit matrix used for transitive-closure reachability over
 // event posets.  Rows are packed into 64-bit words so that the Warshall
 // closure runs at word speed: closing an n-event run costs O(n^2 * n/64).
+// The closure is cache-blocked over 64-column panels, and rows are
+// exposed as raw word spans (row_data) so that the checkers can build
+// candidate sets by word-parallel intersection instead of per-bit gets.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace msgorder {
+
+/// Compress the 32 bits of `word` at positions congruent to `phase`
+/// (mod 2) into the low 32 bits of the result.  With user events packed
+/// as 2*msg + kind this projects an event row onto the messages whose
+/// send (phase 0) or delivery (phase 1) bit is set.
+constexpr std::uint64_t compress_stride2(std::uint64_t word,
+                                         unsigned phase) {
+  std::uint64_t x = (word >> (phase & 1)) & 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
+  return x;
+}
 
 class BitMatrix {
  public:
@@ -15,6 +34,8 @@ class BitMatrix {
   explicit BitMatrix(std::size_t n);
 
   std::size_t size() const { return n_; }
+  /// Number of 64-bit words per packed row.
+  std::size_t words_per_row() const { return words_; }
 
   bool get(std::size_t i, std::size_t j) const {
     return (row(i)[j >> 6] >> (j & 63)) & 1u;
@@ -24,11 +45,36 @@ class BitMatrix {
     row(i)[j >> 6] &= ~(1ULL << (j & 63));
   }
 
-  /// row(i) |= row(j), the word-parallel core of the closure.
+  /// Raw packed row i: bit j of word w is get(i, 64*w + j).  For a
+  /// closed reachability matrix row i is exactly the descendant set of
+  /// i; the transposed() matrix gives ancestor sets the same way.
+  const std::uint64_t* row_data(std::size_t i) const { return row(i); }
+
+  /// row(i) |= row(j), the word-parallel core of the closure.  Safe when
+  /// src == dst (a no-op).
   void or_row_into(std::size_t src, std::size_t dst);
 
-  /// Reflexive-free transitive closure in place (Warshall over packed rows).
+  /// out[w] = row(a)[w] & row(b)[w] for all words; returns true iff the
+  /// intersection is non-empty.  `out` may be nullptr to only test.
+  bool and_rows(std::size_t a, std::size_t b,
+                std::uint64_t* out = nullptr) const;
+
+  /// row(dst) |= words, where `words` is a packed bitset of
+  /// words_per_row() words (e.g. a snapshot taken from row_data).
+  void or_words_into(const std::uint64_t* words, std::size_t dst);
+
+  /// Invoke fn(j) for every set bit j of row i, in increasing order.
+  template <typename Fn>
+  void for_each_set(std::size_t i, Fn&& fn) const;
+
+  /// Reflexive-free transitive closure in place: Warshall over packed
+  /// rows, cache-blocked over 64-wide panels of intermediate vertices so
+  /// the panel rows stay hot while every other row absorbs them.
   void transitive_closure();
+
+  /// The transposed matrix (64x64 block transpose at word speed);
+  /// row i of the result is the predecessor/ancestor set of i.
+  BitMatrix transposed() const;
 
   /// True iff some i has get(i, i): the relation has a cycle after closure.
   bool any_diagonal() const;
@@ -51,5 +97,18 @@ class BitMatrix {
   std::size_t words_ = 0;
   std::vector<std::uint64_t> bits_;
 };
+
+template <typename Fn>
+void BitMatrix::for_each_set(std::size_t i, Fn&& fn) const {
+  const std::uint64_t* r = row(i);
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t bits = r[w];
+    while (bits != 0) {
+      const auto b = static_cast<std::size_t>(std::countr_zero(bits));
+      fn(64 * w + b);
+      bits &= bits - 1;
+    }
+  }
+}
 
 }  // namespace msgorder

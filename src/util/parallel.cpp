@@ -1,0 +1,37 @@
+#include "src/util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace msgorder {
+
+std::size_t default_sweep_threads(std::size_t n_cells) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::max<std::size_t>(1, std::min(n_cells, hw ? hw : 1));
+}
+
+void parallel_for(std::size_t n_cells, std::size_t n_threads,
+                  const std::function<void(std::size_t)>& fn) {
+  n_threads = std::max<std::size_t>(1, std::min(n_threads, n_cells));
+  if (n_threads <= 1) {
+    for (std::size_t i = 0; i < n_cells; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_cells) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads - 1);
+  for (std::size_t t = 0; t + 1 < n_threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace msgorder

@@ -1,0 +1,28 @@
+// A minimal fork-join sweep runner (ISSUE 3): the bench harnesses fan
+// independent (seed, n_messages, protocol) cells out over a std::thread
+// pool.  Cells must not share mutable state — each writes only its own
+// result slot; the caller aggregates after parallel_for returns.
+//
+// No queues or futures: an atomic next-index counter hands cells to
+// workers, which is plenty for the coarse-grained cells the benches run
+// (each cell simulates and checks a whole run).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace msgorder {
+
+/// Sensible default worker count for a sweep of `n_cells` cells: the
+/// hardware concurrency, capped by the cell count, and at least 1.
+std::size_t default_sweep_threads(std::size_t n_cells);
+
+/// Run fn(i) for every i in [0, n_cells), on up to `n_threads` worker
+/// threads.  With n_threads <= 1 (or a single cell) everything runs
+/// inline on the calling thread — same observable behavior, no spawn.
+/// Joins all workers before returning; exceptions escaping fn terminate
+/// (the bench cells report failures through their result slots instead).
+void parallel_for(std::size_t n_cells, std::size_t n_threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace msgorder

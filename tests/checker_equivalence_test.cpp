@@ -1,0 +1,186 @@
+// ISSUE 3 equivalence suite: the word-parallel / incremental checker
+// engine must be observationally identical to the seed implementations
+// it replaces.  Three pairings, each driven over randomized runs:
+//   * OnlineMonitor kPruned vs kNaive on the same simulated feed —
+//     same verdict, same first witness, same detection event;
+//   * IncrementalSyncChecker vs the batch sync_timestamps oracle;
+//   * find_violation / in_causal / in_sync vs their *_naive references.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/checker/limit_sets.hpp"
+#include "src/checker/monitor.hpp"
+#include "src/checker/sync_incremental.hpp"
+#include "src/checker/violation.hpp"
+#include "src/poset/lift.hpp"
+#include "src/poset/run_generator.hpp"
+#include "src/protocols/async.hpp"
+#include "src/protocols/fifo.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/spec/library.hpp"
+
+namespace msgorder {
+namespace {
+
+std::vector<ForbiddenPredicate> equivalence_specs() {
+  return {causal_ordering(), fifo(), sync_crown(2), sync_crown(3),
+          k_weaker_causal(1)};
+}
+
+/// Feed a complete scheduled run to an observer-style callback in one
+/// linearization of its causality (events of a process stay in process
+/// order, sends precede their deliveries — any topological order of the
+/// closed poset qualifies).
+template <typename Fn>
+void feed_linearized(const UserRun& run, Fn&& fn) {
+  const auto order = run.order().topological_order();
+  ASSERT_TRUE(order.has_value());
+  for (const std::size_t idx : *order) {
+    const UserEvent e = UserRun::event_of_index(idx);
+    fn(run.process_of(e), SystemEvent{e.msg, to_system_kind(e.kind)});
+  }
+}
+
+TEST(MonitorEquivalence, PrunedMatchesNaiveOnSimulatedFeeds) {
+  for (const ForbiddenPredicate& spec : equivalence_specs()) {
+    for (const std::uint64_t seed : {1, 2, 3, 4, 5}) {
+      Rng rng(seed);
+      WorkloadOptions wopts;
+      wopts.n_processes = 4;
+      wopts.n_messages = 40;
+      wopts.mean_gap = 0.3;
+      wopts.red_fraction = 0.3;  // exercise color constraints
+      const Workload workload = random_workload(wopts, rng);
+      auto pruned = std::make_shared<OnlineMonitor>(
+          workload_universe(workload), spec, MonitorSearchMode::kPruned);
+      auto naive = std::make_shared<OnlineMonitor>(
+          workload_universe(workload), spec, MonitorSearchMode::kNaive);
+      SimOptions sopts;
+      sopts.seed = seed + 100;
+      sopts.network.jitter_mean = 2.0;
+      sopts.observers.add(monitor_observer(pruned));
+      sopts.observers.add(monitor_observer(naive));
+      const SimResult result = simulate(workload, AsyncProtocol::factory(),
+                                        wopts.n_processes, sopts);
+      ASSERT_TRUE(result.completed) << result.error;
+
+      EXPECT_EQ(pruned->violated(), naive->violated())
+          << spec.to_string() << " seed " << seed;
+      EXPECT_EQ(pruned->violation_count(), naive->violation_count());
+      EXPECT_EQ(pruned->events_to_detection(),
+                naive->events_to_detection());
+      EXPECT_EQ(pruned->first_witness(), naive->first_witness());
+    }
+  }
+}
+
+TEST(MonitorEquivalence, PrunedMatchesNaiveOnScheduledRuns) {
+  for (const ForbiddenPredicate& spec : equivalence_specs()) {
+    for (const std::uint64_t seed : {11, 12, 13}) {
+      Rng rng(seed);
+      RandomRunOptions opts;
+      opts.n_processes = 5;
+      opts.n_messages = 24;
+      opts.send_bias = 0.8;  // deep reorderings
+      opts.red_fraction = 0.25;
+      const UserRun run = random_scheduled_run(opts, rng);
+      OnlineMonitor pruned(run.messages(), spec,
+                           MonitorSearchMode::kPruned);
+      OnlineMonitor naive(run.messages(), spec, MonitorSearchMode::kNaive);
+      feed_linearized(run, [&](ProcessId p, SystemEvent e) {
+        EXPECT_EQ(pruned.on_event(p, e, 0.0), naive.on_event(p, e, 0.0));
+      });
+      EXPECT_EQ(pruned.violated(), naive.violated());
+      EXPECT_EQ(pruned.violation_count(), naive.violation_count());
+      EXPECT_EQ(pruned.first_witness(), naive.first_witness());
+      // The monitor's final verdict must also agree with the offline
+      // oracle on the complete run.
+      EXPECT_EQ(pruned.violated(), find_violation(run, spec).has_value());
+    }
+  }
+}
+
+TEST(IncrementalSync, MatchesBatchOracleOnSimulatedFeeds) {
+  for (const bool fifo_protocol : {false, true}) {
+    for (const std::uint64_t seed : {21, 22, 23, 24}) {
+      Rng rng(seed);
+      WorkloadOptions wopts;
+      wopts.n_processes = 4;
+      wopts.n_messages = 60;
+      wopts.mean_gap = 0.4;
+      const Workload workload = random_workload(wopts, rng);
+      auto checker =
+          std::make_shared<IncrementalSyncChecker>(wopts.n_messages);
+      SimOptions sopts;
+      sopts.seed = seed;
+      sopts.network.jitter_mean = 1.5;
+      sopts.observers.add(sync_observer(checker));
+      const SimResult result = simulate(
+          workload,
+          fifo_protocol ? FifoProtocol::factory() : AsyncProtocol::factory(),
+          wopts.n_processes, sopts);
+      ASSERT_TRUE(result.completed) << result.error;
+      const auto run = result.trace.to_user_run();
+      ASSERT_TRUE(run.has_value());
+      EXPECT_EQ(checker->in_sync(), in_sync(*run)) << "seed " << seed;
+      EXPECT_EQ(checker->in_sync(),
+                sync_timestamps(*run).has_value());
+    }
+  }
+}
+
+TEST(IncrementalSync, MatchesBatchOracleOnScheduledRuns) {
+  for (const std::uint64_t seed : {31, 32, 33, 34, 35, 36}) {
+    Rng rng(seed);
+    RandomRunOptions opts;
+    opts.n_processes = 4;
+    opts.n_messages = 30;
+    // Low bias keeps some runs synchronous, so both verdicts appear.
+    opts.send_bias = (seed % 2 == 0) ? 0.1 : 0.9;
+    const UserRun run = random_scheduled_run(opts, rng);
+    IncrementalSyncChecker checker(run.message_count());
+    feed_linearized(run, [&](ProcessId p, SystemEvent e) {
+      checker.on_event(p, e);
+    });
+    EXPECT_EQ(checker.in_sync(), in_sync(run)) << "seed " << seed;
+  }
+}
+
+TEST(LimitSetCheckers, WordParallelMatchesNaive) {
+  for (const std::uint64_t seed : {41, 42, 43, 44, 45}) {
+    Rng rng(seed);
+    RandomRunOptions opts;
+    opts.n_processes = 4;
+    opts.n_messages = 36;
+    opts.send_bias = (seed % 2 == 0) ? 0.2 : 0.8;
+    const UserRun scheduled = random_scheduled_run(opts, rng);
+    const UserRun abstract =
+        random_abstract_run(20, /*density=*/0.15, rng);
+    for (const UserRun* run : {&scheduled, &abstract}) {
+      EXPECT_EQ(in_causal(*run), in_causal_naive(*run)) << seed;
+      EXPECT_EQ(in_sync(*run), in_sync_naive(*run)) << seed;
+    }
+  }
+}
+
+TEST(OracleEquivalence, EngineFindsTheSameFirstWitnessAcrossZoo) {
+  for (const std::uint64_t seed : {51, 52, 53}) {
+    Rng rng(seed);
+    RandomRunOptions opts;
+    opts.n_processes = 5;
+    opts.n_messages = 18;
+    opts.send_bias = 0.8;
+    opts.red_fraction = 0.3;
+    const UserRun run = random_scheduled_run(opts, rng);
+    for (const NamedSpec& named : spec_zoo()) {
+      const auto fast = find_violation(run, named.predicate);
+      const auto slow = find_violation_naive(run, named.predicate);
+      EXPECT_EQ(fast, slow) << named.name << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace msgorder

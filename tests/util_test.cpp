@@ -130,6 +130,131 @@ TEST(BitMatrix, Popcounts) {
   EXPECT_EQ(m.popcount(), 3u);
 }
 
+TEST(BitMatrix, OrRowIntoSelfAliasIsNoOp) {
+  BitMatrix m(70);
+  m.set(5, 1);
+  m.set(5, 69);
+  const BitMatrix before = m;
+  m.or_row_into(5, 5);  // src == dst must be safe and change nothing
+  EXPECT_EQ(m, before);
+}
+
+TEST(BitMatrix, OrRowIntoAcrossWords) {
+  BitMatrix m(130);
+  m.set(0, 3);
+  m.set(0, 64);
+  m.set(0, 129);
+  m.set(1, 64);
+  m.or_row_into(0, 1);
+  EXPECT_TRUE(m.get(1, 3));
+  EXPECT_TRUE(m.get(1, 64));
+  EXPECT_TRUE(m.get(1, 129));
+  EXPECT_FALSE(m.get(1, 0));
+}
+
+TEST(BitMatrix, AndRowsReportsIntersection) {
+  BitMatrix m(70);
+  m.set(0, 3);
+  m.set(0, 69);
+  m.set(1, 69);
+  m.set(2, 5);
+  std::vector<std::uint64_t> out(m.words_per_row(), ~0ULL);
+  EXPECT_TRUE(m.and_rows(0, 1, out.data()));
+  EXPECT_EQ(out[1], 1ULL << (69 - 64));
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_FALSE(m.and_rows(0, 2));
+}
+
+TEST(BitMatrix, OrWordsInto) {
+  BitMatrix m(70);
+  std::vector<std::uint64_t> words(m.words_per_row(), 0);
+  words[0] = 0b101;
+  words[1] = 1;  // bit 64
+  m.set(4, 1);
+  m.or_words_into(words.data(), 4);
+  EXPECT_TRUE(m.get(4, 0));
+  EXPECT_TRUE(m.get(4, 1));
+  EXPECT_TRUE(m.get(4, 2));
+  EXPECT_TRUE(m.get(4, 64));
+  EXPECT_EQ(m.row_popcount(4), 4u);
+}
+
+TEST(BitMatrix, ForEachSetAscending) {
+  BitMatrix m(130);
+  for (std::size_t j : {0u, 63u, 64u, 129u}) m.set(7, j);
+  std::vector<std::size_t> seen;
+  m.for_each_set(7, [&](std::size_t j) { seen.push_back(j); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 63, 64, 129}));
+}
+
+TEST(BitMatrix, TransposedMatchesPerBit) {
+  Rng rng(123);
+  for (const std::size_t n : {1u, 5u, 64u, 70u, 130u}) {
+    BitMatrix m(n);
+    for (std::size_t k = 0; k < 3 * n; ++k) {
+      m.set(rng.below(n), rng.below(n));
+    }
+    const BitMatrix t = m.transposed();
+    ASSERT_EQ(t.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(t.get(i, j), m.get(j, i)) << n << " " << i << " " << j;
+      }
+    }
+  }
+}
+
+/// Word-free Floyd-Warshall used as the reference for the blocked
+/// closure.
+std::vector<std::vector<bool>> brute_closure(const BitMatrix& m) {
+  const std::size_t n = m.size();
+  std::vector<std::vector<bool>> r(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) r[i][j] = m.get(i, j);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!r[i][k]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (r[k][j]) r[i][j] = true;
+      }
+    }
+  }
+  return r;
+}
+
+TEST(BitMatrix, BlockedClosureMatchesFloydWarshall) {
+  Rng rng(7);
+  // Sizes crossing the 64-wide panel boundary; mix sparse and dense.
+  for (const std::size_t n : {5u, 63u, 64u, 65u, 70u, 130u}) {
+    for (const std::size_t edges : {n / 2, 2 * n, 4 * n}) {
+      BitMatrix m(n);
+      for (std::size_t k = 0; k < edges; ++k) {
+        m.set(rng.below(n), rng.below(n));
+      }
+      const auto expect = brute_closure(m);
+      m.transitive_closure();
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(m.get(i, j), expect[i][j])
+              << "n=" << n << " edges=" << edges << " at " << i << ","
+              << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(BitMatrix, CompressStride2Phases) {
+  // Events 2k (sends) and 2k+1 (delivers) interleave within a word.
+  const std::uint64_t word = 0b110110;  // events 1,2,4,5 set
+  EXPECT_EQ(compress_stride2(word, 0), 0b110u);   // sends: msgs 1,2
+  EXPECT_EQ(compress_stride2(word, 1), 0b101u);   // delivers: msgs 0,2
+  EXPECT_EQ(compress_stride2(~0ULL, 0), 0xFFFFFFFFu);
+  EXPECT_EQ(compress_stride2(~0ULL, 1), 0xFFFFFFFFu);
+  EXPECT_EQ(compress_stride2(0, 0), 0u);
+}
+
 TEST(Strings, SplitBasic) {
   const auto parts = split("a,b,,c", ',');
   ASSERT_EQ(parts.size(), 4u);
