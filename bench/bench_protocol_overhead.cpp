@@ -69,10 +69,11 @@ SimOptions bench_sim_options() {
 /// The tentpole's zero-cost promise: with SimOptions::observability left
 /// at nullptr (the default) the instrumentation must be invisible.  This
 /// microbench times the same simulation disabled vs fully enabled
-/// (metrics + span tracer); the *disabled* configuration is the one the
-/// driver compares against the seed revision (< 2% budget) — here we
-/// report both so a regression of the disabled path shows up as its
-/// time converging toward the enabled one.
+/// (metrics + span tracer + hold attribution + flight recorder, ISSUE
+/// 4); the *disabled* configuration is the one the driver compares
+/// against the seed revision (< 2% budget) — here we report both so a
+/// regression of the disabled path shows up as its time converging
+/// toward the enabled one.
 int overhead_guard() {
   const Workload workload = bench_workload();
   const auto time_run = [&](Observability* obs) {
@@ -100,12 +101,16 @@ int overhead_guard() {
 
   const double disabled = time_run(nullptr);
   if (disabled < 0) return 1;
-  Observability obs({.tracing = true, .label = "fifo"});
+  Observability obs({.tracing = true,
+                     .attribution = true,
+                     .flight_recorder = true,
+                     .label = "fifo"});
   const double enabled = time_run(&obs);
   if (enabled < 0) return 1;
 
   const double ratio = enabled / disabled;
-  std::printf("observability off: %.4fs   on (metrics+tracer): %.4fs   "
+  std::printf("observability off: %.4fs   "
+              "on (metrics+tracer+attribution+recorder): %.4fs   "
               "ratio %.3f\n",
               disabled, enabled, ratio);
   // Generous bound: even the fully *enabled* path must stay cheap; the

@@ -3,10 +3,12 @@
 // sequenced FIFO with the traffic, once racing them — and show what the
 // recorded cuts look like.
 //
-// Observability flags (ISSUE 2):
+// Observability flags (ISSUE 2, ISSUE 4):
 //   --json <path>    write both variants' verdicts as JSON
 //                    (schema msgorder.example.global_snapshot/1)
 //   --trace <path>   write a Chrome-trace JSON of the FIFO-marker run
+//   --flight-recorder <path>  dump a post-mortem JSON there if the
+//                    FIFO-marker run fails to complete
 #include <cstdio>
 #include <string>
 
@@ -14,6 +16,7 @@
 #include "src/obs/cli.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/observability.hpp"
+#include "src/obs/report.hpp"
 #include "src/poset/diagram.hpp"
 #include "src/sim/simulator.hpp"
 
@@ -29,7 +32,8 @@ struct VariantOutcome {
 };
 
 VariantOutcome run_variant(bool fifo_markers,
-                           const std::string& trace_path = "") {
+                           const std::string& trace_path = "",
+                           const std::string& flight_path = "") {
   VariantOutcome outcome;
   Rng rng(7);
   WorkloadOptions wopts;
@@ -42,6 +46,7 @@ VariantOutcome run_variant(bool fifo_markers,
   options.fifo_markers = fifo_markers;
   ObservabilityOptions oopts;
   oopts.tracing = !trace_path.empty();
+  oopts.flight_recorder = !flight_path.empty();
   Observability obs(oopts);
   SimOptions sopts;
   sopts.seed = 11;
@@ -54,6 +59,11 @@ VariantOutcome run_variant(bool fifo_markers,
               fifo_markers ? "FIFO with traffic" : "racing the traffic");
   if (!result.completed) {
     std::printf("simulation failed: %s\n", result.error.c_str());
+    if (!flight_path.empty() &&
+        dump_postmortem_if_red(flight_path, result, &obs)) {
+      std::printf("wrote flight-recorder post-mortem %s\n",
+                  flight_path.c_str());
+    }
     return outcome;
   }
   outcome.completed = true;
@@ -109,7 +119,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const VariantOutcome fifo = run_variant(true, cli.trace_path);
+  const VariantOutcome fifo =
+      run_variant(true, cli.trace_path, cli.flight_path);
   const VariantOutcome racing = run_variant(false);
   std::printf("the FIFO variant records a consistent cut every time; "
               "see bench_snapshot for the full sweep.\n");

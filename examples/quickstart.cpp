@@ -1,9 +1,11 @@
 // Quickstart: specify a message ordering with a forbidden predicate,
 // classify it, and run the synthesized protocol on a random workload.
 //
-// Observability flags (ISSUE 2):
-//   --json <path>    write a msgorder.run_report/1 JSON report
-//   --trace <path>   write a Chrome-trace JSON (open in Perfetto)
+// Observability flags (ISSUE 2, ISSUE 4):
+//   --json <path>             write a msgorder.run_report/1 JSON report
+//   --trace <path>            write a Chrome-trace JSON (open in Perfetto)
+//   --flight-recorder <path>  dump a post-mortem JSON there if the run
+//                             violates the spec or fails to complete
 #include <cstdio>
 
 #include "src/checker/limit_sets.hpp"
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
 
   ObservabilityOptions oopts;
   oopts.tracing = !cli.trace_path.empty();
+  oopts.flight_recorder = !cli.flight_path.empty();
   Observability obs(oopts);
   auto monitor =
       std::make_shared<OnlineMonitor>(workload_universe(workload), spec);
@@ -65,6 +68,17 @@ int main(int argc, char** argv) {
 
   const SimResult result =
       simulate(workload, *synthesis.factory, wopts.n_processes, sopts);
+  if (!cli.flight_path.empty()) {
+    std::string fr_error;
+    if (dump_postmortem_if_red(cli.flight_path, result, &obs, monitor.get(),
+                               &fr_error)) {
+      std::printf("run went red: wrote flight-recorder post-mortem %s\n",
+                  cli.flight_path.c_str());
+    } else if (!fr_error.empty()) {
+      std::printf("could not write %s: %s\n", cli.flight_path.c_str(),
+                  fr_error.c_str());
+    }
+  }
   if (!result.completed) {
     std::printf("simulation failed: %s\n", result.error.c_str());
     return 1;

@@ -71,6 +71,13 @@ class OnlineMonitor {
   /// Number of on_event calls measured; divides on_event_seconds().
   std::uint64_t timed_events() const { return timed_events_; }
 
+  /// Attach (nullptr: detach) a caller-owned stats sink to the pruned
+  /// search engine — candidate populations, words scanned, prune rate
+  /// (ISSUE 4).  No effect on what kNaive mode counts.
+  void set_engine_stats(WitnessEngine::Stats* stats) {
+    engine_.set_stats(stats);
+  }
+
   /// The monitor's view of causality so far (for tests).
   bool before(UserEvent a, UserEvent b) const;
 

@@ -154,6 +154,14 @@ bool WitnessEngine::dfs(const View& view, std::size_t var,
     }
     cand[w] = c;
   }
+  if (stats_ != nullptr) {
+    ++stats_->dfs_nodes;
+    stats_->words_scanned += msg_words_;
+    for (std::size_t w = 0; w < msg_words_; ++w) {
+      stats_->candidates_initial +=
+          static_cast<std::uint64_t>(std::popcount(cand[w]));
+    }
+  }
   for (const PairFilter& f : filters_[var]) {
     if (f.other >= var && f.other != pinned_var) continue;  // not bound yet
     const MessageId om = out[f.other];
@@ -186,6 +194,15 @@ bool WitnessEngine::dfs(const View& view, std::size_t var,
     }
   }
 
+  if (stats_ != nullptr) {
+    stats_->words_scanned +=
+        static_cast<std::uint64_t>(filters_[var].size()) * msg_words_;
+    for (std::size_t w = 0; w < msg_words_; ++w) {
+      stats_->candidates_surviving +=
+          static_cast<std::uint64_t>(std::popcount(cand[w]));
+    }
+  }
+
   const bool check_self = !self_conjuncts_[var].empty();
   for (std::size_t w = 0; w < msg_words_; ++w) {
     std::uint64_t bits = cand[w];
@@ -193,6 +210,7 @@ bool WitnessEngine::dfs(const View& view, std::size_t var,
       const auto m = static_cast<MessageId>(
           64 * w + static_cast<std::size_t>(std::countr_zero(bits)));
       bits &= bits - 1;
+      if (stats_ != nullptr) ++stats_->enumerated;
       if (check_self && !self_conjuncts_ok(view, var, m)) continue;
       out[var] = m;
       used_words_[m >> 6] |= 1ULL << (m & 63);
@@ -208,20 +226,26 @@ bool WitnessEngine::search_pinned(const View& view, std::size_t pinned_var,
                                   std::vector<MessageId>& out) {
   const std::size_t arity = spec_.arity;
   if (arity == 0 || arity > universe_.size()) return false;
+  if (stats_ != nullptr) ++stats_->searches;
   if (!unary_ok(view, pinned_var, pinned_msg)) return false;
   out.assign(arity, 0);
   out[pinned_var] = pinned_msg;
   std::fill(used_words_.begin(), used_words_.end(), 0);
   used_words_[pinned_msg >> 6] |= 1ULL << (pinned_msg & 63);
-  return dfs(view, 0, pinned_var, out);
+  const bool found = dfs(view, 0, pinned_var, out);
+  if (found && stats_ != nullptr) ++stats_->witnesses;
+  return found;
 }
 
 bool WitnessEngine::search(const View& view, std::vector<MessageId>& out) {
   const std::size_t arity = spec_.arity;
   if (arity == 0 || arity > universe_.size()) return false;
+  if (stats_ != nullptr) ++stats_->searches;
   out.assign(arity, 0);
   std::fill(used_words_.begin(), used_words_.end(), 0);
-  return dfs(view, 0, spec_.arity, out);
+  const bool found = dfs(view, 0, spec_.arity, out);
+  if (found && stats_ != nullptr) ++stats_->witnesses;
+  return found;
 }
 
 }  // namespace msgorder

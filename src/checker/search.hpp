@@ -47,10 +47,36 @@ class WitnessEngine {
     const std::uint64_t* present_deliver = nullptr;
   };
 
+  /// Search instrumentation (ISSUE 4): populated only when attached via
+  /// set_stats — the hot path pays a single pointer test per DFS level
+  /// when disabled (the default).
+  struct Stats {
+    std::uint64_t searches = 0;        // search / search_pinned calls
+    std::uint64_t witnesses = 0;       // searches that found an assignment
+    std::uint64_t dfs_nodes = 0;       // candidate sets materialized
+    std::uint64_t words_scanned = 0;   // 64-bit candidate words touched
+    std::uint64_t candidates_initial = 0;    // population before pair filters
+    std::uint64_t candidates_surviving = 0;  // population after pair filters
+    std::uint64_t enumerated = 0;      // bindings actually tried by the DFS
+
+    /// Fraction of statically feasible candidates the word-parallel
+    /// pair filters eliminated before enumeration.
+    double prune_rate() const {
+      return candidates_initial == 0
+                 ? 0.0
+                 : 1.0 - static_cast<double>(candidates_surviving) /
+                             static_cast<double>(candidates_initial);
+    }
+  };
+
   WitnessEngine(ForbiddenPredicate spec, std::vector<Message> universe);
 
   const ForbiddenPredicate& spec() const { return spec_; }
   const std::vector<Message>& universe() const { return universe_; }
+
+  /// Attach (or detach with nullptr) a stats sink owned by the caller.
+  void set_stats(Stats* stats) { stats_ = stats; }
+  Stats* stats() const { return stats_; }
 
   /// Unary feasibility of binding `msg` to `var`: color constraints,
   /// same-variable process equalities, presence of every event kind the
@@ -119,6 +145,8 @@ class WitnessEngine {
   // --- reusable query scratch ---
   std::vector<std::uint64_t> cand_arena_;  // arity x msg_words_
   std::vector<std::uint64_t> used_words_;
+
+  Stats* stats_ = nullptr;  // nullptr = instrumentation off (default)
 };
 
 }  // namespace msgorder

@@ -15,7 +15,10 @@ IncrementalSyncChecker::IncrementalSyncChecker(std::size_t n_messages)
       pred_msgs_(msg_words_, 0) {}
 
 void IncrementalSyncChecker::add_edge(MessageId x, MessageId y) {
-  if (reach_.get(x, y)) return;  // implied already: closure unchanged
+  if (reach_.get(x, y)) {  // implied already: closure unchanged
+    ++implied_edges_;
+    return;
+  }
   if (reach_.get(y, x)) {        // y -> ... -> x plus x -> y: a cycle
     cyclic_ = true;
     ++edge_count_;
@@ -37,6 +40,7 @@ void IncrementalSyncChecker::add_edge(MessageId x, MessageId y) {
           64 * w + static_cast<std::size_t>(std::countr_zero(bits));
       bits &= bits - 1;
       reach_.or_words_into(targets_.data(), z);
+      ++splice_row_ors_;
     }
   }
   for (std::size_t w = 0; w < msg_words_; ++w) {
@@ -46,6 +50,7 @@ void IncrementalSyncChecker::add_edge(MessageId x, MessageId y) {
           64 * w + static_cast<std::size_t>(std::countr_zero(bits));
       bits &= bits - 1;
       reach_t_.or_words_into(sources_.data(), z);
+      ++splice_row_ors_;
     }
   }
 }

@@ -40,6 +40,14 @@ class IncrementalSyncChecker {
   /// Number of distinct digraph edges recorded so far.
   std::size_t edge_count() const { return edge_count_; }
 
+  // --- closure-maintenance instrumentation (ISSUE 4; always-on: the
+  // counters ride on paths that already do O(m/64) word work) ---
+
+  /// Proposed edges already implied by the closure (skipped for free).
+  std::uint64_t implied_edges() const { return implied_edges_; }
+  /// Word-parallel row ORs performed while splicing new edges in.
+  std::uint64_t splice_row_ors() const { return splice_row_ors_; }
+
  private:
   static std::size_t index(MessageId m, UserEventKind k) {
     return 2 * static_cast<std::size_t>(m) +
@@ -61,6 +69,8 @@ class IncrementalSyncChecker {
   std::vector<std::uint64_t> targets_;
   std::vector<std::uint64_t> pred_msgs_;
   std::size_t edge_count_ = 0;
+  std::uint64_t implied_edges_ = 0;
+  std::uint64_t splice_row_ors_ = 0;
   bool cyclic_ = false;
 };
 

@@ -1,0 +1,118 @@
+#include "src/obs/attribution.hpp"
+
+#include "src/obs/json.hpp"
+
+namespace msgorder {
+
+std::string to_string(HoldPhase phase) {
+  return phase == HoldPhase::kSend ? "send" : "delivery";
+}
+
+DelayAttribution::DelayAttribution(std::size_t n_messages)
+    : per_message_(n_messages) {}
+
+const HoldSegment* DelayAttribution::close_open(PerMessage& pm,
+                                                SimTime now) {
+  pm.open = false;
+  last_closed_ = HoldSegment{
+      static_cast<MessageId>(&pm - per_message_.data()), pm.process,
+      pm.phase, pm.reason, pm.begin, now};
+  pm.closed.push_back(last_closed_);
+  const auto kind = static_cast<std::size_t>(pm.reason.kind);
+  if (kind < kHoldKindCount) {
+    totals_by_kind_[kind] += last_closed_.duration();
+  }
+  ++segment_count_;
+  return &last_closed_;
+}
+
+const HoldSegment* DelayAttribution::on_hold(MessageId msg,
+                                             ProcessId process,
+                                             HoldPhase phase,
+                                             const HoldReason& reason,
+                                             SimTime now) {
+  if (msg >= per_message_.size()) return nullptr;
+  PerMessage& pm = per_message_[msg];
+  const HoldSegment* closed = nullptr;
+  if (pm.open) {
+    // Same phase and reason: the hold simply persists; keep the segment
+    // open so re-reports on every drain pass do not fragment the table.
+    if (pm.phase == phase && pm.reason == reason) return nullptr;
+    closed = close_open(pm, now);
+  }
+  pm.open = true;
+  pm.phase = phase;
+  pm.reason = reason;
+  pm.process = process;
+  pm.begin = now;
+  return closed;
+}
+
+const HoldSegment* DelayAttribution::on_release(MessageId msg,
+                                                HoldPhase phase,
+                                                SimTime now) {
+  if (msg >= per_message_.size()) return nullptr;
+  PerMessage& pm = per_message_[msg];
+  if (!pm.open || pm.phase != phase) return nullptr;
+  return close_open(pm, now);
+}
+
+SimTime DelayAttribution::held_time(MessageId msg, HoldPhase phase) const {
+  SimTime total = 0;
+  for (const HoldSegment& s : per_message_[msg].closed) {
+    if (s.phase == phase) total += s.duration();
+  }
+  return total;
+}
+
+void write_hold_reason_json(JsonWriter& w, const HoldReason& reason) {
+  w.begin_object();
+  w.kv("kind", to_string(reason.kind));
+  if (reason.blocking_msg.has_value()) {
+    w.kv("blocking_msg", *reason.blocking_msg);
+  }
+  if (reason.blocking_proc.has_value()) {
+    w.kv("blocking_proc", static_cast<std::uint64_t>(*reason.blocking_proc));
+  }
+  w.end_object();
+}
+
+void DelayAttribution::write_json(JsonWriter& w,
+                                  std::size_t max_messages) const {
+  w.begin_object();
+  w.kv("segments", segment_count_);
+  w.key("held_by_reason").begin_object();
+  for (std::size_t k = 1; k < kHoldKindCount; ++k) {
+    w.kv(to_string(static_cast<HoldKind>(k)), totals_by_kind_[k]);
+  }
+  w.end_object();
+  w.key("messages").begin_array();
+  std::size_t written = 0;
+  for (MessageId m = 0; m < per_message_.size(); ++m) {
+    const PerMessage& pm = per_message_[m];
+    if (pm.closed.empty()) continue;
+    if (max_messages != 0 && written >= max_messages) break;
+    ++written;
+    w.begin_object();
+    w.kv("msg", m);
+    w.kv("held_send", held_time(m, HoldPhase::kSend));
+    w.kv("held_delivery", held_time(m, HoldPhase::kDelivery));
+    w.key("segments").begin_array();
+    for (const HoldSegment& s : pm.closed) {
+      w.begin_object();
+      w.kv("phase", to_string(s.phase));
+      w.kv("process", static_cast<std::uint64_t>(s.process));
+      w.kv("begin", s.begin);
+      w.kv("end", s.end);
+      w.key("reason");
+      write_hold_reason_json(w, s.reason);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace msgorder

@@ -1,0 +1,105 @@
+// Per-message delay attribution (ISSUE 4 tentpole): the paper's
+// inhibitor made measurable.  The simulator forwards every
+// Host::hold(msg, reason) here; segments open at the report time and
+// close when the reason changes or the inhibited event (x.s or x.r)
+// finally executes.  Because protocols report the *first* hold at the
+// moment they decline to release (invoke time on the send side,
+// receive time on the delivery side) and consecutive segments share
+// their boundary instant, the per-reason segment times of a message sum
+// exactly to its recorded send/delivery delay — asserted across the
+// protocol registry by tests/obs_attribution_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/protocols/protocol.hpp"
+
+namespace msgorder {
+
+class JsonWriter;
+
+/// Which of a message's two inhibitable transitions a hold delays.
+enum class HoldPhase : std::uint8_t {
+  kSend,      // x.s* -> x.s, released by the send event
+  kDelivery,  // x.r* -> x.r, released by the delivery event
+};
+
+std::string to_string(HoldPhase phase);
+
+/// One closed attribution interval: `reason` held `msg` at `process`
+/// over [begin, end].
+struct HoldSegment {
+  MessageId msg = 0;
+  ProcessId process = 0;  // where the hold happened (src / dst)
+  HoldPhase phase = HoldPhase::kDelivery;
+  HoldReason reason;
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  SimTime duration() const { return end - begin; }
+};
+
+/// The run-level attribution table: per message, the closed hold
+/// segments in time order, plus aggregate per-reason totals.  Single
+/// writer (the simulator engine); size is known up front so hot-path
+/// appends never rehash.
+class DelayAttribution {
+ public:
+  explicit DelayAttribution(std::size_t n_messages);
+
+  /// A protocol (re-)reported a hold.  A same-reason re-report extends
+  /// the open segment; a new reason closes it at `now` and opens the
+  /// next one.  Returns the closed segment, if this report closed one.
+  /// `process` is the process the report came from.
+  const HoldSegment* on_hold(MessageId msg, ProcessId process,
+                             HoldPhase phase, const HoldReason& reason,
+                             SimTime now);
+
+  /// The inhibited event executed: close any open segment of `phase` at
+  /// `now`.  Returns the closed segment, if any.
+  const HoldSegment* on_release(MessageId msg, HoldPhase phase,
+                                SimTime now);
+
+  std::size_t message_count() const { return per_message_.size(); }
+  const std::vector<HoldSegment>& segments(MessageId msg) const {
+    return per_message_[msg].closed;
+  }
+  /// Sum of closed-segment durations of one phase for one message.
+  SimTime held_time(MessageId msg, HoldPhase phase) const;
+  /// Run-wide total held time per reason kind (both phases).
+  const std::array<SimTime, kHoldKindCount>& totals_by_kind() const {
+    return totals_by_kind_;
+  }
+  std::uint64_t segment_count() const { return segment_count_; }
+
+  /// Append the "attribution" report section: per-reason totals plus
+  /// the per-message table (only messages that were ever held), as an
+  /// open value for the current key (schema part of
+  /// msgorder.run_report/1, see DESIGN.md "Observability").
+  void write_json(JsonWriter& w, std::size_t max_messages = 0) const;
+
+ private:
+  struct PerMessage {
+    bool open = false;
+    HoldPhase phase = HoldPhase::kDelivery;
+    HoldReason reason;
+    ProcessId process = 0;
+    SimTime begin = 0;
+    std::vector<HoldSegment> closed;
+  };
+
+  const HoldSegment* close_open(PerMessage& pm, SimTime now);
+
+  std::vector<PerMessage> per_message_;
+  std::array<SimTime, kHoldKindCount> totals_by_kind_{};
+  std::uint64_t segment_count_ = 0;
+  HoldSegment last_closed_;
+};
+
+/// Serialize one hold reason as an object ({"kind": "...", optional
+/// "blocking_msg"/"blocking_proc"}).
+void write_hold_reason_json(JsonWriter& w, const HoldReason& reason);
+
+}  // namespace msgorder

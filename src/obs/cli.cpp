@@ -13,6 +13,8 @@ ObsCli parse_obs_cli(int& argc, char** argv) {
       target = &out.json_path;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       target = &out.trace_path;
+    } else if (std::strcmp(argv[i], "--flight-recorder") == 0) {
+      target = &out.flight_path;
     }
     if (target == nullptr) {
       argv[kept++] = argv[i];

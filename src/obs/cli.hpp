@@ -1,6 +1,8 @@
 // Shared flag parsing for the example binaries (ISSUE 2):
-//   --json <path>    write a machine-readable report
-//   --trace <path>   write a Chrome-trace JSON of a traced run
+//   --json <path>             write a machine-readable report
+//   --trace <path>            write a Chrome-trace JSON of a traced run
+//   --flight-recorder <path>  arm the flight recorder; dump a post-mortem
+//                             JSON there when the run goes red (ISSUE 4)
 // Unrecognized arguments are left in place (compacted to the front of
 // argv past argv[0]) so examples with their own positional arguments
 // keep working.
@@ -11,8 +13,9 @@
 namespace msgorder {
 
 struct ObsCli {
-  std::string json_path;   // empty = no report requested
-  std::string trace_path;  // empty = no chrome trace requested
+  std::string json_path;    // empty = no report requested
+  std::string trace_path;   // empty = no chrome trace requested
+  std::string flight_path;  // empty = flight recorder not armed
   bool ok = true;
   std::string error;
 };

@@ -1,0 +1,84 @@
+#include "src/obs/flight_recorder.hpp"
+
+#include <utility>
+
+#include "src/obs/json.hpp"
+
+namespace msgorder {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::on_event(ProcessId p, SystemEvent e, SimTime t) {
+  FlightRecord& r = ring_[written_++ % ring_.size()];
+  r.type = FlightRecord::Type::kEvent;
+  r.time = t;
+  r.process = p;
+  r.event = e;
+  r.note.clear();
+}
+
+void FlightRecorder::on_hold_segment(const HoldSegment& segment) {
+  FlightRecord& r = ring_[written_++ % ring_.size()];
+  r.type = FlightRecord::Type::kHold;
+  r.time = segment.end;
+  r.process = segment.process;
+  r.segment = segment;
+  r.note.clear();
+}
+
+void FlightRecorder::note(std::string text, SimTime t) {
+  FlightRecord& r = ring_[written_++ % ring_.size()];
+  r.type = FlightRecord::Type::kNote;
+  r.time = t;
+  r.process = 0;
+  r.note = std::move(text);
+}
+
+std::string FlightRecorder::to_json(const std::string& cause) const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "msgorder.flight_recorder/1");
+  w.kv("cause", cause);
+  w.kv("capacity", capacity());
+  w.kv("total_records", total_records());
+  w.kv("dropped", total_records() - size());
+  w.key("records").begin_array();
+  for_each([&](const FlightRecord& r) {
+    w.begin_object();
+    w.kv("t", r.time);
+    switch (r.type) {
+      case FlightRecord::Type::kEvent:
+        w.kv("type", "event");
+        w.kv("process", static_cast<std::uint64_t>(r.process));
+        w.kv("event", to_string(r.event));
+        w.kv("msg", r.event.msg);
+        break;
+      case FlightRecord::Type::kHold:
+        w.kv("type", "hold");
+        w.kv("process", static_cast<std::uint64_t>(r.process));
+        w.kv("msg", r.segment.msg);
+        w.kv("phase", to_string(r.segment.phase));
+        w.kv("begin", r.segment.begin);
+        w.kv("end", r.segment.end);
+        w.key("reason");
+        write_hold_reason_json(w, r.segment.reason);
+        break;
+      case FlightRecord::Type::kNote:
+        w.kv("type", "note");
+        w.kv("note", r.note);
+        break;
+    }
+    w.end_object();
+  });
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+bool FlightRecorder::dump(const std::string& path, const std::string& cause,
+                          std::string* error) const {
+  return write_text_file(path, to_json(cause), error);
+}
+
+}  // namespace msgorder

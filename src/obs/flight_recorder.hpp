@@ -1,0 +1,72 @@
+// Flight recorder (ISSUE 4 tentpole): a fixed-capacity, single-writer
+// ring buffer of the most recent system events, closed hold segments,
+// and free-form notes.  The simulator appends through cached pointers
+// (zero cost when no recorder is attached); when a run goes red — the
+// online monitor detects a violation, or a simulator invariant trips
+// (event cap, undelivered messages) — the ring is dumped post-mortem as
+// JSON (schema msgorder.flight_recorder/1) so every failing run ships
+// its own evidence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/attribution.hpp"
+#include "src/poset/event.hpp"
+#include "src/protocols/protocol.hpp"
+
+namespace msgorder {
+
+struct FlightRecord {
+  enum class Type : std::uint8_t {
+    kEvent,  // a recorded system event (invoke/send/receive/deliver)
+    kHold,   // a closed attribution segment
+    kNote,   // free-form marker ("violation detected", invariant trips)
+  };
+
+  Type type = Type::kEvent;
+  SimTime time = 0;
+  ProcessId process = 0;
+  SystemEvent event;    // kEvent
+  HoldSegment segment;  // kHold
+  std::string note;     // kNote
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 1024);
+
+  void on_event(ProcessId p, SystemEvent e, SimTime t);
+  void on_hold_segment(const HoldSegment& segment);
+  void note(std::string text, SimTime t);
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Records currently retained (== capacity once wrapped).
+  std::size_t size() const { return std::min(written_, ring_.size()); }
+  /// Monotone count of everything ever recorded; size() < total_records()
+  /// iff the ring has wrapped and evicted its oldest records.
+  std::uint64_t total_records() const { return written_; }
+
+  /// Visit retained records oldest to newest.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(ring_[(written_ - n + i) % ring_.size()]);
+    }
+  }
+
+  /// The whole ring as a msgorder.flight_recorder/1 document.  `cause`
+  /// labels why the dump happened ("monitor violation", ...).
+  std::string to_json(const std::string& cause = "") const;
+  /// to_json + write_text_file.
+  bool dump(const std::string& path, const std::string& cause = "",
+            std::string* error = nullptr) const;
+
+ private:
+  std::vector<FlightRecord> ring_;
+  std::size_t written_ = 0;  // total appended; write head = written_ % cap
+};
+
+}  // namespace msgorder

@@ -47,8 +47,8 @@ void Histogram::record(double v) {
   ++count_;
 }
 
-double Histogram::percentile(double p) const {
-  if (count_ == 0) return 0;
+std::optional<double> Histogram::percentile(double p) const {
+  if (count_ == 0) return std::nullopt;
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(count_);
   std::uint64_t seen = 0;
@@ -142,9 +142,17 @@ void write_histogram_json(JsonWriter& w, const Histogram& h) {
   w.kv("mean", h.mean());
   w.kv("min", h.min());
   w.kv("max", h.max());
-  w.kv("p50", h.percentile(50));
-  w.kv("p90", h.percentile(90));
-  w.kv("p99", h.percentile(99));
+  const auto pct = [&](const char* key, double p) {
+    const std::optional<double> v = h.percentile(p);
+    if (v.has_value()) {
+      w.kv(key, *v);
+    } else {
+      w.key(key).null();
+    }
+  };
+  pct("p50", 50);
+  pct("p90", 90);
+  pct("p99", 99);
   w.end_object();
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -78,8 +79,11 @@ class Histogram {
   double min() const { return count_ ? min_ : 0; }
   double max() const { return count_ ? max_ : 0; }
 
-  /// Estimate of the p-th percentile (p in [0,100]).  0 when empty.
-  double percentile(double p) const;
+  /// Estimate of the p-th percentile (p in [0,100]).  nullopt when the
+  /// histogram is empty — an empty histogram has no percentiles, and
+  /// the old 0 sentinel was indistinguishable from a real 0 sample
+  /// (ISSUE 4 satellite).
+  std::optional<double> percentile(double p) const;
 
   const HistogramOptions& options() const { return options_; }
   const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
@@ -137,7 +141,8 @@ class MetricsRegistry {
 
 /// The stable histogram summary object used by every report schema:
 /// {"count": n, "mean": x, "min": x, "max": x, "p50": x, "p90": x,
-///  "p99": x}.
+///  "p99": x}.  The percentile fields are null when the histogram is
+/// empty.
 void write_histogram_json(JsonWriter& w, const Histogram& h);
 
 }  // namespace msgorder

@@ -24,6 +24,12 @@ SimInstruments SimInstruments::create(
   ins.delivery_delay =
       &registry.histogram(prefix + "delay.delivery", delay_histogram);
   ins.buffered_depth = &registry.gauge(prefix + "sim.buffered_depth");
+  ins.hold_segments = &registry.counter(prefix + "hold.segments");
+  for (std::size_t k = 1; k < kHoldKindCount; ++k) {
+    ins.hold_time[k] = &registry.histogram(
+        prefix + "hold." + to_string(static_cast<HoldKind>(k)),
+        delay_histogram);
+  }
   return ins;
 }
 
@@ -32,6 +38,13 @@ Observability::Observability(ObservabilityOptions options)
       instruments_(SimInstruments::create(metrics_, options_.label,
                                           options_.delay_histogram)) {
   if (options_.tracing) tracer_.emplace(options_.tracer);
+  if (options_.flight_recorder) {
+    recorder_.emplace(options_.flight_recorder_capacity);
+  }
+}
+
+void Observability::begin_run(std::size_t n_messages) {
+  if (options_.attribution) attribution_.emplace(n_messages);
 }
 
 }  // namespace msgorder

@@ -13,9 +13,12 @@
 //   obs.tracer()->write_chrome_trace("run.json");  // open in Perfetto
 #pragma once
 
+#include <array>
 #include <optional>
 #include <string>
 
+#include "src/obs/attribution.hpp"
+#include "src/obs/flight_recorder.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/tracer.hpp"
 
@@ -39,6 +42,11 @@ struct SimInstruments {
   Histogram* delivery_delay = nullptr;    // delay.delivery (x.r* -> x.r)
   Gauge* buffered_depth = nullptr;        // sim.buffered_depth (x.r* seen,
                                           // x.r pending, across processes)
+  Counter* hold_segments = nullptr;       // hold.segments (closed segments)
+  /// Per-reason hold-time histograms, hold.<reason> (one closed
+  /// attribution segment = one sample); index by HoldKind, slot
+  /// kNone unused (ISSUE 4).
+  std::array<Histogram*, kHoldKindCount> hold_time{};
 
   /// Register the standard instruments on `registry`.  Non-empty
   /// `label` (e.g. the protocol under test) becomes a "<label>." name
@@ -52,6 +60,16 @@ struct ObservabilityOptions {
   /// Attach the causal span tracer (off by default; metrics are always
   /// collected once an Observability is attached at all).
   bool tracing = false;
+  /// Collect per-message inhibition attribution (ISSUE 4): hold
+  /// reasons reported by the protocols become per-reason histograms,
+  /// tracer hold slices, and the run report's attribution table.  On by
+  /// default — attribution is the point of attaching observability; the
+  /// zero-cost path is "no Observability at all".
+  bool attribution = true;
+  /// Attach a flight recorder of the last `flight_recorder_capacity`
+  /// records, dumped post-mortem on red runs (off by default).
+  bool flight_recorder = false;
+  std::size_t flight_recorder_capacity = 1024;
   /// Metric name prefix, typically the protocol under test.
   std::string label;
   /// Bucket layout shared by the three delay histograms.
@@ -73,6 +91,30 @@ class Observability {
   SpanTracer* tracer() { return tracer_ ? &*tracer_ : nullptr; }
   const SpanTracer* tracer() const { return tracer_ ? &*tracer_ : nullptr; }
 
+  /// nullptr unless attribution was enabled AND a run attached (the
+  /// simulator calls begin_run with the universe size; the table always
+  /// describes the most recent run).
+  DelayAttribution* attribution() {
+    return attribution_ ? &*attribution_ : nullptr;
+  }
+  const DelayAttribution* attribution() const {
+    return attribution_ ? &*attribution_ : nullptr;
+  }
+
+  /// nullptr unless the flight recorder was enabled in the options.
+  FlightRecorder* flight_recorder() {
+    return recorder_ ? &*recorder_ : nullptr;
+  }
+  const FlightRecorder* flight_recorder() const {
+    return recorder_ ? &*recorder_ : nullptr;
+  }
+
+  /// Called by the simulator when a run attaches: sizes a fresh
+  /// attribution table to the run's message universe (when enabled).
+  /// The flight recorder deliberately persists across runs — its whole
+  /// point is to retain the most recent records.
+  void begin_run(std::size_t n_messages);
+
   const ObservabilityOptions& options() const { return options_; }
 
  private:
@@ -80,6 +122,8 @@ class Observability {
   MetricsRegistry metrics_;
   SimInstruments instruments_;
   std::optional<SpanTracer> tracer_;
+  std::optional<DelayAttribution> attribution_;
+  std::optional<FlightRecorder> recorder_;
 };
 
 }  // namespace msgorder

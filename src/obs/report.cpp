@@ -19,9 +19,9 @@ void write_latency_percentiles(JsonWriter& w, const Observability* obs) {
     return;
   }
   w.key("percentiles").begin_object();
-  w.kv("p50", h->percentile(50));
-  w.kv("p90", h->percentile(90));
-  w.kv("p99", h->percentile(99));
+  w.kv("p50", h->percentile(50).value());
+  w.kv("p90", h->percentile(90).value());
+  w.kv("p99", h->percentile(99).value());
   w.end_object();
 }
 
@@ -112,6 +112,15 @@ std::string run_report_json(const SimResult& result,
 
   write_monitor_section(w, monitor, trace);
 
+  // Per-message delay attribution (ISSUE 4): where every unit of send /
+  // delivery delay went, by hold reason.
+  if (obs != nullptr && obs->attribution() != nullptr) {
+    w.key("attribution");
+    obs->attribution()->write_json(w);
+  } else {
+    w.key("attribution").null();
+  }
+
   if (obs != nullptr) {
     w.key("metrics").begin_object();
     obs->metrics().write_json(w);
@@ -130,6 +139,30 @@ bool write_run_report(const std::string& path, const SimResult& result,
                       std::string* error) {
   return write_text_file(path, run_report_json(result, options, obs, monitor),
                          error);
+}
+
+bool dump_postmortem_if_red(const std::string& path, const SimResult& result,
+                            Observability* obs, const OnlineMonitor* monitor,
+                            std::string* error) {
+  if (obs == nullptr) return false;
+  FlightRecorder* recorder = obs->flight_recorder();
+  if (recorder == nullptr) return false;
+  std::string cause;
+  if (monitor != nullptr && monitor->violated()) {
+    cause = "monitor violation: " + monitor->specification().to_string();
+    std::string note = "violation witness:";
+    const ViolationWitness& witness = *monitor->first_witness();
+    for (std::size_t v = 0; v < witness.size(); ++v) {
+      note += " " + monitor->specification().var_name(v) + "=x" +
+              std::to_string(witness[v]);
+    }
+    recorder->note(std::move(note), monitor->first_violation_time());
+  } else if (!result.completed) {
+    cause = "incomplete run: " + result.error;
+  } else {
+    return false;  // green run: nothing to explain
+  }
+  return recorder->dump(path, cause, error);
 }
 
 }  // namespace msgorder

@@ -23,6 +23,10 @@
 //               "first_violation_time": x,
 //               "witness": [{"var": "x", "msg": id, "src": p, "dst": p,
 //                            "color": c}, ...] | null} | null,
+//   "attribution": {"segments": n, "held_by_reason": {reason: t, ...},
+//                   "messages": [{"msg": id, "held_send": t,
+//                                 "held_delivery": t,
+//                                 "segments": [...]}, ...]} | null,
 //   "metrics": {...msgorder.metrics/1 body...} | null
 // }
 #pragma once
@@ -56,5 +60,16 @@ bool write_run_report(const std::string& path, const SimResult& result,
                       const Observability* obs = nullptr,
                       const OnlineMonitor* monitor = nullptr,
                       std::string* error = nullptr);
+
+/// Post-mortem dump (ISSUE 4 tentpole): when the run went red — the
+/// monitor detected a violation, or the simulation did not complete
+/// (event cap, undelivered messages) — and `obs` carries a flight
+/// recorder, annotate the cause (plus the violation witness, when one
+/// exists) and dump the ring to `path`.  Returns true iff a dump was
+/// written; a green run or a missing recorder writes nothing.
+bool dump_postmortem_if_red(const std::string& path, const SimResult& result,
+                            Observability* obs,
+                            const OnlineMonitor* monitor = nullptr,
+                            std::string* error = nullptr);
 
 }  // namespace msgorder

@@ -1,0 +1,309 @@
+#include "src/obs/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace msgorder {
+
+namespace {
+
+/// Deterministic short rendering of a double (no locale, no trailing
+/// noise) — the golden-file test depends on this being stable.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string fmt_pct(double frac) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", frac * 100.0);
+  return buf;
+}
+
+/// Final component of a flattened path ("rows[n=200].direct_sync_speedup"
+/// -> "direct_sync_speedup").
+std::string_view leaf_name(std::string_view path) {
+  const std::size_t dot = path.rfind('.');
+  return dot == std::string_view::npos ? path : path.substr(dot + 1);
+}
+
+enum class Direction { kHigherBetter, kLowerBetter, kNeutral };
+
+Direction direction_of(std::string_view leaf) {
+  if (leaf.find("speedup") != std::string_view::npos) {
+    return Direction::kHigherBetter;
+  }
+  if (leaf.find("seconds") != std::string_view::npos ||
+      leaf.find("latency") != std::string_view::npos ||
+      leaf.find("delay") != std::string_view::npos) {
+    return Direction::kLowerBetter;
+  }
+  return Direction::kNeutral;
+}
+
+void summarize_histogram_line(std::ostringstream& out,
+                              const std::string& name,
+                              const JsonValue& h) {
+  out << "    " << name << ": count=" << fmt(h.number_at("count").value_or(0));
+  if (const auto mean = h.number_at("mean")) out << " mean=" << fmt(*mean);
+  if (const auto p50 = h.number_at("p50")) out << " p50=" << fmt(*p50);
+  if (const auto p99 = h.number_at("p99")) out << " p99=" << fmt(*p99);
+  if (const auto mx = h.number_at("max")) out << " max=" << fmt(*mx);
+  out << "\n";
+}
+
+std::string summarize_run_report(const JsonValue& doc) {
+  std::ostringstream out;
+  out << "run report: protocol=" << doc.string_at("protocol").value_or("?")
+      << " processes=" << fmt(doc.number_at("n_processes").value_or(0))
+      << " seed=" << fmt(doc.number_at("seed").value_or(0)) << "\n";
+  out << "  completed: "
+      << (doc.bool_at("completed").value_or(false) ? "yes" : "no");
+  if (const auto err = doc.string_at("error"); err && !err->empty()) {
+    out << " (" << *err << ")";
+  }
+  out << "\n";
+  if (const JsonValue* msgs = doc.find("messages"); msgs != nullptr) {
+    out << "  messages: universe="
+        << fmt(msgs->number_at("universe").value_or(0))
+        << " invoked=" << fmt(msgs->number_at("invoked").value_or(0))
+        << " delivered=" << fmt(msgs->number_at("delivered").value_or(0))
+        << "\n";
+  }
+  if (const JsonValue* lat = doc.find("latency"); lat != nullptr) {
+    out << "  latency: mean=" << fmt(lat->number_at("mean").value_or(0))
+        << " max=" << fmt(lat->number_at("max").value_or(0));
+    if (const JsonValue* pct = lat->find("percentiles");
+        pct != nullptr && pct->is_object()) {
+      out << " p50=" << fmt(pct->number_at("p50").value_or(0))
+          << " p90=" << fmt(pct->number_at("p90").value_or(0))
+          << " p99=" << fmt(pct->number_at("p99").value_or(0));
+    }
+    out << "\n";
+  }
+  if (const JsonValue* attr = doc.find("attribution");
+      attr != nullptr && attr->is_object()) {
+    out << "  attribution: segments="
+        << fmt(attr->number_at("segments").value_or(0)) << "\n";
+    if (const JsonValue* by = attr->find("held_by_reason");
+        by != nullptr && by->is_object()) {
+      for (const auto& [reason, total] : by->as_object()) {
+        if (total.is_number() && total.as_number() > 0) {
+          out << "    " << reason << ": held " << fmt(total.as_number())
+              << "\n";
+        }
+      }
+    }
+  }
+  if (const JsonValue* mon = doc.find("monitor");
+      mon != nullptr && mon->is_object()) {
+    out << "  monitor: violated="
+        << (mon->bool_at("violated").value_or(false) ? "yes" : "no")
+        << " events_seen=" << fmt(mon->number_at("events_seen").value_or(0))
+        << "\n";
+  }
+  if (const JsonValue* metrics = doc.find("metrics");
+      metrics != nullptr && metrics->is_object()) {
+    if (const JsonValue* hists = metrics->find("histograms");
+        hists != nullptr && hists->is_object()) {
+      out << "  delay histograms:\n";
+      for (const auto& [name, h] : hists->as_object()) {
+        if (name.find("delay.") != std::string::npos && h.is_object() &&
+            h.number_at("count").value_or(0) > 0) {
+          summarize_histogram_line(out, name, h);
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string summarize_bench(const JsonValue& doc,
+                            const std::string& schema) {
+  std::ostringstream out;
+  out << "bench report: schema=" << schema << "\n";
+  const JsonValue* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    out << "  (no rows array)\n";
+    return out.str();
+  }
+  for (const JsonValue& row : rows->as_array()) {
+    if (!row.is_object()) continue;
+    out << "  ";
+    if (const auto n = row.number_at("n_messages")) {
+      out << "n=" << fmt(*n);
+    } else if (const auto p = row.string_at("protocol")) {
+      out << *p;
+    } else {
+      out << "row";
+    }
+    out << ":";
+    for (const auto& [key, v] : row.as_object()) {
+      if (!v.is_number()) continue;
+      if (key == "n_messages") continue;
+      const Direction d = direction_of(key);
+      if (d == Direction::kNeutral &&
+          key.find("events") == std::string::npos &&
+          key.find("parity") == std::string::npos) {
+        continue;  // keep rows readable: timings + speedups + volumes
+      }
+      out << " " << key << "=" << fmt(v.as_number());
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string summarize_flight_recorder(const JsonValue& doc) {
+  std::ostringstream out;
+  out << "flight recorder dump: cause=\""
+      << doc.string_at("cause").value_or("") << "\"\n";
+  out << "  capacity=" << fmt(doc.number_at("capacity").value_or(0))
+      << " total_records=" << fmt(doc.number_at("total_records").value_or(0))
+      << " dropped=" << fmt(doc.number_at("dropped").value_or(0)) << "\n";
+  const JsonValue* records = doc.find("records");
+  if (records != nullptr && records->is_array()) {
+    std::size_t events = 0, holds = 0, notes = 0;
+    std::string last_note;
+    for (const JsonValue& r : records->as_array()) {
+      const std::string type = r.string_at("type").value_or("");
+      if (type == "event") ++events;
+      else if (type == "hold") ++holds;
+      else if (type == "note") {
+        ++notes;
+        last_note = r.string_at("note").value_or("");
+      }
+    }
+    out << "  retained: " << events << " events, " << holds << " holds, "
+        << notes << " notes\n";
+    if (!last_note.empty()) out << "  last note: \"" << last_note << "\"\n";
+  }
+  return out.str();
+}
+
+std::string summarize_chrome_trace(const JsonValue& doc) {
+  std::ostringstream out;
+  const JsonValue* events = doc.find("traceEvents");
+  out << "chrome trace: " << events->as_array().size() << " events\n";
+  std::map<std::string, std::size_t> by_cat;
+  for (const JsonValue& e : events->as_array()) {
+    if (const auto cat = e.string_at("cat")) ++by_cat[*cat];
+  }
+  for (const auto& [cat, n] : by_cat) {
+    out << "  " << cat << ": " << n << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string stats_summary(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return "json document (not an object)\n";
+  }
+  const std::string schema = doc.string_at("schema").value_or("");
+  if (schema.rfind("msgorder.run_report/", 0) == 0) {
+    return summarize_run_report(doc);
+  }
+  if (schema.rfind("msgorder.bench.", 0) == 0) {
+    return summarize_bench(doc, schema);
+  }
+  if (schema.rfind("msgorder.flight_recorder/", 0) == 0) {
+    return summarize_flight_recorder(doc);
+  }
+  const JsonValue* events = doc.find("traceEvents");
+  if (events != nullptr && events->is_array()) {
+    return summarize_chrome_trace(doc);
+  }
+  std::ostringstream out;
+  out << "json document: object with " << doc.as_object().size()
+      << " members";
+  if (!schema.empty()) out << " (schema=" << schema << ")";
+  out << "\n";
+  return out.str();
+}
+
+void flatten_numeric(const JsonValue& doc, const std::string& prefix,
+                     std::map<std::string, double>& out) {
+  switch (doc.type()) {
+    case JsonValue::Type::kNumber:
+      out[prefix] = doc.as_number();
+      break;
+    case JsonValue::Type::kObject:
+      for (const auto& [key, v] : doc.as_object()) {
+        flatten_numeric(v, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    case JsonValue::Type::kArray: {
+      const auto& arr = doc.as_array();
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        std::string key;
+        if (arr[i].is_object()) {
+          if (const auto n = arr[i].number_at("n_messages")) {
+            key = prefix + "[n=" + fmt(*n) + "]";
+          } else if (const auto p = arr[i].string_at("protocol")) {
+            key = prefix + "[" + *p + "]";
+          }
+        }
+        if (key.empty()) key = prefix + "[" + std::to_string(i) + "]";
+        flatten_numeric(arr[i], key, out);
+      }
+      break;
+    }
+    default:
+      break;  // null / bool / string: not numeric leaves
+  }
+}
+
+StatsDiff stats_diff(const JsonValue& baseline, const JsonValue& current,
+                     const StatsDiffOptions& options) {
+  std::map<std::string, double> base_leaves;
+  std::map<std::string, double> cur_leaves;
+  flatten_numeric(baseline, "", base_leaves);
+  flatten_numeric(current, "", cur_leaves);
+
+  StatsDiff diff;
+  std::ostringstream out;
+  out << "diff threshold: " << fmt(options.threshold * 100.0) << "%\n";
+  for (const auto& [path, base] : base_leaves) {
+    const auto it = cur_leaves.find(path);
+    if (it == cur_leaves.end()) continue;
+    const double cur = it->second;
+    const std::string_view leaf = leaf_name(path);
+    if (!options.fields.empty() &&
+        std::find(options.fields.begin(), options.fields.end(), leaf) ==
+            options.fields.end()) {
+      continue;
+    }
+    const Direction dir = direction_of(leaf);
+    if (options.fields.empty() && dir == Direction::kNeutral) continue;
+    ++diff.compared;
+    if (base == 0.0) {
+      out << "  " << path << ": " << fmt(base) << " -> " << fmt(cur)
+          << " (zero baseline, skipped)\n";
+      continue;
+    }
+    const double delta = (cur - base) / std::fabs(base);
+    const bool bad = dir == Direction::kHigherBetter
+                         ? delta < -options.threshold
+                         : dir == Direction::kLowerBetter
+                               ? delta > options.threshold
+                               : false;
+    out << (bad ? "  REGRESSION " : "  ") << path << ": " << fmt(base)
+        << " -> " << fmt(cur) << " (" << fmt_pct(delta) << ")\n";
+    if (bad) {
+      diff.regressions.push_back(path + " " + fmt(base) + " -> " + fmt(cur) +
+                                 " (" + fmt_pct(delta) + ")");
+    }
+  }
+  out << "compared " << diff.compared << " leaves, "
+      << diff.regressions.size() << " regression"
+      << (diff.regressions.size() == 1 ? "" : "s") << "\n";
+  diff.text = out.str();
+  return diff;
+}
+
+}  // namespace msgorder

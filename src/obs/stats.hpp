@@ -1,0 +1,57 @@
+// The analysis core behind tools/msgorder_stats (ISSUE 4 tentpole):
+// load any JSON artifact this repo emits — run reports, checker-scaling
+// and protocol-overhead bench reports, flight-recorder dumps, Chrome
+// traces — render a human-readable summary, and diff two reports with a
+// threshold-based regression verdict (the CI bench gate).
+//
+// Lives in src/obs (not in tools/) so the unit tests, which link only
+// the msgorder library, can exercise summaries and diffs directly; the
+// CLI in tools/msgorder_stats.cpp is a thin argv wrapper.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/json_value.hpp"
+
+namespace msgorder {
+
+/// Render a summary of one loaded artifact.  The document kind is
+/// auto-detected from its "schema" field (or "traceEvents" for Chrome
+/// traces); unknown documents get a generic structural summary.
+std::string stats_summary(const JsonValue& doc);
+
+struct StatsDiffOptions {
+  /// Allowed fractional change in the bad direction before a leaf
+  /// counts as a regression (0.2 = 20%).
+  double threshold = 0.2;
+  /// Restrict the diff to numeric leaves whose final path component is
+  /// listed here (e.g. {"direct_sync_speedup", "monitor_speedup"}).
+  /// Empty: every directional leaf participates.
+  std::vector<std::string> fields;
+};
+
+struct StatsDiff {
+  std::string text;  // rendered table, one line per compared leaf
+  std::size_t compared = 0;
+  std::vector<std::string> regressions;  // one description per failure
+  bool regressed() const { return !regressions.empty(); }
+};
+
+/// Compare every numeric leaf present in both documents, at matching
+/// flattened paths (bench "rows" arrays are matched by their
+/// "n_messages" / "protocol" key, so reordered or added rows do not
+/// misalign the comparison).  Direction is inferred from the leaf name:
+/// *speedup* is higher-better; *seconds*, *latency* and *delay* leaves
+/// are lower-better; anything else is reported but can never regress.
+StatsDiff stats_diff(const JsonValue& baseline, const JsonValue& current,
+                     const StatsDiffOptions& options = {});
+
+/// Flatten the numeric leaves of `doc` into path -> value, using
+/// object keys joined with '.' and bench-style array rows keyed as
+/// rows[n=<n_messages>] / rows[<protocol>] (plain indices otherwise).
+void flatten_numeric(const JsonValue& doc, const std::string& prefix,
+                     std::map<std::string, double>& out);
+
+}  // namespace msgorder

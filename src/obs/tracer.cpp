@@ -48,6 +48,11 @@ void SpanTracer::on_event(ProcessId p, SystemEvent e, SimTime t) {
   }
 }
 
+void SpanTracer::on_hold_segment(const HoldSegment& segment) {
+  if (segment.process + 1 > n_processes_) n_processes_ = segment.process + 1;
+  hold_segments_.push_back(segment);
+}
+
 std::size_t SpanTracer::complete_span_count() const {
   std::size_t n = 0;
   for (const Lifecycle& lc : lifecycles_) {
@@ -164,6 +169,28 @@ std::string SpanTracer::chrome_trace_json() const {
       w.kv("cat", "causal");
       w.end_object();
     }
+  }
+
+  // Attribution segments: an "inhibit" slice per closed hold segment,
+  // named after the reason, nested inside the message's hold/buffer
+  // slice on the same track (ISSUE 4).
+  for (const HoldSegment& seg : hold_segments_) {
+    event_head(w, "X", seg.process, seg.begin * scale);
+    w.kv("dur", seg.duration() * scale);
+    w.kv("name", "x" + std::to_string(seg.msg) +
+                     " inhibit:" + to_string(seg.reason.kind));
+    w.kv("cat", "inhibit");
+    w.key("args").begin_object();
+    w.kv("msg", seg.msg);
+    w.kv("phase", to_string(seg.phase));
+    w.kv("reason", to_string(seg.reason.kind));
+    if (seg.reason.blocking_msg) w.kv("blocking_msg", *seg.reason.blocking_msg);
+    if (seg.reason.blocking_proc) {
+      w.kv("blocking_proc",
+           static_cast<std::uint64_t>(*seg.reason.blocking_proc));
+    }
+    w.end_object();
+    w.end_object();
   }
 
   w.end_array();

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/attribution.hpp"
 #include "src/poset/event.hpp"
 #include "src/protocols/protocol.hpp"
 
@@ -40,6 +41,13 @@ class SpanTracer {
   /// Observer entry point (signature matches SimObserver; attach via
   /// SimOptions::observability or ObserverMux::add).
   void on_event(ProcessId p, SystemEvent e, SimTime t);
+
+  /// Attribution entry point (ISSUE 4): a closed hold segment becomes
+  /// an "inhibit" slice on the holding process's track, named after the
+  /// reason, nested inside the message's hold/buffer slice.
+  void on_hold_segment(const HoldSegment& segment);
+
+  std::size_t hold_segment_count() const { return hold_segments_.size(); }
 
   /// Number of messages whose full four-event lifecycle was observed.
   std::size_t complete_span_count() const;
@@ -66,6 +74,7 @@ class SpanTracer {
 
   SpanTracerOptions options_;
   std::vector<Lifecycle> lifecycles_;  // indexed by MessageId
+  std::vector<HoldSegment> hold_segments_;
   std::size_t n_processes_ = 0;        // max observed process id + 1
 };
 

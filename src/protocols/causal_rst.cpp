@@ -25,6 +25,16 @@ bool CausalRstProtocol::deliverable(const Tag& tag) const {
   return true;
 }
 
+ProcessId CausalRstProtocol::blocking_channel(const Tag& tag) const {
+  const ProcessId self = host_.self();
+  for (std::size_t k = 0; k < delivered_.size(); ++k) {
+    if (delivered_[k] < tag.sent.at(k, self)) {
+      return static_cast<ProcessId>(k);
+    }
+  }
+  return self;  // unreachable when the tag is genuinely undeliverable
+}
+
 void CausalRstProtocol::drain() {
   bool progressed = true;
   while (progressed) {
@@ -43,6 +53,12 @@ void CausalRstProtocol::drain() {
         progressed = true;
         break;
       }
+    }
+  }
+  if (report_holds_) {
+    for (const Buffered& b : buffer_) {
+      host_.hold(b.msg, HoldReason::predecessor(std::nullopt,
+                                                blocking_channel(b.tag)));
     }
   }
 }

@@ -19,6 +19,7 @@ class CausalRstProtocol final : public Protocol {
  public:
   explicit CausalRstProtocol(Host& host)
       : host_(host),
+        report_holds_(host.wants_hold_reasons()),
         sent_(host.process_count()),
         delivered_(host.process_count(), 0) {}
 
@@ -35,6 +36,9 @@ class CausalRstProtocol final : public Protocol {
 
  private:
   bool deliverable(const Tag& tag) const;
+  /// The first channel whose causally-prior deliveries are incomplete
+  /// (only meaningful when !deliverable(tag)).
+  ProcessId blocking_channel(const Tag& tag) const;
   void drain();
 
   struct Buffered {
@@ -44,6 +48,7 @@ class CausalRstProtocol final : public Protocol {
   };
 
   Host& host_;
+  const bool report_holds_;
   MatrixClock sent_;
   /// delivered_[k]: messages from P_k delivered here.
   std::vector<std::uint32_t> delivered_;

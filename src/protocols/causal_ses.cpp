@@ -29,6 +29,16 @@ bool CausalSesProtocol::deliverable(const Tag& tag) const {
   return it->second.leq(time_);
 }
 
+ProcessId CausalSesProtocol::blocking_component(const Tag& tag) const {
+  const auto it = tag.last_sent.find(host_.self());
+  if (it != tag.last_sent.end()) {
+    for (std::size_t k = 0; k < it->second.size(); ++k) {
+      if (it->second[k] > time_[k]) return static_cast<ProcessId>(k);
+    }
+  }
+  return host_.self();  // unreachable for a genuinely undeliverable tag
+}
+
 void CausalSesProtocol::absorb(const Tag& tag) {
   time_.merge(tag.timestamp);
   for (const auto& [dst, v] : tag.last_sent) {
@@ -50,6 +60,12 @@ void CausalSesProtocol::drain() {
         progressed = true;
         break;
       }
+    }
+  }
+  if (report_holds_) {
+    for (const Buffered& b : buffer_) {
+      host_.hold(b.msg, HoldReason::predecessor(std::nullopt,
+                                                blocking_component(b.tag)));
     }
   }
 }

@@ -22,7 +22,9 @@ namespace msgorder {
 class CausalSesProtocol final : public Protocol {
  public:
   explicit CausalSesProtocol(Host& host)
-      : host_(host), time_(host.process_count()) {}
+      : host_(host),
+        report_holds_(host.wants_hold_reasons()),
+        time_(host.process_count()) {}
 
   void on_invoke(const Message& m) override;
   void on_packet(const Packet& packet) override;
@@ -44,6 +46,10 @@ class CausalSesProtocol final : public Protocol {
 
  private:
   bool deliverable(const Tag& tag) const;
+  /// The first vector component where the tag's proof of a causally
+  /// prior message to us outruns our merged time (only meaningful when
+  /// !deliverable(tag)).
+  ProcessId blocking_component(const Tag& tag) const;
   void drain();
   void absorb(const Tag& tag);
 
@@ -53,6 +59,7 @@ class CausalSesProtocol final : public Protocol {
   };
 
   Host& host_;
+  const bool report_holds_;
   /// Merged vector time of everything delivered here plus own sends.
   VectorClock time_;
   /// This process's knowledge of the last message sent to each

@@ -34,6 +34,13 @@ void FifoProtocol::on_packet(const Packet& packet) {
       }
     }
   }
+  if (report_holds_) {
+    // Whatever stayed buffered is inhibited by its missing channel
+    // predecessor (the message carrying `expected` on this channel).
+    for (const Pending& p : buffer) {
+      host_.hold(p.msg, HoldReason::predecessor(std::nullopt, packet.src));
+    }
+  }
 }
 
 ProtocolFactory FifoProtocol::factory() {

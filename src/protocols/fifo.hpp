@@ -15,7 +15,8 @@ namespace msgorder {
 
 class FifoProtocol final : public Protocol {
  public:
-  explicit FifoProtocol(Host& host) : host_(host) {}
+  explicit FifoProtocol(Host& host)
+      : host_(host), report_holds_(host.wants_hold_reasons()) {}
 
   void on_invoke(const Message& m) override;
   void on_packet(const Packet& packet) override;
@@ -30,6 +31,7 @@ class FifoProtocol final : public Protocol {
   };
 
   Host& host_;
+  const bool report_holds_;
   /// Next sequence number per destination (this process is the source).
   std::map<ProcessId, std::uint32_t> next_out_;
   /// Next expected sequence per source, and the out-of-order buffer.

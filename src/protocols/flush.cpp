@@ -44,7 +44,7 @@ bool FlushChannelProtocol::deliverable(const ChannelIn& in,
   return in.is_delivered(tag.barrier);
 }
 
-void FlushChannelProtocol::drain(ChannelIn& in) {
+void FlushChannelProtocol::drain(ProcessId src, ChannelIn& in) {
   bool progressed = true;
   while (progressed) {
     progressed = false;
@@ -61,6 +61,14 @@ void FlushChannelProtocol::drain(ChannelIn& in) {
       }
     }
   }
+  if (report_holds_) {
+    // Still-buffered messages wait on their flush barrier (or, for a
+    // forward/two-way flush, the channel's whole earlier prefix).
+    for (const auto& [msg, tag] : in.buffer) {
+      (void)tag;
+      host_.hold(msg, HoldReason::flush(src));
+    }
+  }
 }
 
 void FlushChannelProtocol::on_packet(const Packet& packet) {
@@ -68,7 +76,7 @@ void FlushChannelProtocol::on_packet(const Packet& packet) {
   ChannelIn& in = in_[packet.src];
   in.buffer.emplace_back(packet.user_msg,
                          std::any_cast<Tag>(packet.content));
-  drain(in);
+  drain(packet.src, in);
 }
 
 ProtocolFactory FlushChannelProtocol::factory() {

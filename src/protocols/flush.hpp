@@ -33,7 +33,8 @@ enum FlushKind : int {
 
 class FlushChannelProtocol final : public Protocol {
  public:
-  explicit FlushChannelProtocol(Host& host) : host_(host) {}
+  explicit FlushChannelProtocol(Host& host)
+      : host_(host), report_holds_(host.wants_hold_reasons()) {}
 
   void on_invoke(const Message& m) override;
   void on_packet(const Packet& packet) override;
@@ -62,9 +63,10 @@ class FlushChannelProtocol final : public Protocol {
   };
 
   bool deliverable(const ChannelIn& in, const Tag& tag) const;
-  void drain(ChannelIn& in);
+  void drain(ProcessId src, ChannelIn& in);
 
   Host& host_;
+  const bool report_holds_;
   struct ChannelOut {
     std::uint32_t next_seq = 0;
     std::uint32_t last_barrier = Tag::kNoBarrier;

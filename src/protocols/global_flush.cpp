@@ -43,6 +43,17 @@ bool GlobalFlushProtocol::deliverable(const Tag& tag) const {
   return true;
 }
 
+ProcessId GlobalFlushProtocol::blocking_channel(const Tag& tag) const {
+  const ProcessId self = host_.self();
+  for (std::size_t k = 0; k < delivered_seqs_.size(); ++k) {
+    if (!prefix_complete(k, tag.red_frontier.at(k, self)) ||
+        (tag.red && !prefix_complete(k, tag.sent.at(k, self)))) {
+      return static_cast<ProcessId>(k);
+    }
+  }
+  return self;  // unreachable when the tag is genuinely undeliverable
+}
+
 void GlobalFlushProtocol::drain() {
   bool progressed = true;
   while (progressed) {
@@ -69,6 +80,11 @@ void GlobalFlushProtocol::drain() {
         progressed = true;
         break;
       }
+    }
+  }
+  if (report_holds_) {
+    for (const Buffered& b : buffer_) {
+      host_.hold(b.msg, HoldReason::flush(blocking_channel(b.tag)));
     }
   }
 }

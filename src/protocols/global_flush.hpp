@@ -39,6 +39,7 @@ class GlobalFlushProtocol final : public Protocol {
  public:
   GlobalFlushProtocol(Host& host, int red_color)
       : host_(host),
+        report_holds_(host.wants_hold_reasons()),
         red_color_(red_color),
         sent_(host.process_count()),
         red_frontier_(host.process_count()),
@@ -60,6 +61,9 @@ class GlobalFlushProtocol final : public Protocol {
   bool deliverable(const Tag& tag) const;
   /// All channel sequence numbers 0..n-1 from source k delivered here?
   bool prefix_complete(std::size_t k, std::uint32_t n) const;
+  /// The first channel whose barrier prefix is incomplete (only
+  /// meaningful when !deliverable(tag)).
+  ProcessId blocking_channel(const Tag& tag) const;
   void drain();
 
   struct Buffered {
@@ -69,6 +73,7 @@ class GlobalFlushProtocol final : public Protocol {
   };
 
   Host& host_;
+  const bool report_holds_;
   int red_color_;
   MatrixClock sent_;
   MatrixClock red_frontier_;

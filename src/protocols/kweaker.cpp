@@ -34,6 +34,17 @@ bool KWeakerCausalProtocol::deliverable(const Tag& tag) const {
   return true;
 }
 
+std::optional<MessageId> KWeakerCausalProtocol::blocking_message(
+    const Tag& tag) const {
+  for (const auto& [msg, entry] : tag.chains) {
+    if (entry.dst == host_.self() && entry.depth >= k_ + 2 &&
+        delivered_here_.count(msg) == 0) {
+      return msg;
+    }
+  }
+  return std::nullopt;
+}
+
 void KWeakerCausalProtocol::drain() {
   bool progressed = true;
   while (progressed) {
@@ -46,6 +57,12 @@ void KWeakerCausalProtocol::drain() {
         progressed = true;
         break;
       }
+    }
+  }
+  if (report_holds_) {
+    for (const Buffered& b : buffer_) {
+      host_.hold(b.msg, HoldReason::predecessor(blocking_message(b.tag),
+                                                std::nullopt));
     }
   }
 }

@@ -32,7 +32,8 @@ namespace msgorder {
 
 class KWeakerCausalProtocol final : public Protocol {
  public:
-  KWeakerCausalProtocol(Host& host, std::size_t k) : host_(host), k_(k) {}
+  KWeakerCausalProtocol(Host& host, std::size_t k)
+      : host_(host), report_holds_(host.wants_hold_reasons()), k_(k) {}
 
   void on_invoke(const Message& m) override;
   void on_packet(const Packet& packet) override;
@@ -59,6 +60,9 @@ class KWeakerCausalProtocol final : public Protocol {
 
  private:
   bool deliverable(const Tag& tag) const;
+  /// The undelivered local message the chain condition is waiting on
+  /// (only meaningful when !deliverable(tag)).
+  std::optional<MessageId> blocking_message(const Tag& tag) const;
   void drain();
 
   struct Buffered {
@@ -67,6 +71,7 @@ class KWeakerCausalProtocol final : public Protocol {
   };
 
   Host& host_;
+  const bool report_holds_;
   std::size_t k_;
   /// d(x) = longest send chain from x's send to any send in our causal
   /// past (including x itself: at least 1 once known).

@@ -14,6 +14,26 @@
 
 namespace msgorder {
 
+std::string to_string(HoldKind kind) {
+  switch (kind) {
+    case HoldKind::kNone:
+      return "none";
+    case HoldKind::kWaitPredecessor:
+      return "wait_predecessor";
+    case HoldKind::kWaitToken:
+      return "wait_token";
+    case HoldKind::kWaitFlush:
+      return "wait_flush";
+    case HoldKind::kWaitSeq:
+      return "wait_seq";
+    case HoldKind::kWaitLock:
+      return "wait_lock";
+    case HoldKind::kWaitAck:
+      return "wait_ack";
+  }
+  return "unknown";
+}
+
 std::vector<RegisteredProtocol> standard_protocols() {
   return {
       {"async", "tagless, delivers on arrival", AsyncProtocol::factory()},

@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "src/poset/event.hpp"
@@ -23,6 +24,58 @@
 namespace msgorder {
 
 using SimTime = double;
+
+/// Why a protocol is currently inhibiting (holding) a message rather
+/// than releasing it — the observable face of the paper's inhibitor
+/// (§3.2: a protocol *is* the set of events it delays).  The taxonomy
+/// is deliberately coarse: one kind per mechanism, refined by the
+/// optional blocking message / process below (ISSUE 4).
+enum class HoldKind : std::uint8_t {
+  kNone = 0,         // not held (never reported; the attribution default)
+  kWaitPredecessor,  // a causally/sequence-prior delivery is missing
+  kWaitToken,        // the circulating transmit token is elsewhere
+  kWaitFlush,        // a flush barrier's prefix is incomplete
+  kWaitSeq,          // waiting on the central sequencer's grant
+  kWaitLock,         // an endpoint lock is owned by another exchange
+  kWaitAck,          // an earlier exchange's acknowledgement is pending
+};
+constexpr std::size_t kHoldKindCount = 7;
+
+/// Stable lower-snake name ("wait_predecessor", ...), used for metric
+/// names and every JSON schema that carries hold reasons.
+std::string to_string(HoldKind kind);
+
+/// A structured hold reason: the mechanism plus, when the protocol can
+/// name it, the specific message or process the hold is waiting on.
+struct HoldReason {
+  HoldKind kind = HoldKind::kNone;
+  /// The message whose delivery/ack unblocks this one, if known.
+  std::optional<MessageId> blocking_msg;
+  /// The process the hold waits on (missing predecessor's channel,
+  /// token holder, sequencer, lock owner), if known.
+  std::optional<ProcessId> blocking_proc;
+
+  bool operator==(const HoldReason&) const = default;
+
+  static HoldReason predecessor(std::optional<MessageId> msg,
+                                std::optional<ProcessId> proc) {
+    return {HoldKind::kWaitPredecessor, msg, proc};
+  }
+  static HoldReason token() { return {HoldKind::kWaitToken, {}, {}}; }
+  static HoldReason flush(std::optional<ProcessId> proc) {
+    return {HoldKind::kWaitFlush, {}, proc};
+  }
+  static HoldReason sequencer(ProcessId seq) {
+    return {HoldKind::kWaitSeq, {}, seq};
+  }
+  static HoldReason lock(std::optional<MessageId> msg,
+                         std::optional<ProcessId> owner) {
+    return {HoldKind::kWaitLock, msg, owner};
+  }
+  static HoldReason ack(MessageId msg) {
+    return {HoldKind::kWaitAck, msg, {}};
+  }
+};
 
 struct Packet {
   ProcessId src = 0;
@@ -59,6 +112,23 @@ class Host {
   /// Schedule on_timer(cookie) at now() + delay.  Timers are local and
   /// never lost.
   virtual void set_timer(SimTime delay, std::uint64_t cookie) = 0;
+
+  /// Inhibition attribution (ISSUE 4).  A protocol that decides *not*
+  /// to release a message right now reports why: before the message's
+  /// send event this attributes the send delay (x.s* -> x.s), after its
+  /// receive event the delivery delay (x.r* -> x.r).  Re-reporting with
+  /// a new reason closes the previous attribution segment; the matching
+  /// release is implicit in the send/deliver event, so per-message
+  /// per-reason hold times always sum exactly to the recorded delays.
+  /// The default is a no-op; hosts that collect attribution return true
+  /// from wants_hold_reasons(), letting protocols skip computing
+  /// reasons (and the re-reports on every drain pass) on the zero-cost
+  /// path.
+  virtual void hold(MessageId msg, const HoldReason& reason) {
+    (void)msg;
+    (void)reason;
+  }
+  virtual bool wants_hold_reasons() const { return false; }
 
   virtual SimTime now() const = 0;
   virtual ProcessId self() const = 0;

@@ -31,6 +31,12 @@ class ReliableProtocol::InnerHost final : public Host {
   const Message& message(MessageId msg) const override {
     return real_.message(msg);
   }
+  void hold(MessageId msg, const HoldReason& reason) override {
+    real_.hold(msg, reason);
+  }
+  bool wants_hold_reasons() const override {
+    return real_.wants_hold_reasons();
+  }
 
  private:
   ReliableProtocol* outer_;

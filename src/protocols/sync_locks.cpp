@@ -13,6 +13,10 @@ constexpr std::size_t kControlBytes = 8;
 void SyncLocksProtocol::on_invoke(const Message& m) {
   pending_.push_back(m.id);
   if (!active_.has_value()) start_next_exchange();
+  if (report_holds_ && active_.has_value() && active_->msg != m.id) {
+    // Queued behind the exchange this sender is already driving.
+    host_.hold(m.id, HoldReason::lock(active_->msg, std::nullopt));
+  }
 }
 
 void SyncLocksProtocol::start_next_exchange() {
@@ -27,6 +31,12 @@ void SyncLocksProtocol::start_next_exchange() {
   exchange.second_lock = std::max(self, dst);
   active_ = exchange;
   request_lock(exchange.first_lock, msg);
+  if (report_holds_ && active_.has_value() && active_->msg == msg &&
+      active_->locks_held == 0) {
+    // The grant did not come back synchronously: the exchange now waits
+    // on its first endpoint lock.
+    host_.hold(msg, HoldReason::lock(std::nullopt, exchange.first_lock));
+  }
 }
 
 void SyncLocksProtocol::request_lock(ProcessId owner, MessageId msg) {
@@ -49,6 +59,12 @@ void SyncLocksProtocol::lock_granted(MessageId msg) {
   if (active_->locks_held == 1 &&
       active_->second_lock != active_->first_lock) {
     request_lock(active_->second_lock, msg);
+    if (report_holds_ && active_.has_value() && active_->msg == msg &&
+        active_->locks_held == 1) {
+      // Still waiting: re-attribute to the second endpoint lock (this
+      // closes the first-lock segment at the boundary instant).
+      host_.hold(msg, HoldReason::lock(std::nullopt, active_->second_lock));
+    }
     return;
   }
   // Both endpoint locks held: the exchange owns its interval; transmit.
@@ -78,6 +94,13 @@ void SyncLocksProtocol::finish_exchange(MessageId msg) {
     if (exchange.first_lock == exchange.second_lock) break;
   }
   start_next_exchange();
+  if (report_holds_ && active_.has_value()) {
+    // The queue moved up: whatever is still pending now waits behind
+    // the newly started exchange.
+    for (const MessageId p : pending_) {
+      host_.hold(p, HoldReason::lock(active_->msg, std::nullopt));
+    }
+  }
 }
 
 void SyncLocksProtocol::enqueue_request(ProcessId requester,

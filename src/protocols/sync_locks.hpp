@@ -29,7 +29,8 @@ namespace msgorder {
 
 class SyncLocksProtocol final : public Protocol {
  public:
-  explicit SyncLocksProtocol(Host& host) : host_(host) {}
+  explicit SyncLocksProtocol(Host& host)
+      : host_(host), report_holds_(host.wants_hold_reasons()) {}
 
   void on_invoke(const Message& m) override;
   void on_packet(const Packet& packet) override;
@@ -66,6 +67,7 @@ class SyncLocksProtocol final : public Protocol {
   void send_grant(ProcessId requester, MessageId msg);
 
   Host& host_;
+  const bool report_holds_;
   std::deque<MessageId> pending_;            // invoked, not yet started
   std::optional<Exchange> active_;           // exchange we are driving
   LockState lock_;                           // the lock this process owns

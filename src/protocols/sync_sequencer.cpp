@@ -10,6 +10,14 @@ constexpr std::size_t kControlBytes = 8;
 }
 
 void SyncSequencerProtocol::on_invoke(const Message& m) {
+  // Unless this is the idle sequencer granting itself, the message now
+  // waits for the sequencer's grant; the segment the engine opens here
+  // closes exactly at x.s when the grant arrives.
+  const bool immediate =
+      host_.self() == kSequencer && !busy_ && grant_queue_.empty();
+  if (report_holds_ && !immediate) {
+    host_.hold(m.id, HoldReason::sequencer(kSequencer));
+  }
   request(m.id);
 }
 

@@ -17,7 +17,8 @@ namespace msgorder {
 
 class SyncSequencerProtocol final : public Protocol {
  public:
-  explicit SyncSequencerProtocol(Host& host) : host_(host) {}
+  explicit SyncSequencerProtocol(Host& host)
+      : host_(host), report_holds_(host.wants_hold_reasons()) {}
 
   void on_invoke(const Message& m) override;
   void on_packet(const Packet& packet) override;
@@ -35,6 +36,7 @@ class SyncSequencerProtocol final : public Protocol {
   void exchange_done();                         // sequencer side
 
   Host& host_;
+  const bool report_holds_;
   // Sequencer state (only used at process 0).
   std::deque<std::pair<ProcessId, MessageId>> grant_queue_;
   bool busy_ = false;

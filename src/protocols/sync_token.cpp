@@ -8,7 +8,8 @@ namespace {
 constexpr std::size_t kControlBytes = 4;
 }
 
-SyncTokenProtocol::SyncTokenProtocol(Host& host) : host_(host) {
+SyncTokenProtocol::SyncTokenProtocol(Host& host)
+    : host_(host), report_holds_(host.wants_hold_reasons()) {
   // Process 0 starts with the token and immediately begins circulation.
   if (host_.self() == 0 && host_.process_count() > 1) {
     holding_ = true;
@@ -19,6 +20,23 @@ SyncTokenProtocol::SyncTokenProtocol(Host& host) : host_(host) {
 void SyncTokenProtocol::on_invoke(const Message& m) {
   pending_.push_back(m.id);
   if (holding_ && !awaiting_ack_) serve_or_pass();
+  report_pending_holds();
+}
+
+void SyncTokenProtocol::report_pending_holds() {
+  if (!report_holds_) return;
+  if (awaiting_ack_) {
+    // pending_.front() is in flight (its x.s happened); everything
+    // behind it waits on that exchange's acknowledgement.
+    for (std::size_t i = 1; i < pending_.size(); ++i) {
+      host_.hold(pending_[i], HoldReason::ack(pending_.front()));
+    }
+  } else {
+    // Not serving means the token is elsewhere on the ring.
+    for (const MessageId msg : pending_) {
+      host_.hold(msg, HoldReason::token());
+    }
+  }
 }
 
 void SyncTokenProtocol::serve_or_pass() {
@@ -57,10 +75,12 @@ void SyncTokenProtocol::on_packet(const Packet& packet) {
   if (packet.kind == "TOKEN") {
     holding_ = true;
     serve_or_pass();
+    report_pending_holds();
   } else if (packet.kind == "ACK") {
     pending_.pop_front();
     awaiting_ack_ = false;
     serve_or_pass();
+    report_pending_holds();
   }
 }
 

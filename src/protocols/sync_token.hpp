@@ -25,8 +25,12 @@ class SyncTokenProtocol final : public Protocol {
 
  private:
   void serve_or_pass();
+  /// Re-attribute every queued (not yet sent) message: waiting on the
+  /// in-flight exchange's ack, or on the token being elsewhere.
+  void report_pending_holds();
 
   Host& host_;
+  bool report_holds_ = false;
   std::deque<MessageId> pending_;
   bool holding_ = false;
   bool awaiting_ack_ = false;

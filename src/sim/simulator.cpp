@@ -37,6 +37,8 @@ class HostImpl final : public Host {
   ProcessId self() const override { return self_; }
   std::size_t process_count() const override;
   const Message& message(MessageId msg) const override;
+  void hold(MessageId msg, const HoldReason& reason) override;
+  bool wants_hold_reasons() const override;
 
  private:
   Engine* engine_;
@@ -61,6 +63,13 @@ class Engine {
         tracer_(options.observability != nullptr
                     ? options.observability->tracer()
                     : nullptr) {
+    if (options_.observability != nullptr) {
+      // Sizes a fresh attribution table for this run; the flight
+      // recorder (if any) persists across runs by design.
+      options_.observability->begin_run(universe_.size());
+      attribution_ = options_.observability->attribution();
+      recorder_ = options_.observability->flight_recorder();
+    }
     hosts_.reserve(n_processes);
     protocols_.reserve(n_processes);
     for (ProcessId p = 0; p < n_processes; ++p) {
@@ -83,6 +92,10 @@ class Engine {
     while (!queue_.empty()) {
       if (invokes_remaining_ == 0 && trace_.all_delivered()) break;
       if (++processed > options_.max_events) {
+        if (recorder_ != nullptr) {
+          recorder_->note("invariant: event cap exceeded (protocol livelock?)",
+                          now_);
+        }
         SimResult result{std::move(trace_), false,
                          "event cap exceeded (protocol livelock?)"};
         return result;
@@ -130,6 +143,9 @@ class Engine {
       }
     }
     const bool done = trace_.all_delivered();
+    if (!done && recorder_ != nullptr) {
+      recorder_->note("invariant: undelivered messages remain", now_);
+    }
     SimResult result{std::move(trace_), done,
                      done ? "" : "undelivered messages remain"};
     return result;
@@ -184,7 +200,46 @@ class Engine {
     trace_.record(at, e, now_);
     if (instruments_ != nullptr) update_instruments(e);
     if (tracer_ != nullptr) tracer_->on_event(at, e, now_);
+    if (recorder_ != nullptr) recorder_->on_event(at, e, now_);
+    if (attribution_ != nullptr) {
+      // The inhibited event executing closes its open hold segment, so
+      // per-reason segment times sum exactly to the recorded delay.
+      if (e.kind == EventKind::kSend) {
+        publish_closed(attribution_->on_release(e.msg, HoldPhase::kSend, now_));
+      } else if (e.kind == EventKind::kDeliver) {
+        publish_closed(
+            attribution_->on_release(e.msg, HoldPhase::kDelivery, now_));
+      }
+    }
     options_.observers.notify(at, e, now_);
+  }
+
+  /// Host::hold entry point: a protocol (re-)reported why `msg` is
+  /// currently inhibited at `at`.  Phase is inferred from the message's
+  /// lifecycle position: once x.r* was recorded the only inhibitable
+  /// transition left is the delivery.
+  void hold(ProcessId at, MessageId msg, const HoldReason& reason) {
+    if (attribution_ == nullptr) return;
+    const HoldPhase phase =
+        receive_seen_[msg] ? HoldPhase::kDelivery : HoldPhase::kSend;
+    publish_closed(attribution_->on_hold(msg, at, phase, reason, now_));
+  }
+
+  bool wants_hold_reasons() const { return attribution_ != nullptr; }
+
+  /// Fan a freshly closed attribution segment out to the per-reason
+  /// histograms, the tracer, and the flight recorder.
+  void publish_closed(const HoldSegment* seg) {
+    if (seg == nullptr) return;
+    if (instruments_ != nullptr) {
+      instruments_->hold_segments->inc();
+      const auto k = static_cast<std::size_t>(seg->reason.kind);
+      if (instruments_->hold_time[k] != nullptr) {
+        instruments_->hold_time[k]->record(seg->duration());
+      }
+    }
+    if (tracer_ != nullptr) tracer_->on_hold_segment(*seg);
+    if (recorder_ != nullptr) recorder_->on_hold_segment(*seg);
   }
 
   /// Per-event metric updates; only reached with observability attached.
@@ -235,6 +290,8 @@ class Engine {
   /// Cached observability hooks (nullptr = disabled, the fast path).
   SimInstruments* instruments_ = nullptr;
   SpanTracer* tracer_ = nullptr;
+  DelayAttribution* attribution_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 void HostImpl::send_packet(Packet packet) {
@@ -250,6 +307,12 @@ std::size_t HostImpl::process_count() const {
 }
 const Message& HostImpl::message(MessageId msg) const {
   return engine_->message(msg);
+}
+void HostImpl::hold(MessageId msg, const HoldReason& reason) {
+  engine_->hold(self_, msg, reason);
+}
+bool HostImpl::wants_hold_reasons() const {
+  return engine_->wants_hold_reasons();
 }
 
 }  // namespace

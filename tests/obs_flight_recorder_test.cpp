@@ -1,0 +1,153 @@
+// Tests for the flight recorder (ISSUE 4 tentpole): ring-buffer
+// wrap-around semantics, JSON dump format, and the end-to-end
+// post-mortem path — a violating run dumps a document whose final
+// records contain the violating witness's deliveries.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/checker/monitor.hpp"
+#include "src/obs/json_value.hpp"
+#include "src/obs/observability.hpp"
+#include "src/obs/report.hpp"
+#include "src/protocols/async.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/spec/library.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(FlightRecorder, WrapAroundKeepsTheNewestRecords) {
+  FlightRecorder rec(8);
+  EXPECT_EQ(rec.capacity(), 8u);
+  EXPECT_EQ(rec.size(), 0u);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    rec.on_event(0, SystemEvent{static_cast<MessageId>(i),
+                                EventKind::kInvoke},
+                 static_cast<SimTime>(i));
+  }
+  EXPECT_EQ(rec.size(), 8u);
+  EXPECT_EQ(rec.total_records(), 20u);
+
+  // Oldest retained record is #12; iteration is oldest to newest.
+  std::vector<MessageId> seen;
+  rec.for_each([&](const FlightRecord& r) { seen.push_back(r.event.msg); });
+  ASSERT_EQ(seen.size(), 8u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 12 + i);
+  }
+}
+
+TEST(FlightRecorder, ToJsonReportsDropsAndValidates) {
+  FlightRecorder rec(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    rec.on_event(1, SystemEvent{static_cast<MessageId>(i), EventKind::kSend},
+                 static_cast<SimTime>(i));
+  }
+  rec.note("marker", 6.0);  // 7th record evicts another event
+
+  std::string error;
+  const auto doc = json_parse(rec.to_json("unit test"), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->string_at("schema").value_or(""),
+            "msgorder.flight_recorder/1");
+  EXPECT_EQ(doc->string_at("cause").value_or(""), "unit test");
+  EXPECT_EQ(doc->number_at("capacity").value_or(0), 4);
+  EXPECT_EQ(doc->number_at("total_records").value_or(0), 7);
+  EXPECT_EQ(doc->number_at("dropped").value_or(0), 3);
+  const JsonValue* records = doc->find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_EQ(records->as_array().size(), 4u);
+  // The newest record is the note.
+  EXPECT_EQ(records->as_array().back().string_at("type").value_or(""),
+            "note");
+}
+
+TEST(FlightRecorder, GreenRunProducesNoPostmortem) {
+  Rng rng(3);
+  WorkloadOptions wopts;
+  wopts.n_processes = 3;
+  wopts.n_messages = 30;
+  const Workload workload = random_workload(wopts, rng);
+  Observability obs(ObservabilityOptions{.flight_recorder = true});
+  SimOptions sopts;
+  sopts.observability = &obs;
+  const SimResult result =
+      simulate(workload, AsyncProtocol::factory(), 3, sopts);
+  ASSERT_TRUE(result.completed) << result.error;
+  EXPECT_GT(obs.flight_recorder()->total_records(), 0u);
+  EXPECT_FALSE(dump_postmortem_if_red("/nonexistent/never-written.json",
+                                      result, &obs));
+}
+
+// The acceptance e2e: raw async traffic on a jittered network violates
+// the causal spec; the armed flight recorder must dump a post-mortem
+// whose records include the violating witness's deliveries and a note
+// naming the witness.
+TEST(FlightRecorder, ViolatingRunDumpsWitnessDeliveries) {
+  Rng rng(17);
+  WorkloadOptions wopts;
+  wopts.n_processes = 4;
+  wopts.n_messages = 80;
+  wopts.mean_gap = 0.2;
+  const Workload workload = random_workload(wopts, rng);
+  const ForbiddenPredicate spec = causal_ordering();
+  auto monitor =
+      std::make_shared<OnlineMonitor>(workload_universe(workload), spec);
+  Observability obs(ObservabilityOptions{.flight_recorder = true});
+  SimOptions sopts;
+  sopts.seed = 29;
+  sopts.network.jitter_mean = 3.0;
+  sopts.observability = &obs;
+  sopts.observers.add(monitor_observer(monitor));
+  const SimResult result =
+      simulate(workload, AsyncProtocol::factory(), wopts.n_processes, sopts);
+  ASSERT_TRUE(result.completed) << result.error;
+  ASSERT_TRUE(monitor->violated()) << "async on jitter must violate causal";
+
+  const std::string path = "flight_recorder_test_postmortem.json";
+  std::string error;
+  ASSERT_TRUE(dump_postmortem_if_red(path, result, &obs, monitor.get(),
+                                     &error))
+      << error;
+
+  const auto doc = json_parse_file(path, &error);
+  std::remove(path.c_str());
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_NE(doc->string_at("cause").value_or("").find("monitor violation"),
+            std::string::npos);
+
+  const JsonValue* records = doc->find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_FALSE(records->as_array().empty());
+
+  // Every witness message's delivery must appear in the retained tail
+  // (the recorder's capacity of 1024 covers this whole run), and the
+  // witness note must name each witness variable.
+  const ViolationWitness& witness = *monitor->first_witness();
+  std::string note;
+  for (const JsonValue& r : records->as_array()) {
+    if (r.string_at("type").value_or("") == "note") {
+      note = r.string_at("note").value_or("");
+    }
+  }
+  EXPECT_NE(note.find("violation witness:"), std::string::npos);
+  for (std::size_t v = 0; v < witness.size(); ++v) {
+    const MessageId m = witness[v];
+    EXPECT_NE(note.find("x" + std::to_string(m)), std::string::npos);
+    bool delivered = false;
+    for (const JsonValue& r : records->as_array()) {
+      if (r.string_at("type").value_or("") == "event" &&
+          r.string_at("event").value_or("") ==
+              "x" + std::to_string(m) + ".r") {
+        delivered = true;
+      }
+    }
+    EXPECT_TRUE(delivered) << "witness x" << m << " delivery not retained";
+  }
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -34,7 +34,29 @@ TEST(Histogram, EmptyHistogramReportsZeros) {
   EXPECT_DOUBLE_EQ(h.mean(), 0);
   EXPECT_DOUBLE_EQ(h.min(), 0);
   EXPECT_DOUBLE_EQ(h.max(), 0);
-  EXPECT_DOUBLE_EQ(h.percentile(50), 0);
+}
+
+// ISSUE 4 regression: an empty histogram has no percentiles — the old
+// interface reported 0, indistinguishable from a real 0-valued
+// distribution, which poisoned report percentile columns.
+TEST(Histogram, EmptyHistogramHasNoPercentiles) {
+  Histogram h;
+  EXPECT_FALSE(h.percentile(50).has_value());
+  EXPECT_FALSE(h.percentile(100).has_value());
+  h.record(3.0);
+  ASSERT_TRUE(h.percentile(50).has_value());
+  EXPECT_DOUBLE_EQ(h.percentile(100).value(), 3.0);
+}
+
+// Empty histograms serialize with null percentiles, and the output is
+// still valid JSON.
+TEST(Histogram, EmptyHistogramSerializesNullPercentiles) {
+  JsonWriter w;
+  Histogram h;
+  write_histogram_json(w, h);
+  EXPECT_NE(w.str().find("\"p50\":null"), std::string::npos) << w.str();
+  std::string error;
+  EXPECT_TRUE(json_validate(w.str(), &error)) << error;
 }
 
 TEST(Histogram, ExactStatsAreExact) {
@@ -56,23 +78,23 @@ TEST(Histogram, LinearPercentilesAreMonotoneAndBounded) {
   for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
   double prev = 0;
   for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
-    const double v = h.percentile(p);
+    const double v = h.percentile(p).value();
     EXPECT_GE(v, prev) << "p" << p;
     // A unit-wide bucket pins each percentile to within one bucket.
     EXPECT_NEAR(v, p, 1.5) << "p" << p;
     prev = v;
   }
-  EXPECT_DOUBLE_EQ(h.percentile(100), 100);
+  EXPECT_DOUBLE_EQ(h.percentile(100).value(), 100);
 }
 
 TEST(Histogram, Exp2PercentilesCoverWideRanges) {
   Histogram h;  // default exp2 x 64 buckets
   for (int i = 0; i < 1000; ++i) h.record(0.5);
   h.record(10000.0);
-  EXPECT_LE(h.percentile(50), 1.0);
-  EXPECT_DOUBLE_EQ(h.percentile(100), 10000.0);
+  EXPECT_LE(h.percentile(50).value(), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100).value(), 10000.0);
   // The single large value sits in the tail, not in the median.
-  EXPECT_LT(h.percentile(90), 2.0);
+  EXPECT_LT(h.percentile(90).value(), 2.0);
 }
 
 TEST(Histogram, OverflowBucketReportsObservedMax) {
@@ -82,7 +104,7 @@ TEST(Histogram, OverflowBucketReportsObservedMax) {
   opts.buckets = 4;
   Histogram h(opts);
   for (int i = 0; i < 10; ++i) h.record(1e6);
-  EXPECT_DOUBLE_EQ(h.percentile(50), 1e6);
+  EXPECT_DOUBLE_EQ(h.percentile(50).value(), 1e6);
 }
 
 TEST(MetricsRegistry, SameNameSameInstrument) {

@@ -1,0 +1,172 @@
+// Tests for the msgorder_stats analysis core (ISSUE 4): the JSON
+// reader, artifact summaries, and the threshold diff that backs the CI
+// bench gate.  The diff rendering is compared against golden text —
+// the CLI is a thin argv wrapper over exactly these functions.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/obs/json_value.hpp"
+#include "src/obs/stats.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(JsonParse, RoundTripsScalarsContainersAndEscapes) {
+  std::string error;
+  const auto doc = json_parse(
+      "{\"a\": [1, -2.5, 3e2], \"b\": {\"c\": true, \"d\": null}, "
+      "\"s\": \"q\\\"\\\\\\n\\u0041\"}",
+      &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[0].as_number(), 1);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), -2.5);
+  EXPECT_DOUBLE_EQ(a->as_array()[2].as_number(), 300);
+  const JsonValue* b = doc->find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->bool_at("c"), true);
+  ASSERT_NE(b->find("d"), nullptr);
+  EXPECT_TRUE(b->find("d")->is_null());
+  EXPECT_EQ(doc->string_at("s").value_or(""), "q\"\\\nA");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(json_parse("{\"a\":}", &error).has_value());
+  EXPECT_FALSE(json_parse("[1, 2", &error).has_value());
+  EXPECT_FALSE(json_parse("{\"a\":1} x", &error).has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+  EXPECT_FALSE(json_parse("", &error).has_value());
+  EXPECT_FALSE(json_parse("{'a':1}", &error).has_value());
+}
+
+TEST(FlattenNumeric, KeysBenchRowsBySemanticIdentity) {
+  const auto doc = json_parse(
+      "{\"x\": 1, \"rows\": ["
+      "{\"n_messages\": 16, \"v\": 2},"
+      "{\"protocol\": \"fifo\", \"v\": 3},"
+      "{\"v\": 4}]}");
+  ASSERT_TRUE(doc.has_value());
+  std::map<std::string, double> leaves;
+  flatten_numeric(*doc, "", leaves);
+  EXPECT_DOUBLE_EQ(leaves.at("x"), 1);
+  EXPECT_DOUBLE_EQ(leaves.at("rows[n=16].v"), 2);
+  EXPECT_DOUBLE_EQ(leaves.at("rows[n=16].n_messages"), 16);
+  EXPECT_DOUBLE_EQ(leaves.at("rows[fifo].v"), 3);
+  EXPECT_DOUBLE_EQ(leaves.at("rows[2].v"), 4);
+}
+
+/// The golden-file test for the CI bench gate's rendering: the exact
+/// text the diff produces for a 20%-threshold speedup comparison.
+TEST(StatsDiff, GoldenSpeedupDiffText) {
+  const auto baseline = json_parse(
+      "{\"rows\": ["
+      "{\"n_messages\": 16, \"direct_sync_speedup\": 10.0},"
+      "{\"n_messages\": 32, \"direct_sync_speedup\": 12.0}]}");
+  const auto current = json_parse(
+      "{\"rows\": ["
+      "{\"n_messages\": 16, \"direct_sync_speedup\": 7.0},"
+      "{\"n_messages\": 32, \"direct_sync_speedup\": 12.5}]}");
+  ASSERT_TRUE(baseline.has_value() && current.has_value());
+  StatsDiffOptions options;
+  options.fields = {"direct_sync_speedup"};
+  const StatsDiff diff = stats_diff(*baseline, *current, options);
+  EXPECT_EQ(diff.text,
+            "diff threshold: 20%\n"
+            "  REGRESSION rows[n=16].direct_sync_speedup: 10 -> 7 "
+            "(-30.0%)\n"
+            "  rows[n=32].direct_sync_speedup: 12 -> 12.5 (+4.2%)\n"
+            "compared 2 leaves, 1 regression\n");
+  EXPECT_TRUE(diff.regressed());
+  ASSERT_EQ(diff.regressions.size(), 1u);
+  EXPECT_NE(diff.regressions[0].find("rows[n=16]"), std::string::npos);
+}
+
+TEST(StatsDiff, DirectionIsInferredFromLeafNames) {
+  const auto baseline = json_parse(
+      "{\"oracle_seconds\": 1.0, \"monitor_speedup\": 4.0, "
+      "\"events\": 100}");
+  // seconds up 50% = regression; speedup up = fine; events (neutral)
+  // change wildly = never a regression.
+  const auto current = json_parse(
+      "{\"oracle_seconds\": 1.5, \"monitor_speedup\": 8.0, "
+      "\"events\": 900}");
+  ASSERT_TRUE(baseline.has_value() && current.has_value());
+  const StatsDiff diff = stats_diff(*baseline, *current, {});
+  EXPECT_EQ(diff.compared, 2u);  // neutral leaf skipped without --fields
+  ASSERT_EQ(diff.regressions.size(), 1u);
+  EXPECT_NE(diff.regressions[0].find("oracle_seconds"), std::string::npos);
+}
+
+TEST(StatsDiff, WithinThresholdAndZeroBaselinePass) {
+  const auto baseline =
+      json_parse("{\"a_speedup\": 10.0, \"b_speedup\": 0.0}");
+  const auto current =
+      json_parse("{\"a_speedup\": 8.5, \"b_speedup\": 5.0}");
+  ASSERT_TRUE(baseline.has_value() && current.has_value());
+  const StatsDiff diff = stats_diff(*baseline, *current, {});
+  EXPECT_FALSE(diff.regressed());  // -15% within 20%; zero base skipped
+  EXPECT_NE(diff.text.find("zero baseline, skipped"), std::string::npos);
+}
+
+TEST(StatsDiff, RowsMatchByKeyNotPosition) {
+  // The current report gained a new smallest size and reordered rows;
+  // the n=32 row must still compare against its baseline partner.
+  const auto baseline = json_parse(
+      "{\"rows\": [{\"n_messages\": 32, \"x_speedup\": 10.0}]}");
+  const auto current = json_parse(
+      "{\"rows\": [{\"n_messages\": 8, \"x_speedup\": 1.0},"
+      "{\"n_messages\": 32, \"x_speedup\": 9.5}]}");
+  ASSERT_TRUE(baseline.has_value() && current.has_value());
+  const StatsDiff diff = stats_diff(*baseline, *current, {});
+  EXPECT_EQ(diff.compared, 1u);
+  EXPECT_FALSE(diff.regressed());
+}
+
+TEST(StatsSummary, DispatchesOnSchema) {
+  const auto report = json_parse(
+      "{\"schema\": \"msgorder.run_report/1\", \"protocol\": \"fifo\","
+      " \"n_processes\": 4, \"seed\": 9, \"completed\": true,"
+      " \"error\": \"\","
+      " \"messages\": {\"universe\": 10, \"invoked\": 10,"
+      " \"delivered\": 10},"
+      " \"latency\": {\"mean\": 2.5, \"max\": 7.0,"
+      " \"percentiles\": {\"p50\": 2.0, \"p90\": 5.0, \"p99\": 6.5}},"
+      " \"attribution\": {\"segments\": 3,"
+      " \"held_by_reason\": {\"wait_predecessor\": 4.5, \"wait_token\": 0}}}");
+  ASSERT_TRUE(report.has_value());
+  const std::string summary = stats_summary(*report);
+  EXPECT_NE(summary.find("protocol=fifo"), std::string::npos);
+  EXPECT_NE(summary.find("completed: yes"), std::string::npos);
+  EXPECT_NE(summary.find("p99=6.5"), std::string::npos);
+  EXPECT_NE(summary.find("wait_predecessor: held 4.5"), std::string::npos);
+  // Zero-held reasons stay out of the summary.
+  EXPECT_EQ(summary.find("wait_token"), std::string::npos);
+
+  const auto flight = json_parse(
+      "{\"schema\": \"msgorder.flight_recorder/1\", \"cause\": \"boom\","
+      " \"capacity\": 4, \"total_records\": 7, \"dropped\": 3,"
+      " \"records\": [{\"type\": \"event\"}, {\"type\": \"hold\"},"
+      " {\"type\": \"note\", \"note\": \"witness\"}]}");
+  ASSERT_TRUE(flight.has_value());
+  const std::string fsummary = stats_summary(*flight);
+  EXPECT_NE(fsummary.find("cause=\"boom\""), std::string::npos);
+  EXPECT_NE(fsummary.find("1 events, 1 holds, 1 notes"), std::string::npos);
+  EXPECT_NE(fsummary.find("last note: \"witness\""), std::string::npos);
+
+  const auto trace =
+      json_parse("{\"traceEvents\": [{\"cat\": \"lifecycle\"},"
+                 " {\"cat\": \"lifecycle\"}, {\"cat\": \"inhibit\"}]}");
+  ASSERT_TRUE(trace.has_value());
+  const std::string tsummary = stats_summary(*trace);
+  EXPECT_NE(tsummary.find("3 events"), std::string::npos);
+  EXPECT_NE(tsummary.find("lifecycle: 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msgorder

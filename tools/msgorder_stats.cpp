@@ -1,0 +1,114 @@
+// msgorder_stats — trace/report analysis CLI (ISSUE 4 tentpole).
+//
+// Summary mode:   msgorder_stats <artifact.json> [...]
+// Diff mode:      msgorder_stats --diff <baseline.json> <current.json>
+//                                [--threshold FRAC] [--fields a,b,c]
+//
+// Exit codes: 0 success (diff within threshold), 1 diff regression,
+// 2 usage or load/parse failure.  The CI bench gate runs the diff mode
+// against the committed BENCH_*.json copies.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/obs/json_value.hpp"
+#include "src/obs/stats.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <artifact.json> [more.json ...]\n"
+               "       %s --diff <baseline.json> <current.json>"
+               " [--threshold FRAC] [--fields a,b,c]\n"
+               "\n"
+               "Summarizes msgorder JSON artifacts (run reports, bench\n"
+               "reports, flight-recorder dumps, Chrome traces), or diffs\n"
+               "two of them.  Diff exit codes: 0 within threshold, 1 at\n"
+               "least one regression, 2 bad usage or unreadable input.\n",
+               argv0, argv0);
+  return 2;
+}
+
+std::optional<msgorder::JsonValue> load(const char* path) {
+  std::string error;
+  auto doc = msgorder::json_parse_file(path, &error);
+  if (!doc) std::fprintf(stderr, "msgorder_stats: %s\n", error.c_str());
+  return doc;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string part =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!part.empty()) out.push_back(part);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int run_diff(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  msgorder::StatsDiffOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold") {
+      if (++i >= argc) return usage(argv[0]);
+      char* end = nullptr;
+      options.threshold = std::strtod(argv[i], &end);
+      if (end == argv[i] || options.threshold < 0) {
+        std::fprintf(stderr, "msgorder_stats: bad --threshold %s\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--fields") {
+      if (++i >= argc) return usage(argv[0]);
+      options.fields = split_csv(argv[i]);
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) {
+    return usage(argv[0]);
+  }
+  const auto baseline = load(baseline_path);
+  const auto current = load(current_path);
+  if (!baseline || !current) return 2;
+  std::printf("baseline: %s\ncurrent:  %s\n", baseline_path, current_path);
+  const msgorder::StatsDiff diff =
+      msgorder::stats_diff(*baseline, *current, options);
+  std::fputs(diff.text.c_str(), stdout);
+  return diff.regressed() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  if (std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0) {
+    usage(argv[0]);
+    return 0;
+  }
+  if (std::strcmp(argv[1], "--diff") == 0) return run_diff(argc, argv);
+
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') return usage(argv[0]);
+    const auto doc = load(argv[i]);
+    if (!doc) return 2;
+    if (argc > 2) std::printf("== %s ==\n", argv[i]);
+    std::fputs(msgorder::stats_summary(*doc).c_str(), stdout);
+  }
+  return 0;
+}
