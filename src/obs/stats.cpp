@@ -41,6 +41,11 @@ Direction direction_of(std::string_view leaf) {
       leaf.find("delay") != std::string_view::npos) {
     return Direction::kLowerBetter;
   }
+  // Diagnostic counts from msgorder.lint/1 artifacts.
+  if (leaf == "error" || leaf == "warning" || leaf == "hint" ||
+      leaf == "errors" || leaf == "warnings" || leaf == "hints") {
+    return Direction::kLowerBetter;
+  }
   return Direction::kNeutral;
 }
 
@@ -184,6 +189,53 @@ std::string summarize_flight_recorder(const JsonValue& doc) {
   return out.str();
 }
 
+std::string summarize_lint(const JsonValue& doc) {
+  std::ostringstream out;
+  out << "lint report: clean="
+      << (doc.bool_at("clean").value_or(false) ? "yes" : "no");
+  if (const JsonValue* totals = doc.find("totals");
+      totals != nullptr && totals->is_object()) {
+    out << " inputs=" << fmt(totals->number_at("inputs").value_or(0))
+        << "\n";
+    out << "  totals: error=" << fmt(totals->number_at("error").value_or(0))
+        << " warning=" << fmt(totals->number_at("warning").value_or(0))
+        << " hint=" << fmt(totals->number_at("hint").value_or(0))
+        << " note=" << fmt(totals->number_at("note").value_or(0)) << "\n";
+    if (const JsonValue* by_rule = totals->find("by_rule");
+        by_rule != nullptr && by_rule->is_object() &&
+        !by_rule->as_object().empty()) {
+      out << "  by rule:";
+      for (const auto& [rule, n] : by_rule->as_object()) {
+        if (n.is_number()) out << " " << rule << "=" << fmt(n.as_number());
+      }
+      out << "\n";
+    }
+  } else {
+    out << "\n";
+  }
+  if (const JsonValue* inputs = doc.find("inputs");
+      inputs != nullptr && inputs->is_array()) {
+    for (const JsonValue& input : inputs->as_array()) {
+      if (!input.is_object()) continue;
+      out << "  " << input.string_at("name").value_or("?") << ": ";
+      if (!input.bool_at("parsed").value_or(true)) {
+        out << "parse error\n";
+        continue;
+      }
+      out << "class=" << input.string_at("class").value_or("?");
+      if (const JsonValue* counts = input.find("counts");
+          counts != nullptr && counts->is_object()) {
+        for (const char* severity : {"error", "warning", "hint", "note"}) {
+          const double n = counts->number_at(severity).value_or(0);
+          if (n > 0) out << " " << severity << "=" << fmt(n);
+        }
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
 std::string summarize_chrome_trace(const JsonValue& doc) {
   std::ostringstream out;
   const JsonValue* events = doc.find("traceEvents");
@@ -213,6 +265,9 @@ std::string stats_summary(const JsonValue& doc) {
   }
   if (schema.rfind("msgorder.flight_recorder/", 0) == 0) {
     return summarize_flight_recorder(doc);
+  }
+  if (schema.rfind("msgorder.lint/", 0) == 0) {
+    return summarize_lint(doc);
   }
   const JsonValue* events = doc.find("traceEvents");
   if (events != nullptr && events->is_array()) {

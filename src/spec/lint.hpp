@@ -1,0 +1,124 @@
+// Static analysis of forbidden-predicate specifications (ISSUE 5
+// tentpole).  The paper's classification is itself a static analysis —
+// the predicate graph and its beta-vertex cycle order decide
+// implementability before any run exists — and this layer turns that
+// machinery into developer-facing diagnostics: unsatisfiable or
+// tautological predicates (with the witness), dead variables, conjuncts
+// implied by the transitive closure of the others, contradictory or
+// redundant `where` constraints, duplicate predicates inside a
+// composite, an explanation pass naming the witness cycle and beta
+// vertices behind each ProtocolClass verdict, and an over-strength hint
+// that reuses the Lemma 4 weakening to show what forces a high class.
+//
+// Severity philosophy: classification *verdicts* are notes (that is what
+// classify() is for); warnings mean "well-formed but almost certainly
+// not what you meant" (vacuous predicates, redundancy); errors mean the
+// spec is broken however you look at it (unparseable, contradictory
+// where, forbids every messaged run) — except that a spec file can
+// declare intent with an `# expect: <class>` pragma (see
+// tools/msgorder_lint), which demotes the matching verdict-shaped
+// diagnostics to notes and turns a verdict drift into an L014 error.
+// The rule catalog with stable IDs lives in lint_rules.{hpp,cpp}.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/spec/classify.hpp"
+#include "src/spec/lint_rules.hpp"
+#include "src/spec/parser.hpp"
+#include "src/spec/predicate.hpp"
+
+namespace msgorder {
+
+struct LintDiagnostic {
+  /// Catalog entry (never null; points into the static catalog).
+  const LintRule* rule = nullptr;
+  /// Effective severity: the rule default, possibly demoted to kNote by
+  /// a matching declared intent.
+  LintSeverity severity = LintSeverity::kNote;
+  /// Which predicate of the composite this is about; nullopt for
+  /// spec-level diagnostics (L010 names the duplicate's index instead).
+  std::optional<std::size_t> predicate_index;
+  std::string message;
+  /// Source span of the offending construct, when the spec was parsed
+  /// from text (absent for programmatically built predicates).
+  std::optional<SourceSpan> span;
+  /// Suggested edit, empty when there is no mechanical fix.
+  std::string fixit;
+  /// Supporting detail: normalization traces, witness cycles, implying
+  /// chains.  Rendered indented under the main line.
+  std::vector<std::string> notes;
+};
+
+/// Source text + spans for a composite spec, as produced by parse_spec.
+struct SpecSource {
+  std::string text;
+  std::vector<PredicateSource> predicates;  // parallel to the spec
+};
+
+struct LintOptions {
+  /// Declared intent (`# expect:` pragma or a library entry's recorded
+  /// classification).  When it matches the computed class, the
+  /// verdict-shaped diagnostics (L002/L003/L011) demote to notes and
+  /// the over-strength hint is suppressed; when it differs, an L014
+  /// error is added.
+  std::optional<ProtocolClass> expected;
+  /// Emit the L012 explanation notes (witness cycle, beta vertices,
+  /// Lemma 4 canonical form).
+  bool explain = true;
+};
+
+struct LintResult {
+  std::vector<LintDiagnostic> diagnostics;
+  /// The computed class of the whole spec (max over predicates).
+  ProtocolClass spec_class = ProtocolClass::kNotImplementable;
+  /// False iff the input failed to parse (lint_text only).
+  bool parsed = true;
+
+  std::size_t count(LintSeverity severity) const;
+  std::size_t count_at_least(LintSeverity severity) const;
+  /// No diagnostics at `fail_at` or above.
+  bool clean(LintSeverity fail_at = LintSeverity::kWarning) const {
+    return count_at_least(fail_at) == 0;
+  }
+  bool has_rule(std::string_view id) const;
+};
+
+/// Lint one predicate (wrapped as a single-element composite).
+LintResult lint_predicate(const ForbiddenPredicate& predicate,
+                          const PredicateSource* source = nullptr,
+                          const LintOptions& options = {});
+
+/// Lint a composite spec.  `source` may be null (programmatic specs).
+LintResult lint_spec(const CompositeSpec& spec,
+                     const SpecSource* source = nullptr,
+                     const LintOptions& options = {});
+
+/// Parse `text` with parse_spec and lint it; a parse failure yields a
+/// single L001 diagnostic (result.parsed == false).
+LintResult lint_text(std::string_view text,
+                     const LintOptions& options = {});
+
+/// Render caret-annotated text diagnostics.  `source_text` may be empty
+/// (no caret lines then); `input_name` prefixes every line, compiler
+/// style ("name:line:col: severity [ID rule-name] message").
+std::string render_lint_text(const LintResult& result,
+                             std::string_view source_text,
+                             std::string_view input_name);
+
+/// One named input of a msgorder.lint/1 artifact.
+struct LintInput {
+  std::string name;
+  std::string source_text;  // empty for programmatic inputs
+  LintResult result;
+};
+
+/// The machine-readable artifact (schema msgorder.lint/1): per-input
+/// diagnostics with rule IDs, severities and spans, plus totals per
+/// severity and per rule.  Summarizable by msgorder_stats.
+std::string lint_artifact_json(const std::vector<LintInput>& inputs);
+
+}  // namespace msgorder

@@ -1,0 +1,57 @@
+// The msgorder_lint rule catalog (ISSUE 5 tentpole): stable rule IDs,
+// default severities, and one-line summaries for every diagnostic the
+// spec static analyzer can emit.  IDs are append-only — external
+// tooling (the CI gate, msgorder_stats summaries of msgorder.lint/1
+// artifacts) keys on them, so a rule may be retired but its ID is never
+// reused with a different meaning.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msgorder {
+
+/// Ordered from least to most severe so thresholds ("fail on warning
+/// and above") are plain comparisons.
+enum class LintSeverity {
+  kNote,     // explanation output, never a defect
+  kHint,     // stylistic / over-strength suggestions
+  kWarning,  // the spec is well-formed but almost certainly not intended
+  kError,    // the spec is broken (unparseable, contradictory, or
+             // rejects every interesting run)
+};
+
+std::string to_string(LintSeverity severity);
+
+struct LintRule {
+  std::string_view id;        // "L002" — stable, append-only
+  std::string_view name;      // "unsatisfiable-predicate"
+  LintSeverity severity;      // default severity (intent pragmas demote)
+  std::string_view summary;   // one-line catalog entry
+};
+
+/// The full catalog, in ID order.
+const std::vector<LintRule>& lint_rules();
+
+/// Lookup by "L007"-style ID; nullptr when unknown.
+const LintRule* find_lint_rule(std::string_view id);
+
+// Convenience accessors for the individual rules (so call sites cannot
+// typo an ID).  See lint_rules.cpp for the catalog text.
+const LintRule& rule_parse_error();            // L001
+const LintRule& rule_unsatisfiable();          // L002
+const LintRule& rule_tautological();           // L003
+const LintRule& rule_tautological_conjunct();  // L004
+const LintRule& rule_dead_variable();          // L005
+const LintRule& rule_duplicate_conjunct();     // L006
+const LintRule& rule_redundant_conjunct();     // L007
+const LintRule& rule_contradictory_where();    // L008
+const LintRule& rule_redundant_where();        // L009
+const LintRule& rule_duplicate_predicate();    // L010
+const LintRule& rule_not_implementable();      // L011
+const LintRule& rule_class_explanation();      // L012
+const LintRule& rule_over_strength();          // L013
+const LintRule& rule_class_mismatch();         // L014
+
+}  // namespace msgorder

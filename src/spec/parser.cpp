@@ -5,57 +5,134 @@
 
 namespace msgorder {
 
+SourceSpan span_in(std::string_view text, std::size_t offset,
+                   std::size_t length) {
+  SourceSpan span;
+  span.offset = offset;
+  span.length = length;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++span.line;
+      span.column = 1;
+    } else {
+      ++span.column;
+    }
+  }
+  return span;
+}
+
+std::string ParseError::to_string() const {
+  std::string out = std::to_string(span.line) + ":" +
+                    std::to_string(span.column) + ": " + message;
+  if (!lexeme.empty()) out += " near '" + lexeme + "'";
+  out += " (offset " + std::to_string(span.offset) + ")";
+  return out;
+}
+
 namespace {
 
+/// Parses one predicate inside text[begin, end); spans are relative to
+/// the full `text` so that parse_spec pieces report file positions.
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, std::size_t begin, std::size_t end)
+      : text_(text), begin_(begin), end_(end), pos_(begin) {}
 
   ParseResult run() {
     ParseResult result;
     ForbiddenPredicate predicate;
-    if (!parse_conjunct(predicate)) return fail();
+    PredicateSource source;
+    skip_space();
+    const std::size_t predicate_start = pos_;
+    if (!parse_conjunct(predicate, source)) return fail();
     skip_space();
     while (peek() == '&') {
       ++pos_;
-      if (!parse_conjunct(predicate)) return fail();
+      if (!parse_conjunct(predicate, source)) return fail();
       skip_space();
     }
     if (match_word("where")) {
       do {
-        if (!parse_constraint(predicate)) return fail();
+        if (!parse_constraint(predicate, source)) return fail();
         skip_space();
       } while (consume(','));
     }
     skip_space();
-    if (pos_ != text_.size()) {
+    if (pos_ != end_) {
       error("unexpected trailing input");
       return fail();
     }
     predicate.arity = vars_.size();
     predicate.var_names.resize(vars_.size());
-    for (const auto& [name, id] : vars_) predicate.var_names[id] = name;
+    source.var_first_use.resize(vars_.size());
+    for (const auto& [name, reg] : vars_) {
+      predicate.var_names[reg.id] = name;
+      source.var_first_use[reg.id] = span_in(text_, reg.first_use.offset,
+                                             reg.first_use.length);
+    }
+    std::size_t predicate_end = pos_;
+    while (predicate_end > predicate_start &&
+           std::isspace(static_cast<unsigned char>(text_[predicate_end - 1]))) {
+      --predicate_end;
+    }
+    source.span = span_in(text_, predicate_start,
+                          predicate_end - predicate_start);
     result.predicate = std::move(predicate);
+    result.source = std::move(source);
     return result;
   }
 
  private:
+  struct VarRegistration {
+    std::size_t id = 0;
+    SourceSpan first_use;  // offset/length only; line/col filled at the end
+  };
+
   ParseResult fail() {
     ParseResult r;
-    r.error = error_.empty() ? "parse error" : error_;
+    if (!detail_.has_value()) {
+      ParseError e;
+      e.message = "parse error";
+      e.span = span_in(text_, pos_, 0);
+      detail_ = std::move(e);
+    }
+    r.detail = detail_;
+    r.error = detail_->to_string();
     return r;
   }
 
-  void error(const std::string& what) {
-    if (error_.empty()) {
-      error_ = what + " at offset " + std::to_string(pos_);
-    }
+  void error(const std::string& what) { error_at(what, pos_); }
+
+  void error_at(const std::string& what, std::size_t offset) {
+    if (detail_.has_value()) return;
+    ParseError e;
+    e.message = what;
+    e.lexeme = lexeme_at(offset);
+    e.span = span_in(text_, offset, e.lexeme.size());
+    detail_ = std::move(e);
   }
 
-  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  /// The token starting at `offset`: an identifier, a number, or a single
+  /// punctuation character; empty at end of input.
+  std::string lexeme_at(std::size_t offset) const {
+    if (offset >= end_) return "";
+    const auto word_char = [&](std::size_t i) {
+      return std::isalnum(static_cast<unsigned char>(text_[i])) ||
+             text_[i] == '_';
+    };
+    std::size_t stop = offset;
+    if (word_char(offset)) {
+      while (stop < end_ && word_char(stop)) ++stop;
+    } else {
+      stop = offset + 1;
+    }
+    return std::string(text_.substr(offset, stop - offset));
+  }
+
+  char peek() const { return pos_ < end_ ? text_[pos_] : '\0'; }
 
   void skip_space() {
-    while (pos_ < text_.size() &&
+    while (pos_ < end_ &&
            std::isspace(static_cast<unsigned char>(text_[pos_]))) {
       ++pos_;
     }
@@ -72,9 +149,12 @@ class Parser {
 
   bool match_word(std::string_view word) {
     skip_space();
-    if (text_.substr(pos_, word.size()) != word) return false;
+    if (pos_ + word.size() > end_ ||
+        text_.substr(pos_, word.size()) != word) {
+      return false;
+    }
     const std::size_t end = pos_ + word.size();
-    if (end < text_.size() &&
+    if (end < end_ &&
         (std::isalnum(static_cast<unsigned char>(text_[end])) ||
          text_[end] == '_')) {
       return false;  // prefix of a longer identifier
@@ -90,7 +170,7 @@ class Parser {
       return std::nullopt;
     }
     std::size_t start = pos_;
-    while (pos_ < text_.size() &&
+    while (pos_ < end_ &&
            (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
             text_[pos_] == '_')) {
       ++pos_;
@@ -98,13 +178,20 @@ class Parser {
     return std::string(text_.substr(start, pos_ - start));
   }
 
-  std::size_t var_id(const std::string& name) {
-    auto [it, inserted] = vars_.try_emplace(name, vars_.size());
-    return it->second;
+  std::size_t declare_var(const std::string& name, std::size_t offset) {
+    VarRegistration reg;
+    reg.id = vars_.size();
+    reg.first_use.offset = offset;
+    reg.first_use.length = name.size();
+    auto [it, inserted] = vars_.try_emplace(name, reg);
+    return it->second.id;
   }
 
-  /// atom := ident '.' ('s' | 'r')
-  bool parse_atom(std::size_t& var, UserEventKind& kind) {
+  /// atom := ident '.' ('s' | 'r').  Inside `where` constraints the
+  /// variable must already be quantified by some conjunct.
+  bool parse_atom(std::size_t& var, UserEventKind& kind, bool declare) {
+    skip_space();
+    const std::size_t name_offset = pos_;
     const auto name = parse_ident();
     if (!name.has_value()) return false;
     if (!consume('.')) {
@@ -119,17 +206,29 @@ class Parser {
       error("expected event kind 's' or 'r'");
       return false;
     }
-    var = var_id(*name);
+    if (declare) {
+      var = declare_var(*name, name_offset);
+      return true;
+    }
+    return lookup_var(*name, name_offset, var);
+  }
+
+  bool lookup_var(const std::string& name, std::size_t offset,
+                  std::size_t& var) {
+    const auto it = vars_.find(name);
+    if (it == vars_.end()) {
+      error_at("variable '" + name + "' is not used in any conjunct",
+               offset);
+      return false;
+    }
+    var = it->second.id;
     return true;
   }
 
   bool parse_rel() {
     skip_space();
-    if (text_.substr(pos_, 2) == "|>") {
-      pos_ += 2;
-      return true;
-    }
-    if (text_.substr(pos_, 2) == "->") {
+    if (pos_ + 2 <= end_ && (text_.substr(pos_, 2) == "|>" ||
+                             text_.substr(pos_, 2) == "->")) {
       pos_ += 2;
       return true;
     }
@@ -141,44 +240,53 @@ class Parser {
     return false;
   }
 
-  bool parse_conjunct(ForbiddenPredicate& predicate) {
+  bool parse_conjunct(ForbiddenPredicate& predicate,
+                      PredicateSource& source) {
     skip_space();
+    const std::size_t start = pos_;
     const bool parens = consume('(');
     Conjunct c;
-    if (!parse_atom(c.lhs, c.p)) return false;
+    if (!parse_atom(c.lhs, c.p, /*declare=*/true)) return false;
     if (!parse_rel()) return false;
-    if (!parse_atom(c.rhs, c.q)) return false;
+    if (!parse_atom(c.rhs, c.q, /*declare=*/true)) return false;
     if (parens && !consume(')')) {
       error("expected ')'");
       return false;
     }
     predicate.conjuncts.push_back(c);
+    source.conjuncts.push_back(span_in(text_, start, pos_ - start));
     return true;
   }
 
-  bool parse_constraint(ForbiddenPredicate& predicate) {
+  bool parse_constraint(ForbiddenPredicate& predicate,
+                        PredicateSource& source) {
     skip_space();
+    const std::size_t start = pos_;
     if (match_word("process")) {
       ProcessEquality pe;
       if (!consume('(')) return error("expected '('"), false;
-      if (!parse_atom(pe.var_a, pe.kind_a)) return false;
+      if (!parse_atom(pe.var_a, pe.kind_a, /*declare=*/false)) return false;
       if (!consume(')')) return error("expected ')'"), false;
       if (!consume('=')) return error("expected '='"), false;
       if (!match_word("process")) {
         return error("expected 'process'"), false;
       }
       if (!consume('(')) return error("expected '('"), false;
-      if (!parse_atom(pe.var_b, pe.kind_b)) return false;
+      if (!parse_atom(pe.var_b, pe.kind_b, /*declare=*/false)) return false;
       if (!consume(')')) return error("expected ')'"), false;
       predicate.process_constraints.push_back(pe);
+      source.process_constraints.push_back(
+          span_in(text_, start, pos_ - start));
       return true;
     }
     if (match_word("color")) {
       ColorConstraint cc;
       if (!consume('(')) return error("expected '('"), false;
+      skip_space();
+      const std::size_t name_offset = pos_;
       const auto name = parse_ident();
       if (!name.has_value()) return false;
-      cc.var = var_id(*name);
+      if (!lookup_var(*name, name_offset, cc.var)) return false;
       if (!consume(')')) return error("expected ')'"), false;
       if (!consume('=')) return error("expected '='"), false;
       skip_space();
@@ -192,6 +300,7 @@ class Parser {
       }
       cc.color = neg ? -value : value;
       predicate.color_constraints.push_back(cc);
+      source.color_constraints.push_back(span_in(text_, start, pos_ - start));
       return true;
     }
     error("expected 'process' or 'color' constraint");
@@ -199,42 +308,54 @@ class Parser {
   }
 
   std::string_view text_;
+  std::size_t begin_ = 0;
+  std::size_t end_ = 0;
   std::size_t pos_ = 0;
-  std::string error_;
-  std::map<std::string, std::size_t> vars_;
+  std::optional<ParseError> detail_;
+  std::map<std::string, VarRegistration> vars_;
 };
 
 }  // namespace
 
 ParseResult parse_predicate(std::string_view text) {
-  return Parser(text).run();
+  return Parser(text, 0, text.size()).run();
 }
 
 ParseSpecResult parse_spec(std::string_view text) {
   ParseSpecResult result;
   CompositeSpec spec;
+  std::vector<PredicateSource> sources;
   std::size_t start = 0;
   for (std::size_t i = 0; i <= text.size(); ++i) {
     if (i != text.size() && text[i] != ';') continue;
     const std::string_view piece = text.substr(start, i - start);
+    const std::size_t piece_start = start;
     start = i + 1;
     bool blank = true;
     for (char c : piece) {
       if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
     }
     if (blank) continue;
-    ParseResult parsed = parse_predicate(piece);
+    ParseResult parsed =
+        Parser(text, piece_start, piece_start + piece.size()).run();
     if (!parsed.ok()) {
-      result.error = parsed.error;
+      result.detail = std::move(parsed.detail);
+      result.error = result.detail->to_string();
       return result;
     }
     spec.predicates.push_back(std::move(*parsed.predicate));
+    sources.push_back(std::move(parsed.source));
   }
   if (spec.predicates.empty()) {
-    result.error = "empty specification";
+    ParseError e;
+    e.message = "empty specification";
+    e.span = span_in(text, 0, 0);
+    result.detail = std::move(e);
+    result.error = result.detail->to_string();
     return result;
   }
   result.spec = std::move(spec);
+  result.sources = std::move(sources);
   return result;
 }
 

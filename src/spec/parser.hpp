@@ -1,5 +1,6 @@
 // A small text syntax for forbidden predicates, used by the classify_spec
-// example and by tests.  Grammar (whitespace-insensitive):
+// example, the msgorder_lint static analyzer, and tests.  Grammar
+// (whitespace-insensitive):
 //
 //   predicate  := conjunct ('&' conjunct)* ['where' constraint (',' constraint)*]
 //   conjunct   := '(' atom rel atom ')'  |  atom rel atom
@@ -13,20 +14,70 @@
 //                              where process(x.s)=process(y.s),
 //                                    process(x.r)=process(y.r)
 //
-// Variables are registered on first use, in order of appearance.
+// Variables are registered on first use inside a conjunct, in order of
+// appearance.  `where` constraints may only reference variables that some
+// conjunct quantified — constraining a never-used variable is rejected
+// (it is always a typo, and it would otherwise silently widen the arity).
+//
+// Every parse records source spans (byte offset + 1-based line/column)
+// for the predicate, each conjunct, each constraint, and each variable's
+// first use; parse errors carry the same span plus the offending lexeme.
+// The spans feed the caret diagnostics of src/spec/lint.*.
 #pragma once
 
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/spec/predicate.hpp"
 
 namespace msgorder {
 
+/// A half-open byte range of the input, with the 1-based line/column of
+/// its first byte (column counts bytes, tabs are one column).
+struct SourceSpan {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  std::size_t line = 1;
+  std::size_t column = 1;
+
+  std::size_t end() const { return offset + length; }
+  bool operator==(const SourceSpan&) const = default;
+};
+
+/// Compute the span of text[offset, offset+length) within `text`.
+SourceSpan span_in(std::string_view text, std::size_t offset,
+                   std::size_t length);
+
+/// A structured parse failure: what was expected, where, and what was
+/// found instead (`lexeme` is empty at end of input).
+struct ParseError {
+  std::string message;
+  SourceSpan span;
+  std::string lexeme;
+
+  /// "3:7: expected ')' near 'where' (offset 42)".
+  std::string to_string() const;
+};
+
+/// Source spans for one parsed predicate; vectors are index-parallel to
+/// the corresponding ForbiddenPredicate vectors.
+struct PredicateSource {
+  SourceSpan span;  // the whole predicate (trimmed)
+  std::vector<SourceSpan> conjuncts;
+  std::vector<SourceSpan> process_constraints;
+  std::vector<SourceSpan> color_constraints;
+  std::vector<SourceSpan> var_first_use;  // indexed by variable id
+};
+
 struct ParseResult {
   std::optional<ForbiddenPredicate> predicate;
-  std::string error;  // non-empty iff predicate is nullopt
+  /// Meaningful iff ok().
+  PredicateSource source;
+  /// Structured failure; present iff !ok().
+  std::optional<ParseError> detail;
+  std::string error;  // rendered `detail`, non-empty iff !ok()
 
   bool ok() const { return predicate.has_value(); }
 };
@@ -39,8 +90,13 @@ ParseResult parse_predicate(std::string_view text);
 ///   spec := predicate (';' predicate)*
 ///
 /// Two-way flush, for instance, is two forward/backward predicates.
+/// All spans (per-predicate sources and error spans) are relative to the
+/// full spec text, not the semicolon-separated piece.
 struct ParseSpecResult {
   std::optional<CompositeSpec> spec;
+  /// Index-parallel to spec->predicates; meaningful iff ok().
+  std::vector<PredicateSource> sources;
+  std::optional<ParseError> detail;
   std::string error;
 
   bool ok() const { return spec.has_value(); }

@@ -168,5 +168,43 @@ TEST(StatsSummary, DispatchesOnSchema) {
   EXPECT_NE(tsummary.find("lifecycle: 2"), std::string::npos);
 }
 
+TEST(StatsSummary, SummarizesLintArtifact) {
+  const auto lint = json_parse(
+      "{\"schema\": \"msgorder.lint/1\", \"clean\": false,"
+      " \"inputs\": [{\"name\": \"a.spec\", \"parsed\": true,"
+      " \"class\": \"tagged\", \"clean\": false,"
+      " \"counts\": {\"error\": 0, \"warning\": 2, \"hint\": 0,"
+      " \"note\": 1}, \"diagnostics\": []},"
+      " {\"name\": \"b.spec\", \"parsed\": false, \"clean\": false,"
+      " \"counts\": {\"error\": 1, \"warning\": 0, \"hint\": 0,"
+      " \"note\": 0}, \"diagnostics\": []}],"
+      " \"totals\": {\"inputs\": 2, \"error\": 1, \"warning\": 2,"
+      " \"hint\": 0, \"note\": 1, \"by_rule\": {\"L001\": 1,"
+      " \"L007\": 2}}}");
+  ASSERT_TRUE(lint.has_value());
+  const std::string summary = stats_summary(*lint);
+  EXPECT_NE(summary.find("lint report: clean=no inputs=2"),
+            std::string::npos);
+  EXPECT_NE(summary.find("error=1 warning=2"), std::string::npos);
+  EXPECT_NE(summary.find("L007=2"), std::string::npos);
+  EXPECT_NE(summary.find("a.spec: class=tagged warning=2 note=1"),
+            std::string::npos);
+  EXPECT_NE(summary.find("b.spec: parse error"), std::string::npos);
+}
+
+TEST(StatsDiff, LintDiagnosticCountsAreLowerBetter) {
+  const auto baseline = json_parse(
+      "{\"schema\": \"msgorder.lint/1\","
+      " \"totals\": {\"error\": 1, \"warning\": 2, \"hint\": 1}}");
+  const auto current = json_parse(
+      "{\"schema\": \"msgorder.lint/1\","
+      " \"totals\": {\"error\": 3, \"warning\": 1, \"hint\": 1}}");
+  ASSERT_TRUE(baseline.has_value() && current.has_value());
+  const StatsDiff diff = stats_diff(*baseline, *current, {});
+  EXPECT_TRUE(diff.regressed());
+  ASSERT_EQ(diff.regressions.size(), 1u);
+  EXPECT_NE(diff.regressions[0].find("totals.error"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace msgorder

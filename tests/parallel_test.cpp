@@ -1,0 +1,76 @@
+// Unit tests for the fork-join sweep runner (src/util/parallel).  These
+// are the tests the CI TSan job runs: every access pattern the bench
+// harnesses rely on (distinct result slots, atomic aggregation) is
+// exercised under -fsanitize=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/util/parallel.hpp"
+
+namespace msgorder {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCells = 997;
+  std::vector<std::atomic<int>> hits(kCells);
+  parallel_for(kCells, 4, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCells; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "cell " << i;
+  }
+}
+
+TEST(ParallelFor, DistinctResultSlotsNeedNoSynchronization) {
+  // The bench-harness contract: each cell writes only its own slot.
+  constexpr std::size_t kCells = 512;
+  std::vector<std::size_t> slot(kCells, 0);
+  parallel_for(kCells, 8, [&](std::size_t i) { slot[i] = i * i; });
+  for (std::size_t i = 0; i < kCells; ++i) {
+    EXPECT_EQ(slot[i], i * i);
+  }
+}
+
+TEST(ParallelFor, SharedAtomicAggregation) {
+  constexpr std::size_t kCells = 10000;
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(kCells, 4, [&](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), kCells * (kCells - 1) / 2);
+}
+
+TEST(ParallelFor, MoreThreadsThanCells) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(3, 16, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SingleThreadRunsInlineOnTheCaller) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(5);
+  parallel_for(seen.size(), 1,
+               [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const std::thread::id id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, ZeroCellsIsANoop) {
+  bool called = false;
+  parallel_for(0, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(DefaultSweepThreads, BoundedByCellsAndAtLeastOne) {
+  EXPECT_EQ(default_sweep_threads(0), 1u);
+  EXPECT_EQ(default_sweep_threads(1), 1u);
+  EXPECT_LE(default_sweep_threads(2), 2u);
+  EXPECT_GE(default_sweep_threads(1024), 1u);
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -116,6 +116,84 @@ TEST(Parser, ErrorBadConstraint) {
   EXPECT_FALSE(parse_predicate("(x.s |> y.s) where color(x)=red").ok());
 }
 
+TEST(Parser, ErrorCarriesOffsetLineColumnAndLexeme) {
+  const auto r = parse_predicate("(x.s |> y.t)");
+  ASSERT_FALSE(r.ok());
+  ASSERT_TRUE(r.detail.has_value());
+  EXPECT_EQ(r.detail->span.offset, 10u);  // the 't'
+  EXPECT_EQ(r.detail->span.line, 1u);
+  EXPECT_EQ(r.detail->span.column, 11u);
+  EXPECT_EQ(r.detail->lexeme, "t");
+  EXPECT_NE(r.error.find("1:11:"), std::string::npos);
+  EXPECT_NE(r.error.find("offset 10"), std::string::npos);
+}
+
+TEST(Parser, ErrorOnSecondLineReportsItsLine) {
+  const auto r = parse_predicate("(x.s |> y.s) &\n(y.r |> )");
+  ASSERT_FALSE(r.ok());
+  ASSERT_TRUE(r.detail.has_value());
+  EXPECT_EQ(r.detail->span.line, 2u);
+  EXPECT_EQ(r.detail->lexeme, ")");
+}
+
+TEST(Parser, WhereRejectsVariableNeverUsedInAConjunct) {
+  for (const char* text :
+       {"(x.s |> y.s) & (y.r |> x.r) where color(z)=1",
+        "(x.s |> y.s) & (y.r |> x.r) where process(z.s)=process(y.s)"}) {
+    const auto r = parse_predicate(text);
+    ASSERT_FALSE(r.ok()) << text;
+    EXPECT_NE(r.error.find("is not used in any conjunct"),
+              std::string::npos)
+        << r.error;
+    EXPECT_EQ(r.detail->lexeme, "z");
+  }
+}
+
+TEST(Parser, RecordsConjunctAndConstraintSpans) {
+  const std::string text =
+      "(x.s |> y.s) & (y.r |> x.r) where color(y)=7";
+  const auto r = parse_predicate(text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.source.conjuncts.size(), 2u);
+  EXPECT_EQ(text.substr(r.source.conjuncts[0].offset,
+                        r.source.conjuncts[0].length),
+            "(x.s |> y.s)");
+  EXPECT_EQ(text.substr(r.source.conjuncts[1].offset,
+                        r.source.conjuncts[1].length),
+            "(y.r |> x.r)");
+  ASSERT_EQ(r.source.color_constraints.size(), 1u);
+  EXPECT_EQ(text.substr(r.source.color_constraints[0].offset,
+                        r.source.color_constraints[0].length),
+            "color(y)=7");
+  ASSERT_EQ(r.source.var_first_use.size(), 2u);
+  EXPECT_EQ(text.substr(r.source.var_first_use[0].offset,
+                        r.source.var_first_use[0].length),
+            "x");
+  EXPECT_EQ(text.substr(r.source.var_first_use[1].offset,
+                        r.source.var_first_use[1].length),
+            "y");
+}
+
+TEST(Parser, SpecPieceSpansAreRelativeToTheWholeText) {
+  const std::string text =
+      "(x.s |> y.s) & (y.r |> x.r);\n(a.s |> b.r) & (b.s |> a.r)";
+  const auto r = parse_spec(text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.sources.size(), 2u);
+  EXPECT_EQ(r.sources[0].span.line, 1u);
+  EXPECT_EQ(r.sources[1].span.line, 2u);
+  EXPECT_EQ(text.substr(r.sources[1].span.offset, r.sources[1].span.length),
+            "(a.s |> b.r) & (b.s |> a.r)");
+}
+
+TEST(Parser, SpecErrorSpanIsRelativeToTheWholeText) {
+  const auto r = parse_spec("(x.s |> y.s) & (y.r |> x.r);\n(a.s |> b.q)");
+  ASSERT_FALSE(r.ok());
+  ASSERT_TRUE(r.detail.has_value());
+  EXPECT_EQ(r.detail->span.line, 2u);
+  EXPECT_EQ(r.detail->lexeme, "q");
+}
+
 TEST(Parser, RoundTripThroughToString) {
   // to_string output parses back to the same predicate (default names).
   const ForbiddenPredicate original = fifo();

@@ -1,0 +1,295 @@
+// msgorder_lint — static analysis CLI for spec files (ISSUE 5 tentpole).
+//
+//   msgorder_lint [options] <file.spec ...>
+//   msgorder_lint --spec '(x.s |> y.s) & (y.r |> x.r)'
+//   msgorder_lint --library
+//
+// Options:
+//   --spec TEXT       lint an inline spec string (repeatable)
+//   --library         lint every built-in spec_zoo entry and composite,
+//                     using each entry's recorded classification as the
+//                     declared intent
+//   --json PATH       also write a msgorder.lint/1 artifact (readable by
+//                     msgorder_stats)
+//   --fail-on LEVEL   error | warning | hint | note | never (default:
+//                     error) — exit 1 when any diagnostic at LEVEL or
+//                     above is emitted
+//   --no-explain      suppress the L012 explanation notes
+//   --list-rules      print the rule catalog and exit
+//   --quiet           only print inputs that have diagnostics
+//
+// Spec files: `;` separates predicates of a composite; full-line `#`
+// comments are ignored (with byte offsets preserved, so spans still
+// point at the real file position); a `# expect: <class>` pragma
+// declares intent (tagless | tagged | general | not-implementable).
+//
+// Exit codes: 0 clean, 1 findings at or above --fail-on, 2 usage or
+// unreadable input.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+#include "src/spec/library.hpp"
+#include "src/spec/lint.hpp"
+
+namespace {
+
+using msgorder::LintInput;
+using msgorder::LintOptions;
+using msgorder::LintSeverity;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <file.spec ...>\n"
+      "       %s --spec 'TEXT' [--spec 'TEXT' ...]\n"
+      "       %s --library\n"
+      "\n"
+      "Lints forbidden-predicate specifications: vacuous or\n"
+      "contradictory predicates, redundant conjuncts and constraints,\n"
+      "dead variables, duplicate predicates, plus an explanation of\n"
+      "each protocol-class verdict (witness cycle, beta vertices).\n"
+      "\n"
+      "  --spec TEXT      lint an inline spec string (repeatable)\n"
+      "  --library        lint the built-in spec library\n"
+      "  --json PATH      write a msgorder.lint/1 artifact\n"
+      "  --fail-on LEVEL  error|warning|hint|note|never (default error)\n"
+      "  --no-explain     suppress L012 explanation notes\n"
+      "  --list-rules     print the rule catalog and exit\n"
+      "  --quiet          only print inputs with diagnostics\n",
+      argv0, argv0, argv0);
+  return 2;
+}
+
+int list_rules() {
+  for (const msgorder::LintRule& rule : msgorder::lint_rules()) {
+    std::printf("%s  %-24s  %-7s  %s\n", std::string(rule.id).c_str(),
+                std::string(rule.name).c_str(),
+                msgorder::to_string(rule.severity).c_str(),
+                std::string(rule.summary).c_str());
+  }
+  return 0;
+}
+
+std::optional<msgorder::ProtocolClass> class_by_name(
+    const std::string& name) {
+  for (const msgorder::ProtocolClass c :
+       {msgorder::ProtocolClass::kTagless, msgorder::ProtocolClass::kTagged,
+        msgorder::ProtocolClass::kGeneral,
+        msgorder::ProtocolClass::kNotImplementable}) {
+    if (msgorder::to_string(c) == name) return c;
+  }
+  return std::nullopt;
+}
+
+struct SpecFile {
+  /// The file contents with every full-line `#` comment blanked out by
+  /// spaces, so that byte offsets and line numbers survive.
+  std::string text;
+  std::optional<msgorder::ProtocolClass> expected;
+  std::string bad_pragma;  // non-empty when an expect pragma is invalid
+};
+
+std::optional<SpecFile> load_spec_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  SpecFile file;
+  file.text = buffer.str();
+
+  std::size_t line_start = 0;
+  while (line_start <= file.text.size()) {
+    std::size_t line_end = file.text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = file.text.size();
+    std::size_t first = line_start;
+    while (first < line_end &&
+           (file.text[first] == ' ' || file.text[first] == '\t')) {
+      ++first;
+    }
+    if (first < line_end && file.text[first] == '#') {
+      std::string comment =
+          file.text.substr(first + 1, line_end - first - 1);
+      const std::size_t key = comment.find("expect:");
+      if (key != std::string::npos) {
+        std::string value = comment.substr(key + std::strlen("expect:"));
+        const std::size_t begin = value.find_first_not_of(" \t");
+        const std::size_t end = value.find_last_not_of(" \t\r");
+        value = begin == std::string::npos
+                    ? ""
+                    : value.substr(begin, end - begin + 1);
+        file.expected = class_by_name(value);
+        if (!file.expected.has_value()) file.bad_pragma = value;
+      }
+      for (std::size_t i = line_start; i < line_end; ++i) {
+        file.text[i] = ' ';
+      }
+    }
+    line_start = line_end + 1;
+  }
+  return file;
+}
+
+/// The built-in library as lintable inputs: every spec_zoo entry with
+/// its recorded classification as declared intent, plus the composite
+/// builders that have no zoo entry.
+std::vector<LintInput> library_inputs(const LintOptions& base) {
+  std::vector<LintInput> inputs;
+  for (const msgorder::NamedSpec& entry : msgorder::spec_zoo()) {
+    LintOptions options = base;
+    options.expected = entry.expected;
+    LintInput input;
+    input.name = "library:" + entry.name;
+    input.result =
+        msgorder::lint_predicate(entry.predicate, nullptr, options);
+    inputs.push_back(std::move(input));
+  }
+  const struct {
+    const char* name;
+    msgorder::CompositeSpec spec;
+    msgorder::ProtocolClass expected;
+  } composites[] = {
+      {"two_way_flush", msgorder::two_way_flush(),
+       msgorder::ProtocolClass::kTagged},
+      {"global_two_way_flush", msgorder::global_two_way_flush(),
+       msgorder::ProtocolClass::kTagged},
+      {"logically_synchronous_4", msgorder::logically_synchronous(4),
+       msgorder::ProtocolClass::kGeneral},
+  };
+  for (const auto& composite : composites) {
+    LintOptions options = base;
+    options.expected = composite.expected;
+    LintInput input;
+    input.name = std::string("library:") + composite.name;
+    input.result = msgorder::lint_spec(composite.spec, nullptr, options);
+    inputs.push_back(std::move(input));
+  }
+  return inputs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::vector<std::string> inline_specs;
+  bool use_library = false;
+  bool quiet = false;
+  LintOptions base_options;
+  std::string json_path;
+  // kError + 1 encodes --fail-on never.
+  int fail_at = static_cast<int>(LintSeverity::kError);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--list-rules") {
+      return list_rules();
+    } else if (arg == "--spec") {
+      if (++i >= argc) return usage(argv[0]);
+      inline_specs.push_back(argv[i]);
+    } else if (arg == "--library") {
+      use_library = true;
+    } else if (arg == "--json") {
+      if (++i >= argc) return usage(argv[0]);
+      json_path = argv[i];
+    } else if (arg == "--no-explain") {
+      base_options.explain = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--fail-on") {
+      if (++i >= argc) return usage(argv[0]);
+      const std::string level = argv[i];
+      if (level == "never") {
+        fail_at = static_cast<int>(LintSeverity::kError) + 1;
+      } else if (level == "note") {
+        fail_at = static_cast<int>(LintSeverity::kNote);
+      } else if (level == "hint") {
+        fail_at = static_cast<int>(LintSeverity::kHint);
+      } else if (level == "warning") {
+        fail_at = static_cast<int>(LintSeverity::kWarning);
+      } else if (level == "error") {
+        fail_at = static_cast<int>(LintSeverity::kError);
+      } else {
+        std::fprintf(stderr, "msgorder_lint: bad --fail-on '%s'\n",
+                     level.c_str());
+        return 2;
+      }
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() && inline_specs.empty() && !use_library) {
+    return usage(argv[0]);
+  }
+
+  std::vector<LintInput> inputs;
+  for (std::size_t i = 0; i < inline_specs.size(); ++i) {
+    LintInput input;
+    input.name = inline_specs.size() == 1
+                     ? "<spec>"
+                     : "<spec#" + std::to_string(i + 1) + ">";
+    input.source_text = inline_specs[i];
+    input.result = msgorder::lint_text(inline_specs[i], base_options);
+    inputs.push_back(std::move(input));
+  }
+  for (const std::string& path : files) {
+    const auto file = load_spec_file(path);
+    if (!file.has_value()) {
+      std::fprintf(stderr, "msgorder_lint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    if (!file->bad_pragma.empty()) {
+      std::fprintf(stderr,
+                   "msgorder_lint: %s: bad '# expect:' class '%s' (want "
+                   "tagless|tagged|general|not-implementable)\n",
+                   path.c_str(), file->bad_pragma.c_str());
+      return 2;
+    }
+    LintOptions options = base_options;
+    options.expected = file->expected;
+    LintInput input;
+    input.name = path;
+    input.source_text = file->text;
+    input.result = msgorder::lint_text(file->text, options);
+    inputs.push_back(std::move(input));
+  }
+  if (use_library) {
+    for (LintInput& input : library_inputs(base_options)) {
+      inputs.push_back(std::move(input));
+    }
+  }
+
+  bool failed = false;
+  for (const LintInput& input : inputs) {
+    if (fail_at <= static_cast<int>(LintSeverity::kError) &&
+        input.result.count_at_least(static_cast<LintSeverity>(fail_at)) >
+            0) {
+      failed = true;
+    }
+    if (quiet && input.result.diagnostics.empty()) continue;
+    std::fputs(msgorder::render_lint_text(input.result, input.source_text,
+                                          input.name)
+                   .c_str(),
+               stdout);
+  }
+
+  if (!json_path.empty()) {
+    std::string error;
+    if (!msgorder::write_text_file(
+            json_path, msgorder::lint_artifact_json(inputs), &error)) {
+      std::fprintf(stderr, "msgorder_lint: %s\n", error.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "msgorder_lint: wrote %s\n", json_path.c_str());
+  }
+  return failed ? 1 : 0;
+}
