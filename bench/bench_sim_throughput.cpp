@@ -1,0 +1,245 @@
+// ISSUE 6: simulator throughput under sharding.  One fixed randomized
+// workload (1M messages by default) runs under the FIFO stack at each
+// shard count; shards=1 is the sequential engine and the baseline.  For
+// every sharded run the trace is checked for bit-identity against the
+// baseline (the determinism contract), and the JSON row records the
+// event rate the CI gate regresses on:
+//
+//   BENCH_sim_throughput.json, schema msgorder.bench.sim_throughput/1
+//   rows[*]: shards, workers, engine, seconds, events,
+//            events_per_second, speedup_vs_sequential, trace_parity
+//
+// The speedup at shards >= 2 comes from two stacked effects: the
+// shard-local engine's per-event efficiency (24-byte POD heap items fed
+// by an invoke cursor and a packet slab, instead of one giant priority
+// queue of fat entries holding every pending invoke), and — on
+// multi-core hosts — worker threads running shards in parallel inside
+// each conservative window.  Rows record the worker count and the
+// host's hardware concurrency so results from single-core CI runners
+// read honestly.
+//
+// Flags:
+//   --json <path>     output path (default BENCH_sim_throughput.json)
+//   --quick           100k messages, shards {1, 4} (CI smoke + gate)
+//   --messages <n>    override the workload size
+//   --workers <n>     force SimOptions::shard_workers (default 0 = auto)
+//   --reps <n>        timed repetitions per cell, best kept (default 1)
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/json.hpp"
+#include "src/protocols/fifo.hpp"
+#include "src/sim/simulator.hpp"
+
+using namespace msgorder;
+
+namespace {
+
+constexpr std::size_t kProcesses = 32;
+constexpr std::size_t kMessages = 1'000'000;
+constexpr std::size_t kQuickMessages = 100'000;
+constexpr std::uint64_t kWorkloadSeed = 4242;
+constexpr std::uint64_t kSimSeed = 1717;
+// Fat conservative windows: lookahead 10 covers ~320 invokes per window
+// at 32 processes with unit mean gap, so barrier overhead amortizes.
+constexpr double kBaseDelay = 10.0;
+constexpr double kJitterMean = 2.0;
+constexpr double kMeanGap = 1.0;
+
+/// Order-independent-free digest of the full trace: every per-process
+/// log entry (process, message, kind, exact time bits) folded in log
+/// order.  Equal digests + equal counters == the traces are identical
+/// for the purpose of the parity gate (the unit tests compare
+/// field-by-field; here we avoid keeping two 4M-event traces alive).
+std::uint64_t trace_digest(const Trace& trace) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  };
+  for (std::size_t p = 0; p < trace.logs().size(); ++p) {
+    mix(p);
+    for (const TimedEvent& te : trace.logs()[p]) {
+      mix(te.event.msg);
+      mix(static_cast<std::uint64_t>(te.event.kind));
+      mix(std::bit_cast<std::uint64_t>(te.time));
+    }
+  }
+  mix(trace.control_packets());
+  mix(trace.user_packets());
+  mix(trace.tag_bytes());
+  return h;
+}
+
+std::size_t trace_events(const Trace& trace) {
+  std::size_t n = 0;
+  for (const auto& log : trace.logs()) n += log.size();
+  return n;
+}
+
+struct Cell {
+  std::size_t shards = 0;
+  std::size_t shards_used = 0;
+  std::size_t workers_used = 0;
+  double seconds = 0;
+  std::size_t events = 0;
+  std::uint64_t digest = 0;
+  bool completed = false;
+  std::string error;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_sim_throughput.json";
+  bool quick = false;
+  std::size_t n_messages = 0;
+  std::size_t workers = 0;
+  int reps = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--messages") == 0 && i + 1 < argc) {
+      n_messages = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    }
+  }
+  if (n_messages == 0) n_messages = quick ? kQuickMessages : kMessages;
+  const std::vector<std::size_t> shard_counts =
+      quick ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+
+  std::printf("sim throughput: %zu processes, %zu messages, fifo stack, "
+              "base delay %.1f (lookahead), jitter %.1f\n\n",
+              kProcesses, n_messages, kBaseDelay, kJitterMean);
+
+  Rng rng(kWorkloadSeed);
+  WorkloadOptions wopts;
+  wopts.n_processes = kProcesses;
+  wopts.n_messages = n_messages;
+  wopts.mean_gap = kMeanGap;
+  const Workload workload = random_workload(wopts, rng);
+
+  std::vector<Cell> cells;
+  cells.reserve(shard_counts.size());
+  for (const std::size_t shards : shard_counts) {
+    Cell cell;
+    cell.shards = shards;
+    for (int rep = 0; rep < reps; ++rep) {
+      SimOptions sopts;
+      sopts.seed = kSimSeed;
+      sopts.network.base_delay = kBaseDelay;
+      sopts.network.jitter_mean = kJitterMean;
+      sopts.shards = shards;
+      sopts.shard_workers = workers;
+      sopts.max_events = n_messages * 40 + 1'000'000;
+      const auto start = std::chrono::steady_clock::now();
+      SimResult result =
+          simulate(workload, FifoProtocol::factory(), kProcesses, sopts);
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      if (rep == 0 || elapsed < cell.seconds) cell.seconds = elapsed;
+      if (rep == 0) {
+        cell.shards_used = result.shards_used;
+        cell.workers_used = result.workers_used;
+        cell.completed = result.completed;
+        cell.error = result.error;
+        if (result.completed) {
+          cell.events = trace_events(result.trace);
+          cell.digest = trace_digest(result.trace);
+        }
+      }
+    }
+    std::printf("shards=%zu (used %zu, workers %zu): %.3fs, %zu events, "
+                "%.0f events/s%s\n",
+                cell.shards, cell.shards_used, cell.workers_used,
+                cell.seconds, cell.events,
+                static_cast<double>(cell.events) / cell.seconds,
+                cell.completed ? "" : "  FAILED");
+    cells.push_back(std::move(cell));
+  }
+
+  const Cell& base = cells.front();
+  bool ok = base.completed && base.shards == 1;
+  for (const Cell& cell : cells) {
+    if (!cell.completed) {
+      std::printf("FAIL: shards=%zu did not complete: %s\n", cell.shards,
+                  cell.error.c_str());
+      ok = false;
+    } else if (cell.digest != base.digest || cell.events != base.events) {
+      std::printf("FAIL: shards=%zu trace differs from sequential "
+                  "baseline\n",
+                  cell.shards);
+      ok = false;
+    }
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "msgorder.bench.sim_throughput/1");
+  w.kv("bench", "sim_throughput");
+  w.kv("protocol", "fifo");
+  w.kv("n_processes", kProcesses);
+  w.kv("n_messages", n_messages);
+  w.kv("workload_seed", kWorkloadSeed);
+  w.kv("sim_seed", kSimSeed);
+  w.kv("hardware_concurrency",
+       static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  w.kv("quick", quick);
+  w.key("network").begin_object();
+  w.kv("base_delay", kBaseDelay);
+  w.kv("jitter_mean", kJitterMean);
+  w.kv("fifo_channels", false);
+  w.end_object();
+  w.key("rows").begin_array();
+  for (const Cell& cell : cells) {
+    w.begin_object();
+    w.kv("shards", cell.shards);
+    w.kv("workers", cell.workers_used);
+    w.kv("engine", cell.shards_used > 1 ? "sharded" : "sequential");
+    w.kv("completed", cell.completed);
+    w.kv("seconds", cell.seconds);
+    w.kv("events", cell.events);
+    w.kv("events_per_second",
+         cell.seconds > 0 ? static_cast<double>(cell.events) / cell.seconds
+                          : 0.0);
+    w.kv("speedup_vs_sequential",
+         cell.seconds > 0 ? base.seconds / cell.seconds : 0.0);
+    w.kv("trace_parity",
+         cell.completed && cell.digest == base.digest &&
+             cell.events == base.events);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("trace_parity_all", ok);
+  w.end_object();
+
+  std::string io_error;
+  if (!write_text_file(json_path, w.str(), &io_error)) {
+    std::printf("could not write %s: %s\n", json_path.c_str(),
+                io_error.c_str());
+    ok = false;
+  } else {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  std::printf("RESULT: %s\n",
+              ok ? "all shard counts completed with trace parity"
+                 : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -33,7 +33,10 @@ std::string_view leaf_name(std::string_view path) {
 enum class Direction { kHigherBetter, kLowerBetter, kNeutral };
 
 Direction direction_of(std::string_view leaf) {
-  if (leaf.find("speedup") != std::string_view::npos) {
+  // Rate fields ("events_per_second") contain the substring "seconds",
+  // so the higher-is-better checks must run before the timing ones.
+  if (leaf.find("speedup") != std::string_view::npos ||
+      leaf.find("per_second") != std::string_view::npos) {
     return Direction::kHigherBetter;
   }
   if (leaf.find("seconds") != std::string_view::npos ||
@@ -140,6 +143,8 @@ std::string summarize_bench(const JsonValue& doc,
     out << "  ";
     if (const auto n = row.number_at("n_messages")) {
       out << "n=" << fmt(*n);
+    } else if (const auto s = row.number_at("shards")) {
+      out << "shards=" << fmt(*s);
     } else if (const auto p = row.string_at("protocol")) {
       out << *p;
     } else {
@@ -299,6 +304,8 @@ void flatten_numeric(const JsonValue& doc, const std::string& prefix,
         if (arr[i].is_object()) {
           if (const auto n = arr[i].number_at("n_messages")) {
             key = prefix + "[n=" + fmt(*n) + "]";
+          } else if (const auto s = arr[i].number_at("shards")) {
+            key = prefix + "[shards=" + fmt(*s) + "]";
           } else if (const auto p = arr[i].string_at("protocol")) {
             key = prefix + "[" + *p + "]";
           }

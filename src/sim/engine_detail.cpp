@@ -1,0 +1,146 @@
+#include "src/sim/engine_detail.hpp"
+
+namespace msgorder::sim_detail {
+
+ObsSink::ObsSink(Observability* observability, const ObserverMux* observers,
+                 const Trace* trace, std::size_t n_messages)
+    : observers_(observers), trace_(trace) {
+  if (observability == nullptr) return;
+  // Sizes a fresh attribution table for this run; the flight recorder
+  // (if any) persists across runs by design.
+  observability->begin_run(n_messages);
+  instruments_ = &observability->instruments();
+  tracer_ = observability->tracer();
+  attribution_ = observability->attribution();
+  recorder_ = observability->flight_recorder();
+}
+
+void ObsSink::record(ProcessId at, SystemEvent e, SimTime t,
+                     bool merge_only) {
+  if (instruments_ != nullptr) update_instruments(e);
+  if (tracer_ != nullptr) tracer_->on_event(at, e, t);
+  if (recorder_ != nullptr) recorder_->on_event(at, e, t);
+  if (attribution_ != nullptr) {
+    // The inhibited event executing closes its open hold segment, so
+    // per-reason segment times sum exactly to the recorded delay.
+    if (e.kind == EventKind::kSend) {
+      publish_closed(attribution_->on_release(e.msg, HoldPhase::kSend, t));
+    } else if (e.kind == EventKind::kDeliver) {
+      publish_closed(attribution_->on_release(e.msg, HoldPhase::kDelivery, t));
+    }
+  }
+  if (observers_ != nullptr) {
+    if (merge_only) {
+      observers_->notify_merge_phase(at, e, t);
+    } else {
+      observers_->notify(at, e, t);
+    }
+  }
+}
+
+void ObsSink::hold(ProcessId at, MessageId msg, const HoldReason& reason,
+                   bool received, SimTime t) {
+  if (attribution_ == nullptr) return;
+  // Phase is inferred from the message's lifecycle position: once x.r*
+  // was recorded the only inhibitable transition left is the delivery.
+  const HoldPhase phase = received ? HoldPhase::kDelivery : HoldPhase::kSend;
+  publish_closed(attribution_->on_hold(msg, at, phase, reason, t));
+}
+
+void ObsSink::note(const char* text, SimTime t) {
+  if (recorder_ != nullptr) recorder_->note(text, t);
+}
+
+void ObsSink::count_control_packet(std::size_t bytes) {
+  if (instruments_ == nullptr) return;
+  instruments_->control_packets->inc();
+  instruments_->control_bytes->inc(bytes);
+}
+
+void ObsSink::count_user_packet(std::size_t tag_bytes) {
+  if (instruments_ == nullptr) return;
+  instruments_->user_packets->inc();
+  instruments_->tag_bytes->inc(tag_bytes);
+}
+
+void ObsSink::count_drop() {
+  if (instruments_ != nullptr) instruments_->drops->inc();
+}
+
+void ObsSink::count_retransmission() {
+  if (instruments_ != nullptr) instruments_->retransmissions->inc();
+}
+
+void ObsSink::count_duplicate_arrival() {
+  if (instruments_ != nullptr) instruments_->duplicate_arrivals->inc();
+}
+
+void ObsSink::count_timer_fire() {
+  if (instruments_ != nullptr) instruments_->timer_fires->inc();
+}
+
+void ObsSink::add_counts(const EngineCounters& counters) {
+  if (instruments_ == nullptr) return;
+  instruments_->control_packets->inc(counters.trace.control_packets);
+  instruments_->control_bytes->inc(counters.trace.control_bytes);
+  instruments_->user_packets->inc(counters.trace.user_packets);
+  instruments_->tag_bytes->inc(counters.trace.tag_bytes);
+  instruments_->drops->inc(counters.trace.drops);
+  instruments_->retransmissions->inc(counters.trace.retransmissions);
+  instruments_->duplicate_arrivals->inc(counters.trace.duplicate_arrivals);
+  instruments_->timer_fires->inc(counters.timer_fires);
+}
+
+void ObsSink::replay(const std::vector<ObsItem>& items,
+                     std::size_t n_messages) {
+  std::vector<std::uint8_t> received(n_messages, 0);
+  for (const ObsItem& item : items) {
+    if (item.is_hold) {
+      hold(item.at, item.held_msg, item.reason,
+           received[item.held_msg] != 0, item.time);
+    } else {
+      if (item.event.kind == EventKind::kReceive) {
+        received[item.event.msg] = 1;
+      }
+      record(item.at, item.event, item.time, /*merge_only=*/true);
+    }
+  }
+}
+
+void ObsSink::update_instruments(SystemEvent e) {
+  instruments_->events->inc();
+  switch (e.kind) {
+    case EventKind::kReceive:
+      instruments_->buffered_depth->add(1);
+      break;
+    case EventKind::kDeliver: {
+      instruments_->buffered_depth->add(-1);
+      const MessageTimes& mt = trace_->times(e.msg);
+      // The full lifecycle exists once x.r is recorded (guard anyway:
+      // a misbehaving protocol must not turn metrics into UB).
+      if (mt.invoke && mt.send && mt.receive) {
+        instruments_->latency->record(mt.latency());
+        instruments_->send_delay->record(mt.send_delay());
+        instruments_->delivery_delay->record(mt.delivery_delay());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ObsSink::publish_closed(const HoldSegment* seg) {
+  if (seg == nullptr) return;
+  if (instruments_ != nullptr) {
+    instruments_->hold_segments->inc();
+    const auto k = static_cast<std::size_t>(seg->reason.kind);
+    if (instruments_->hold_time[k] != nullptr) {
+      instruments_->hold_time[k]->record(seg->duration());
+    }
+  }
+  if (tracer_ != nullptr) tracer_->on_hold_segment(*seg);
+  if (recorder_ != nullptr) recorder_->on_hold_segment(*seg);
+}
+
+}  // namespace msgorder::sim_detail

@@ -1,0 +1,159 @@
+// Shared internals of the two simulator engines (sequential and
+// sharded, ISSUE 6): the deterministic total-order key both engines
+// schedule by, the per-shard counter block, and the ObsSink that fans
+// recorded events out to the observability layer.
+//
+// The determinism contract.  Every queue entry carries a 64-bit
+// tiebreak packing (entry kind, owning process, per-owner counter):
+//
+//    bits 63..62  kind rank   (invoke=0 < arrival=1 < timer=2)
+//    bits 61..38  owner       (invokes/arrivals: the source process;
+//                              timers: the process the timer fires at)
+//    bits 37..0   counter     (invokes: workload index; arrivals: the
+//                              source's emission counter; timers: the
+//                              owner's timer counter)
+//
+// Entries are processed in (time, tiebreak) order.  With positive
+// lookahead L (= minimum channel delay) every entry inserted while
+// handling the current one has a strictly larger key — arrivals land at
+// time >= now + L > now, and timers fire at the same process with a
+// higher kind rank or a larger counter — so popping a priority queue in
+// key order and merging per-shard streams sorted by key yield the SAME
+// global sequence.  That is why the sharded engine's trace is
+// bit-identical to the sequential engine's.  With L <= 0 a zero-delay
+// arrival could be inserted *behind* already-processed keys, so the
+// dispatcher falls back to the sequential engine (shards_used == 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/observability.hpp"
+#include "src/obs/observer.hpp"
+#include "src/protocols/protocol.hpp"
+#include "src/sim/trace.hpp"
+#include "src/util/rng.hpp"
+
+namespace msgorder::sim_detail {
+
+enum class EntryKind : std::uint8_t { kInvoke = 0, kArrival = 1, kTimer = 2 };
+
+constexpr std::uint64_t kCounterBits = 38;
+constexpr std::uint64_t kOwnerBits = 24;
+constexpr std::uint64_t kCounterMask = (std::uint64_t{1} << kCounterBits) - 1;
+constexpr std::uint64_t kOwnerMask = (std::uint64_t{1} << kOwnerBits) - 1;
+
+inline std::uint64_t make_tiebreak(EntryKind kind, ProcessId owner,
+                                   std::uint64_t counter) {
+  return (static_cast<std::uint64_t>(kind) << (kOwnerBits + kCounterBits)) |
+         ((static_cast<std::uint64_t>(owner) & kOwnerMask) << kCounterBits) |
+         (counter & kCounterMask);
+}
+
+inline EntryKind tiebreak_kind(std::uint64_t tiebreak) {
+  return static_cast<EntryKind>(tiebreak >> (kOwnerBits + kCounterBits));
+}
+
+inline ProcessId tiebreak_owner(std::uint64_t tiebreak) {
+  return static_cast<ProcessId>((tiebreak >> kCounterBits) & kOwnerMask);
+}
+
+/// Per-process packet-loss stream, identical in both engines: the loss
+/// decision for the k-th emission of process p depends only on
+/// (seed, p, k), never on global interleaving.
+inline Rng per_process_loss_rng(std::uint64_t seed, ProcessId p) {
+  std::uint64_t z = (seed ^ 0xa5a5a5a5deadbeefULL) +
+                    (static_cast<std::uint64_t>(p) + 1) *
+                        0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(z ^ (z >> 31));
+}
+
+/// Counters a shard accumulates privately during its run; folded into
+/// the Trace and the MetricsRegistry once, at report time.
+struct EngineCounters {
+  TraceCounts trace;
+  std::size_t timer_fires = 0;
+};
+
+/// One buffered observability notification (sharded engine only): a
+/// recorded system event or a reported hold, tagged with the key of the
+/// queue entry whose handling produced it.  Sorting items by
+/// (time, entry_tiebreak) — keeping each shard's intra-entry order
+/// stable — reproduces the sequential notification order exactly.
+struct ObsItem {
+  SimTime time = 0;
+  std::uint64_t entry_tiebreak = 0;
+  ProcessId at = 0;
+  bool is_hold = false;
+  SystemEvent event;        // !is_hold
+  MessageId held_msg = 0;   // is_hold
+  HoldReason reason;        // is_hold
+};
+
+/// Fans recorded events out to instruments, tracer, flight recorder,
+/// delay attribution, and observers.  The sequential engine feeds it
+/// inline per event; the sharded engine feeds thread-safe observers
+/// live and everything else through replay() in merge order.  Trace
+/// writes stay in the engines — the sink only *reads* trace times for
+/// the latency histograms.
+class ObsSink {
+ public:
+  /// Wires up the sink and (when observability is attached) calls
+  /// begin_run(n_messages) to size a fresh attribution table.
+  ObsSink(Observability* observability, const ObserverMux* observers,
+          const Trace* trace, std::size_t n_messages);
+
+  bool attribution_active() const { return attribution_ != nullptr; }
+  bool has_recorder() const { return recorder_ != nullptr; }
+
+  /// True when the sharded engine must buffer ObsItems: some consumer
+  /// needs events in the deterministic merge order.
+  bool buffering_needed() const {
+    return instruments_ != nullptr || tracer_ != nullptr ||
+           recorder_ != nullptr || attribution_ != nullptr ||
+           (observers_ != nullptr && observers_->has_merge_phase());
+  }
+
+  /// Dispatch one recorded event.  merge_only limits observer fan-out
+  /// to merge-phase observers (replay path: thread-safe observers were
+  /// already notified live by the shard).
+  void record(ProcessId at, SystemEvent e, SimTime t, bool merge_only);
+
+  /// Dispatch one hold report.  `received` — whether x.r* was already
+  /// recorded for msg — selects the attribution phase.
+  void hold(ProcessId at, MessageId msg, const HoldReason& reason,
+            bool received, SimTime t);
+
+  /// Flight-recorder annotation (no-op without a recorder).
+  void note(const char* text, SimTime t);
+
+  // Per-event counter mirrors for the sequential engine (inline) ...
+  void count_control_packet(std::size_t bytes);
+  void count_user_packet(std::size_t tag_bytes);
+  void count_drop();
+  void count_retransmission();
+  void count_duplicate_arrival();
+  void count_timer_fire();
+  // ... and the bulk merge the sharded engine uses instead.
+  void add_counts(const EngineCounters& counters);
+
+  /// Replay buffered items in merge order: `items` must be sorted by
+  /// (time, entry_tiebreak).  Rebuilds the receive-seen bitmap on the
+  /// fly so hold phases match the sequential engine's inference.
+  void replay(const std::vector<ObsItem>& items, std::size_t n_messages);
+
+ private:
+  void update_instruments(SystemEvent e);
+  void publish_closed(const HoldSegment* seg);
+
+  const ObserverMux* observers_ = nullptr;
+  const Trace* trace_ = nullptr;
+  SimInstruments* instruments_ = nullptr;
+  SpanTracer* tracer_ = nullptr;
+  DelayAttribution* attribution_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
+};
+
+}  // namespace msgorder::sim_detail

@@ -1,19 +1,64 @@
 #include "src/sim/network.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace msgorder {
 
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t Network::channel_seed(std::uint64_t seed, ProcessId src,
+                                    ProcessId dst) {
+  std::uint64_t z = seed ^ 0x6a09e667f3bcc909ULL;
+  z = mix64(z + (static_cast<std::uint64_t>(src) << 32) + dst);
+  return mix64(z);
+}
+
+Network::Network(NetworkOptions options, std::uint64_t seed,
+                 std::size_t n_processes, std::size_t shard,
+                 std::size_t n_shards)
+    : options_(options),
+      seed_(seed),
+      n_processes_(n_processes),
+      n_shards_(n_shards == 0 ? 1 : n_shards) {
+  // Dense rows for the owned sources: src -> src / n_shards.
+  const std::size_t rows =
+      n_processes_ > shard ? (n_processes_ - shard + n_shards_ - 1) / n_shards_
+                           : 0;
+  channels_.resize(rows * n_processes_);
+}
+
+Network::Channel& Network::channel(ProcessId src, ProcessId dst) {
+  const std::size_t row = src / n_shards_;
+  const std::size_t index = row * n_processes_ + dst;
+  assert(index < channels_.size());
+  Channel& ch = channels_[index];
+  if (!ch.seeded) {
+    ch.rng = Rng(channel_seed(seed_, src, dst));
+    ch.seeded = true;
+  }
+  return ch;
+}
+
 SimTime Network::arrival_time(ProcessId src, ProcessId dst, SimTime now) {
+  Channel& ch = channel(src, dst);
   SimTime delay = options_.base_delay;
   if (options_.jitter_mean > 0) {
-    delay += rng_.exponential(options_.jitter_mean);
+    delay += ch.rng.exponential(options_.jitter_mean);
   }
   SimTime arrival = now + delay;
   if (options_.fifo_channels) {
-    auto& last = last_arrival_[{src, dst}];
-    arrival = std::max(arrival, last + 1e-9);
-    last = arrival;
+    arrival = std::max(arrival, ch.last_arrival + 1e-9);
+    ch.last_arrival = arrival;
   }
   return arrival;
 }

@@ -3,11 +3,19 @@
 // delay, so packets overtake each other), which is the weakest substrate
 // the paper's protocols must survive on.  A FIFO toggle exists for
 // ablations.
+//
+// Delay randomness is drawn from per-channel SplitMix64 streams seeded
+// by (run seed, src, dst), so the delay sequence a channel sees depends
+// only on its own emission order — never on how emissions from other
+// channels interleave globally.  That is what lets the sharded engine
+// (ISSUE 6) reproduce the sequential engine's arrival times bit for bit:
+// each shard owns the channel state of its source processes and replays
+// exactly the per-channel draw order.
 #pragma once
 
 #include <cstddef>
-#include <map>
-#include <utility>
+#include <cstdint>
+#include <vector>
 
 #include "src/protocols/protocol.hpp"
 #include "src/util/rng.hpp"
@@ -30,19 +38,50 @@ struct NetworkOptions {
 class Network {
  public:
   Network() = default;
-  Network(NetworkOptions options, Rng rng)
-      : options_(options), rng_(rng) {}
 
-  /// Arrival time for a packet handed to the network at `now`.
+  /// Channel state for the source processes owned by `shard` of
+  /// `n_shards` (process p is owned iff p % n_shards == shard).  The
+  /// delay stream of a channel depends only on (seed, src, dst), so any
+  /// partition of the sources draws identical per-channel sequences.
+  /// The sequential engine uses the default single-shard view.
+  Network(NetworkOptions options, std::uint64_t seed,
+          std::size_t n_processes, std::size_t shard = 0,
+          std::size_t n_shards = 1);
+
+  /// Arrival time for a packet handed to the network at `now`.  `src`
+  /// must be a process owned by this shard view.
   SimTime arrival_time(ProcessId src, ProcessId dst, SimTime now);
 
   const NetworkOptions& options() const { return options_; }
 
+  /// Conservative lookahead: a lower bound on every channel delay
+  /// (jitter is nonnegative, so the base delay is exact).  The sharded
+  /// engine's synchronization windows are derived from this; a
+  /// non-positive lookahead forces the sequential fallback.
+  static SimTime lookahead(const NetworkOptions& options) {
+    return options.base_delay;
+  }
+
+  /// Deterministic per-channel stream seed (SplitMix64-mixed).
+  static std::uint64_t channel_seed(std::uint64_t seed, ProcessId src,
+                                    ProcessId dst);
+
  private:
+  struct Channel {
+    Rng rng{0};
+    /// Last scheduled arrival, for the FIFO toggle.
+    SimTime last_arrival = 0;
+    bool seeded = false;
+  };
+
+  Channel& channel(ProcessId src, ProcessId dst);
+
   NetworkOptions options_;
-  Rng rng_;
-  /// Last scheduled arrival per channel, for the FIFO toggle.
-  std::map<std::pair<ProcessId, ProcessId>, SimTime> last_arrival_;
+  std::uint64_t seed_ = 0;
+  std::size_t n_processes_ = 0;
+  std::size_t n_shards_ = 1;
+  /// [src / n_shards][dst], lazily seeded on first use.
+  std::vector<Channel> channels_;
 };
 
 }  // namespace msgorder

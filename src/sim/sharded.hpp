@@ -1,0 +1,36 @@
+// The sharded run-to-completion engine (ISSUE 6 tentpole).  Internal to
+// the simulator: callers go through simulate(), which dispatches here
+// when SimOptions::shards resolves to 2 or more (and the conservative
+// lookahead is positive).
+//
+// Design in one paragraph: processes are partitioned round-robin over N
+// shards (p belongs to shard p mod N), each shard owning its processes'
+// protocol instances, event heap, packet slab, and per-channel network
+// state.  Time advances in conservative windows [m, m + L) where m is
+// the earliest pending entry across shards and L is the lookahead
+// (minimum channel delay): every cross-shard packet sent inside a
+// window arrives at or after its end, so shards process a window with
+// no communication at all, then exchange packets through bounded SPSC
+// rings at a barrier and agree on the next window.  Scheduling uses the
+// deterministic (time, tiebreak) key of engine_detail.hpp, so the
+// merged execution — and therefore SimResult.trace — is bit-identical
+// to the sequential engine for the same seed, at any shard count.
+#pragma once
+
+#include <cstddef>
+
+#include "src/sim/simulator.hpp"
+
+namespace msgorder {
+
+/// Run `workload` on `n_shards` shards driven by `n_workers` threads
+/// (n_workers <= n_shards; one worker runs its shards cooperatively).
+/// Requires n_shards >= 2 and Network::lookahead(options.network) > 0 —
+/// simulate() guarantees both.
+SimResult simulate_sharded(const Workload& workload,
+                           const ProtocolFactory& factory,
+                           std::size_t n_processes,
+                           const SimOptions& options, std::size_t n_shards,
+                           std::size_t n_workers);
+
+}  // namespace msgorder

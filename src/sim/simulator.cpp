@@ -1,26 +1,36 @@
 #include "src/sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <queue>
+#include <thread>
 #include <vector>
+
+#include "src/sim/engine_detail.hpp"
+#include "src/sim/sharded.hpp"
 
 namespace msgorder {
 
 namespace {
 
-struct QueueEntry {
-  enum class Kind { kInvoke, kArrival, kTimer };
+using sim_detail::EntryKind;
+using sim_detail::make_tiebreak;
+using sim_detail::ObsSink;
 
+struct QueueEntry {
   SimTime time = 0;
-  std::uint64_t seq = 0;  // tie-break for determinism
-  Kind kind = Kind::kArrival;
-  Packet packet;           // kArrival
-  Message invoke_message;  // kInvoke
+  /// Deterministic total-order key (see engine_detail.hpp): identical
+  /// across the sequential and sharded engines, which is what makes the
+  /// two traces bit-identical.
+  std::uint64_t tiebreak = 0;
+  EntryKind kind = EntryKind::kArrival;
+  Packet packet;                // kArrival
+  Message invoke_message;       // kInvoke
   ProcessId timer_process = 0;  // kTimer
   std::uint64_t timer_cookie = 0;
 
   bool operator>(const QueueEntry& other) const {
-    return std::tie(time, seq) > std::tie(other.time, other.seq);
+    return std::tie(time, tiebreak) > std::tie(other.time, other.tiebreak);
   }
 };
 
@@ -52,23 +62,20 @@ class Engine {
       : universe_(workload_universe(workload)),
         n_processes_(n_processes),
         options_(options),
-        network_(options.network, Rng(options.seed)),
-        loss_rng_(options.seed ^ 0xa5a5a5a5deadbeefULL),
+        network_(options.network, options.seed, n_processes),
         trace_(universe_, n_processes),
-        send_seen_(universe_.size(), false),
-        receive_seen_(universe_.size(), false),
-        instruments_(options.observability != nullptr
-                         ? &options.observability->instruments()
-                         : nullptr),
-        tracer_(options.observability != nullptr
-                    ? options.observability->tracer()
-                    : nullptr) {
-    if (options_.observability != nullptr) {
-      // Sizes a fresh attribution table for this run; the flight
-      // recorder (if any) persists across runs by design.
-      options_.observability->begin_run(universe_.size());
-      attribution_ = options_.observability->attribution();
-      recorder_ = options_.observability->flight_recorder();
+        send_seen_(universe_.size(), 0),
+        receive_seen_(universe_.size(), 0),
+        emit_counter_(n_processes, 0),
+        timer_counter_(n_processes, 0),
+        sink_(options.observability, &options_.observers, &trace_,
+              universe_.size()) {
+    if (options_.network.loss_probability > 0) {
+      loss_rngs_.reserve(n_processes);
+      for (ProcessId p = 0; p < n_processes; ++p) {
+        loss_rngs_.push_back(
+            sim_detail::per_process_loss_rng(options_.seed, p));
+      }
     }
     hosts_.reserve(n_processes);
     protocols_.reserve(n_processes);
@@ -76,11 +83,12 @@ class Engine {
       hosts_.push_back(std::make_unique<HostImpl>(this, p));
       protocols_.push_back(factory(*hosts_[p]));
     }
-    for (const InvokeRequest& req : workload) {
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+      const InvokeRequest& req = workload[i];
       QueueEntry entry;
       entry.time = req.time;
-      entry.seq = next_seq_++;
-      entry.kind = QueueEntry::Kind::kInvoke;
+      entry.tiebreak = make_tiebreak(EntryKind::kInvoke, req.message.src, i);
+      entry.kind = EntryKind::kInvoke;
       entry.invoke_message = req.message;
       queue_.push(std::move(entry));
       ++invokes_remaining_;
@@ -88,63 +96,25 @@ class Engine {
   }
 
   SimResult run() {
+    // Completion and the event cap are checked at conservative window
+    // boundaries (window = lookahead ahead of the earliest pending
+    // entry), exactly like the sharded engine, so both engines stop
+    // after the same event set.  A non-positive lookahead degenerates
+    // to per-event checks (windows of one event).
+    const SimTime lookahead = Network::lookahead(options_.network);
     std::size_t processed = 0;
     while (!queue_.empty()) {
       if (invokes_remaining_ == 0 && trace_.all_delivered()) break;
-      if (++processed > options_.max_events) {
-        if (recorder_ != nullptr) {
-          recorder_->note("invariant: event cap exceeded (protocol livelock?)",
-                          now_);
-        }
-        SimResult result{std::move(trace_), false,
-                         "event cap exceeded (protocol livelock?)"};
-        return result;
-      }
-      const QueueEntry entry = queue_.top();
-      queue_.pop();
-      now_ = entry.time;
-      switch (entry.kind) {
-        case QueueEntry::Kind::kInvoke: {
-          --invokes_remaining_;
-          const Message& m = entry.invoke_message;
-          record(m.src, {m.id, EventKind::kInvoke});
-          protocols_[m.src]->on_invoke(m);
-          break;
-        }
-        case QueueEntry::Kind::kArrival: {
-          const Packet& pkt = entry.packet;
-          if (pkt.is_control) {
-            trace_.count_control_packet(pkt.tag_bytes);
-            if (instruments_ != nullptr) {
-              instruments_->control_packets->inc();
-              instruments_->control_bytes->inc(pkt.tag_bytes);
-            }
-          } else if (!receive_seen_[pkt.user_msg]) {
-            receive_seen_[pkt.user_msg] = true;
-            trace_.count_user_packet(pkt.tag_bytes);
-            if (instruments_ != nullptr) {
-              instruments_->user_packets->inc();
-              instruments_->tag_bytes->inc(pkt.tag_bytes);
-            }
-            record(pkt.dst, {pkt.user_msg, EventKind::kReceive});
-          } else {
-            trace_.count_duplicate_arrival();
-            if (instruments_ != nullptr) {
-              instruments_->duplicate_arrivals->inc();
-            }
-          }
-          protocols_[pkt.dst]->on_packet(pkt);
-          break;
-        }
-        case QueueEntry::Kind::kTimer:
-          if (instruments_ != nullptr) instruments_->timer_fires->inc();
-          protocols_[entry.timer_process]->on_timer(entry.timer_cookie);
-          break;
-      }
+      const SimTime window_end = queue_.top().time + lookahead;
+      do {
+        if (++processed > options_.max_events) return cap_exceeded();
+        step();
+      } while (lookahead > 0 && !queue_.empty() &&
+               queue_.top().time < window_end);
     }
     const bool done = trace_.all_delivered();
-    if (!done && recorder_ != nullptr) {
-      recorder_->note("invariant: undelivered messages remain", now_);
+    if (!done) {
+      sink_.note("invariant: undelivered messages remain", now_);
     }
     SimResult result{std::move(trace_), done,
                      done ? "" : "undelivered messages remain"};
@@ -159,24 +129,26 @@ class Engine {
              "user packet emitted by the wrong process");
       // The send event x.s happens on the first emission; later
       // emissions of the same user message are retransmissions.
-      if (!send_seen_[packet.user_msg]) {
-        send_seen_[packet.user_msg] = true;
+      if (send_seen_[packet.user_msg] == 0) {
+        send_seen_[packet.user_msg] = 1;
         record(from, {packet.user_msg, EventKind::kSend});
       } else {
         trace_.count_retransmission();
-        if (instruments_ != nullptr) instruments_->retransmissions->inc();
+        sink_.count_retransmission();
       }
     }
+    const std::uint64_t tiebreak =
+        make_tiebreak(EntryKind::kArrival, from, emit_counter_[from]++);
     if (options_.network.loss_probability > 0 &&
-        loss_rng_.chance(options_.network.loss_probability)) {
+        loss_rngs_[from].chance(options_.network.loss_probability)) {
       trace_.count_drop();
-      if (instruments_ != nullptr) instruments_->drops->inc();
+      sink_.count_drop();
       return;
     }
     QueueEntry entry;
     entry.time = network_.arrival_time(from, packet.dst, now_);
-    entry.seq = next_seq_++;
-    entry.kind = QueueEntry::Kind::kArrival;
+    entry.tiebreak = tiebreak;
+    entry.kind = EntryKind::kArrival;
     entry.packet = std::move(packet);
     queue_.push(std::move(entry));
   }
@@ -184,8 +156,9 @@ class Engine {
   void set_timer(ProcessId at, SimTime delay, std::uint64_t cookie) {
     QueueEntry entry;
     entry.time = now_ + delay;
-    entry.seq = next_seq_++;
-    entry.kind = QueueEntry::Kind::kTimer;
+    entry.tiebreak =
+        make_tiebreak(EntryKind::kTimer, at, timer_counter_[at]++);
+    entry.kind = EntryKind::kTimer;
     entry.timer_process = at;
     entry.timer_cookie = cookie;
     queue_.push(std::move(entry));
@@ -198,100 +171,88 @@ class Engine {
 
   void record(ProcessId at, SystemEvent e) {
     trace_.record(at, e, now_);
-    if (instruments_ != nullptr) update_instruments(e);
-    if (tracer_ != nullptr) tracer_->on_event(at, e, now_);
-    if (recorder_ != nullptr) recorder_->on_event(at, e, now_);
-    if (attribution_ != nullptr) {
-      // The inhibited event executing closes its open hold segment, so
-      // per-reason segment times sum exactly to the recorded delay.
-      if (e.kind == EventKind::kSend) {
-        publish_closed(attribution_->on_release(e.msg, HoldPhase::kSend, now_));
-      } else if (e.kind == EventKind::kDeliver) {
-        publish_closed(
-            attribution_->on_release(e.msg, HoldPhase::kDelivery, now_));
-      }
-    }
-    options_.observers.notify(at, e, now_);
+    sink_.record(at, e, now_, /*merge_only=*/false);
   }
 
   /// Host::hold entry point: a protocol (re-)reported why `msg` is
-  /// currently inhibited at `at`.  Phase is inferred from the message's
-  /// lifecycle position: once x.r* was recorded the only inhibitable
-  /// transition left is the delivery.
+  /// currently inhibited at `at`.
   void hold(ProcessId at, MessageId msg, const HoldReason& reason) {
-    if (attribution_ == nullptr) return;
-    const HoldPhase phase =
-        receive_seen_[msg] ? HoldPhase::kDelivery : HoldPhase::kSend;
-    publish_closed(attribution_->on_hold(msg, at, phase, reason, now_));
+    sink_.hold(at, msg, reason, receive_seen_[msg] != 0, now_);
   }
 
-  bool wants_hold_reasons() const { return attribution_ != nullptr; }
-
-  /// Fan a freshly closed attribution segment out to the per-reason
-  /// histograms, the tracer, and the flight recorder.
-  void publish_closed(const HoldSegment* seg) {
-    if (seg == nullptr) return;
-    if (instruments_ != nullptr) {
-      instruments_->hold_segments->inc();
-      const auto k = static_cast<std::size_t>(seg->reason.kind);
-      if (instruments_->hold_time[k] != nullptr) {
-        instruments_->hold_time[k]->record(seg->duration());
-      }
-    }
-    if (tracer_ != nullptr) tracer_->on_hold_segment(*seg);
-    if (recorder_ != nullptr) recorder_->on_hold_segment(*seg);
-  }
-
-  /// Per-event metric updates; only reached with observability attached.
-  void update_instruments(SystemEvent e) {
-    instruments_->events->inc();
-    switch (e.kind) {
-      case EventKind::kReceive:
-        instruments_->buffered_depth->add(1);
-        break;
-      case EventKind::kDeliver: {
-        instruments_->buffered_depth->add(-1);
-        const MessageTimes& mt = trace_.times(e.msg);
-        // The full lifecycle exists once x.r is recorded (guard anyway:
-        // a misbehaving protocol must not turn metrics into UB).
-        if (mt.invoke && mt.send && mt.receive) {
-          instruments_->latency->record(mt.latency());
-          instruments_->send_delay->record(mt.send_delay());
-          instruments_->delivery_delay->record(mt.delivery_delay());
-        }
-        break;
-      }
-      default:
-        break;
-    }
-  }
+  bool wants_hold_reasons() const { return sink_.attribution_active(); }
 
   SimTime now() const { return now_; }
   std::size_t process_count() const { return n_processes_; }
   const Message& message(MessageId msg) const { return universe_[msg]; }
 
  private:
+  /// Pop and handle the earliest entry.
+  void step() {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.time;
+    switch (entry.kind) {
+      case EntryKind::kInvoke: {
+        --invokes_remaining_;
+        const Message& m = entry.invoke_message;
+        record(m.src, {m.id, EventKind::kInvoke});
+        protocols_[m.src]->on_invoke(m);
+        break;
+      }
+      case EntryKind::kArrival: {
+        const Packet& pkt = entry.packet;
+        if (pkt.is_control) {
+          trace_.count_control_packet(pkt.tag_bytes);
+          sink_.count_control_packet(pkt.tag_bytes);
+        } else if (receive_seen_[pkt.user_msg] == 0) {
+          receive_seen_[pkt.user_msg] = 1;
+          trace_.count_user_packet(pkt.tag_bytes);
+          sink_.count_user_packet(pkt.tag_bytes);
+          record(pkt.dst, {pkt.user_msg, EventKind::kReceive});
+        } else {
+          trace_.count_duplicate_arrival();
+          sink_.count_duplicate_arrival();
+        }
+        protocols_[pkt.dst]->on_packet(pkt);
+        break;
+      }
+      case EntryKind::kTimer:
+        sink_.count_timer_fire();
+        protocols_[entry.timer_process]->on_timer(entry.timer_cookie);
+        break;
+    }
+  }
+
+  SimResult cap_exceeded() {
+    const std::string message =
+        "event cap exceeded in shard 0 of 1 (protocol livelock?)";
+    sink_.note("invariant: event cap exceeded (protocol livelock?)", now_);
+    SimResult result{std::move(trace_), false, message};
+    return result;
+  }
+
   std::vector<Message> universe_;
   std::size_t n_processes_;
   SimOptions options_;
   Network network_;
-  Rng loss_rng_;
   Trace trace_;
-  std::vector<bool> send_seen_;
-  std::vector<bool> receive_seen_;
+  /// Plain bytes, not vector<bool>: the sharded engine indexes the same
+  /// layout concurrently from different shards (distinct messages ->
+  /// distinct bytes; bit-packing would race).
+  std::vector<std::uint8_t> send_seen_;
+  std::vector<std::uint8_t> receive_seen_;
+  std::vector<std::uint64_t> emit_counter_;
+  std::vector<std::uint64_t> timer_counter_;
+  std::vector<Rng> loss_rngs_;
   std::vector<std::unique_ptr<HostImpl>> hosts_;
   std::vector<std::unique_ptr<Protocol>> protocols_;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
       queue_;
-  std::uint64_t next_seq_ = 0;
   std::size_t invokes_remaining_ = 0;
   SimTime now_ = 0;
-  /// Cached observability hooks (nullptr = disabled, the fast path).
-  SimInstruments* instruments_ = nullptr;
-  SpanTracer* tracer_ = nullptr;
-  DelayAttribution* attribution_ = nullptr;
-  FlightRecorder* recorder_ = nullptr;
+  ObsSink sink_;
 };
 
 void HostImpl::send_packet(Packet packet) {
@@ -315,12 +276,42 @@ bool HostImpl::wants_hold_reasons() const {
   return engine_->wants_hold_reasons();
 }
 
+/// Resolve SimOptions::shards to the engine actually run: clamp to the
+/// process count, auto-detect on 0, and fall back to sequential when
+/// the conservative lookahead is non-positive (zero base delay would
+/// allow same-window cross-shard arrivals).
+std::size_t resolve_shards(const SimOptions& options,
+                           std::size_t n_processes) {
+  std::size_t shards = options.shards;
+  if (shards == 0) {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    shards = hw == 0 ? 1 : hw;
+  }
+  shards = std::min(shards, n_processes == 0 ? std::size_t{1} : n_processes);
+  if (Network::lookahead(options.network) <= 0) shards = 1;
+  return std::max<std::size_t>(shards, 1);
+}
+
 }  // namespace
 
 SimResult simulate(const Workload& workload, const ProtocolFactory& factory,
                    std::size_t n_processes, const SimOptions& options) {
+  const std::size_t shards = resolve_shards(options, n_processes);
+  if (shards > 1) {
+    std::size_t workers = options.shard_workers;
+    if (workers == 0) {
+      const std::size_t hw = std::thread::hardware_concurrency();
+      workers = hw == 0 ? 1 : hw;
+    }
+    workers = std::min(workers, shards);
+    return simulate_sharded(workload, factory, n_processes, options, shards,
+                            workers);
+  }
   Engine engine(workload, factory, n_processes, options);
-  return engine.run();
+  SimResult result = engine.run();
+  result.shards_used = 1;
+  result.workers_used = 1;
+  return result;
 }
 
 }  // namespace msgorder

@@ -22,7 +22,22 @@ struct SimOptions {
   NetworkOptions network;
   std::uint64_t seed = 1;
   /// Hard cap on processed events (guards against protocol livelock).
+  /// Enforced globally across shards; the error names the shard that
+  /// tripped it.
   std::size_t max_events = 10'000'000;
+  /// Event-loop shards (ISSUE 6).  1 (the default) runs the sequential
+  /// engine; N >= 2 partitions processes round-robin over N shards with
+  /// conservative lower-bound-timestamp synchronization (lookahead =
+  /// NetworkOptions::base_delay); 0 picks automatically from the
+  /// hardware and process count.  The resulting SimResult.trace is
+  /// bit-identical for every shard count at the same seed.  When the
+  /// lookahead is non-positive the dispatcher falls back to the
+  /// sequential engine (see SimResult::shards_used).
+  std::size_t shards = 1;
+  /// Worker threads driving the shards: 0 (default) = min(shards,
+  /// hardware concurrency).  Fewer workers than shards run several
+  /// shards per worker cooperatively — same result either way.
+  std::size_t shard_workers = 0;
   /// Observer fan-out, called after every recorded system event
   /// (invoke/send/receive/deliver): online monitors
   /// (src/checker/monitor.hpp), tracers, and user callbacks all attach
@@ -41,6 +56,10 @@ struct SimResult {
   /// the event cap was not hit.
   bool completed = false;
   std::string error;
+  /// How the run actually executed (after auto-selection and the
+  /// zero-lookahead fallback).
+  std::size_t shards_used = 1;
+  std::size_t workers_used = 1;
 };
 
 /// Run `workload` under the protocol produced by `factory` at every

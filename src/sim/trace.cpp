@@ -3,6 +3,15 @@
 namespace msgorder {
 
 void Trace::record(ProcessId p, SystemEvent e, SimTime t) {
+  record_shard_local(p, e, t);
+  if (e.kind == EventKind::kInvoke) {
+    ++invoked_;
+  } else if (e.kind == EventKind::kDeliver) {
+    ++delivered_;
+  }
+}
+
+void Trace::record_shard_local(ProcessId p, SystemEvent e, SimTime t) {
   logs_[p].push_back({e, t});
   MessageTimes& mt = times_[e.msg];
   switch (e.kind) {
@@ -19,6 +28,18 @@ void Trace::record(ProcessId p, SystemEvent e, SimTime t) {
       mt.deliver = t;
       break;
   }
+}
+
+void Trace::add_counts(const TraceCounts& counts) {
+  invoked_ += counts.invoked;
+  delivered_ += counts.delivered;
+  control_packets_ += counts.control_packets;
+  user_packets_ += counts.user_packets;
+  control_bytes_ += counts.control_bytes;
+  tag_bytes_ += counts.tag_bytes;
+  drops_ += counts.drops;
+  retransmissions_ += counts.retransmissions;
+  duplicate_arrivals_ += counts.duplicate_arrivals;
 }
 
 void Trace::count_control_packet(std::size_t bytes) {
@@ -73,13 +94,6 @@ double Trace::max_latency() const {
     if (mt.complete() && mt.latency() > worst) worst = mt.latency();
   }
   return worst;
-}
-
-bool Trace::all_delivered() const {
-  for (const MessageTimes& mt : times_) {
-    if (mt.invoke.has_value() && !mt.complete()) return false;
-  }
-  return true;
 }
 
 std::optional<SystemRun> Trace::to_system_run(std::string* error) const {

@@ -30,6 +30,8 @@ struct MessageTimes {
   std::optional<SimTime> receive;
   std::optional<SimTime> deliver;
 
+  bool operator==(const MessageTimes&) const = default;
+
   bool complete() const { return deliver.has_value(); }
   /// End-to-end latency as the user perceives it.  Requires complete().
   SimTime latency() const {
@@ -48,6 +50,22 @@ struct MessageTimes {
   }
 };
 
+/// Aggregate counter block for merge-at-report recording: the sharded
+/// engine (ISSUE 6) accumulates these per shard in plain structs and
+/// folds them into the Trace once, after the run, instead of bumping
+/// shared Trace counters from worker threads.
+struct TraceCounts {
+  std::size_t invoked = 0;
+  std::size_t delivered = 0;
+  std::size_t control_packets = 0;
+  std::size_t user_packets = 0;
+  std::size_t control_bytes = 0;
+  std::size_t tag_bytes = 0;
+  std::size_t drops = 0;
+  std::size_t retransmissions = 0;
+  std::size_t duplicate_arrivals = 0;
+};
+
 class Trace {
  public:
   Trace(std::vector<Message> universe, std::size_t n_processes)
@@ -56,6 +74,18 @@ class Trace {
         times_(universe_.size()) {}
 
   void record(ProcessId p, SystemEvent e, SimTime t);
+
+  /// Shard-confined variant of record(): appends to logs_[p] and fills
+  /// times_[e.msg] but touches no cross-process counters, so concurrent
+  /// calls are race-free as long as each process (and each message's
+  /// sender/receiver side) is handled by exactly one thread.  The owning
+  /// engine accounts invokes/delivers in its TraceCounts and merges with
+  /// add_counts() after the run.
+  void record_shard_local(ProcessId p, SystemEvent e, SimTime t);
+
+  /// Fold a per-shard counter block into the trace-wide totals.
+  void add_counts(const TraceCounts& counts);
+
   void count_control_packet(std::size_t bytes);
   void count_user_packet(std::size_t tag_bytes);
   void count_drop() { ++drops_; }
@@ -81,7 +111,12 @@ class Trace {
   double max_latency() const;
 
   /// All messages invoked were delivered (the liveness deliverable).
-  bool all_delivered() const;
+  /// O(1): maintained as invoke/deliver counters, not a table scan —
+  /// the sequential engine consults this at every window boundary.
+  bool all_delivered() const { return invoked_ == delivered_; }
+
+  std::size_t invoked() const { return invoked_; }
+  std::size_t delivered() const { return delivered_; }
 
   /// The system view of the execution.
   std::optional<SystemRun> to_system_run(std::string* error = nullptr) const;
@@ -92,6 +127,8 @@ class Trace {
   std::vector<Message> universe_;
   std::vector<std::vector<TimedEvent>> logs_;
   std::vector<MessageTimes> times_;
+  std::size_t invoked_ = 0;
+  std::size_t delivered_ = 0;
   std::size_t control_packets_ = 0;
   std::size_t user_packets_ = 0;
   std::size_t control_bytes_ = 0;

@@ -1,0 +1,82 @@
+// Bounded single-producer / single-consumer ring buffer for cross-shard
+// message passing in the sharded simulator (ISSUE 6).  One thread calls
+// try_push, one thread calls try_pop; head and tail live on their own
+// cache lines so the producer and consumer never false-share, and each
+// side caches the other's index to avoid re-reading the shared atomic on
+// every operation (the classic Rigtorp optimization).
+//
+// The ring never blocks: try_push returns false when full (the sharded
+// engine spills to a producer-owned overflow vector that the consumer
+// drains at the next window barrier), try_pop returns false when empty.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace msgorder {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2) so the
+  /// index-to-slot map is a mask, not a modulo.
+  explicit SpscRing(std::size_t min_capacity = 1024)
+      : slots_(round_up(min_capacity)), mask_(slots_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side.  Moves from `value` only on success; on a full ring
+  /// the value is left intact so the caller can divert it elsewhere.
+  bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Moves the front element into `out` if present.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (exact only on the consumer thread).
+  bool empty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t round_up(std::size_t n) {
+    std::size_t cap = 2;
+    while (cap < n) cap <<= 1;
+    return cap;
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_;
+  // Producer-owned line: tail plus the producer's cached view of head.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_ = 0;
+  // Consumer-owned line: head plus the consumer's cached view of tail.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_ = 0;
+};
+
+}  // namespace msgorder

@@ -192,6 +192,55 @@ TEST(StatsSummary, SummarizesLintArtifact) {
   EXPECT_NE(summary.find("b.spec: parse error"), std::string::npos);
 }
 
+TEST(FlattenNumeric, KeysThroughputRowsByShardCount) {
+  // msgorder.bench.sim_throughput/1 rows carry no n_messages (it is a
+  // top-level param); rows must key by shards so the CI diff pairs the
+  // same shard count across runs even if the sweep order changes.
+  const auto doc = json_parse(
+      "{\"rows\": ["
+      "{\"shards\": 1, \"events_per_second\": 2.0e6},"
+      "{\"shards\": 4, \"events_per_second\": 7.0e6}]}");
+  ASSERT_TRUE(doc.has_value());
+  std::map<std::string, double> leaves;
+  flatten_numeric(*doc, "", leaves);
+  EXPECT_DOUBLE_EQ(leaves.at("rows[shards=1].events_per_second"), 2.0e6);
+  EXPECT_DOUBLE_EQ(leaves.at("rows[shards=4].events_per_second"), 7.0e6);
+}
+
+TEST(StatsDiff, EventsPerSecondIsHigherBetterDespiteSecondsSubstring) {
+  // "events_per_second" contains "seconds"; a naive substring match
+  // would treat a throughput gain as a timing regression.
+  const auto baseline = json_parse(
+      "{\"rows\": [{\"shards\": 4, \"events_per_second\": 4.0e6,"
+      " \"seconds\": 1.0}]}");
+  const auto improved = json_parse(
+      "{\"rows\": [{\"shards\": 4, \"events_per_second\": 8.0e6,"
+      " \"seconds\": 0.5}]}");
+  ASSERT_TRUE(baseline.has_value() && improved.has_value());
+  const StatsDiff up = stats_diff(*baseline, *improved, {});
+  EXPECT_FALSE(up.regressed());  // faster is not a regression
+  const StatsDiff down = stats_diff(*improved, *baseline, {});
+  EXPECT_TRUE(down.regressed());  // but slower is
+  ASSERT_GE(down.regressions.size(), 1u);
+  EXPECT_NE(down.regressions[0].find("events_per_second"),
+            std::string::npos);
+}
+
+TEST(StatsSummary, SummarizesThroughputBenchRowsByShards) {
+  const auto doc = json_parse(
+      "{\"schema\": \"msgorder.bench.sim_throughput/1\", \"rows\": ["
+      "{\"shards\": 1, \"seconds\": 2.0, \"events_per_second\": 2.0e6,"
+      " \"speedup_vs_sequential\": 1.0},"
+      "{\"shards\": 4, \"seconds\": 0.5, \"events_per_second\": 8.0e6,"
+      " \"speedup_vs_sequential\": 4.0}]}");
+  ASSERT_TRUE(doc.has_value());
+  const std::string summary = stats_summary(*doc);
+  EXPECT_NE(summary.find("schema=msgorder.bench.sim_throughput/1"),
+            std::string::npos);
+  EXPECT_NE(summary.find("shards=4:"), std::string::npos);
+  EXPECT_NE(summary.find("speedup_vs_sequential=4"), std::string::npos);
+}
+
 TEST(StatsDiff, LintDiagnosticCountsAreLowerBetter) {
   const auto baseline = json_parse(
       "{\"schema\": \"msgorder.lint/1\","

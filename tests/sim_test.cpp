@@ -47,7 +47,7 @@ TEST(Network, FifoToggleOrdersArrivals) {
   opts.base_delay = 1.0;
   opts.jitter_mean = 5.0;
   opts.fifo_channels = true;
-  Network net(opts, Rng(3));
+  Network net(opts, 3, 2);
   SimTime last = 0;
   for (int i = 0; i < 50; ++i) {
     const SimTime arrival = net.arrival_time(0, 1, 0.0);
@@ -59,7 +59,7 @@ TEST(Network, FifoToggleOrdersArrivals) {
 TEST(Network, NonFifoReorders) {
   NetworkOptions opts;
   opts.jitter_mean = 5.0;
-  Network net(opts, Rng(3));
+  Network net(opts, 3, 2);
   bool reordered = false;
   SimTime last = 0;
   for (int i = 0; i < 50; ++i) {

@@ -1,0 +1,132 @@
+// Unit tests for the SPSC ring (ISSUE 6 satellite).  The two-thread
+// stress cases double as the TSan coverage required by the CI
+// -DSANITIZE=thread job (tests/CMakeLists globs this file into ctest).
+#include "src/util/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace msgorder {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscRing<int>(1024).capacity(), 1024u);
+}
+
+TEST(SpscRingTest, FifoOrderSingleThread) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(int(i)));
+  int out = -1;
+  EXPECT_FALSE(ring.try_push(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));  // empty
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingTest, FailedPushLeavesValueIntact) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(1)));
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(2)));
+  auto extra = std::make_unique<int>(3);
+  EXPECT_FALSE(ring.try_push(std::move(extra)));
+  ASSERT_NE(extra, nullptr);  // not consumed by the failed push
+  EXPECT_EQ(*extra, 3);
+}
+
+TEST(SpscRingTest, MoveOnlyPayloads) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(SpscRingTest, WrapAroundReusesSlots) {
+  SpscRing<int> ring(4);
+  int out = 0;
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(ring.try_push(int(round)));
+    ASSERT_TRUE(ring.try_push(int(round + 1000)));
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, round);
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, round + 1000);
+  }
+}
+
+// Two-thread stress: every pushed value arrives exactly once, in order.
+// Run under -DSANITIZE=thread this validates the acquire/release pairs.
+TEST(SpscRingTest, ProducerConsumerStress) {
+  constexpr std::uint64_t kCount = 50'000;
+  SpscRing<std::uint64_t> ring(64);  // small: forces frequent full/empty
+  std::uint64_t sum = 0;
+  std::uint64_t received = 0;
+  bool in_order = true;
+  std::thread consumer([&] {
+    std::uint64_t expected = 0;
+    std::uint64_t value = 0;
+    while (received < kCount) {
+      if (ring.try_pop(value)) {
+        in_order = in_order && (value == expected);
+        ++expected;
+        sum += value;
+        ++received;
+      } else {
+        std::this_thread::yield();  // single-core machines
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    while (!ring.try_push(std::uint64_t(i))) {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(received, kCount);
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+// Stress with a payload that has real move semantics, so TSan also sees
+// the slot memory itself cross threads.
+TEST(SpscRingTest, ProducerConsumerStressMoveOnly) {
+  constexpr int kCount = 10'000;
+  SpscRing<std::unique_ptr<int>> ring(32);
+  long long sum = 0;
+  std::thread consumer([&] {
+    int received = 0;
+    std::unique_ptr<int> value;
+    while (received < kCount) {
+      if (ring.try_pop(value)) {
+        sum += *value;
+        ++received;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (int i = 0; i < kCount; ++i) {
+    auto payload = std::make_unique<int>(i);
+    while (!ring.try_push(std::move(payload))) {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kCount) * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace msgorder
