@@ -69,8 +69,9 @@ SimOptions bench_sim_options() {
 /// The tentpole's zero-cost promise: with SimOptions::observability left
 /// at nullptr (the default) the instrumentation must be invisible.  This
 /// microbench times the same simulation disabled vs fully enabled
-/// (metrics + span tracer + hold attribution + flight recorder, ISSUE
-/// 4); the *disabled* configuration is the one the driver compares
+/// (metrics + span tracer + hold attribution + flight recorder +
+/// engine profiler, ISSUEs 4/7); the *disabled* configuration is the
+/// one the driver compares
 /// against the seed revision (< 2% budget) — here we report both so a
 /// regression of the disabled path shows up as its time converging
 /// toward the enabled one.
@@ -103,6 +104,7 @@ int overhead_guard() {
   if (disabled < 0) return 1;
   Observability obs({.tracing = true,
                      .attribution = true,
+                     .profiling = true,
                      .flight_recorder = true,
                      .label = "fifo"});
   const double enabled = time_run(&obs);

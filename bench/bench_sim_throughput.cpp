@@ -5,9 +5,19 @@
 // baseline (the determinism contract), and the JSON row records the
 // event rate the CI gate regresses on:
 //
-//   BENCH_sim_throughput.json, schema msgorder.bench.sim_throughput/1
-//   rows[*]: shards, workers, engine, seconds, events,
-//            events_per_second, speedup_vs_sequential, trace_parity
+//   BENCH_sim_throughput.json, schema msgorder.bench.sim_throughput/2
+//   rows[*]: shards, workers, engine, seconds (min over reps),
+//            seconds_median, seconds_cv, events, events_per_second,
+//            events_per_second_median, speedup_vs_sequential,
+//            speedup_vs_sequential_median, reps, trace_parity
+//
+// Schema /2 (ISSUE 7) adds --reps statistics (min / median / CV per
+// timing field), a top-level "field_meta" object declaring the diff
+// direction and noise floor of every gated field (consumed by
+// msgorder_stats --diff instead of its leaf-name heuristic), and a
+// top-level "profile" section: the msgorder.profile/1 document from one
+// extra, untimed run at the largest shard count with the engine
+// profiler attached.
 //
 // The speedup at shards >= 2 comes from two stacked effects: the
 // shard-local engine's per-event efficiency (24-byte POD heap items fed
@@ -23,10 +33,12 @@
 //   --quick           100k messages, shards {1, 4} (CI smoke + gate)
 //   --messages <n>    override the workload size
 //   --workers <n>     force SimOptions::shard_workers (default 0 = auto)
-//   --reps <n>        timed repetitions per cell, best kept (default 1)
+//   --reps <n>        timed repetitions per cell (default 1); rows keep
+//                     min, median, and coefficient of variation
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +48,7 @@
 #include <vector>
 
 #include "src/obs/json.hpp"
+#include "src/obs/observability.hpp"
 #include "src/protocols/fifo.hpp"
 #include "src/sim/simulator.hpp"
 
@@ -86,16 +99,63 @@ std::size_t trace_events(const Trace& trace) {
   return n;
 }
 
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : (v[mid - 1] + v[mid]) / 2.0;
+}
+
+/// Coefficient of variation (stddev / mean) across the reps — the
+/// variance characterization the noise floors in field_meta rest on.
+double cv_of(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  const double mean = sum / static_cast<double>(v.size());
+  if (mean == 0.0) return 0.0;
+  double sq = 0.0;
+  for (const double x : v) sq += (x - mean) * (x - mean);
+  return std::sqrt(sq / static_cast<double>(v.size() - 1)) / mean;
+}
+
 struct Cell {
   std::size_t shards = 0;
   std::size_t shards_used = 0;
   std::size_t workers_used = 0;
-  double seconds = 0;
+  std::vector<double> rep_seconds;
   std::size_t events = 0;
   std::uint64_t digest = 0;
   bool completed = false;
   std::string error;
+
+  double seconds_min() const {
+    return *std::min_element(rep_seconds.begin(), rep_seconds.end());
+  }
 };
+
+void write_field_meta(JsonWriter& w) {
+  const auto field = [&w](const char* name, const char* direction,
+                          double noise_floor) {
+    w.key(name).begin_object();
+    w.kv("direction", direction);
+    w.kv("noise_floor", noise_floor);
+    w.end_object();
+  };
+  w.key("field_meta").begin_object();
+  // Min-of-reps timings still jitter heavily on shared CI runners;
+  // medians are steadier, so they get the tighter floor.
+  field("seconds", "lower", 0.5);
+  field("seconds_median", "lower", 0.4);
+  field("seconds_cv", "neutral", 0.0);
+  field("events", "neutral", 0.0);
+  field("events_per_second", "higher", 0.5);
+  field("events_per_second_median", "higher", 0.4);
+  field("speedup_vs_sequential", "higher", 0.5);
+  field("speedup_vs_sequential_median", "higher", 0.4);
+  field("reps", "neutral", 0.0);
+  w.end_object();
+}
 
 }  // namespace
 
@@ -124,8 +184,9 @@ int main(int argc, char** argv) {
             : std::vector<std::size_t>{1, 2, 4, 8};
 
   std::printf("sim throughput: %zu processes, %zu messages, fifo stack, "
-              "base delay %.1f (lookahead), jitter %.1f\n\n",
-              kProcesses, n_messages, kBaseDelay, kJitterMean);
+              "base delay %.1f (lookahead), jitter %.1f, %d rep%s\n\n",
+              kProcesses, n_messages, kBaseDelay, kJitterMean, reps,
+              reps == 1 ? "" : "s");
 
   Rng rng(kWorkloadSeed);
   WorkloadOptions wopts;
@@ -134,26 +195,31 @@ int main(int argc, char** argv) {
   wopts.mean_gap = kMeanGap;
   const Workload workload = random_workload(wopts, rng);
 
+  const auto make_sopts = [&](std::size_t shards) {
+    SimOptions sopts;
+    sopts.seed = kSimSeed;
+    sopts.network.base_delay = kBaseDelay;
+    sopts.network.jitter_mean = kJitterMean;
+    sopts.shards = shards;
+    sopts.shard_workers = workers;
+    sopts.max_events = n_messages * 40 + 1'000'000;
+    return sopts;
+  };
+
   std::vector<Cell> cells;
   cells.reserve(shard_counts.size());
   for (const std::size_t shards : shard_counts) {
     Cell cell;
     cell.shards = shards;
     for (int rep = 0; rep < reps; ++rep) {
-      SimOptions sopts;
-      sopts.seed = kSimSeed;
-      sopts.network.base_delay = kBaseDelay;
-      sopts.network.jitter_mean = kJitterMean;
-      sopts.shards = shards;
-      sopts.shard_workers = workers;
-      sopts.max_events = n_messages * 40 + 1'000'000;
+      const SimOptions sopts = make_sopts(shards);
       const auto start = std::chrono::steady_clock::now();
       SimResult result =
           simulate(workload, FifoProtocol::factory(), kProcesses, sopts);
       const double elapsed = std::chrono::duration<double>(
                                  std::chrono::steady_clock::now() - start)
                                  .count();
-      if (rep == 0 || elapsed < cell.seconds) cell.seconds = elapsed;
+      cell.rep_seconds.push_back(elapsed);
       if (rep == 0) {
         cell.shards_used = result.shards_used;
         cell.workers_used = result.workers_used;
@@ -165,11 +231,12 @@ int main(int argc, char** argv) {
         }
       }
     }
-    std::printf("shards=%zu (used %zu, workers %zu): %.3fs, %zu events, "
-                "%.0f events/s%s\n",
+    std::printf("shards=%zu (used %zu, workers %zu): min %.3fs, "
+                "median %.3fs, cv %.3f, %zu events, %.0f events/s%s\n",
                 cell.shards, cell.shards_used, cell.workers_used,
-                cell.seconds, cell.events,
-                static_cast<double>(cell.events) / cell.seconds,
+                cell.seconds_min(), median_of(cell.rep_seconds),
+                cv_of(cell.rep_seconds), cell.events,
+                static_cast<double>(cell.events) / cell.seconds_min(),
                 cell.completed ? "" : "  FAILED");
     cells.push_back(std::move(cell));
   }
@@ -189,9 +256,40 @@ int main(int argc, char** argv) {
     }
   }
 
+  // One extra, untimed run at the largest shard count with the engine
+  // profiler attached (ISSUE 7); its msgorder.profile/1 document rides
+  // along in the report so CI can sanity-check the counters against the
+  // timed rows (same workload + seed = same deterministic event total).
+  ObservabilityOptions popts;
+  popts.attribution = false;
+  popts.profiling = true;
+  Observability profile_obs(popts);
+  {
+    SimOptions sopts = make_sopts(shard_counts.back());
+    sopts.observability = &profile_obs;
+    const SimResult result =
+        simulate(workload, FifoProtocol::factory(), kProcesses, sopts);
+    if (!result.completed) {
+      std::printf("FAIL: profiled run did not complete: %s\n",
+                  result.error.c_str());
+      ok = false;
+    }
+  }
+  const SimProfile* profile = profile_obs.profile();
+  std::printf("\nprofiled run (shards=%zu): %llu windows, %llu events, "
+              "stalls lookahead/empty/backpressure = %llu/%llu/%llu\n",
+              shard_counts.back(),
+              static_cast<unsigned long long>(profile->windows()),
+              static_cast<unsigned long long>(profile->total_events()),
+              static_cast<unsigned long long>(
+                  profile->total_stall_lookahead()),
+              static_cast<unsigned long long>(profile->total_stall_empty()),
+              static_cast<unsigned long long>(
+                  profile->total_stall_backpressure()));
+
   JsonWriter w;
   w.begin_object();
-  w.kv("schema", "msgorder.bench.sim_throughput/1");
+  w.kv("schema", "msgorder.bench.sim_throughput/2");
   w.kv("bench", "sim_throughput");
   w.kv("protocol", "fifo");
   w.kv("n_processes", kProcesses);
@@ -201,25 +299,37 @@ int main(int argc, char** argv) {
   w.kv("hardware_concurrency",
        static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   w.kv("quick", quick);
+  w.kv("reps", reps);
   w.key("network").begin_object();
   w.kv("base_delay", kBaseDelay);
   w.kv("jitter_mean", kJitterMean);
   w.kv("fifo_channels", false);
   w.end_object();
+  write_field_meta(w);
   w.key("rows").begin_array();
+  const double base_min = base.seconds_min();
+  const double base_median = median_of(base.rep_seconds);
   for (const Cell& cell : cells) {
+    const double cell_min = cell.seconds_min();
+    const double cell_median = median_of(cell.rep_seconds);
     w.begin_object();
     w.kv("shards", cell.shards);
     w.kv("workers", cell.workers_used);
     w.kv("engine", cell.shards_used > 1 ? "sharded" : "sequential");
     w.kv("completed", cell.completed);
-    w.kv("seconds", cell.seconds);
+    w.kv("seconds", cell_min);
+    w.kv("seconds_median", cell_median);
+    w.kv("seconds_cv", cv_of(cell.rep_seconds));
+    w.kv("reps", reps);
     w.kv("events", cell.events);
     w.kv("events_per_second",
-         cell.seconds > 0 ? static_cast<double>(cell.events) / cell.seconds
-                          : 0.0);
-    w.kv("speedup_vs_sequential",
-         cell.seconds > 0 ? base.seconds / cell.seconds : 0.0);
+         cell_min > 0 ? static_cast<double>(cell.events) / cell_min : 0.0);
+    w.kv("events_per_second_median",
+         cell_median > 0 ? static_cast<double>(cell.events) / cell_median
+                         : 0.0);
+    w.kv("speedup_vs_sequential", cell_min > 0 ? base_min / cell_min : 0.0);
+    w.kv("speedup_vs_sequential_median",
+         cell_median > 0 ? base_median / cell_median : 0.0);
     w.kv("trace_parity",
          cell.completed && cell.digest == base.digest &&
              cell.events == base.events);
@@ -227,6 +337,8 @@ int main(int argc, char** argv) {
   }
   w.end_array();
   w.kv("trace_parity_all", ok);
+  w.key("profile");
+  profile->write_json(w);
   w.end_object();
 
   std::string io_error;
@@ -235,7 +347,7 @@ int main(int argc, char** argv) {
                 io_error.c_str());
     ok = false;
   } else {
-    std::printf("\nwrote %s\n", json_path.c_str());
+    std::printf("wrote %s\n", json_path.c_str());
   }
 
   std::printf("RESULT: %s\n",

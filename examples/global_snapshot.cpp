@@ -9,6 +9,8 @@
 //   --trace <path>   write a Chrome-trace JSON of the FIFO-marker run
 //   --flight-recorder <path>  dump a post-mortem JSON there if the
 //                    FIFO-marker run fails to complete
+//   --profile <path> write the engine profiler's msgorder.profile/1
+//                    JSON of the FIFO-marker run (ISSUE 7)
 #include <cstdio>
 #include <string>
 
@@ -33,7 +35,8 @@ struct VariantOutcome {
 
 VariantOutcome run_variant(bool fifo_markers,
                            const std::string& trace_path = "",
-                           const std::string& flight_path = "") {
+                           const std::string& flight_path = "",
+                           const std::string& profile_path = "") {
   VariantOutcome outcome;
   Rng rng(7);
   WorkloadOptions wopts;
@@ -46,6 +49,7 @@ VariantOutcome run_variant(bool fifo_markers,
   options.fifo_markers = fifo_markers;
   ObservabilityOptions oopts;
   oopts.tracing = !trace_path.empty();
+  oopts.profiling = !profile_path.empty();
   oopts.flight_recorder = !flight_path.empty();
   Observability obs(oopts);
   SimOptions sopts;
@@ -88,6 +92,16 @@ VariantOutcome run_variant(bool fifo_markers,
                   trace_path.c_str());
     }
   }
+  if (!profile_path.empty()) {
+    std::string io_error;
+    if (!write_text_file(profile_path, obs.profile()->to_json(),
+                         &io_error)) {
+      std::printf("could not write %s: %s\n", profile_path.c_str(),
+                  io_error.c_str());
+    } else {
+      std::printf("wrote engine profile %s\n\n", profile_path.c_str());
+    }
+  }
   return outcome;
 }
 
@@ -120,7 +134,7 @@ int main(int argc, char** argv) {
   }
 
   const VariantOutcome fifo =
-      run_variant(true, cli.trace_path, cli.flight_path);
+      run_variant(true, cli.trace_path, cli.flight_path, cli.profile_path);
   const VariantOutcome racing = run_variant(false);
   std::printf("the FIFO variant records a consistent cut every time; "
               "see bench_snapshot for the full sweep.\n");

@@ -6,12 +6,15 @@
 //   --trace <path>            write a Chrome-trace JSON (open in Perfetto)
 //   --flight-recorder <path>  dump a post-mortem JSON there if the run
 //                             violates the spec or fails to complete
+//   --profile <path>          write the engine profiler's
+//                             msgorder.profile/1 JSON (ISSUE 7)
 #include <cstdio>
 
 #include "src/checker/limit_sets.hpp"
 #include "src/checker/monitor.hpp"
 #include "src/checker/violation.hpp"
 #include "src/obs/cli.hpp"
+#include "src/obs/json.hpp"
 #include "src/obs/report.hpp"
 #include "src/protocols/synthesized.hpp"
 #include "src/sim/simulator.hpp"
@@ -58,6 +61,7 @@ int main(int argc, char** argv) {
 
   ObservabilityOptions oopts;
   oopts.tracing = !cli.trace_path.empty();
+  oopts.profiling = !cli.profile_path.empty();
   oopts.flight_recorder = !cli.flight_path.empty();
   Observability obs(oopts);
   auto monitor =
@@ -120,6 +124,15 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote chrome trace %s (open in https://ui.perfetto.dev)\n",
                 cli.trace_path.c_str());
+  }
+  if (!cli.profile_path.empty()) {
+    if (!write_text_file(cli.profile_path, obs.profile()->to_json(),
+                         &io_error)) {
+      std::printf("could not write %s: %s\n", cli.profile_path.c_str(),
+                  io_error.c_str());
+      return 1;
+    }
+    std::printf("wrote engine profile %s\n", cli.profile_path.c_str());
   }
   return 0;
 }

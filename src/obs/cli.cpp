@@ -15,6 +15,8 @@ ObsCli parse_obs_cli(int& argc, char** argv) {
       target = &out.trace_path;
     } else if (std::strcmp(argv[i], "--flight-recorder") == 0) {
       target = &out.flight_path;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      target = &out.profile_path;
     }
     if (target == nullptr) {
       argv[kept++] = argv[i];

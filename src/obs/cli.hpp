@@ -3,6 +3,8 @@
 //   --trace <path>            write a Chrome-trace JSON of a traced run
 //   --flight-recorder <path>  arm the flight recorder; dump a post-mortem
 //                             JSON there when the run goes red (ISSUE 4)
+//   --profile <path>          enable the engine profiler and write its
+//                             msgorder.profile/1 JSON there (ISSUE 7)
 // Unrecognized arguments are left in place (compacted to the front of
 // argv past argv[0]) so examples with their own positional arguments
 // keep working.
@@ -16,6 +18,7 @@ struct ObsCli {
   std::string json_path;    // empty = no report requested
   std::string trace_path;   // empty = no chrome trace requested
   std::string flight_path;  // empty = flight recorder not armed
+  std::string profile_path;  // empty = profiler off
   bool ok = true;
   std::string error;
 };

@@ -1,0 +1,71 @@
+#include "src/obs/heatmap.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "src/obs/json.hpp"
+
+namespace msgorder {
+
+InhibitionHeatmap InhibitionHeatmap::build(
+    const DelayAttribution& attribution) {
+  InhibitionHeatmap out;
+  // Key blockers by process id + 1 with 0 meaning "unknown", so the map
+  // order already puts known blockers first in id order ... except that
+  // 0 sorts first; remap unknown to the maximum key instead.
+  constexpr std::uint64_t kUnknown = ~std::uint64_t{0};
+  std::map<std::tuple<std::uint8_t, std::uint64_t, ProcessId>, HeatmapCell>
+      cells;
+  for (MessageId m = 0; m < attribution.message_count(); ++m) {
+    for (const HoldSegment& seg : attribution.segments(m)) {
+      const std::uint64_t blocker_key =
+          seg.reason.blocking_proc
+              ? static_cast<std::uint64_t>(*seg.reason.blocking_proc)
+              : kUnknown;
+      HeatmapCell& cell =
+          cells[{static_cast<std::uint8_t>(seg.reason.kind), blocker_key,
+                 seg.process}];
+      cell.blocker = seg.reason.blocking_proc;
+      cell.blocked = seg.process;
+      cell.kind = seg.reason.kind;
+      cell.total += seg.duration();
+      ++cell.segments;
+    }
+  }
+  out.cells_.reserve(cells.size());
+  for (auto& [key, cell] : cells) {
+    out.totals_by_kind_[static_cast<std::size_t>(cell.kind)] += cell.total;
+    out.cells_.push_back(cell);
+  }
+  return out;
+}
+
+void InhibitionHeatmap::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("cells").begin_array();
+  for (const HeatmapCell& cell : cells_) {
+    w.begin_object();
+    w.key("blocker");
+    if (cell.blocker) {
+      w.value(static_cast<std::uint64_t>(*cell.blocker));
+    } else {
+      w.null();
+    }
+    w.kv("blocked", static_cast<std::uint64_t>(cell.blocked));
+    w.kv("kind", to_string(cell.kind));
+    w.kv("segments", cell.segments);
+    w.kv("total", cell.total);
+    w.kv("mean", cell.mean());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("held_by_kind").begin_object();
+  for (std::size_t k = 1; k < kHoldKindCount; ++k) {
+    w.kv(to_string(static_cast<HoldKind>(k)), totals_by_kind_[k]);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace msgorder

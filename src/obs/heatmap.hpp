@@ -1,0 +1,62 @@
+// Per-channel inhibition heatmap (ISSUE 7): DelayAttribution's
+// per-message hold table aggregated into a (blocking process -> blocked
+// process, HoldKind) matrix — the "who blocks whom" view the ROADMAP
+// observability follow-ons asked for, and the channel-level aggregation
+// Bollig & Gastin's MSC framing suggests.  Cells whose hold reason
+// names no blocking process (e.g. wait_flush with no specific blocker)
+// land in an explicit "unknown blocker" bucket, so the per-kind cell
+// sums equal DelayAttribution::totals_by_kind() (up to FP summation
+// order) — asserted in tests/obs_profile_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/obs/attribution.hpp"
+
+namespace msgorder {
+
+class JsonWriter;
+
+struct HeatmapCell {
+  /// Blocking process; nullopt when the hold reason named none.
+  std::optional<ProcessId> blocker;
+  ProcessId blocked = 0;  // the process the hold happened at
+  HoldKind kind = HoldKind::kNone;
+  SimTime total = 0;           // summed held time over all segments
+  std::uint64_t segments = 0;  // closed segments aggregated into the cell
+
+  SimTime mean() const {
+    return segments > 0 ? total / static_cast<SimTime>(segments) : 0;
+  }
+};
+
+class InhibitionHeatmap {
+ public:
+  /// Aggregate every closed segment of `attribution`.  Cells come out
+  /// sorted by (kind, blocker — unknown last, blocked) so the JSON and
+  /// text renderings are deterministic.
+  static InhibitionHeatmap build(const DelayAttribution& attribution);
+
+  const std::vector<HeatmapCell>& cells() const { return cells_; }
+
+  /// Per-kind cell-total sums; equals the attribution table's
+  /// totals_by_kind() by construction (the parity the tests assert).
+  const std::array<SimTime, kHoldKindCount>& totals_by_kind() const {
+    return totals_by_kind_;
+  }
+
+  /// Append the "inhibition_heatmap" report section as an object value:
+  /// {"cells": [{"blocker": p|null, "blocked": p, "kind": "...",
+  ///             "segments": n, "total": t, "mean": t}, ...],
+  ///  "held_by_kind": {kind: t, ...}}.
+  void write_json(JsonWriter& w) const;
+
+ private:
+  std::vector<HeatmapCell> cells_;
+  std::array<SimTime, kHoldKindCount> totals_by_kind_{};
+};
+
+}  // namespace msgorder

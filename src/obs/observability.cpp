@@ -41,6 +41,7 @@ Observability::Observability(ObservabilityOptions options)
   if (options_.flight_recorder) {
     recorder_.emplace(options_.flight_recorder_capacity);
   }
+  if (options_.profiling) profile_.emplace();
 }
 
 void Observability::begin_run(std::size_t n_messages) {

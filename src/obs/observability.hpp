@@ -20,6 +20,7 @@
 #include "src/obs/attribution.hpp"
 #include "src/obs/flight_recorder.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/profile.hpp"
 #include "src/obs/tracer.hpp"
 
 namespace msgorder {
@@ -66,6 +67,12 @@ struct ObservabilityOptions {
   /// default — attribution is the point of attaching observability; the
   /// zero-cost path is "no Observability at all".
   bool attribution = true;
+  /// Collect the engine profiler's per-shard window/stall/ring/barrier
+  /// counters (ISSUE 7; off by default).  The profile describes the most
+  /// recent run and is embedded in msgorder.run_report/1 as the
+  /// "profile" section; with tracing also on, per-window samples render
+  /// as Perfetto counter tracks.
+  bool profiling = false;
   /// Attach a flight recorder of the last `flight_recorder_capacity`
   /// records, dumped post-mortem on red runs (off by default).
   bool flight_recorder = false;
@@ -109,6 +116,14 @@ class Observability {
     return recorder_ ? &*recorder_ : nullptr;
   }
 
+  /// nullptr unless profiling was enabled in the options.  The engines
+  /// reset it (SimProfile::begin_run) with the run's topology; after the
+  /// run it holds that run's counters.
+  SimProfile* profile() { return profile_ ? &*profile_ : nullptr; }
+  const SimProfile* profile() const {
+    return profile_ ? &*profile_ : nullptr;
+  }
+
   /// Called by the simulator when a run attaches: sizes a fresh
   /// attribution table to the run's message universe (when enabled).
   /// The flight recorder deliberately persists across runs — its whole
@@ -124,6 +139,7 @@ class Observability {
   std::optional<SpanTracer> tracer_;
   std::optional<DelayAttribution> attribution_;
   std::optional<FlightRecorder> recorder_;
+  std::optional<SimProfile> profile_;
 };
 
 }  // namespace msgorder

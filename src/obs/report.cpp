@@ -1,6 +1,7 @@
 #include "src/obs/report.hpp"
 
 #include "src/checker/monitor.hpp"
+#include "src/obs/heatmap.hpp"
 #include "src/obs/json.hpp"
 
 namespace msgorder {
@@ -117,8 +118,22 @@ std::string run_report_json(const SimResult& result,
   if (obs != nullptr && obs->attribution() != nullptr) {
     w.key("attribution");
     obs->attribution()->write_json(w);
+    // Per-channel aggregate of the same table (ISSUE 7): a (blocker,
+    // blocked, kind) matrix whose row sums equal the per-message totals.
+    w.key("inhibition_heatmap");
+    InhibitionHeatmap::build(*obs->attribution()).write_json(w);
   } else {
     w.key("attribution").null();
+    w.key("inhibition_heatmap").null();
+  }
+
+  // Engine profiler (ISSUE 7): per-shard window/stall/ring counters,
+  // present only when ObservabilityOptions::profiling was set.
+  if (obs != nullptr && obs->profile() != nullptr) {
+    w.key("profile");
+    obs->profile()->write_json(w);
+  } else {
+    w.key("profile").null();
   }
 
   if (obs != nullptr) {

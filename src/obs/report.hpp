@@ -27,8 +27,20 @@
 //                   "messages": [{"msg": id, "held_send": t,
 //                                 "held_delivery": t,
 //                                 "segments": [...]}, ...]} | null,
+//   "inhibition_heatmap": {"cells": [{"blocker": p | null, "blocked": p,
+//                                     "kind": "...", "segments": n,
+//                                     "total": t, "mean": t}, ...],
+//                          "held_by_kind": {kind: t, ...}} | null,
+//   "profile": {...msgorder.profile/1 body (src/obs/profile.hpp)...}
+//              | null,
 //   "metrics": {...msgorder.metrics/1 body...} | null
 // }
+//
+// "inhibition_heatmap" aggregates the attribution table per channel:
+// cell (blocker, blocked, kind) sums every hold segment of that kind
+// charged to `blocked` whose reason names `blocker` (null blocker =
+// reasons without a blocking process).  Cell totals therefore sum to
+// attribution.held_by_reason, kind by kind (up to FP summation order).
 #pragma once
 
 #include <cstdint>

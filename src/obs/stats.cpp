@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <set>
 #include <sstream>
+#include <utility>
 
 namespace msgorder {
 
@@ -52,15 +54,124 @@ Direction direction_of(std::string_view leaf) {
   return Direction::kNeutral;
 }
 
+/// Per-field diff metadata declared by the artifact itself (ISSUE 7):
+/// a top-level "field_meta" object mapping leaf names to
+/// {"direction": "higher"|"lower"|"neutral", "noise_floor": frac}.
+struct FieldMeta {
+  Direction direction = Direction::kNeutral;
+  double noise_floor = 0.0;
+};
+
+std::map<std::string, FieldMeta, std::less<>> collect_field_meta(
+    const JsonValue& doc) {
+  std::map<std::string, FieldMeta, std::less<>> out;
+  if (!doc.is_object()) return out;
+  const JsonValue* meta = doc.find("field_meta");
+  if (meta == nullptr || !meta->is_object()) return out;
+  for (const auto& [name, m] : meta->as_object()) {
+    if (!m.is_object()) continue;
+    FieldMeta fm;
+    // An entry that only declares a noise_floor keeps the name
+    // heuristic's direction instead of degrading to neutral.
+    const std::string dir =
+        m.string_at("direction").value_or(std::string());
+    fm.direction = dir == "higher"    ? Direction::kHigherBetter
+                   : dir == "lower"   ? Direction::kLowerBetter
+                   : dir == "neutral" ? Direction::kNeutral
+                                      : direction_of(name);
+    fm.noise_floor = m.number_at("noise_floor").value_or(0.0);
+    out.emplace(name, fm);
+  }
+  return out;
+}
+
+/// Render " <name>=<value>" for an optionally-present histogram or
+/// percentile member: absent -> nothing, null -> "n/a" (never 0).
+void append_member(std::ostringstream& out, const JsonValue& h,
+                   const char* name) {
+  const JsonValue* m = h.find(name);
+  if (m == nullptr) return;
+  out << " " << name << "=" << (m->is_number() ? fmt(m->as_number()) : "n/a");
+}
+
 void summarize_histogram_line(std::ostringstream& out,
                               const std::string& name,
                               const JsonValue& h) {
   out << "    " << name << ": count=" << fmt(h.number_at("count").value_or(0));
-  if (const auto mean = h.number_at("mean")) out << " mean=" << fmt(*mean);
-  if (const auto p50 = h.number_at("p50")) out << " p50=" << fmt(*p50);
-  if (const auto p99 = h.number_at("p99")) out << " p99=" << fmt(*p99);
-  if (const auto mx = h.number_at("max")) out << " max=" << fmt(*mx);
+  append_member(out, h, "mean");
+  append_member(out, h, "p50");
+  append_member(out, h, "p99");
+  append_member(out, h, "max");
   out << "\n";
+}
+
+/// Aligned text heatmap of the per-channel inhibition matrix (ISSUE 7):
+/// one blocker-by-blocked table per hold kind, cell = total held time.
+/// Row "?" collects segments whose reason names no blocking process.
+std::string render_heatmap_text(const JsonValue& hm) {
+  const JsonValue* cells = hm.find("cells");
+  if (cells == nullptr || !cells->is_array() || cells->as_array().empty()) {
+    return "";
+  }
+  struct Matrix {
+    std::set<std::int64_t> blockers;  // -1 = no blocking process
+    std::set<std::int64_t> blocked;
+    std::map<std::pair<std::int64_t, std::int64_t>, double> total;
+  };
+  std::map<std::string, Matrix> kinds;
+  for (const JsonValue& cell : cells->as_array()) {
+    if (!cell.is_object()) continue;
+    const std::string kind = cell.string_at("kind").value_or("?");
+    const auto blocker =
+        static_cast<std::int64_t>(cell.number_at("blocker").value_or(-1));
+    const auto blocked =
+        static_cast<std::int64_t>(cell.number_at("blocked").value_or(-1));
+    Matrix& m = kinds[kind];
+    m.blockers.insert(blocker);
+    m.blocked.insert(blocked);
+    m.total[{blocker, blocked}] += cell.number_at("total").value_or(0);
+  }
+  const auto label = [](std::int64_t p) {
+    return p < 0 ? std::string("?") : "P" + std::to_string(p);
+  };
+  std::ostringstream out;
+  out << "  inhibition heatmap (blocker x blocked, total held):\n";
+  for (const auto& [kind, m] : kinds) {
+    out << "    " << kind << ":\n";
+    std::size_t width = 0;
+    for (const std::int64_t b : m.blocked) {
+      width = std::max(width, label(b).size());
+    }
+    for (const auto& [key, total] : m.total) {
+      width = std::max(width, fmt(total).size());
+    }
+    std::size_t row_width = 1;  // "?"
+    for (const std::int64_t b : m.blockers) {
+      row_width = std::max(row_width, label(b).size());
+    }
+    const auto pad = [&out](const std::string& s, std::size_t w) {
+      for (std::size_t i = s.size(); i < w; ++i) out << ' ';
+      out << s;
+    };
+    out << "      ";
+    pad("", row_width);
+    for (const std::int64_t b : m.blocked) {
+      out << "  ";
+      pad(label(b), width);
+    }
+    out << "\n";
+    for (const std::int64_t blocker : m.blockers) {
+      out << "      ";
+      pad(label(blocker), row_width);
+      for (const std::int64_t blocked : m.blocked) {
+        out << "  ";
+        const auto it = m.total.find({blocker, blocked});
+        pad(it == m.total.end() ? "." : fmt(it->second), width);
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
 }
 
 std::string summarize_run_report(const JsonValue& doc) {
@@ -84,11 +195,16 @@ std::string summarize_run_report(const JsonValue& doc) {
   if (const JsonValue* lat = doc.find("latency"); lat != nullptr) {
     out << "  latency: mean=" << fmt(lat->number_at("mean").value_or(0))
         << " max=" << fmt(lat->number_at("max").value_or(0));
-    if (const JsonValue* pct = lat->find("percentiles");
-        pct != nullptr && pct->is_object()) {
-      out << " p50=" << fmt(pct->number_at("p50").value_or(0))
-          << " p90=" << fmt(pct->number_at("p90").value_or(0))
-          << " p99=" << fmt(pct->number_at("p99").value_or(0));
+    if (const JsonValue* pct = lat->find("percentiles"); pct != nullptr) {
+      if (pct->is_object()) {
+        append_member(out, *pct, "p50");
+        append_member(out, *pct, "p90");
+        append_member(out, *pct, "p99");
+      } else {
+        // A null percentiles section (no latency histogram attached)
+        // must read as missing data, never as zeros.
+        out << " p50=n/a p90=n/a p99=n/a";
+      }
     }
     out << "\n";
   }
@@ -105,6 +221,25 @@ std::string summarize_run_report(const JsonValue& doc) {
         }
       }
     }
+  }
+  if (const JsonValue* hm = doc.find("inhibition_heatmap");
+      hm != nullptr && hm->is_object()) {
+    out << render_heatmap_text(*hm);
+  }
+  if (const JsonValue* prof = doc.find("profile");
+      prof != nullptr && prof->is_object()) {
+    out << "  profile: engine=" << prof->string_at("engine").value_or("?")
+        << " shards=" << fmt(prof->number_at("shards").value_or(0))
+        << " windows=" << fmt(prof->number_at("windows").value_or(0))
+        << " events=" << fmt(prof->number_at("events_total").value_or(0));
+    if (const JsonValue* stalls = prof->find("stalls");
+        stalls != nullptr && stalls->is_object()) {
+      out << " stalls(lookahead/empty/backpressure)="
+          << fmt(stalls->number_at("lookahead").value_or(0)) << "/"
+          << fmt(stalls->number_at("empty_heap").value_or(0)) << "/"
+          << fmt(stalls->number_at("ring_backpressure").value_or(0));
+    }
+    out << "\n";
   }
   if (const JsonValue* mon = doc.find("monitor");
       mon != nullptr && mon->is_object()) {
@@ -327,10 +462,20 @@ StatsDiff stats_diff(const JsonValue& baseline, const JsonValue& current,
   flatten_numeric(baseline, "", base_leaves);
   flatten_numeric(current, "", cur_leaves);
 
+  // Schema-declared metadata wins over the leaf-name heuristic; the
+  // current artifact's declarations win over the baseline's (so a
+  // schema bump re-gates old baselines on the new rules).
+  std::map<std::string, FieldMeta, std::less<>> meta =
+      collect_field_meta(current);
+  for (const auto& [name, fm] : collect_field_meta(baseline)) {
+    meta.emplace(name, fm);
+  }
+
   StatsDiff diff;
   std::ostringstream out;
   out << "diff threshold: " << fmt(options.threshold * 100.0) << "%\n";
   for (const auto& [path, base] : base_leaves) {
+    if (path.rfind("field_meta.", 0) == 0) continue;  // metadata, not data
     const auto it = cur_leaves.find(path);
     if (it == cur_leaves.end()) continue;
     const double cur = it->second;
@@ -340,7 +485,14 @@ StatsDiff stats_diff(const JsonValue& baseline, const JsonValue& current,
             options.fields.end()) {
       continue;
     }
-    const Direction dir = direction_of(leaf);
+    Direction dir;
+    double threshold = options.threshold;
+    if (const auto m = meta.find(leaf); m != meta.end()) {
+      dir = m->second.direction;
+      threshold = std::max(threshold, m->second.noise_floor);
+    } else {
+      dir = direction_of(leaf);
+    }
     if (options.fields.empty() && dir == Direction::kNeutral) continue;
     ++diff.compared;
     if (base == 0.0) {
@@ -350,10 +502,9 @@ StatsDiff stats_diff(const JsonValue& baseline, const JsonValue& current,
     }
     const double delta = (cur - base) / std::fabs(base);
     const bool bad = dir == Direction::kHigherBetter
-                         ? delta < -options.threshold
-                         : dir == Direction::kLowerBetter
-                               ? delta > options.threshold
-                               : false;
+                         ? delta < -threshold
+                         : dir == Direction::kLowerBetter ? delta > threshold
+                                                          : false;
     out << (bad ? "  REGRESSION " : "  ") << path << ": " << fmt(base)
         << " -> " << fmt(cur) << " (" << fmt_pct(delta) << ")\n";
     if (bad) {

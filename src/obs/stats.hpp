@@ -42,9 +42,18 @@ struct StatsDiff {
 /// Compare every numeric leaf present in both documents, at matching
 /// flattened paths (bench "rows" arrays are matched by their
 /// "n_messages" / "protocol" key, so reordered or added rows do not
-/// misalign the comparison).  Direction is inferred from the leaf name:
-/// *speedup* is higher-better; *seconds*, *latency* and *delay* leaves
-/// are lower-better; anything else is reported but can never regress.
+/// misalign the comparison).
+///
+/// Direction and per-field noise tolerance come from the artifacts
+/// themselves when declared (ISSUE 7): a top-level "field_meta" object
+/// mapping leaf names to {"direction": "higher"|"lower"|"neutral",
+/// "noise_floor": frac} — the effective threshold for such a leaf is
+/// max(options.threshold, noise_floor), and the current document's
+/// declarations win over the baseline's.  Leaves without metadata fall
+/// back to the name heuristic (old artifacts keep diffing): *speedup* /
+/// *per_second* are higher-better; *seconds*, *latency* and *delay*
+/// leaves are lower-better; anything else is reported but can never
+/// regress.  The "field_meta" subtree itself is never diffed.
 StatsDiff stats_diff(const JsonValue& baseline, const JsonValue& current,
                      const StatsDiffOptions& options = {});
 

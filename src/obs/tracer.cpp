@@ -53,6 +53,11 @@ void SpanTracer::on_hold_segment(const HoldSegment& segment) {
   hold_segments_.push_back(segment);
 }
 
+void SpanTracer::add_counter_sample(const std::string& name, SimTime t,
+                                    double value) {
+  counters_.push_back({name, t, value});
+}
+
 std::size_t SpanTracer::complete_span_count() const {
   std::size_t n = 0;
   for (const Lifecycle& lc : lifecycles_) {
@@ -190,6 +195,16 @@ std::string SpanTracer::chrome_trace_json() const {
            static_cast<std::uint64_t>(*seg.reason.blocking_proc));
     }
     w.end_object();
+    w.end_object();
+  }
+
+  // Profiler counter tracks (ISSUE 7): Chrome counter events; Perfetto
+  // renders each distinct name as its own counter plot.
+  for (const CounterSample& cs : counters_) {
+    event_head(w, "C", 0, cs.time * scale);
+    w.kv("name", cs.name);
+    w.kv("cat", "profile");
+    w.key("args").begin_object().kv("value", cs.value).end_object();
     w.end_object();
   }
 

@@ -47,6 +47,13 @@ class SpanTracer {
   /// reason, nested inside the message's hold/buffer slice.
   void on_hold_segment(const HoldSegment& segment);
 
+  /// Profiler entry point (ISSUE 7): one sample on counter track
+  /// `name`, rendered as a Chrome "C" (counter) event — Perfetto plots
+  /// each track as a counter graph above the process tracks.
+  void add_counter_sample(const std::string& name, SimTime t, double value);
+
+  std::size_t counter_sample_count() const { return counters_.size(); }
+
   std::size_t hold_segment_count() const { return hold_segments_.size(); }
 
   /// Number of messages whose full four-event lifecycle was observed.
@@ -70,11 +77,18 @@ class SpanTracer {
     ProcessId receiver = 0;
   };
 
+  struct CounterSample {
+    std::string name;
+    SimTime time = 0;
+    double value = 0;
+  };
+
   Lifecycle& lifecycle(MessageId m);
 
   SpanTracerOptions options_;
   std::vector<Lifecycle> lifecycles_;  // indexed by MessageId
   std::vector<HoldSegment> hold_segments_;
+  std::vector<CounterSample> counters_;
   std::size_t n_processes_ = 0;        // max observed process id + 1
 };
 

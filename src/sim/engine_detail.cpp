@@ -13,6 +13,13 @@ ObsSink::ObsSink(Observability* observability, const ObserverMux* observers,
   tracer_ = observability->tracer();
   attribution_ = observability->attribution();
   recorder_ = observability->flight_recorder();
+  profile_ = observability->profile();
+}
+
+void ObsSink::publish_profile() {
+  if (profile_ != nullptr && tracer_ != nullptr) {
+    profile_->emit_counter_tracks(*tracer_);
+  }
 }
 
 void ObsSink::record(ProcessId at, SystemEvent e, SimTime t,

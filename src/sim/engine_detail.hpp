@@ -108,6 +108,19 @@ class ObsSink {
   bool attribution_active() const { return attribution_ != nullptr; }
   bool has_recorder() const { return recorder_ != nullptr; }
 
+  /// Engine profiler (ISSUE 7); nullptr unless
+  /// ObservabilityOptions::profiling was set.  The owning engine resets
+  /// it with the run topology and fills the rows directly.
+  SimProfile* profile() const { return profile_; }
+  /// True when profiling should retain per-window samples for the
+  /// Perfetto counter tracks (profiling + tracing both attached).
+  bool profile_sampling() const {
+    return profile_ != nullptr && tracer_ != nullptr;
+  }
+  /// Render the retained profile samples as tracer counter tracks;
+  /// call once, after the run (no-op without both profile and tracer).
+  void publish_profile();
+
   /// True when the sharded engine must buffer ObsItems: some consumer
   /// needs events in the deterministic merge order.
   bool buffering_needed() const {
@@ -154,6 +167,7 @@ class ObsSink {
   SpanTracer* tracer_ = nullptr;
   DelayAttribution* attribution_ = nullptr;
   FlightRecorder* recorder_ = nullptr;
+  SimProfile* profile_ = nullptr;
 };
 
 }  // namespace msgorder::sim_detail

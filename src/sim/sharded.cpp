@@ -4,6 +4,7 @@
 #include <atomic>
 #include <barrier>
 #include <cassert>
+#include <chrono>
 #include <limits>
 #include <memory>
 #include <queue>
@@ -27,7 +28,6 @@ using sim_detail::tiebreak_kind;
 using sim_detail::tiebreak_owner;
 
 constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
-constexpr std::size_t kRingCapacity = 2048;
 
 /// A pending arrival or timer.  24 bytes of POD — the whole point of
 /// the shard-local redesign: the heap stays tiny (invokes live in a
@@ -111,6 +111,8 @@ class Shard {
   }
 
   /// Process every owned entry with time < window_end, in key order.
+  /// With profiling attached, also does the per-window accounting
+  /// (busy/stall classification, samples) around process_entries().
   void process_window(SimTime window_end);
 
   /// Admit packets parked in this shard's inbound rings and spill
@@ -122,6 +124,7 @@ class Shard {
 
   void admit(CrossMsg&& msg) {
     heap_.push({msg.time, msg.tiebreak, alloc_slot(std::move(msg.packet))});
+    note_heap_depth();
   }
 
   // Host services (forwarded by ShardHost).
@@ -143,6 +146,12 @@ class Shard {
   friend class ShardedEngine;
 
   std::size_t local_of(ProcessId p) const;
+  void process_entries(SimTime window_end);
+  void note_heap_depth() {
+    if (prof_ != nullptr && heap_.size() > prof_->heap_depth_hwm) {
+      prof_->heap_depth_hwm = heap_.size();
+    }
+  }
   std::uint64_t alloc_slot(Packet&& packet) {
     if (!free_slots_.empty()) {
       const std::uint64_t slot = free_slots_.back();
@@ -180,6 +189,14 @@ class Shard {
   std::size_t processed_ = 0;
   bool buffering_ = false;
   bool live_observers_ = false;
+  /// Profiler row for this shard (nullptr when profiling is off); the
+  /// only writer is the worker driving this shard.
+  SimProfile* profile_ = nullptr;
+  ShardProfileRow* prof_ = nullptr;
+  /// A zero-progress window with nothing pending locally: resolved at
+  /// the next drain into stall_backpressure (spilled packets arrived —
+  /// the ring was the bottleneck) or stall_empty.
+  bool pending_empty_stall_ = false;
 };
 
 class ShardedEngine {
@@ -202,11 +219,18 @@ class ShardedEngine {
         rings_(n_shards * n_shards),
         spills_(n_shards * n_shards) {
     assert(n_shards_ >= 2 && lookahead_ > 0);
+    profile_ = sink_.profile();
+    if (profile_ != nullptr) {
+      profile_->begin_run("sharded", n_shards_, n_workers_, lookahead_,
+                          sink_.profile_sampling());
+    }
+    const std::size_t ring_capacity =
+        std::max<std::size_t>(2, options.cross_shard_ring_capacity);
     for (std::size_t a = 0; a < n_shards_; ++a) {
       for (std::size_t b = 0; b < n_shards_; ++b) {
         if (a != b) {
           rings_[a * n_shards_ + b] =
-              std::make_unique<SpscRing<CrossMsg>>(kRingCapacity);
+              std::make_unique<SpscRing<CrossMsg>>(ring_capacity);
         }
       }
     }
@@ -254,7 +278,9 @@ class ShardedEngine {
     SpscRing<CrossMsg>& ring = *rings_[from_shard * n_shards_ + to_shard];
     if (!ring.try_push(std::move(msg))) {
       // Ring full: park in the producer-owned spill vector; the
-      // consumer drains it at the next barrier, after the ring.
+      // consumer drains it at the next barrier, after the ring.  The
+      // producer's row is safe to touch — route runs on its worker.
+      if (profile_ != nullptr) ++profile_->shard(from_shard).ring_full_spins;
       spills_[from_shard * n_shards_ + to_shard].push_back(std::move(msg));
     }
   }
@@ -282,16 +308,31 @@ class ShardedEngine {
     std::barrier<decltype(on_reduce)> window_agreed(
         static_cast<std::ptrdiff_t>(n_workers_), on_reduce);
     auto worker = [&](std::size_t w) {
+      WorkerProfileRow* wrow =
+          profile_ != nullptr ? &profile_->worker(w) : nullptr;
+      const auto timed_wait = [wrow](auto& barrier) {
+        if (wrow == nullptr) {
+          barrier.arrive_and_wait();
+          return;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        barrier.arrive_and_wait();
+        wrow->barrier_wait_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        ++wrow->barrier_waits;
+      };
       while (!done_) {
         for (std::size_t s = w; s < n_shards_; s += n_workers_) {
           shards_[s]->process_window(window_end_);
         }
-        work_done.arrive_and_wait();
+        timed_wait(work_done);
         for (std::size_t s = w; s < n_shards_; s += n_workers_) {
           shards_[s]->drain_inbox();
           shards_[s]->publish_slot();
         }
-        window_agreed.arrive_and_wait();
+        timed_wait(window_agreed);
       }
     };
     std::vector<std::thread> threads;
@@ -345,6 +386,7 @@ class ShardedEngine {
       return;
     }
     window_end_ = global_min + lookahead_;
+    if (profile_ != nullptr) profile_->on_window(global_min);
   }
 
   SimResult finalize() {
@@ -390,6 +432,7 @@ class ShardedEngine {
                        });
       sink_.replay(merged, universe_.size());
     }
+    sink_.publish_profile();
 
     std::string error;
     if (cap_hit_shard_ != kNoShard) {
@@ -439,6 +482,8 @@ class ShardedEngine {
   /// the other workers' current window.
   std::atomic<int> cap_shard_{-1};
   std::atomic<bool> abort_{false};
+  /// Engine profiler, or nullptr (ObservabilityOptions::profiling).
+  SimProfile* profile_ = nullptr;
 };
 
 // --- Shard implementation ----------------------------------------------
@@ -449,7 +494,9 @@ Shard::Shard(ShardedEngine* engine, std::size_t id)
       network_(engine->options_.network, engine->options_.seed,
                engine->n_processes_, id, engine->n_shards_),
       buffering_(engine->sink_.buffering_needed()),
-      live_observers_(engine->options_.observers.has_thread_safe()) {
+      live_observers_(engine->options_.observers.has_thread_safe()),
+      profile_(engine->profile_) {
+  if (profile_ != nullptr) prof_ = &profile_->shard(id);
   const std::size_t n_local =
       engine->n_processes_ > id
           ? (engine->n_processes_ - id + engine->n_shards_ - 1) /
@@ -474,6 +521,34 @@ std::size_t Shard::local_of(ProcessId p) const {
 }
 
 void Shard::process_window(SimTime window_end) {
+  if (prof_ == nullptr) {
+    process_entries(window_end);
+    return;
+  }
+  const std::size_t before = processed_;
+  process_entries(window_end);
+  const auto n = static_cast<std::uint64_t>(processed_ - before);
+  ++prof_->windows;
+  prof_->entries += n;
+  if (n > 0) {
+    ++prof_->busy_windows;
+    if (n > prof_->max_entries_in_window) prof_->max_entries_in_window = n;
+    pending_empty_stall_ = false;
+  } else if (invoke_pos_ < invokes_.size() || !heap_.empty()) {
+    // Local work exists but sits at or beyond window_end: the
+    // conservative lookahead bound is what blocked this shard.
+    ++prof_->stall_lookahead;
+  } else {
+    // Nothing pending here at all; whether that is true idleness or
+    // ring backpressure is only known once the inbox drains.
+    pending_empty_stall_ = true;
+  }
+  if (profile_->sampling()) {
+    profile_->sample(id_, window_end, n, heap_.size());
+  }
+}
+
+void Shard::process_entries(SimTime window_end) {
   while (!eng_->abort_.load(std::memory_order_relaxed)) {
     const bool has_invoke = invoke_pos_ < invokes_.size();
     const bool has_heap = !heap_.empty();
@@ -550,6 +625,7 @@ void Shard::record(ProcessId at, SystemEvent e) {
   } else if (e.kind == EventKind::kDeliver) {
     ++counts_.trace.delivered;
   }
+  if (prof_ != nullptr) ++prof_->events;
   if (buffering_) obs_.push_back({now_, cur_tiebreak_, at, false, e, 0, {}});
   if (live_observers_) {
     eng_->options_.observers.notify_thread_safe(at, e, now_);
@@ -591,6 +667,7 @@ void Shard::send_packet(ProcessId from, Packet packet) {
   const std::size_t dst_shard = packet.dst % eng_->n_shards_;
   if (dst_shard == id_) {
     heap_.push({at, tiebreak, alloc_slot(std::move(packet))});
+    note_heap_depth();
   } else {
     eng_->route(id_, dst_shard, {at, tiebreak, std::move(packet)});
   }
@@ -600,6 +677,7 @@ void Shard::set_timer(ProcessId at, SimTime delay, std::uint64_t cookie) {
   const std::uint64_t tiebreak = make_tiebreak(
       EntryKind::kTimer, at, timer_counter_[local_of(at)]++);
   heap_.push({now_ + delay, tiebreak, cookie});
+  note_heap_depth();
 }
 
 void Shard::deliver(ProcessId at, MessageId msg) {
@@ -627,14 +705,40 @@ const Message& Shard::message(MessageId msg) const {
 }
 
 void Shard::drain_inbox() {
+  std::uint64_t spilled_in = 0;
   for (std::size_t from = 0; from < eng_->n_shards_; ++from) {
     if (from == id_) continue;
     SpscRing<CrossMsg>& ring = *eng_->rings_[from * eng_->n_shards_ + id_];
     CrossMsg msg;
-    while (ring.try_pop(msg)) admit(std::move(msg));
+    std::uint64_t popped = 0;
+    while (ring.try_pop(msg)) {
+      admit(std::move(msg));
+      ++popped;
+    }
+    if (prof_ != nullptr) {
+      if (popped == 0) {
+        ++prof_->ring_empty_polls;
+      } else if (popped > prof_->ring_occupancy_hwm) {
+        prof_->ring_occupancy_hwm = popped;
+      }
+    }
     auto& spill = eng_->spills_[from * eng_->n_shards_ + id_];
+    spilled_in += spill.size();
     for (CrossMsg& spilled : spill) admit(std::move(spilled));
     spill.clear();
+  }
+  if (prof_ != nullptr) {
+    prof_->spill_drained += spilled_in;
+    if (pending_empty_stall_) {
+      // The zero-progress window from before this barrier: if spilled
+      // packets arrived only now, the ring was the bottleneck.
+      if (spilled_in > 0) {
+        ++prof_->stall_backpressure;
+      } else {
+        ++prof_->stall_empty;
+      }
+      pending_empty_stall_ = false;
+    }
   }
 }
 

@@ -102,16 +102,40 @@ class Engine {
     // after the same event set.  A non-positive lookahead degenerates
     // to per-event checks (windows of one event).
     const SimTime lookahead = Network::lookahead(options_.network);
+    profile_ = sink_.profile();
+    if (profile_ != nullptr) {
+      profile_->begin_run("sequential", 1, 1, lookahead,
+                          sink_.profile_sampling());
+      prof_ = &profile_->shard(0);
+    }
     std::size_t processed = 0;
     while (!queue_.empty()) {
       if (invokes_remaining_ == 0 && trace_.all_delivered()) break;
-      const SimTime window_end = queue_.top().time + lookahead;
+      const SimTime window_start = queue_.top().time;
+      const SimTime window_end = window_start + lookahead;
+      const std::size_t before = processed;
       do {
         if (++processed > options_.max_events) return cap_exceeded();
         step();
       } while (lookahead > 0 && !queue_.empty() &&
                queue_.top().time < window_end);
+      if (prof_ != nullptr) {
+        // Sequential windows always make progress, so the stall
+        // counters stay zero by construction.
+        const auto n = static_cast<std::uint64_t>(processed - before);
+        ++prof_->windows;
+        ++prof_->busy_windows;
+        prof_->entries += n;
+        if (n > prof_->max_entries_in_window) {
+          prof_->max_entries_in_window = n;
+        }
+        profile_->on_window(window_start);
+        if (profile_->sampling()) {
+          profile_->sample(0, window_end, n, queue_.size());
+        }
+      }
     }
+    sink_.publish_profile();
     const bool done = trace_.all_delivered();
     if (!done) {
       sink_.note("invariant: undelivered messages remain", now_);
@@ -151,6 +175,7 @@ class Engine {
     entry.kind = EntryKind::kArrival;
     entry.packet = std::move(packet);
     queue_.push(std::move(entry));
+    note_heap_depth();
   }
 
   void set_timer(ProcessId at, SimTime delay, std::uint64_t cookie) {
@@ -162,6 +187,7 @@ class Engine {
     entry.timer_process = at;
     entry.timer_cookie = cookie;
     queue_.push(std::move(entry));
+    note_heap_depth();
   }
 
   void deliver(ProcessId at, MessageId msg) {
@@ -171,6 +197,7 @@ class Engine {
 
   void record(ProcessId at, SystemEvent e) {
     trace_.record(at, e, now_);
+    if (prof_ != nullptr) ++prof_->events;
     sink_.record(at, e, now_, /*merge_only=*/false);
   }
 
@@ -187,6 +214,12 @@ class Engine {
   const Message& message(MessageId msg) const { return universe_[msg]; }
 
  private:
+  void note_heap_depth() {
+    if (prof_ != nullptr && queue_.size() > prof_->heap_depth_hwm) {
+      prof_->heap_depth_hwm = queue_.size();
+    }
+  }
+
   /// Pop and handle the earliest entry.
   void step() {
     const QueueEntry entry = queue_.top();
@@ -253,6 +286,10 @@ class Engine {
   std::size_t invokes_remaining_ = 0;
   SimTime now_ = 0;
   ObsSink sink_;
+  /// Engine profiler (ObservabilityOptions::profiling); row 0 is the
+  /// whole engine — the sequential engine is one "shard".
+  SimProfile* profile_ = nullptr;
+  ShardProfileRow* prof_ = nullptr;
 };
 
 void HostImpl::send_packet(Packet packet) {

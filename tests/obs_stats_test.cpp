@@ -255,5 +255,165 @@ TEST(StatsDiff, LintDiagnosticCountsAreLowerBetter) {
   EXPECT_NE(diff.regressions[0].find("totals.error"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------
+// ISSUE 7: artifact-declared field_meta drives the diff.
+
+TEST(StatsDiff, FieldMetaOverridesNameHeuristic) {
+  // "seconds" would be lower-better by name; the artifact declares it
+  // higher-better, so the 50% drop is the regression and the 50% rise
+  // in the heuristically-misleading leaf passes.
+  const auto baseline = json_parse(
+      "{\"field_meta\": {\"weird_seconds\": {\"direction\": \"higher\"}},"
+      " \"weird_seconds\": 10.0}");
+  const auto current = json_parse(
+      "{\"field_meta\": {\"weird_seconds\": {\"direction\": \"higher\"}},"
+      " \"weird_seconds\": 5.0}");
+  ASSERT_TRUE(baseline.has_value() && current.has_value());
+  const StatsDiff diff = stats_diff(*baseline, *current, {});
+  EXPECT_TRUE(diff.regressed());
+  ASSERT_EQ(diff.regressions.size(), 1u);
+  EXPECT_NE(diff.regressions[0].find("weird_seconds"), std::string::npos);
+
+  // Same values, declared lower-better: a drop is an improvement.
+  const auto baseline2 = json_parse(
+      "{\"field_meta\": {\"weird_seconds\": {\"direction\": \"lower\"}},"
+      " \"weird_seconds\": 10.0}");
+  const auto current2 = json_parse(
+      "{\"field_meta\": {\"weird_seconds\": {\"direction\": \"lower\"}},"
+      " \"weird_seconds\": 5.0}");
+  ASSERT_TRUE(baseline2.has_value() && current2.has_value());
+  EXPECT_FALSE(stats_diff(*baseline2, *current2, {}).regressed());
+}
+
+TEST(StatsDiff, NoiseFloorRaisesEffectiveThreshold) {
+  // A 30% drop in a higher-better leaf regresses at the default 20%
+  // threshold, but the artifact declares a 50% noise floor: effective
+  // threshold = max(0.2, 0.5), so the wobble passes.  A 60% drop still
+  // fails.
+  const auto meta =
+      "\"field_meta\": {\"tput\": "
+      "{\"direction\": \"higher\", \"noise_floor\": 0.5}}";
+  const auto baseline =
+      json_parse("{" + std::string(meta) + ", \"tput\": 100.0}");
+  const auto wobbly =
+      json_parse("{" + std::string(meta) + ", \"tput\": 70.0}");
+  const auto broken =
+      json_parse("{" + std::string(meta) + ", \"tput\": 40.0}");
+  ASSERT_TRUE(baseline.has_value() && wobbly.has_value() &&
+              broken.has_value());
+  EXPECT_FALSE(stats_diff(*baseline, *wobbly, {}).regressed());
+  EXPECT_TRUE(stats_diff(*baseline, *broken, {}).regressed());
+}
+
+TEST(StatsDiff, CurrentDocumentsFieldMetaWins) {
+  // Direction changed between versions: the current doc declares the
+  // leaf neutral, so the old higher-better declaration cannot fail it.
+  const auto baseline = json_parse(
+      "{\"field_meta\": {\"v\": {\"direction\": \"higher\"}}, \"v\": 10.0}");
+  const auto current = json_parse(
+      "{\"field_meta\": {\"v\": {\"direction\": \"neutral\"}}, \"v\": 1.0}");
+  ASSERT_TRUE(baseline.has_value() && current.has_value());
+  EXPECT_FALSE(stats_diff(*baseline, *current, {}).regressed());
+}
+
+TEST(StatsDiff, FieldMetaSubtreeIsNeverDiffed) {
+  // The noise_floor numbers inside field_meta are numeric leaves; they
+  // must not be compared (a floor change is not a perf change).
+  const auto baseline = json_parse(
+      "{\"field_meta\": {\"a_speedup\": {\"noise_floor\": 0.1}},"
+      " \"a_speedup\": 10.0}");
+  const auto current = json_parse(
+      "{\"field_meta\": {\"a_speedup\": {\"noise_floor\": 0.4}},"
+      " \"a_speedup\": 10.0}");
+  ASSERT_TRUE(baseline.has_value() && current.has_value());
+  const StatsDiff diff = stats_diff(*baseline, *current, {});
+  EXPECT_EQ(diff.compared, 1u);  // just a_speedup itself
+  EXPECT_EQ(diff.text.find("field_meta"), std::string::npos);
+}
+
+TEST(StatsDiff, LeavesWithoutMetaKeepTheHeuristic) {
+  // Old artifact without field_meta diffed against a new one that has
+  // it for other leaves: the unlisted leaf still uses the name
+  // heuristic (lower-better for *_seconds).
+  const auto baseline = json_parse(
+      "{\"oracle_seconds\": 1.0, \"tput\": 100.0}");
+  const auto current = json_parse(
+      "{\"field_meta\": {\"tput\": {\"direction\": \"higher\"}},"
+      " \"oracle_seconds\": 2.0, \"tput\": 100.0}");
+  ASSERT_TRUE(baseline.has_value() && current.has_value());
+  const StatsDiff diff = stats_diff(*baseline, *current, {});
+  EXPECT_TRUE(diff.regressed());
+  ASSERT_EQ(diff.regressions.size(), 1u);
+  EXPECT_NE(diff.regressions[0].find("oracle_seconds"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// ISSUE 7 satellite: null percentiles render as missing, never as 0.
+
+TEST(StatsSummary, NullPercentilesRenderAsNotAvailable) {
+  const auto report = json_parse(
+      "{\"schema\": \"msgorder.run_report/1\", \"protocol\": \"fifo\","
+      " \"n_processes\": 2, \"seed\": 1, \"completed\": true,"
+      " \"latency\": {\"mean\": 3.5, \"max\": 9.0,"
+      "               \"percentiles\": null}}");
+  ASSERT_TRUE(report.has_value());
+  const std::string text = stats_summary(*report);
+  EXPECT_NE(text.find("p50=n/a p90=n/a p99=n/a"), std::string::npos);
+  // The old bug: a null percentile block printed as zeros.
+  EXPECT_EQ(text.find("p50=0"), std::string::npos);
+}
+
+TEST(StatsSummary, PartialPercentilesMixValuesAndNotAvailable) {
+  const auto report = json_parse(
+      "{\"schema\": \"msgorder.run_report/1\", \"protocol\": \"fifo\","
+      " \"n_processes\": 2, \"seed\": 1, \"completed\": true,"
+      " \"latency\": {\"mean\": 3.5, \"max\": 9.0,"
+      "   \"percentiles\": {\"p50\": 2.5, \"p90\": null, \"p99\": 8.0}}}");
+  ASSERT_TRUE(report.has_value());
+  const std::string text = stats_summary(*report);
+  EXPECT_NE(text.find("p50=2.5 p90=n/a p99=8"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// ISSUE 7: heatmap + profile sections of the run-report summary.
+
+TEST(StatsSummary, RendersInhibitionHeatmapMatrix) {
+  const auto report = json_parse(
+      "{\"schema\": \"msgorder.run_report/1\", \"protocol\": \"fifo\","
+      " \"n_processes\": 3, \"seed\": 1, \"completed\": true,"
+      " \"inhibition_heatmap\": {\"cells\": ["
+      "{\"blocker\": 0, \"blocked\": 1, \"kind\": \"wait_predecessor\","
+      " \"segments\": 2, \"total\": 5.0, \"mean\": 2.5},"
+      "{\"blocker\": null, \"blocked\": 2, \"kind\": \"wait_flush\","
+      " \"segments\": 1, \"total\": 3.0, \"mean\": 3.0}],"
+      " \"held_by_kind\": {\"wait_predecessor\": 5.0,"
+      "                    \"wait_flush\": 3.0}}}");
+  ASSERT_TRUE(report.has_value());
+  const std::string text = stats_summary(*report);
+  EXPECT_NE(text.find("inhibition heatmap"), std::string::npos);
+  EXPECT_NE(text.find("wait_predecessor:"), std::string::npos);
+  EXPECT_NE(text.find("wait_flush:"), std::string::npos);
+  EXPECT_NE(text.find("P0"), std::string::npos);  // known blocker row
+  EXPECT_NE(text.find("?"), std::string::npos);   // unknown-blocker row
+  EXPECT_NE(text.find("5"), std::string::npos);
+}
+
+TEST(StatsSummary, RendersProfileLineWithStallSplit) {
+  const auto report = json_parse(
+      "{\"schema\": \"msgorder.run_report/1\", \"protocol\": \"fifo\","
+      " \"n_processes\": 3, \"seed\": 1, \"completed\": true,"
+      " \"profile\": {\"schema\": \"msgorder.profile/1\","
+      "  \"engine\": \"sharded\", \"shards\": 4, \"windows\": 120,"
+      "  \"events_total\": 9000,"
+      "  \"stalls\": {\"lookahead\": 7, \"empty_heap\": 2,"
+      "               \"ring_backpressure\": 1}}}");
+  ASSERT_TRUE(report.has_value());
+  const std::string text = stats_summary(*report);
+  EXPECT_NE(text.find("profile: engine=sharded shards=4 windows=120 "
+                      "events=9000 "
+                      "stalls(lookahead/empty/backpressure)=7/2/1"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace msgorder

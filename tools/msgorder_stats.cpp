@@ -27,8 +27,13 @@ int usage(const char* argv0) {
                "\n"
                "Summarizes msgorder JSON artifacts (run reports, bench\n"
                "reports, flight-recorder dumps, Chrome traces), or diffs\n"
-               "two of them.  Diff exit codes: 0 within threshold, 1 at\n"
-               "least one regression, 2 bad usage or unreadable input.\n",
+               "two of them.  Diff direction and per-field noise floors\n"
+               "come from the artifacts' own field_meta declarations when\n"
+               "present (effective threshold = max(--threshold,\n"
+               "noise_floor)); leaves without metadata fall back to the\n"
+               "leaf-name heuristic.  Diff exit codes: 0 within\n"
+               "threshold, 1 at least one regression, 2 bad usage or\n"
+               "unreadable input.\n",
                argv0, argv0);
   return 2;
 }
