@@ -149,17 +149,26 @@ void analyze_composite(const std::string& text) {
     std::printf("parse error: %s\n", parsed.error.c_str());
     return;
   }
-  if (parsed.spec->predicates.size() == 1) {
+  const CompositeSpec& spec = *parsed.spec;
+  if (spec.predicates.size() == 1 && spec.counting.empty()) {
     analyze(text);
     return;
   }
-  for (const ForbiddenPredicate& p : parsed.spec->predicates) {
+  for (const ForbiddenPredicate& p : spec.predicates) {
     analyze(p.to_string());
   }
+  for (const CountingPredicate& c : spec.counting) {
+    std::printf("==================================================\n");
+    std::printf("counting statement: %s — bounds the in-flight antichain "
+                "width, which needs control-message coordination "
+                "('general' class)\n",
+                c.to_string().c_str());
+  }
   std::printf("==================================================\n");
-  std::printf("composite of %zu predicates => overall class: %s\n",
-              parsed.spec->predicates.size(),
-              to_string(classify(*parsed.spec)).c_str());
+  std::printf("composite of %zu predicate(s) + %zu counting statement(s) "
+              "=> overall class: %s\n",
+              spec.predicates.size(), spec.counting.size(),
+              to_string(classify(spec)).c_str());
 }
 
 int main(int argc, char** argv) {

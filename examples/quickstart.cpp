@@ -8,7 +8,15 @@
 //                             violates the spec or fails to complete
 //   --profile <path>          write the engine profiler's
 //                             msgorder.profile/1 JSON (ISSUE 7)
+//   --search-mode <m>         online monitor search: pruned (default),
+//                             naive, or automaton — the ISSUE 8 compiled
+//                             monitor automaton; specs outside the
+//                             compilable class report a structured
+//                             fallback reason and run on the bitset
+//                             engine
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "src/checker/limit_sets.hpp"
 #include "src/checker/monitor.hpp"
@@ -28,6 +36,24 @@ int main(int argc, char** argv) {
   if (!cli.ok) {
     std::printf("%s\n", cli.error.c_str());
     return 2;
+  }
+  MonitorSearchMode search_mode = MonitorSearchMode::kPruned;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--search-mode") == 0 && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "pruned") {
+        search_mode = MonitorSearchMode::kPruned;
+      } else if (name == "naive") {
+        search_mode = MonitorSearchMode::kNaive;
+      } else if (name == "automaton") {
+        search_mode = MonitorSearchMode::kAutomaton;
+      } else {
+        std::printf("unknown --search-mode %s "
+                    "(expected pruned, naive, or automaton)\n",
+                    name.c_str());
+        return 2;
+      }
+    }
   }
 
   // 1. Specify: causal ordering as a forbidden predicate.
@@ -64,8 +90,8 @@ int main(int argc, char** argv) {
   oopts.profiling = !cli.profile_path.empty();
   oopts.flight_recorder = !cli.flight_path.empty();
   Observability obs(oopts);
-  auto monitor =
-      std::make_shared<OnlineMonitor>(workload_universe(workload), spec);
+  auto monitor = std::make_shared<OnlineMonitor>(
+      workload_universe(workload), spec, search_mode);
   SimOptions sopts;
   sopts.observability = &obs;
   sopts.observers.add(monitor_observer(monitor));
@@ -101,6 +127,16 @@ int main(int argc, char** argv) {
               satisfies(*run, spec) ? "yes" : "NO");
   std::printf("online monitor agrees: %s\n",
               monitor->violated() ? "NO (violation seen)" : "yes");
+  if (const auto info = monitor->automaton_info(); info.requested) {
+    if (info.compiled) {
+      std::printf("monitor automaton: %zu states over %zu symbol classes "
+                  "(%llu transitions taken)\n",
+                  info.states, info.symbol_classes,
+                  static_cast<unsigned long long>(info.transitions));
+    } else {
+      std::printf("monitor automaton: %s\n", info.fallback_reason.c_str());
+    }
+  }
 
   std::string io_error;
   if (!cli.json_path.empty()) {

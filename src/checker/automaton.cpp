@@ -1,0 +1,129 @@
+#include "src/checker/automaton.hpp"
+
+#include <algorithm>
+
+namespace msgorder {
+
+AutomatonEngine::AutomatonEngine(const MonitorAutomaton* automaton,
+                                 std::size_t n_processes)
+    : automaton_(automaton) {
+  const std::size_t copies =
+      automaton_->scope == MonitorAutomaton::Scope::kCounter
+          ? 1
+          : std::max<std::size_t>(n_processes, 1);
+  state_.assign(copies, automaton_->initial);
+}
+
+bool AutomatonEngine::on_user_event(ProcessId process, UserEventKind kind,
+                                    int color) {
+  const std::size_t copy =
+      automaton_->scope == MonitorAutomaton::Scope::kCounter
+          ? 0
+          : static_cast<std::size_t>(process);
+  const std::size_t symbol = automaton_->symbols.symbol(kind, color);
+  const std::uint32_t next = automaton_->step(state_[copy], symbol);
+  state_[copy] = next;
+  ++transitions_;
+  if (automaton_->accepting[next] != 0 && !accepted_) {
+    accepted_ = true;
+    return true;
+  }
+  return false;
+}
+
+void AutomatonEngine::reset() {
+  std::fill(state_.begin(), state_.end(), automaton_->initial);
+  accepted_ = false;
+  transitions_ = 0;
+}
+
+bool automaton_accepts_run(const MonitorAutomaton& automaton,
+                           const UserRun& run) {
+  if (automaton.scope != MonitorAutomaton::Scope::kPerProcess ||
+      !run.has_schedules()) {
+    return false;
+  }
+  if (!automaton.can_accept()) return false;
+  for (const std::vector<ScheduleStep>& schedule : run.schedules()) {
+    std::uint32_t state = automaton.initial;
+    for (const ScheduleStep& step : schedule) {
+      state = automaton.step(
+          state, automaton.symbols.symbol(step.kind,
+                                          run.color_of(step.msg)));
+      if (automaton.accepting[state] != 0) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t max_concurrency_width(const UserRun& run,
+                                  std::optional<int> color) {
+  std::vector<MessageId> pool;
+  for (MessageId m = 0; m < run.message_count(); ++m) {
+    if (!color.has_value() || run.color_of(m) == *color) pool.push_back(m);
+  }
+  const std::size_t n = pool.size();
+  if (n == 0) return 0;
+
+  // x < y iff x's delivery causally precedes y's send: x and y can
+  // never be in flight together.  The relation is transitive (via
+  // x.r |> y.s |> y.r |> z.s), so Dilworth applies: the width equals
+  // n minus a maximum matching of the comparability DAG.
+  std::vector<std::vector<std::size_t>> succ(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && run.before(pool[i], UserEventKind::kDeliver, pool[j],
+                               UserEventKind::kSend)) {
+        succ[i].push_back(j);
+      }
+    }
+  }
+  std::vector<long> match_right(n, -1);
+  std::vector<char> visited(n, 0);
+  const auto augment = [&](const auto& self, std::size_t u) -> bool {
+    for (const std::size_t v : succ[u]) {
+      if (visited[v] != 0) continue;
+      visited[v] = 1;
+      if (match_right[v] < 0 ||
+          self(self, static_cast<std::size_t>(match_right[v]))) {
+        match_right[v] = static_cast<long>(u);
+        return true;
+      }
+    }
+    return false;
+  };
+  std::size_t matched = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    std::fill(visited.begin(), visited.end(), 0);
+    if (augment(augment, u)) ++matched;
+  }
+  return n - matched;
+}
+
+bool exceeds_concurrency(const UserRun& run,
+                         const CountingPredicate& counting) {
+  return max_concurrency_width(run, counting.color) > counting.limit;
+}
+
+CountingMonitor::CountingMonitor(std::vector<Message> universe,
+                                 CountingPredicate spec)
+    : universe_(std::move(universe)),
+      spec_(spec),
+      automaton_(std::move(*compile_counting(spec_).automaton)),
+      engine_(&automaton_, 1) {}
+
+bool CountingMonitor::on_event(ProcessId /*process*/, SystemEvent event,
+                               double time) {
+  ++events_seen_;
+  if (!is_user_kind(event.kind)) return false;
+  const UserEventKind kind = to_user_kind(event.kind);
+  const bool fired =
+      engine_.on_user_event(0, kind, universe_[event.msg].color);
+  if (fired) {
+    first_violation_time_ = time;
+    events_to_detection_ = events_seen_;
+  }
+  return fired;
+}
+
+}  // namespace msgorder

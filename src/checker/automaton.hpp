@@ -1,0 +1,95 @@
+// Runtime for compiled monitor automata (ISSUE 8): drives a
+// MonitorAutomaton over a live event stream (one dense-table lookup per
+// event) or over a finished run's schedules, plus the offline oracle
+// for bounded-counting specs (interval-order width).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/poset/event.hpp"
+#include "src/poset/user_run.hpp"
+#include "src/spec/compile.hpp"
+#include "src/spec/predicate.hpp"
+
+namespace msgorder {
+
+/// Steps a compiled automaton over user events.  kPerProcess automata
+/// keep one state copy per process, all sharing the one dense
+/// transition table; kCounter automata keep a single global state.
+/// Amortized O(1) per event: a symbol lookup and a table load.
+class AutomatonEngine {
+ public:
+  AutomatonEngine(const MonitorAutomaton* automaton,
+                  std::size_t n_processes);
+
+  /// Advance on one user event.  Returns true iff this event moved the
+  /// engine into acceptance for the first time.
+  bool on_user_event(ProcessId process, UserEventKind kind, int color);
+
+  bool accepted() const { return accepted_; }
+  std::uint64_t transitions() const { return transitions_; }
+
+  /// Restore the post-construction state (bench replay support).
+  void reset();
+
+ private:
+  const MonitorAutomaton* automaton_;
+  std::vector<std::uint32_t> state_;
+  bool accepted_ = false;
+  std::uint64_t transitions_ = 0;
+};
+
+/// Offline acceptance of a kPerProcess automaton on a scheduled run:
+/// feeds each process's schedule through its own state copy.  Sound and
+/// complete for single-cluster patterns because their witnesses live
+/// entirely on one process's timeline (linearization-independent).
+/// Requires run.has_schedules() and scope == kPerProcess.
+bool automaton_accepts_run(const MonitorAutomaton& automaton,
+                           const UserRun& run);
+
+/// The largest number of matching messages that are simultaneously in
+/// flight in *some* linearization of the run: the width of the interval
+/// order  x < y  iff  x.r |> y.s  over messages of the given color
+/// (nullopt: all messages), computed as Dilworth's  n - max_matching .
+std::size_t max_concurrency_width(const UserRun& run,
+                                  std::optional<int> color);
+
+/// True iff the run violates the counting spec: some linearization puts
+/// more than `limit` matching messages in flight at once.
+bool exceeds_concurrency(const UserRun& run,
+                         const CountingPredicate& counting);
+
+/// Online monitor for a bounded-counting spec: a global counter
+/// automaton over the fed event stream.  Fires when the *observed*
+/// in-flight count exceeds the limit — which implies (but is not
+/// implied by) the offline width oracle firing, since the feed is one
+/// particular linearization.
+class CountingMonitor {
+ public:
+  CountingMonitor(std::vector<Message> universe, CountingPredicate spec);
+
+  /// Feed the next system event; invoke/receive events are ignored.
+  /// Returns true iff this event first pushed the count over the limit.
+  bool on_event(ProcessId process, SystemEvent event, double time);
+
+  bool violated() const { return engine_.accepted(); }
+  double first_violation_time() const { return first_violation_time_; }
+  std::uint64_t events_seen() const { return events_seen_; }
+  std::uint64_t events_to_detection() const { return events_to_detection_; }
+  std::uint64_t transitions() const { return engine_.transitions(); }
+  const CountingPredicate& specification() const { return spec_; }
+  const MonitorAutomaton& automaton() const { return automaton_; }
+
+ private:
+  std::vector<Message> universe_;
+  CountingPredicate spec_;
+  MonitorAutomaton automaton_;
+  AutomatonEngine engine_;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t events_to_detection_ = 0;
+  double first_violation_time_ = 0;
+};
+
+}  // namespace msgorder

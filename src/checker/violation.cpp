@@ -1,6 +1,8 @@
 #include "src/checker/violation.hpp"
 
+#include "src/checker/automaton.hpp"
 #include "src/checker/search.hpp"
+#include "src/spec/compile.hpp"
 
 namespace msgorder {
 
@@ -73,6 +75,19 @@ class ViolationSearch {
 
 std::optional<ViolationWitness> find_violation(
     const UserRun& run, const ForbiddenPredicate& predicate) {
+  // Automaton fast path (ISSUE 8): when the predicate compiles and the
+  // run carries schedules, a per-process DFA pass decides *whether* a
+  // witness exists without materializing the transposed ancestor
+  // matrix.  Only the (rare) violating runs pay for extraction below;
+  // non-compilable predicates bail out of compile_predicate in O(spec).
+  if (run.has_schedules()) {
+    const CompileResult compiled =
+        compile_predicate(predicate, &run.messages());
+    if (compiled.compiled() &&
+        !automaton_accepts_run(*compiled.automaton, run)) {
+      return std::nullopt;
+    }
+  }
   WitnessEngine engine(predicate, run.messages());
   const BitMatrix ancestors = run.order().matrix().transposed();
   const WitnessEngine::View view{&run.order().matrix(), &ancestors,
@@ -94,6 +109,9 @@ bool satisfies(const UserRun& run, const ForbiddenPredicate& predicate) {
 bool satisfies(const UserRun& run, const CompositeSpec& spec) {
   for (const ForbiddenPredicate& p : spec.predicates) {
     if (!satisfies(run, p)) return false;
+  }
+  for (const CountingPredicate& c : spec.counting) {
+    if (exceeds_concurrency(run, c)) return false;
   }
   return true;
 }

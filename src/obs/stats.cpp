@@ -292,7 +292,9 @@ std::string summarize_bench(const JsonValue& doc,
       const Direction d = direction_of(key);
       if (d == Direction::kNeutral &&
           key.find("events") == std::string::npos &&
-          key.find("parity") == std::string::npos) {
+          key.find("parity") == std::string::npos &&
+          key.find("automaton") == std::string::npos &&
+          key.find("batched") == std::string::npos) {
         continue;  // keep rows readable: timings + speedups + volumes
       }
       out << " " << key << "=" << fmt(v.as_number());
@@ -472,7 +474,13 @@ StatsDiff stats_diff(const JsonValue& baseline, const JsonValue& current,
   }
 
   StatsDiff diff;
+  diff.baseline_schema = baseline.string_at("schema").value_or("");
+  diff.current_schema = current.string_at("schema").value_or("");
   std::ostringstream out;
+  if (diff.schema_mismatch()) {
+    out << "schema mismatch: baseline=\"" << diff.baseline_schema
+        << "\" current=\"" << diff.current_schema << "\"\n";
+  }
   out << "diff threshold: " << fmt(options.threshold * 100.0) << "%\n";
   for (const auto& [path, base] : base_leaves) {
     if (path.rfind("field_meta.", 0) == 0) continue;  // metadata, not data

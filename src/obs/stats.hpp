@@ -36,6 +36,16 @@ struct StatsDiff {
   std::string text;  // rendered table, one line per compared leaf
   std::size_t compared = 0;
   std::vector<std::string> regressions;  // one description per failure
+  /// The two documents' top-level "schema" strings ("" when absent).
+  /// Diffing across schema versions only matches the leaves both
+  /// versions share, which silently un-gates every renamed or added
+  /// field — so callers (the CLI, the CI bench gate) should refuse a
+  /// mismatch outright instead of reporting a hollow pass (ISSUE 8).
+  std::string baseline_schema;
+  std::string current_schema;
+  bool schema_mismatch() const {
+    return baseline_schema != current_schema;
+  }
   bool regressed() const { return !regressions.empty(); }
 };
 

@@ -77,6 +77,13 @@ ProtocolClass classify(const CompositeSpec& spec) {
                        return static_cast<int>(a) < static_cast<int>(b);
                      });
   }
+  // A bounded-counting statement is a global in-flight bound: tags on
+  // user messages cannot convey the count, so control messages are
+  // required — at least the general class.
+  if (!spec.counting.empty() &&
+      static_cast<int>(worst) < static_cast<int>(ProtocolClass::kGeneral)) {
+    worst = ProtocolClass::kGeneral;
+  }
   return worst;
 }
 

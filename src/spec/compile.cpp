@@ -1,0 +1,452 @@
+#include "src/spec/compile.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace msgorder {
+
+namespace {
+
+/// The single-state never-accepting machine: the compiled form of a
+/// predicate whose pattern cannot occur (unsatisfiable conjunction or a
+/// cyclic precedence requirement).  Sound for parity: the engines never
+/// find a witness either.
+MonitorAutomaton dead_automaton() {
+  MonitorAutomaton a;
+  a.scope = MonitorAutomaton::Scope::kPerProcess;
+  a.n_states = 1;
+  a.initial = 0;
+  a.next.assign(a.symbols.n_symbols(), 0);
+  a.accepting.assign(1, 0);
+  a.dead_states = 1;
+  return a;
+}
+
+CompileResult fallback(std::string reason) {
+  CompileResult r;
+  r.fallback_reason = std::move(reason);
+  return r;
+}
+
+CompileResult success(MonitorAutomaton automaton) {
+  CompileResult r;
+  r.automaton = std::move(automaton);
+  return r;
+}
+
+/// Union-find over the 2*arity (var, kind) endpoints.
+struct EndpointUnion {
+  std::vector<std::size_t> parent;
+
+  explicit EndpointUnion(std::size_t arity) : parent(2 * arity) {
+    for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  }
+  static std::size_t id(std::size_t var, UserEventKind kind) {
+    return 2 * var + (kind == UserEventKind::kDeliver ? 1 : 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+};
+
+/// Mark states from which no accepting state is reachable.
+std::size_t count_dead_states(const MonitorAutomaton& a) {
+  const std::size_t n_symbols = a.symbols.n_symbols();
+  std::vector<char> alive(a.n_states, 0);
+  std::vector<std::uint32_t> queue;
+  // Reverse edges are sparse enough to rebuild: predecessors per state.
+  std::vector<std::vector<std::uint32_t>> preds(a.n_states);
+  for (std::uint32_t s = 0; s < a.n_states; ++s) {
+    for (std::size_t sym = 0; sym < n_symbols; ++sym) {
+      preds[a.step(s, sym)].push_back(s);
+    }
+    if (a.accepting[s]) {
+      alive[s] = 1;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const std::uint32_t s = queue.back();
+    queue.pop_back();
+    for (std::uint32_t p : preds[s]) {
+      if (!alive[p]) {
+        alive[p] = 1;
+        queue.push_back(p);
+      }
+    }
+  }
+  std::size_t dead = 0;
+  for (std::uint32_t s = 0; s < a.n_states; ++s) {
+    if (!alive[s]) ++dead;
+  }
+  return dead;
+}
+
+}  // namespace
+
+std::size_t SymbolTable::color_class(int color) const {
+  const auto it = std::lower_bound(colors.begin(), colors.end(), color);
+  if (it != colors.end() && *it == color) {
+    return static_cast<std::size_t>(it - colors.begin());
+  }
+  return colors.size();  // the "other" class
+}
+
+std::string SymbolTable::symbol_name(std::size_t symbol) const {
+  const std::size_t cls = symbol / 2;
+  std::string name = (symbol % 2) == 0 ? "send" : "deliver";
+  if (cls < colors.size()) {
+    name += "[color=" + std::to_string(colors[cls]) + "]";
+  } else {
+    name += "[other]";
+  }
+  return name;
+}
+
+CompileResult compile_predicate(const ForbiddenPredicate& predicate,
+                                const std::vector<Message>* universe) {
+  // --- structural gate, cheapest checks first (find_violation attempts
+  // a compile per call, so non-compilable specs must bail fast) ---
+  if (predicate.arity > kMaxCompiledArity) {
+    return fallback("fallback: arity: " + std::to_string(predicate.arity) +
+                    " variables exceed the compiled-automaton cap of " +
+                    std::to_string(kMaxCompiledArity));
+  }
+
+  // Unsatisfiable patterns compile to the never-accepting machine no
+  // matter their shape, so normalize() runs before the structural
+  // gates below (the Lemma 3.3 zoo is cyclic AND cross-process).  The
+  // compiler otherwise runs the predicate exactly as the engines will:
+  // a predicate normalize() would rewrite must be normalized by the
+  // caller first or witness parity breaks.
+  const NormalizedPredicate normal = normalize(predicate);
+  if (normal.triviality == NormalTriviality::kUnsatisfiable) {
+    return success(dead_automaton());
+  }
+  if (normal.triviality == NormalTriviality::kTautological) {
+    return fallback(
+        "fallback: degenerate: the conjunction is tautological after "
+        "normalization; its violations are not a property of the event "
+        "stream");
+  }
+  if (!(normal.predicate == predicate)) {
+    return fallback(
+        "fallback: normal-form: the predicate is not normalize()-stable "
+        "(redundant or tautological parts remain); compile the "
+        "normalized form instead");
+  }
+
+  // Event-level cycle: nodes v.s, v.r with the implicit v.s -> v.r edge
+  // plus one edge per conjunct.  A cycle means no strict partial order
+  // satisfies the conjunction at all (the Lemma 3.3 zoo lives here), so
+  // the never-accepting machine is the exact compiled form.
+  {
+    const std::size_t n_nodes = 2 * predicate.arity;
+    std::vector<std::vector<std::size_t>> out(n_nodes);
+    for (std::size_t v = 0; v < predicate.arity; ++v) {
+      out[2 * v].push_back(2 * v + 1);
+    }
+    for (const Conjunct& c : predicate.conjuncts) {
+      out[EndpointUnion::id(c.lhs, c.p)].push_back(
+          EndpointUnion::id(c.rhs, c.q));
+    }
+    std::vector<std::size_t> in_degree(n_nodes, 0);
+    for (const auto& edges : out) {
+      for (const std::size_t to : edges) ++in_degree[to];
+    }
+    std::vector<std::size_t> ready;
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+      if (in_degree[n] == 0) ready.push_back(n);
+    }
+    std::size_t removed = 0;
+    while (!ready.empty()) {
+      const std::size_t n = ready.back();
+      ready.pop_back();
+      ++removed;
+      for (const std::size_t to : out[n]) {
+        if (--in_degree[to] == 0) ready.push_back(to);
+      }
+    }
+    if (removed != n_nodes) return success(dead_automaton());
+  }
+
+  // Each variable must participate through exactly one event kind:
+  // a variable observed at both its send and its delivery either lives
+  // on two processes (not a single-cluster pattern) or forces a
+  // self-loop message — neither is symbol-decidable in general.
+  std::vector<unsigned> kinds_used(predicate.arity, 0);
+  for (const Conjunct& c : predicate.conjuncts) {
+    kinds_used[c.lhs] |= c.p == UserEventKind::kSend ? 1U : 2U;
+    kinds_used[c.rhs] |= c.q == UserEventKind::kSend ? 1U : 2U;
+  }
+  for (std::size_t v = 0; v < predicate.arity; ++v) {
+    if (kinds_used[v] == 3U) {
+      return fallback("fallback: alphabet: variable " +
+                      predicate.var_name(v) +
+                      " participates through both its send and its "
+                      "delivery, which no single-process symbol stream "
+                      "can relate");
+    }
+  }
+
+  // Collocation: the where-constraints must force every used endpoint
+  // onto one process, and must not reference endpoints the conjuncts
+  // never use (those constrain message attributes invisible to the
+  // cluster's symbols).
+  EndpointUnion uf(predicate.arity);
+  for (const ProcessEquality& pe : predicate.process_constraints) {
+    const unsigned bit_a = pe.kind_a == UserEventKind::kSend ? 1U : 2U;
+    const unsigned bit_b = pe.kind_b == UserEventKind::kSend ? 1U : 2U;
+    if (pe.var_a >= predicate.arity || pe.var_b >= predicate.arity ||
+        (kinds_used[pe.var_a] & bit_a) == 0 ||
+        (kinds_used[pe.var_b] & bit_b) == 0) {
+      return fallback(
+          "fallback: constraints: a process equality references an "
+          "event no conjunct uses, constraining attributes outside the "
+          "monitored symbol stream");
+    }
+    uf.unite(EndpointUnion::id(pe.var_a, pe.kind_a),
+             EndpointUnion::id(pe.var_b, pe.kind_b));
+  }
+  std::optional<std::size_t> cluster;
+  for (std::size_t v = 0; v < predicate.arity; ++v) {
+    for (UserEventKind k : {UserEventKind::kSend, UserEventKind::kDeliver}) {
+      const unsigned bit = k == UserEventKind::kSend ? 1U : 2U;
+      if ((kinds_used[v] & bit) == 0) continue;
+      const std::size_t root = uf.find(EndpointUnion::id(v, k));
+      if (!cluster.has_value()) {
+        cluster = root;
+      } else if (*cluster != root) {
+        return fallback(
+            "fallback: collocation: the where-constraints do not force "
+            "every used event onto one process (event " +
+            predicate.var_name(v) + "." +
+            (k == UserEventKind::kSend ? "s" : "r") +
+            " floats free), so the pattern depends on cross-process "
+            "causality the symbol stream erases");
+      }
+    }
+  }
+
+  // Mixed-kind clusters: a send-bound variable and a deliver-bound
+  // variable could bind the *same* message if some message self-loops
+  // (src == dst) — the symbols cannot see the identity collision.
+  const bool has_send_var =
+      std::any_of(kinds_used.begin(), kinds_used.end(),
+                  [](unsigned k) { return k == 1U; });
+  const bool has_deliver_var =
+      std::any_of(kinds_used.begin(), kinds_used.end(),
+                  [](unsigned k) { return k == 2U; });
+  if (has_send_var && has_deliver_var) {
+    if (universe == nullptr) {
+      return fallback(
+          "fallback: distinctness: the cluster mixes send-bound and "
+          "deliver-bound variables; without the message universe the "
+          "compiler cannot rule out self-loop messages (src == dst) "
+          "binding one message to two variables");
+    }
+    for (const Message& m : *universe) {
+      if (m.src == m.dst) {
+        return fallback(
+            "fallback: distinctness: message m" + std::to_string(m.id) +
+            " is a self-loop (src == dst), so one message could serve "
+            "both a send-bound and a deliver-bound variable");
+      }
+    }
+  }
+
+  // Per-variable symbol admissibility: kind plus allowed color classes.
+  SymbolTable symbols;
+  for (const ColorConstraint& cc : predicate.color_constraints) {
+    symbols.colors.push_back(cc.color);
+  }
+  std::sort(symbols.colors.begin(), symbols.colors.end());
+  symbols.colors.erase(
+      std::unique(symbols.colors.begin(), symbols.colors.end()),
+      symbols.colors.end());
+
+  const std::size_t n_classes = symbols.n_classes();
+  // allowed[v] is a bitmask over color classes.
+  std::vector<std::uint64_t> allowed(predicate.arity,
+                                     (1ULL << n_classes) - 1);
+  for (const ColorConstraint& cc : predicate.color_constraints) {
+    allowed[cc.var] &= 1ULL << symbols.color_class(cc.color);
+  }
+  bool contradictory_colors = false;
+  for (std::size_t v = 0; v < predicate.arity; ++v) {
+    if (allowed[v] == 0) contradictory_colors = true;
+  }
+
+  // Precedence DAG over variables: conjunct x.p |> y.q between two
+  // same-process events means x's occurrence executes strictly earlier.
+  std::vector<std::uint32_t> preds(predicate.arity, 0);
+  for (const Conjunct& c : predicate.conjuncts) {
+    preds[c.rhs] |= 1U << c.lhs;
+  }
+  // Cycle check via Kahn: a cyclic precedence requirement (or an
+  // unsatisfiable color demand) makes the pattern impossible — compile
+  // the never-accepting machine, matching the engines' "no witness".
+  {
+    std::vector<std::uint32_t> preds_left = preds;
+    std::uint32_t done = 0;
+    const std::uint32_t full =
+        predicate.arity == 32 ? ~0U : (1U << predicate.arity) - 1;
+    bool progress = true;
+    while (progress && done != full) {
+      progress = false;
+      for (std::size_t v = 0; v < predicate.arity; ++v) {
+        if ((done >> v) & 1U) continue;
+        if ((preds_left[v] & ~done) == 0) {
+          done |= 1U << v;
+          progress = true;
+        }
+      }
+    }
+    if (done != full || contradictory_colors) {
+      return success(dead_automaton());
+    }
+  }
+
+  // --- subset construction over downward-closed matched-variable sets,
+  // pruned to maximal antichains (supersets dominate: anything a
+  // smaller matched set can still accept, the larger one accepts at
+  // least as early) ---
+  const std::uint32_t full = (1U << predicate.arity) - 1;
+  const std::size_t n_symbols = symbols.n_symbols();
+
+  // enabled[sym] precomputed per symbol: which vars can match it.
+  // Symbol layout is 2 * color_class + (deliver ? 1 : 0).
+  std::vector<std::uint32_t> enabled(n_symbols, 0);
+  for (std::size_t v = 0; v < predicate.arity; ++v) {
+    const std::size_t kind_bit = kinds_used[v] == 1U ? 0 : 1;
+    for (std::size_t cls = 0; cls < n_classes; ++cls) {
+      if ((allowed[v] >> cls) & 1ULL) {
+        enabled[2 * cls + kind_bit] |= 1U << v;
+      }
+    }
+  }
+
+  using Antichain = std::vector<std::uint32_t>;
+  std::map<Antichain, std::uint32_t> state_ids;
+  std::vector<Antichain> states;
+  const auto intern = [&](Antichain chain) -> std::uint32_t {
+    const auto it = state_ids.find(chain);
+    if (it != state_ids.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(states.size());
+    state_ids.emplace(chain, id);
+    states.push_back(std::move(chain));
+    return id;
+  };
+
+  const std::uint32_t initial = intern({0});
+  std::vector<std::uint32_t> table;
+  std::optional<std::uint32_t> accept_id;
+  for (std::uint32_t s = 0; s < states.size(); ++s) {
+    if (states.size() > kMaxCompiledStates) {
+      return fallback("fallback: state-blowup: subset construction "
+                      "exceeded " +
+                      std::to_string(kMaxCompiledStates) + " states");
+    }
+    table.resize((static_cast<std::size_t>(s) + 1) * n_symbols, 0);
+    const Antichain chain = states[s];  // copy: states may reallocate
+    const bool is_accept = accept_id.has_value() && *accept_id == s;
+    for (std::size_t sym = 0; sym < n_symbols; ++sym) {
+      if (is_accept) {  // acceptance absorbs
+        table[static_cast<std::size_t>(s) * n_symbols + sym] = s;
+        continue;
+      }
+      std::set<std::uint32_t> out(chain.begin(), chain.end());
+      bool accepted = false;
+      for (const std::uint32_t m : chain) {
+        std::uint32_t candidates = enabled[sym] & ~m;
+        while (candidates != 0) {
+          const unsigned v =
+              static_cast<unsigned>(__builtin_ctz(candidates));
+          candidates &= candidates - 1;
+          if ((preds[v] & ~m) != 0) continue;  // predecessors unmatched
+          const std::uint32_t grown = m | (1U << v);
+          if (grown == full) {
+            accepted = true;
+            break;
+          }
+          out.insert(grown);
+        }
+        if (accepted) break;
+      }
+      std::uint32_t target = 0;
+      if (accepted) {
+        if (!accept_id.has_value()) {
+          accept_id = intern({full});
+        }
+        target = *accept_id;
+      } else {
+        // Keep only the maximal masks.
+        Antichain maximal;
+        for (const std::uint32_t m : out) {
+          bool dominated = false;
+          for (const std::uint32_t other : out) {
+            if (other != m && (m & other) == m) {
+              dominated = true;
+              break;
+            }
+          }
+          if (!dominated) maximal.push_back(m);
+        }
+        target = intern(std::move(maximal));
+      }
+      table[static_cast<std::size_t>(s) * n_symbols + sym] = target;
+    }
+  }
+
+  MonitorAutomaton automaton;
+  automaton.scope = MonitorAutomaton::Scope::kPerProcess;
+  automaton.symbols = std::move(symbols);
+  automaton.n_states = states.size();
+  automaton.initial = initial;
+  automaton.next = std::move(table);
+  automaton.accepting.assign(states.size(), 0);
+  if (accept_id.has_value()) automaton.accepting[*accept_id] = 1;
+  automaton.dead_states = count_dead_states(automaton);
+  return success(std::move(automaton));
+}
+
+CompileResult compile_counting(const CountingPredicate& counting) {
+  MonitorAutomaton a;
+  a.scope = MonitorAutomaton::Scope::kCounter;
+  if (counting.color.has_value()) a.symbols.colors = {*counting.color};
+  const std::size_t n_symbols = a.symbols.n_symbols();
+  a.n_states = counting.limit + 2;
+  a.initial = 0;
+  a.next.assign(a.n_states * n_symbols, 0);
+  a.accepting.assign(a.n_states, 0);
+  const auto over = static_cast<std::uint32_t>(counting.limit + 1);
+  a.accepting[over] = 1;
+  // The matching color class is class 0 when a color is named (its
+  // slot), otherwise the single "other" class.
+  const std::size_t match_cls = 0;
+  for (std::uint32_t k = 0; k <= over; ++k) {
+    for (std::size_t sym = 0; sym < n_symbols; ++sym) {
+      std::uint32_t target = k;  // default: irrelevant symbol
+      if (k == over) {
+        target = over;  // acceptance absorbs
+      } else if (sym / 2 == match_cls) {
+        if (sym % 2 == 0) {  // matching send: one more in flight
+          target = k + 1;
+        } else {  // matching delivery: one fewer (floor at 0)
+          target = k > 0 ? k - 1 : 0;
+        }
+      }
+      a.next[static_cast<std::size_t>(k) * n_symbols + sym] = target;
+    }
+  }
+  a.dead_states = 0;  // any state can count up to acceptance
+  return success(std::move(a));
+}
+
+}  // namespace msgorder

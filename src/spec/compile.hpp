@@ -1,0 +1,131 @@
+// Spec-to-automaton compiler (ISSUE 8 tentpole).
+//
+// A ForbiddenPredicate describes a pattern over the *message identities*
+// of a run, but an online monitor only sees a stream of symbols
+// (process, kind, color) — the message identity of each event is erased
+// once the pattern must be checked in O(1) per event.  This module
+// decides when that erasure is harmless and, when it is, compiles the
+// predicate to a dense DFA over compacted symbol classes so the monitor
+// can check it with one table lookup per event.
+//
+// What is compilable (and why the class is narrow):
+//  * Unsatisfiable predicates — normalize() flags a self-contradictory
+//    conjunct, or the event graph (v.s -> v.r plus one edge per
+//    conjunct) has a cycle, so no strict partial order satisfies the
+//    conjunction: the automaton is the single-state never-accepting
+//    machine (the whole async_zoo family lands here).
+//  * Single-cluster patterns: every conjunct endpoint the predicate uses
+//    is forced onto ONE process by the where-constraints (the process
+//    equalities, closed under union-find, put all used (var, kind)
+//    endpoints in one class), and each variable participates through
+//    exactly one event kind.  For two events at the same process,
+//    causality coincides with execution order (the process chain
+//    generates |>, and any causal path respects it), so the pattern
+//    reduces to finding an injective, precedence-respecting embedding of
+//    the variables into that process's event stream — a regular
+//    property.  The DFA is the subset construction over downward-closed
+//    sets of matched variables, pruned to maximal antichains (a larger
+//    matched set dominates any subset).
+//  * Bounded counting (CountingPredicate): a (limit + 2)-state counter.
+//
+// Everything else — conjuncts relating events on processes the
+// constraints do not collocate (causal ordering, FIFO, the crowns),
+// variables used through both kinds without collocation, mixed-kind
+// clusters over universes with self-loop messages (src == dst lets one
+// message bind two "distinct" variables' occurrences) — is NOT decidable
+// from the symbol stream: two runs with identical (process, kind, color)
+// streams can differ on the verdict.  Those predicates fall back to the
+// bitset WitnessEngine with a structured, human-readable reason.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/poset/event.hpp"
+#include "src/spec/predicate.hpp"
+
+namespace msgorder {
+
+/// Compacted symbol classes: each *mentioned* color gets its own class,
+/// every other color shares one "other" class, and a symbol is the
+/// (kind, class) pair.  A spec mentioning c colors therefore has
+/// 2 * (c + 1) symbols regardless of how many colors the run uses.
+struct SymbolTable {
+  std::vector<int> colors;  // distinct mentioned colors, ascending
+
+  std::size_t n_classes() const { return colors.size() + 1; }
+  std::size_t n_symbols() const { return 2 * n_classes(); }
+
+  /// Class index of a concrete color (mentioned -> its slot, else the
+  /// trailing "other" class).
+  std::size_t color_class(int color) const;
+
+  std::size_t symbol(UserEventKind kind, int color) const {
+    return 2 * color_class(color) +
+           (kind == UserEventKind::kDeliver ? 1 : 0);
+  }
+
+  /// "send[color=3]" / "deliver[other]" for diagnostics.
+  std::string symbol_name(std::size_t symbol) const;
+};
+
+/// A compiled monitor automaton: dense state x symbol transition table.
+/// kPerProcess scope runs one state copy per process over that process's
+/// events (single-cluster patterns); kCounter scope runs one global copy
+/// over all events (bounded counting).
+struct MonitorAutomaton {
+  enum class Scope : std::uint8_t { kPerProcess, kCounter };
+
+  Scope scope = Scope::kPerProcess;
+  SymbolTable symbols;
+  std::size_t n_states = 1;
+  std::uint32_t initial = 0;
+  /// next[state * symbols.n_symbols() + symbol]; acceptance is absorbing.
+  std::vector<std::uint32_t> next;
+  std::vector<char> accepting;  // per state
+  /// States from which no accepting state is reachable (the never-
+  /// accepting sink of unsatisfiable predicates, and the L015 signal
+  /// for dead disjunction arms).
+  std::size_t dead_states = 0;
+
+  std::uint32_t step(std::uint32_t state, std::size_t symbol) const {
+    return next[static_cast<std::size_t>(state) * symbols.n_symbols() +
+                symbol];
+  }
+  bool can_accept() const { return dead_states < n_states; }
+};
+
+struct CompileResult {
+  std::optional<MonitorAutomaton> automaton;
+  /// Empty iff compiled; otherwise a structured reason ("fallback:
+  /// <category>: <detail>") suitable for reports and lint notes.
+  std::string fallback_reason;
+
+  bool compiled() const { return automaton.has_value(); }
+};
+
+/// Compiled-form caps: beyond these the dense table stops paying for
+/// itself and the compiler falls back instead of exploding.
+inline constexpr std::size_t kMaxCompiledArity = 10;
+inline constexpr std::size_t kMaxCompiledStates = 4096;
+
+/// Compile one forbidden predicate.  `universe` (optional) is the
+/// message population the automaton will monitor: mixed-kind clusters
+/// are only sound when no message is a self-loop (src == dst), so
+/// without a universe those conservatively fall back.  The predicate
+/// must be in normal form (normalize() returns it unchanged) — the
+/// engines run the predicate as written, so compiling a *different*
+/// normalized predicate would break witness parity.
+CompileResult compile_predicate(const ForbiddenPredicate& predicate,
+                                const std::vector<Message>* universe =
+                                    nullptr);
+
+/// Compile a bounded-counting spec to its counter automaton.  Always
+/// succeeds: states 0..limit+1 track the in-flight count of matching
+/// messages (saturating), state limit+1 accepts and absorbs.
+CompileResult compile_counting(const CountingPredicate& counting);
+
+}  // namespace msgorder

@@ -115,6 +115,16 @@ ForbiddenPredicate receive_second_before_first() {
   return make_predicate(2, {{0, S, 1, S}, {0, R, 1, R}});
 }
 
+ForbiddenPredicate marked_send_order(int first, int second) {
+  // Both sends collocated by the process equality, one kind per
+  // variable, colors distinguishing the two — the canonical pattern the
+  // ISSUE 8 automaton compiler accepts.
+  ForbiddenPredicate p = make_predicate(2, {{0, S, 1, S}}, {{0, S, 1, S}},
+                                        {{0, first}, {1, second}});
+  p.var_names = {"x", "y"};
+  return p;
+}
+
 CompositeSpec logically_synchronous(std::size_t max_k) {
   CompositeSpec spec;
   for (std::size_t k = 2; k <= max_k; ++k) {
@@ -174,6 +184,9 @@ std::vector<NamedSpec> spec_zoo() {
       "Section 5 discussion", mobile_handoff(), ProtocolClass::kGeneral);
   add("receive 2nd before 1st", "deliberately inverted delivery",
       "Section 5 discussion", receive_second_before_first(),
+      ProtocolClass::kNotImplementable);
+  add("marked send order", "no marked send after a terminal-marked send",
+      "ISSUE 8 automaton example", marked_send_order(),
       ProtocolClass::kNotImplementable);
   return zoo;
 }

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/obs/json.hpp"
+#include "src/spec/compile.hpp"
 #include "src/spec/graph.hpp"
 #include "src/spec/weaken.hpp"
 
@@ -354,6 +355,29 @@ struct PredicateLint {
     }
   }
 
+  /// One-line account of what the ISSUE 8 spec compiler does with this
+  /// predicate: the compiled automaton's size, or the structured
+  /// fallback reason (part of the classifier explanation so spec
+  /// authors learn which monitoring engine their spec will get).
+  std::string compile_note() const {
+    const CompileResult compiled = compile_predicate(pred);
+    if (!compiled.compiled()) {
+      return "monitor automaton: " + compiled.fallback_reason +
+             " (online checking uses the bitset engine)";
+    }
+    const MonitorAutomaton& a = *compiled.automaton;
+    std::string note = "monitor automaton: compiles to " +
+                       std::to_string(a.n_states) + " state(s) over " +
+                       std::to_string(a.symbols.n_classes()) +
+                       " symbol class(es)";
+    if (!a.can_accept()) {
+      note += "; never accepts (the pattern cannot occur)";
+    } else if (a.dead_states > 0) {
+      note += "; " + std::to_string(a.dead_states) + " dead state(s)";
+    }
+    return note;
+  }
+
   /// Human rendering of a witness walk, with its beta vertices, against
   /// the *normalized* predicate the classification graph was built on.
   void witness_notes(LintDiagnostic& d) {
@@ -437,6 +461,7 @@ struct PredicateLint {
         d.notes.push_back(
             "implementability requires a conjunct cycle x_1 -> x_2 -> "
             "... -> x_1 in the predicate graph; none exists here");
+        d.notes.push_back(compile_note());
       }
       return;
     }
@@ -449,6 +474,7 @@ struct PredicateLint {
       d.span = witness_span();
       d.fixit = "break the order-0 cycle or re-orient one conjunct";
       witness_notes(d);
+      if (options.explain) d.notes.push_back(compile_note());
       return;
     }
     if (options.explain) {
@@ -464,6 +490,7 @@ struct PredicateLint {
                   std::to_string(*cls.min_order) + "; " + why;
       d.span = witness_span();
       witness_notes(d);
+      d.notes.push_back(compile_note());
     }
   }
 };
@@ -533,6 +560,65 @@ LintResult lint_spec(const CompositeSpec& spec, const SpecSource* source,
     classes.push_back(lint.cls.protocol_class);
   }
 
+  // L015: dead disjunction arms.  Only statements the parser recorded
+  // as multi-arm disjunctions are analyzed (the groups are how the spec
+  // was *written*; programmatic composites have no disjunction intent).
+  // An arm is dead iff its compiled monitor automaton can never accept
+  // — X_{A or B} = X_A intersect X_B, so a never-firing arm leaves the
+  // intersection unchanged.
+  if (source != nullptr &&
+      source->disjunct_group.size() == spec.predicates.size()) {
+    std::map<std::size_t, std::size_t> group_size;
+    for (const std::size_t g : source->disjunct_group) ++group_size[g];
+    std::map<std::size_t, std::size_t> arm_within_group;
+    for (std::size_t i = 0; i < spec.predicates.size(); ++i) {
+      const std::size_t group = source->disjunct_group[i];
+      const std::size_t arm = ++arm_within_group[group];
+      if (group_size[group] < 2) continue;
+      const CompileResult compiled = compile_predicate(spec.predicates[i]);
+      if (!compiled.compiled() || compiled.automaton->can_accept()) {
+        continue;
+      }
+      LintDiagnostic d;
+      d.rule = &rule_dead_disjunct();
+      d.severity = d.rule->severity;
+      d.predicate_index = i;
+      d.message = "disjunct arm #" + std::to_string(arm) +
+                  " can never fire; the disjunction forbids exactly what "
+                  "the remaining arm(s) forbid";
+      if (i < source->predicates.size()) {
+        d.span = source->predicates[i].span;
+      }
+      d.fixit = "drop this arm";
+      d.notes.push_back(
+          "compiled monitor automaton: " +
+          std::to_string(compiled.automaton->n_states) +
+          " state(s), none of which reaches acceptance");
+      result.diagnostics.push_back(std::move(d));
+    }
+  }
+
+  // L016: a concurrency bound of 0 forbids ever *sending* a matching
+  // message — legal, but almost always a fencepost mistake.
+  for (std::size_t i = 0; i < spec.counting.size(); ++i) {
+    const CountingPredicate& counting = spec.counting[i];
+    if (counting.limit != 0) continue;
+    LintDiagnostic d;
+    d.rule = &rule_degenerate_counting();
+    d.severity = d.rule->severity;
+    d.message =
+        "'" + counting.to_string() + "' rejects every run that sends a " +
+        (counting.color.has_value()
+             ? "color-" + std::to_string(*counting.color) + " message"
+             : std::string("message")) +
+        " (the count exceeds 0 the moment one is in flight)";
+    if (source != nullptr && i < source->counting.size()) {
+      d.span = source->counting[i];
+    }
+    d.fixit = "raise the bound or drop the statement";
+    result.diagnostics.push_back(std::move(d));
+  }
+
   // L010: duplicate predicates (identical up to variable renaming).
   std::map<std::string, std::size_t> first_with_key;
   for (std::size_t i = 0; i < spec.predicates.size(); ++i) {
@@ -562,6 +648,26 @@ LintResult lint_spec(const CompositeSpec& spec, const SpecSource* source,
       result.spec_class = classes[i];
       binding = i;
     }
+  }
+
+  // A bounded-counting statement is a *global* constraint: enforcing it
+  // requires processes to agree on the in-flight count, which tags on
+  // user messages cannot convey — control messages are needed, so the
+  // composite needs at least the general class.
+  const bool counting_binds =
+      !spec.counting.empty() &&
+      static_cast<int>(result.spec_class) <
+          static_cast<int>(ProtocolClass::kGeneral);
+  if (counting_binds) result.spec_class = ProtocolClass::kGeneral;
+  if (counting_binds && options.explain) {
+    LintDiagnostic d;
+    d.rule = &rule_class_explanation();
+    d.severity = d.rule->severity;
+    d.message =
+        "the bounded-counting statement(s) raise the required class to "
+        "'general': a global in-flight bound needs control-message "
+        "coordination, not just tags";
+    result.diagnostics.push_back(std::move(d));
   }
 
   if (options.explain && spec.predicates.size() > 1) {
@@ -657,6 +763,8 @@ LintResult lint_text(std::string_view text, const LintOptions& options) {
   SpecSource source;
   source.text = std::string(text);
   source.predicates = std::move(parsed.sources);
+  source.counting = std::move(parsed.counting_sources);
+  source.disjunct_group = std::move(parsed.disjunct_group);
   return lint_spec(*parsed.spec, &source, options);
 }
 

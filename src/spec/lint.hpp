@@ -57,6 +57,11 @@ struct LintDiagnostic {
 struct SpecSource {
   std::string text;
   std::vector<PredicateSource> predicates;  // parallel to the spec
+  std::vector<SourceSpan> counting;         // parallel to spec.counting
+  /// Statement id of each predicate (parse_spec's disjunct_group); arms
+  /// of one '|' disjunction share an id.  Empty for programmatic specs
+  /// — the dead-disjunct analysis (L015) then has nothing to key on.
+  std::vector<std::size_t> disjunct_group;
 };
 
 struct LintOptions {

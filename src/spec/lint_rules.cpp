@@ -70,6 +70,13 @@ const std::vector<LintRule>& catalog() {
       {"L014", "class-mismatch", kError,
        "the computed protocol class differs from the declared "
        "'# expect:' intent"},
+      {"L015", "dead-disjunct", kWarning,
+       "an arm of a '|' disjunction can never fire (its compiled monitor "
+       "automaton has no live state), so the disjunction is unchanged by "
+       "dropping it"},
+      {"L016", "degenerate-counting", kWarning,
+       "a 'concurrent <= 0' bound rejects every run that sends a "
+       "matching message; the bound is almost certainly off by one"},
   };
   return rules;
 }
@@ -105,5 +112,7 @@ const LintRule& rule_not_implementable() { return by_id("L011"); }
 const LintRule& rule_class_explanation() { return by_id("L012"); }
 const LintRule& rule_over_strength() { return by_id("L013"); }
 const LintRule& rule_class_mismatch() { return by_id("L014"); }
+const LintRule& rule_dead_disjunct() { return by_id("L015"); }
+const LintRule& rule_degenerate_counting() { return by_id("L016"); }
 
 }  // namespace msgorder

@@ -53,5 +53,7 @@ const LintRule& rule_not_implementable();      // L011
 const LintRule& rule_class_explanation();      // L012
 const LintRule& rule_over_strength();          // L013
 const LintRule& rule_class_mismatch();         // L014
+const LintRule& rule_dead_disjunct();          // L015
+const LintRule& rule_degenerate_counting();    // L016
 
 }  // namespace msgorder

@@ -315,6 +315,103 @@ class Parser {
   std::map<std::string, VarRegistration> vars_;
 };
 
+/// Parses a counting statement within text[begin, end):
+///   'concurrent' ['(' 'color' '=' integer ')'] '<=' integer
+/// Returns the error, or nullopt on success (filling `out` and `span`).
+std::optional<ParseError> parse_counting_statement(std::string_view text,
+                                                   std::size_t begin,
+                                                   std::size_t end,
+                                                   CountingPredicate& out,
+                                                   SourceSpan& span) {
+  std::size_t pos = begin;
+  const auto skip_space = [&] {
+    while (pos < end &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  };
+  const auto error = [&](const std::string& what) {
+    ParseError e;
+    e.message = what;
+    e.span = span_in(text, pos, 0);
+    return e;
+  };
+  const auto consume = [&](char c) {
+    skip_space();
+    if (pos < end && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  };
+  const auto parse_int = [&](int& value) {
+    skip_space();
+    const bool neg = consume('-');
+    skip_space();
+    if (pos >= end || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      return false;
+    }
+    value = 0;
+    while (pos < end &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      value = value * 10 + (text[pos++] - '0');
+    }
+    if (neg) value = -value;
+    return true;
+  };
+
+  skip_space();
+  const std::size_t statement_start = pos;
+  pos += std::string_view("concurrent").size();  // caller checked the word
+  if (consume('(')) {
+    skip_space();
+    if (text.substr(pos, 5) != "color") {
+      return error("expected 'color' in concurrent statement");
+    }
+    pos += 5;
+    if (!consume('=')) return error("expected '=' after 'color'");
+    int color = 0;
+    if (!parse_int(color)) return error("expected integer color");
+    if (!consume(')')) return error("expected ')'");
+    out.color = color;
+  }
+  skip_space();
+  if (text.substr(pos, 2) != "<=") {
+    return error("expected '<=' after 'concurrent'");
+  }
+  pos += 2;
+  int limit = 0;
+  if (!parse_int(limit) || limit < 0) {
+    return error("expected non-negative integer bound");
+  }
+  out.limit = static_cast<std::size_t>(limit);
+  skip_space();
+  if (pos != end) return error("unexpected trailing input");
+  std::size_t statement_end = end;
+  while (statement_end > statement_start &&
+         std::isspace(static_cast<unsigned char>(text[statement_end - 1]))) {
+    --statement_end;
+  }
+  span = span_in(text, statement_start, statement_end - statement_start);
+  return std::nullopt;
+}
+
+/// Does text[begin, end) start (after whitespace) with the word `word`?
+bool starts_with_word(std::string_view text, std::size_t begin,
+                      std::size_t end, std::string_view word) {
+  std::size_t pos = begin;
+  while (pos < end && std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  if (pos + word.size() > end || text.substr(pos, word.size()) != word) {
+    return false;
+  }
+  const std::size_t stop = pos + word.size();
+  return stop >= end ||
+         (!std::isalnum(static_cast<unsigned char>(text[stop])) &&
+          text[stop] != '_');
+}
+
 }  // namespace
 
 ParseResult parse_predicate(std::string_view text) {
@@ -325,37 +422,79 @@ ParseSpecResult parse_spec(std::string_view text) {
   ParseSpecResult result;
   CompositeSpec spec;
   std::vector<PredicateSource> sources;
-  std::size_t start = 0;
-  for (std::size_t i = 0; i <= text.size(); ++i) {
-    if (i != text.size() && text[i] != ';') continue;
-    const std::string_view piece = text.substr(start, i - start);
-    const std::size_t piece_start = start;
-    start = i + 1;
-    bool blank = true;
-    for (char c : piece) {
-      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
-    }
-    if (blank) continue;
-    ParseResult parsed =
-        Parser(text, piece_start, piece_start + piece.size()).run();
-    if (!parsed.ok()) {
-      result.detail = std::move(parsed.detail);
-      result.error = result.detail->to_string();
-      return result;
-    }
-    spec.predicates.push_back(std::move(*parsed.predicate));
-    sources.push_back(std::move(parsed.source));
-  }
-  if (spec.predicates.empty()) {
-    ParseError e;
-    e.message = "empty specification";
-    e.span = span_in(text, 0, 0);
+  std::vector<SourceSpan> counting_sources;
+  std::vector<std::size_t> disjunct_group;
+  std::size_t statement_id = 0;
+
+  const auto fail = [&](ParseError e) {
     result.detail = std::move(e);
     result.error = result.detail->to_string();
     return result;
+  };
+
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i != text.size() && text[i] != ';') continue;
+    const std::size_t piece_start = start;
+    const std::size_t piece_end = i;
+    start = i + 1;
+    bool blank = true;
+    for (std::size_t j = piece_start; j < piece_end; ++j) {
+      if (!std::isspace(static_cast<unsigned char>(text[j]))) blank = false;
+    }
+    if (blank) continue;
+    const std::size_t statement = statement_id++;
+
+    if (starts_with_word(text, piece_start, piece_end, "concurrent")) {
+      CountingPredicate counting;
+      SourceSpan span;
+      if (auto e = parse_counting_statement(text, piece_start, piece_end,
+                                            counting, span)) {
+        return fail(std::move(*e));
+      }
+      spec.counting.push_back(counting);
+      counting_sources.push_back(span);
+      continue;
+    }
+
+    // Split the statement into disjunction arms on every '|' that does
+    // not begin a '|>' relation.
+    std::size_t arm_start = piece_start;
+    for (std::size_t j = piece_start; j <= piece_end; ++j) {
+      const bool split =
+          j == piece_end ||
+          (text[j] == '|' && (j + 1 >= piece_end || text[j + 1] != '>'));
+      if (!split) continue;
+      bool arm_blank = true;
+      for (std::size_t k = arm_start; k < j; ++k) {
+        if (!std::isspace(static_cast<unsigned char>(text[k]))) {
+          arm_blank = false;
+        }
+      }
+      if (arm_blank) {
+        ParseError e;
+        e.message = "empty disjunct";
+        e.span = span_in(text, j < piece_end ? j : arm_start, 0);
+        return fail(std::move(e));
+      }
+      ParseResult parsed = Parser(text, arm_start, j).run();
+      if (!parsed.ok()) return fail(std::move(*parsed.detail));
+      spec.predicates.push_back(std::move(*parsed.predicate));
+      sources.push_back(std::move(parsed.source));
+      disjunct_group.push_back(statement);
+      arm_start = j + 1;
+    }
+  }
+  if (spec.predicates.empty() && spec.counting.empty()) {
+    ParseError e;
+    e.message = "empty specification";
+    e.span = span_in(text, 0, 0);
+    return fail(std::move(e));
   }
   result.spec = std::move(spec);
   result.sources = std::move(sources);
+  result.counting_sources = std::move(counting_sources);
+  result.disjunct_group = std::move(disjunct_group);
   return result;
 }
 

@@ -84,18 +84,34 @@ struct ParseResult {
 
 ParseResult parse_predicate(std::string_view text);
 
-/// A composite specification: semicolon-separated predicates, each
-/// independently forbidden (the intersection of their X_B sets):
+/// A composite specification: semicolon-separated statements.
 ///
-///   spec := predicate (';' predicate)*
+///   spec      := statement (';' statement)*
+///   statement := predicate ('|' predicate)*      -- disjunction of arms
+///              | counting
+///   counting  := 'concurrent' ['(' 'color' '=' integer ')'] '<=' integer
 ///
-/// Two-way flush, for instance, is two forward/backward predicates.
-/// All spans (per-predicate sources and error spans) are relative to the
-/// full spec text, not the semicolon-separated piece.
+/// Each statement is independently forbidden (the intersection of the
+/// X_B sets).  A `|` disjunction forbids *any* arm matching — and since
+/// X_{A or B} = X_A  intersect  X_B, the arms desugar to separate
+/// predicates of the composite; `disjunct_group` records which
+/// statement each predicate came from so lint can reason about the
+/// disjunction as written.  The '|' must not begin a '|>' relation
+/// (whitespace disambiguates: `a.s |> b.s | c.s |> d.s` is two arms).
+/// A counting statement bounds how many matching messages may be
+/// simultaneously in flight.  Two-way flush, for instance, is two
+/// forward/backward predicate statements.  All spans are relative to
+/// the full spec text, not the statement piece.
 struct ParseSpecResult {
   std::optional<CompositeSpec> spec;
   /// Index-parallel to spec->predicates; meaningful iff ok().
   std::vector<PredicateSource> sources;
+  /// Index-parallel to spec->counting; meaningful iff ok().
+  std::vector<SourceSpan> counting_sources;
+  /// Index-parallel to spec->predicates: the statement each predicate
+  /// came from.  Arms of one `|` disjunction share a statement id;
+  /// lint's dead-disjunct analysis keys off groups with >= 2 members.
+  std::vector<std::size_t> disjunct_group;
   std::optional<ParseError> detail;
   std::string error;
 

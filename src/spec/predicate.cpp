@@ -121,11 +121,22 @@ ForbiddenPredicate make_predicate(
   return p;
 }
 
+std::string CountingPredicate::to_string() const {
+  std::string out = "concurrent";
+  if (color.has_value()) out += "(color=" + std::to_string(*color) + ")";
+  out += " <= " + std::to_string(limit);
+  return out;
+}
+
 std::string CompositeSpec::to_string() const {
   std::string out;
   for (std::size_t i = 0; i < predicates.size(); ++i) {
     if (i) out += "  AND  ";
     out += "forbid " + predicates[i].to_string();
+  }
+  for (const CountingPredicate& c : counting) {
+    if (!out.empty()) out += "  AND  ";
+    out += c.to_string();
   }
   return out;
 }

@@ -90,11 +90,32 @@ ForbiddenPredicate make_predicate(
     std::vector<ProcessEquality> process_constraints = {},
     std::vector<ColorConstraint> color_constraints = {});
 
+/// Bounded-counting specification (ISSUE 8): "at most `limit` matching
+/// messages concurrently in flight".  A message is in flight between its
+/// send and its delivery; `color` restricts the count to messages of one
+/// color (nullopt counts every message).  Online this is a (limit + 2)-
+/// state counter automaton over send/deliver symbols; offline it is the
+/// width of the interval order  x < y  iff  x.r |> y.s  over the matching
+/// messages (see DESIGN.md §9).
+struct CountingPredicate {
+  std::optional<int> color;
+  std::size_t limit = 0;
+
+  bool operator==(const CountingPredicate&) const = default;
+
+  /// "concurrent(color=1) <= 3" style rendering.
+  std::string to_string() const;
+};
+
 /// A specification given as an intersection of forbidden-predicate sets:
 /// X = intersect_i X_{B_i}.  (Two-way flush and full logical synchrony
-/// need more than one predicate.)
+/// need more than one predicate.)  Disjunction in the DSL desugars here
+/// too: forbidding A | B means a valid run avoids both patterns, which
+/// is exactly X_A ∩ X_B, so each disjunct becomes its own predicate.
+/// Counting specs (ISSUE 8) intersect in the same way.
 struct CompositeSpec {
   std::vector<ForbiddenPredicate> predicates;
+  std::vector<CountingPredicate> counting;
 
   std::string to_string() const;
 };

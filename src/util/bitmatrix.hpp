@@ -6,6 +6,7 @@
 // candidate sets by word-parallel intersection instead of per-bit gets.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
@@ -78,6 +79,9 @@ class BitMatrix {
 
   /// True iff some i has get(i, i): the relation has a cycle after closure.
   bool any_diagonal() const;
+
+  /// Zero every bit, keeping the dimensions (monitor reset support).
+  void zero_all() { std::fill(bits_.begin(), bits_.end(), 0); }
 
   /// Number of set bits in row i.
   std::size_t row_popcount(std::size_t i) const;

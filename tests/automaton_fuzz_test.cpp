@@ -1,0 +1,273 @@
+// Randomized equivalence fuzzing for the spec compiler (ISSUE 8
+// satellite): random specs — compilable single-cluster chains, colored
+// registry entries, disjunction/counting spec text, and degenerate
+// high-arity shapes — checked for identical first-violation verdicts
+// between the compiled automaton, the bitset WitnessEngine, and the
+// naive backtracking scan, on random traces.  All seeds are fixed.
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/checker/automaton.hpp"
+#include "src/checker/monitor.hpp"
+#include "src/checker/violation.hpp"
+#include "src/poset/run_generator.hpp"
+#include "src/spec/compile.hpp"
+#include "src/spec/library.hpp"
+#include "src/spec/parser.hpp"
+#include "src/util/rng.hpp"
+
+namespace msgorder {
+namespace {
+
+constexpr auto S = UserEventKind::kSend;
+
+/// A random message population plus a causally consistent global
+/// interleaving of send/deliver system events.
+struct Feed {
+  std::vector<Message> messages;
+  std::vector<std::tuple<ProcessId, SystemEvent, double>> events;
+};
+
+Feed random_feed(Rng& rng, std::size_t n_processes, std::size_t n_messages,
+                 const std::vector<int>& palette) {
+  Feed feed;
+  for (MessageId id = 0; id < n_messages; ++id) {
+    const auto src = static_cast<ProcessId>(rng.below(n_processes));
+    auto dst = static_cast<ProcessId>(rng.below(n_processes - 1));
+    if (dst >= src) ++dst;
+    const int color =
+        palette.empty()
+            ? 0
+            : palette[static_cast<std::size_t>(rng.below(palette.size()))];
+    feed.messages.push_back(Message{id, src, dst, color});
+  }
+  std::vector<MessageId> unsent, in_flight;
+  for (MessageId id = 0; id < n_messages; ++id) unsent.push_back(id);
+  double time = 0;
+  while (!unsent.empty() || !in_flight.empty()) {
+    const bool send_next =
+        !unsent.empty() && (in_flight.empty() || rng.uniform01() < 0.5);
+    if (send_next) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.below(unsent.size()));
+      const MessageId m = unsent[pick];
+      unsent.erase(unsent.begin() + static_cast<long>(pick));
+      feed.events.emplace_back(feed.messages[m].src,
+                               SystemEvent{m, EventKind::kSend}, time);
+      in_flight.push_back(m);
+    } else {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.below(in_flight.size()));
+      const MessageId m = in_flight[pick];
+      in_flight.erase(in_flight.begin() + static_cast<long>(pick));
+      feed.events.emplace_back(feed.messages[m].dst,
+                               SystemEvent{m, EventKind::kDeliver}, time);
+    }
+    time += 1.0;
+  }
+  return feed;
+}
+
+UserRun feed_to_run(const Feed& feed) {
+  std::size_t n_processes = 0;
+  for (const Message& m : feed.messages) {
+    n_processes = std::max({n_processes,
+                            static_cast<std::size_t>(m.src) + 1,
+                            static_cast<std::size_t>(m.dst) + 1});
+  }
+  std::vector<std::vector<ScheduleStep>> schedules(n_processes);
+  for (const auto& [process, event, time] : feed.events) {
+    schedules[process].push_back(
+        ScheduleStep{event.msg, to_user_kind(event.kind)});
+  }
+  auto run = UserRun::from_schedules(feed.messages, std::move(schedules));
+  EXPECT_TRUE(run.has_value());
+  return *run;
+}
+
+/// A random predicate the compiler accepts: a chain/DAG of `arity`
+/// send-bound variables collocated on one process, with random color
+/// demands drawn from `palette`.
+ForbiddenPredicate random_compilable_predicate(
+    Rng& rng, std::size_t arity, const std::vector<int>& palette) {
+  ForbiddenPredicate p;
+  p.arity = arity;
+  // A spanning chain keeps the predicate connected and normalize-stable
+  // (no redundant edges); extra random forward edges would be implied
+  // by the closure and flagged/rewritten, so stick to the chain plus
+  // random *skip* edges only when they are not transitively implied —
+  // for a chain, every skip edge is implied, so the chain is all.
+  for (std::size_t v = 0; v + 1 < arity; ++v) {
+    p.conjuncts.push_back({v, S, v + 1, S});
+    p.process_constraints.push_back({v, S, v + 1, S});
+  }
+  for (std::size_t v = 0; v < arity; ++v) {
+    if (rng.uniform01() < 0.6 && !palette.empty()) {
+      const int color =
+          palette[static_cast<std::size_t>(rng.below(palette.size()))];
+      p.color_constraints.push_back({v, color});
+    }
+  }
+  return p;
+}
+
+TEST(AutomatonFuzz, CompilableSpecsAgreeAcrossAllThreeEngines) {
+  Rng rng(20260808);
+  std::size_t total_states = 0, max_states = 0, compiled_count = 0;
+  int violations = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    const std::size_t arity = 2 + rng.below(3);
+    const std::vector<int> palette = {0, 1, 2};
+    const ForbiddenPredicate spec =
+        random_compilable_predicate(rng, arity, palette);
+    const CompileResult compiled = compile_predicate(spec);
+    ASSERT_TRUE(compiled.compiled())
+        << spec.to_string() << "\n" << compiled.fallback_reason;
+    ++compiled_count;
+    total_states += compiled.automaton->n_states;
+    max_states = std::max(max_states, compiled.automaton->n_states);
+
+    const Feed feed = random_feed(rng, 3, 2 + rng.below(6), palette);
+    const UserRun run = feed_to_run(feed);
+
+    // Offline: fast path vs bitset vs naive.
+    const auto fast = find_violation(run, spec);
+    const auto naive = find_violation_naive(run, spec);
+    ASSERT_EQ(fast.has_value(), naive.has_value())
+        << spec.to_string() << "\n" << run.to_string();
+    if (fast.has_value()) {
+      ++violations;
+      EXPECT_EQ(*fast, *naive) << spec.to_string();
+    }
+
+    // Online: automaton mode vs the two bitset modes.
+    OnlineMonitor automaton(feed.messages, spec,
+                            MonitorOptions{MonitorSearchMode::kAutomaton, 1});
+    OnlineMonitor pruned(feed.messages, spec, MonitorSearchMode::kPruned);
+    OnlineMonitor naive_monitor(feed.messages, spec,
+                                MonitorSearchMode::kNaive);
+    ASSERT_TRUE(automaton.automaton_info().compiled);
+    for (const auto& [process, event, time] : feed.events) {
+      automaton.on_event(process, event, time);
+      pruned.on_event(process, event, time);
+      naive_monitor.on_event(process, event, time);
+    }
+    ASSERT_EQ(automaton.violated(), pruned.violated()) << spec.to_string();
+    ASSERT_EQ(pruned.violated(), naive_monitor.violated());
+    if (automaton.violated()) {
+      EXPECT_EQ(automaton.first_witness(), pruned.first_witness());
+      EXPECT_EQ(automaton.events_to_detection(),
+                pruned.events_to_detection());
+    }
+    EXPECT_EQ(automaton.violated(), fast.has_value());
+  }
+  EXPECT_GT(violations, 25);
+  std::cout << "[fuzz] compiled " << compiled_count
+            << " specs; mean states "
+            << (total_states / compiled_count) << ", max states "
+            << max_states << "\n";
+}
+
+TEST(AutomatonFuzz, RegistrySpecsAgreeOnRandomTraces) {
+  Rng rng(97);
+  std::size_t compiled_count = 0, fallback_count = 0;
+  for (const NamedSpec& entry : spec_zoo()) {
+    const CompileResult compiled = compile_predicate(entry.predicate);
+    if (compiled.compiled()) {
+      ++compiled_count;
+    } else {
+      ++fallback_count;
+      ASSERT_EQ(compiled.fallback_reason.rfind("fallback: ", 0), 0u)
+          << entry.name;
+    }
+    for (int trial = 0; trial < 10; ++trial) {
+      const Feed feed = random_feed(rng, 3, 6, {0, 1, 2});
+      const UserRun run = feed_to_run(feed);
+      const auto fast = find_violation(run, entry.predicate);
+      const auto naive = find_violation_naive(run, entry.predicate);
+      ASSERT_EQ(fast.has_value(), naive.has_value())
+          << entry.name << "\n" << run.to_string();
+      if (fast.has_value()) EXPECT_EQ(*fast, *naive) << entry.name;
+
+      OnlineMonitor automaton(
+          feed.messages, entry.predicate,
+          MonitorOptions{MonitorSearchMode::kAutomaton, 1});
+      OnlineMonitor pruned(feed.messages, entry.predicate,
+                           MonitorSearchMode::kPruned);
+      for (const auto& [process, event, time] : feed.events) {
+        automaton.on_event(process, event, time);
+        pruned.on_event(process, event, time);
+      }
+      ASSERT_EQ(automaton.violated(), pruned.violated()) << entry.name;
+      if (automaton.violated()) {
+        EXPECT_EQ(automaton.first_witness(), pruned.first_witness())
+            << entry.name;
+      }
+    }
+  }
+  // The acceptance criterion: every registry entry either compiles or
+  // reports a structured reason; both buckets must be inhabited.
+  EXPECT_GT(compiled_count, 0u);
+  EXPECT_GT(fallback_count, 0u);
+  std::cout << "[fuzz] registry: " << compiled_count << " compiled, "
+            << fallback_count << " structured fallbacks\n";
+}
+
+TEST(AutomatonFuzz, HighArityChainsFallBackGracefully) {
+  Rng rng(11);
+  for (const std::size_t arity : {11u, 24u, 48u, 64u}) {
+    const ForbiddenPredicate p =
+        random_compilable_predicate(rng, arity, {});
+    const CompileResult compiled = compile_predicate(p);
+    ASSERT_FALSE(compiled.compiled()) << arity;
+    EXPECT_EQ(compiled.fallback_reason.rfind("fallback: arity", 0), 0u)
+        << compiled.fallback_reason;
+    // The engines still handle what the compiler rejects.
+    const Feed feed = random_feed(rng, 3, 5, {});
+    OnlineMonitor monitor(feed.messages, p,
+                          MonitorOptions{MonitorSearchMode::kAutomaton, 1});
+    EXPECT_FALSE(monitor.automaton_info().compiled);
+    for (const auto& [process, event, time] : feed.events) {
+      monitor.on_event(process, event, time);
+    }
+    EXPECT_FALSE(monitor.violated());  // 5 messages cannot bind 11+ vars
+  }
+}
+
+TEST(AutomatonFuzz, ParsedDisjunctionAndCountingSpecsMatchSemantics) {
+  Rng rng(5150);
+  const std::string text =
+      "x.s |> y.s where process(x.s) = process(y.s), color(x) = 1, "
+      "color(y) = 2"
+      " | x.s |> y.s where process(x.s) = process(y.s), color(x) = 2, "
+      "color(y) = 1;\n"
+      "concurrent(color = 1) <= 2";
+  const ParseSpecResult parsed = parse_spec(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.spec->predicates.size(), 2u);
+  ASSERT_EQ(parsed.spec->counting.size(), 1u);
+  int rejected = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const Feed feed = random_feed(rng, 3, 6, {0, 1, 2});
+    const UserRun run = feed_to_run(feed);
+    // satisfies(composite) == no arm fires and the bound holds.
+    bool expected = true;
+    for (const ForbiddenPredicate& arm : parsed.spec->predicates) {
+      expected = expected && !find_violation_naive(run, arm).has_value();
+    }
+    expected =
+        expected && max_concurrency_width(run, 1) <=
+                        parsed.spec->counting[0].limit;
+    EXPECT_EQ(satisfies(run, *parsed.spec), expected) << run.to_string();
+    if (!expected) ++rejected;
+  }
+  EXPECT_GT(rejected, 10);
+}
+
+}  // namespace
+}  // namespace msgorder

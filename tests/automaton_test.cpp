@@ -1,0 +1,505 @@
+// ISSUE 8: the spec-to-automaton compiler, the automaton runtime, the
+// kAutomaton monitor mode (with witness parity against the bitset
+// engine), the batched bitset fallback, and the counting specs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "src/checker/automaton.hpp"
+#include "src/checker/monitor.hpp"
+#include "src/checker/violation.hpp"
+#include "src/poset/run_generator.hpp"
+#include "src/spec/compile.hpp"
+#include "src/spec/library.hpp"
+#include "src/util/rng.hpp"
+
+namespace msgorder {
+namespace {
+
+constexpr auto S = UserEventKind::kSend;
+constexpr auto R = UserEventKind::kDeliver;
+
+/// A random complete feed: message population plus a global
+/// interleaving of their send/deliver system events (user events only,
+/// so detection-latency arithmetic is exact in the batching tests).
+struct Feed {
+  std::vector<Message> messages;
+  std::vector<std::tuple<ProcessId, SystemEvent, double>> events;
+
+  /// The same execution as a scheduled UserRun.
+  UserRun to_run() const {
+    std::size_t n_processes = 0;
+    for (const Message& m : messages) {
+      n_processes = std::max({n_processes,
+                              static_cast<std::size_t>(m.src) + 1,
+                              static_cast<std::size_t>(m.dst) + 1});
+    }
+    std::vector<std::vector<ScheduleStep>> schedules(n_processes);
+    for (const auto& [process, event, time] : events) {
+      schedules[process].push_back(
+          ScheduleStep{event.msg, to_user_kind(event.kind)});
+    }
+    auto run = UserRun::from_schedules(messages, std::move(schedules));
+    EXPECT_TRUE(run.has_value());
+    return *run;
+  }
+};
+
+Feed random_feed(Rng& rng, std::size_t n_processes, std::size_t n_messages,
+                 const std::vector<int>& palette) {
+  Feed feed;
+  for (MessageId id = 0; id < n_messages; ++id) {
+    const auto src = static_cast<ProcessId>(rng.below(n_processes));
+    auto dst = static_cast<ProcessId>(rng.below(n_processes - 1));
+    if (dst >= src) ++dst;  // no self-loop messages
+    const int color =
+        palette.empty()
+            ? 0
+            : palette[static_cast<std::size_t>(rng.below(palette.size()))];
+    feed.messages.push_back(Message{id, src, dst, color});
+  }
+  std::vector<MessageId> unsent;
+  std::vector<MessageId> in_flight;
+  for (MessageId id = 0; id < n_messages; ++id) unsent.push_back(id);
+  double time = 0;
+  while (!unsent.empty() || !in_flight.empty()) {
+    const bool send_next =
+        !unsent.empty() && (in_flight.empty() || rng.uniform01() < 0.55);
+    if (send_next) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.below(unsent.size()));
+      const MessageId m = unsent[pick];
+      unsent.erase(unsent.begin() + static_cast<long>(pick));
+      feed.events.emplace_back(feed.messages[m].src,
+                               SystemEvent{m, EventKind::kSend}, time);
+      in_flight.push_back(m);
+    } else {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.below(in_flight.size()));
+      const MessageId m = in_flight[pick];
+      in_flight.erase(in_flight.begin() + static_cast<long>(pick));
+      feed.events.emplace_back(feed.messages[m].dst,
+                               SystemEvent{m, EventKind::kDeliver}, time);
+    }
+    time += 1.0;
+  }
+  return feed;
+}
+
+// --- compiler structure ---
+
+TEST(Compile, MarkedSendOrderCompiles) {
+  const CompileResult result = compile_predicate(marked_send_order());
+  ASSERT_TRUE(result.compiled()) << result.fallback_reason;
+  const MonitorAutomaton& a = *result.automaton;
+  EXPECT_EQ(a.scope, MonitorAutomaton::Scope::kPerProcess);
+  EXPECT_EQ(a.symbols.n_classes(), 3u);  // colors 1, 2, other
+  EXPECT_EQ(a.symbols.n_symbols(), 6u);
+  EXPECT_TRUE(a.can_accept());
+  EXPECT_EQ(a.dead_states, 0u);
+  // {}, {x matched}, accept: the minimal machine for this pattern.
+  EXPECT_EQ(a.n_states, 3u);
+}
+
+TEST(Compile, UnsatisfiablePredicatesCompileToDeadAutomaton) {
+  for (const ForbiddenPredicate& p : async_zoo()) {
+    const CompileResult result = compile_predicate(p);
+    ASSERT_TRUE(result.compiled()) << p.to_string();
+    EXPECT_FALSE(result.automaton->can_accept()) << p.to_string();
+    EXPECT_EQ(result.automaton->n_states, 1u);
+  }
+}
+
+TEST(Compile, CyclicPrecedenceCompilesToDeadAutomaton) {
+  // x.s |> y.s & y.s |> x.s on one process: no strict order satisfies it.
+  const ForbiddenPredicate cyclic =
+      make_predicate(2, {{0, S, 1, S}, {1, S, 0, S}}, {{0, S, 1, S}});
+  const CompileResult result = compile_predicate(cyclic);
+  ASSERT_TRUE(result.compiled()) << result.fallback_reason;
+  EXPECT_FALSE(result.automaton->can_accept());
+}
+
+TEST(Compile, RegistrySpecsCompileOrReportStructuredReason) {
+  // Acceptance criterion: every registry spec either compiles or
+  // reports a structured fallback reason.
+  for (const NamedSpec& entry : spec_zoo()) {
+    const CompileResult result = compile_predicate(entry.predicate);
+    if (!result.compiled()) {
+      EXPECT_EQ(result.fallback_reason.rfind("fallback: ", 0), 0u)
+          << entry.name << ": " << result.fallback_reason;
+    }
+  }
+  // Spot checks: the cross-process classics are not symbol-decidable…
+  EXPECT_FALSE(compile_predicate(causal_ordering()).compiled());
+  EXPECT_FALSE(compile_predicate(fifo()).compiled());
+  EXPECT_FALSE(compile_predicate(sync_crown(2)).compiled());
+  EXPECT_FALSE(compile_predicate(receive_second_before_first()).compiled());
+  // …while the single-cluster marker pattern is.
+  EXPECT_TRUE(compile_predicate(marked_send_order()).compiled());
+}
+
+TEST(Compile, NonNormalFormFallsBack) {
+  ForbiddenPredicate p = marked_send_order();
+  p.conjuncts.push_back(p.conjuncts.front());  // duplicate conjunct
+  const CompileResult result = compile_predicate(p);
+  EXPECT_FALSE(result.compiled());
+  EXPECT_NE(result.fallback_reason.find("normal-form"), std::string::npos);
+}
+
+TEST(Compile, MixedKindClusterNeedsSelfLoopFreeUniverse) {
+  // x's send then y's delivery on one process.
+  const ForbiddenPredicate mixed =
+      make_predicate(2, {{0, S, 1, R}}, {{0, S, 1, R}});
+  EXPECT_FALSE(compile_predicate(mixed).compiled());  // no universe
+
+  const std::vector<Message> clean = {{0, 0, 1, 0}, {1, 2, 0, 0}};
+  EXPECT_TRUE(compile_predicate(mixed, &clean).compiled());
+
+  const std::vector<Message> looped = {{0, 0, 0, 0}, {1, 2, 0, 0}};
+  const CompileResult rejected = compile_predicate(mixed, &looped);
+  EXPECT_FALSE(rejected.compiled());
+  EXPECT_NE(rejected.fallback_reason.find("distinctness"),
+            std::string::npos);
+}
+
+TEST(Compile, SymbolTableCompactsColors) {
+  SymbolTable table;
+  table.colors = {3, 7};
+  EXPECT_EQ(table.color_class(3), 0u);
+  EXPECT_EQ(table.color_class(7), 1u);
+  EXPECT_EQ(table.color_class(0), 2u);
+  EXPECT_EQ(table.color_class(100), 2u);
+  EXPECT_EQ(table.symbol(S, 3), 0u);
+  EXPECT_EQ(table.symbol(R, 3), 1u);
+  EXPECT_EQ(table.symbol(S, 99), 4u);
+  EXPECT_EQ(table.symbol_name(0), "send[color=3]");
+  EXPECT_EQ(table.symbol_name(5), "deliver[other]");
+}
+
+// --- offline acceptance and the find_violation fast path ---
+
+TEST(Automaton, AcceptsExactlyTheViolatingHandRuns) {
+  const ForbiddenPredicate spec = marked_send_order(1, 2);
+  const CompileResult compiled = compile_predicate(spec);
+  ASSERT_TRUE(compiled.compiled());
+
+  // Same sender, color 1 then color 2: forbidden.
+  const std::vector<Message> bad = {{0, 0, 1, 1}, {1, 0, 2, 2}};
+  const auto bad_run = UserRun::from_schedules(
+      bad, {{{0, S}, {1, S}}, {{0, R}}, {{1, R}}});
+  ASSERT_TRUE(bad_run.has_value());
+  EXPECT_TRUE(automaton_accepts_run(*compiled.automaton, *bad_run));
+  EXPECT_TRUE(find_violation(*bad_run, spec).has_value());
+
+  // Reverse send order: allowed.
+  const auto good_run = UserRun::from_schedules(
+      bad, {{{1, S}, {0, S}}, {{0, R}}, {{1, R}}});
+  ASSERT_TRUE(good_run.has_value());
+  EXPECT_FALSE(automaton_accepts_run(*compiled.automaton, *good_run));
+  EXPECT_FALSE(find_violation(*good_run, spec).has_value());
+
+  // Different senders: allowed.
+  const std::vector<Message> split = {{0, 0, 1, 1}, {1, 2, 1, 2}};
+  const auto split_run = UserRun::from_schedules(
+      split, {{{0, S}}, {{0, R}, {1, R}}, {{1, S}}});
+  ASSERT_TRUE(split_run.has_value());
+  EXPECT_FALSE(automaton_accepts_run(*compiled.automaton, *split_run));
+  EXPECT_FALSE(find_violation(*split_run, spec).has_value());
+}
+
+TEST(Automaton, FindViolationFastPathMatchesNaiveOnRandomRuns) {
+  Rng rng(811);
+  const std::vector<ForbiddenPredicate> specs = {
+      marked_send_order(1, 2), marked_send_order(2, 1),
+      make_predicate(2, {{0, S, 1, R}}, {{0, S, 1, R}}),  // mixed-kind
+      make_predicate(3, {{0, S, 1, S}, {1, S, 2, S}},
+                     {{0, S, 1, S}, {1, S, 2, S}},
+                     {{0, 1}, {2, 2}})};  // 3-chain with colors
+  int violations = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const Feed feed = random_feed(rng, 3, 6, {0, 1, 2});
+    const UserRun run = feed.to_run();
+    for (const ForbiddenPredicate& spec : specs) {
+      ASSERT_TRUE(compile_predicate(spec, &run.messages()).compiled());
+      const auto fast = find_violation(run, spec);
+      const auto naive = find_violation_naive(run, spec);
+      ASSERT_EQ(fast.has_value(), naive.has_value())
+          << spec.to_string() << "\n"
+          << run.to_string();
+      if (fast.has_value()) {
+        ++violations;
+        EXPECT_EQ(*fast, *naive);
+      }
+    }
+  }
+  EXPECT_GT(violations, 20);
+}
+
+// --- the kAutomaton monitor mode ---
+
+TEST(Monitor, AutomatonModeMatchesPrunedAndNaiveOnRandomFeeds) {
+  Rng rng(271);
+  int fired = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    const Feed feed = random_feed(rng, 4, 8, {0, 1, 2});
+    const ForbiddenPredicate spec =
+        trial % 2 == 0 ? marked_send_order(1, 2) : marked_send_order(2, 1);
+    OnlineMonitor automaton(feed.messages, spec,
+                            MonitorOptions{MonitorSearchMode::kAutomaton, 1});
+    OnlineMonitor pruned(feed.messages, spec, MonitorSearchMode::kPruned);
+    OnlineMonitor naive(feed.messages, spec, MonitorSearchMode::kNaive);
+    ASSERT_TRUE(automaton.automaton_info().compiled);
+    for (const auto& [process, event, time] : feed.events) {
+      const bool a = automaton.on_event(process, event, time);
+      const bool p = pruned.on_event(process, event, time);
+      naive.on_event(process, event, time);
+      if (!automaton.violated() || a) {
+        // Until (and including) first detection the per-event verdicts
+        // agree; afterwards the automaton stays silent by design.
+        EXPECT_EQ(a, p);
+      }
+    }
+    ASSERT_EQ(automaton.violated(), pruned.violated());
+    ASSERT_EQ(pruned.violated(), naive.violated());
+    if (automaton.violated()) {
+      ++fired;
+      EXPECT_EQ(automaton.first_witness(), pruned.first_witness());
+      EXPECT_EQ(pruned.first_witness(), naive.first_witness());
+      EXPECT_EQ(automaton.events_to_detection(),
+                pruned.events_to_detection());
+      EXPECT_EQ(automaton.first_violation_time(),
+                pruned.first_violation_time());
+      EXPECT_EQ(automaton.violation_count(), 1u);
+    }
+    EXPECT_GT(automaton.automaton_info().transitions, 0u);
+  }
+  EXPECT_GT(fired, 20);
+}
+
+TEST(Monitor, AutomatonFallbackReportsReasonAndBehavesLikePruned) {
+  Rng rng(733);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Feed feed = random_feed(rng, 3, 6, {0, 1});
+    OnlineMonitor fallback(feed.messages, causal_ordering(),
+                           MonitorOptions{MonitorSearchMode::kAutomaton, 1});
+    OnlineMonitor pruned(feed.messages, causal_ordering(),
+                         MonitorSearchMode::kPruned);
+    const auto info = fallback.automaton_info();
+    EXPECT_TRUE(info.requested);
+    EXPECT_FALSE(info.compiled);
+    EXPECT_EQ(info.fallback_reason.rfind("fallback: ", 0), 0u);
+    for (const auto& [process, event, time] : feed.events) {
+      EXPECT_EQ(fallback.on_event(process, event, time),
+                pruned.on_event(process, event, time));
+    }
+    EXPECT_EQ(fallback.violated(), pruned.violated());
+    EXPECT_EQ(fallback.first_witness(), pruned.first_witness());
+    EXPECT_EQ(fallback.violation_count(), pruned.violation_count());
+  }
+}
+
+TEST(Monitor, DeadAutomatonNeverFires) {
+  Rng rng(911);
+  const Feed feed = random_feed(rng, 3, 8, {0, 1});
+  for (const ForbiddenPredicate& p : async_zoo()) {
+    OnlineMonitor monitor(feed.messages, p,
+                          MonitorOptions{MonitorSearchMode::kAutomaton, 1});
+    ASSERT_TRUE(monitor.automaton_info().compiled);
+    for (const auto& [process, event, time] : feed.events) {
+      EXPECT_FALSE(monitor.on_event(process, event, time));
+    }
+    EXPECT_FALSE(monitor.violated());
+  }
+}
+
+TEST(Monitor, ResetRestoresPostConstructionState) {
+  Rng rng(101);
+  const Feed feed = random_feed(rng, 4, 8, {1, 2});
+  for (const MonitorSearchMode mode :
+       {MonitorSearchMode::kPruned, MonitorSearchMode::kAutomaton}) {
+    OnlineMonitor monitor(feed.messages, marked_send_order(),
+                          MonitorOptions{mode, 1});
+    const auto feed_all = [&] {
+      for (const auto& [process, event, time] : feed.events) {
+        monitor.on_event(process, event, time);
+      }
+    };
+    feed_all();
+    const bool verdict = monitor.violated();
+    const auto witness = monitor.first_witness();
+    const auto detection = monitor.events_to_detection();
+    monitor.reset();
+    EXPECT_FALSE(monitor.violated());
+    EXPECT_EQ(monitor.events_seen(), 0u);
+    feed_all();
+    EXPECT_EQ(monitor.violated(), verdict);
+    EXPECT_EQ(monitor.first_witness(), witness);
+    EXPECT_EQ(monitor.events_to_detection(), detection);
+  }
+}
+
+// --- batched bitset fallback (MonitorOptions::batch_size) ---
+
+TEST(Monitor, BatchedSearchPreservesVerdictAtBatchGranularity) {
+  Rng rng(577);
+  int fired = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Feed feed = random_feed(rng, 3, 7, {0, 1});
+    const ForbiddenPredicate spec =
+        trial % 2 == 0 ? causal_ordering() : fifo();
+    for (const std::size_t batch : {std::size_t{2}, std::size_t{5}}) {
+      OnlineMonitor batched(feed.messages, spec,
+                            MonitorOptions{MonitorSearchMode::kPruned,
+                                           batch});
+      for (const auto& [process, event, time] : feed.events) {
+        batched.on_event(process, event, time);
+      }
+      batched.flush();
+      if (batched.violated()) ++fired;
+      OnlineMonitor fresh(feed.messages, spec, MonitorSearchMode::kPruned);
+      for (const auto& [process, event, time] : feed.events) {
+        fresh.on_event(process, event, time);
+      }
+      ASSERT_EQ(batched.violated(), fresh.violated())
+          << "batch=" << batch << "\n"
+          << feed.to_run().to_string();
+      if (fresh.violated()) {
+        // Detection shifts by at most one batch of user events.
+        EXPECT_GE(batched.events_to_detection(),
+                  fresh.events_to_detection());
+        EXPECT_LT(batched.events_to_detection(),
+                  fresh.events_to_detection() + batch);
+      }
+    }
+  }
+  EXPECT_GT(fired, 10);
+}
+
+TEST(Monitor, BatchSizeOnePreservesExistingBehaviorExactly) {
+  Rng rng(431);
+  const Feed feed = random_feed(rng, 3, 8, {0, 1});
+  OnlineMonitor a(feed.messages, causal_ordering(),
+                  MonitorSearchMode::kPruned);
+  OnlineMonitor b(feed.messages, causal_ordering(),
+                  MonitorOptions{MonitorSearchMode::kPruned, 1});
+  for (const auto& [process, event, time] : feed.events) {
+    EXPECT_EQ(a.on_event(process, event, time),
+              b.on_event(process, event, time));
+  }
+  EXPECT_EQ(a.violated(), b.violated());
+  EXPECT_EQ(a.first_witness(), b.first_witness());
+  EXPECT_EQ(a.violation_count(), b.violation_count());
+  EXPECT_EQ(a.events_to_detection(), b.events_to_detection());
+}
+
+// --- counting specs ---
+
+TEST(Counting, CounterAutomatonShape) {
+  const CountingPredicate spec{std::nullopt, 3};
+  const CompileResult result = compile_counting(spec);
+  ASSERT_TRUE(result.compiled());
+  const MonitorAutomaton& a = *result.automaton;
+  EXPECT_EQ(a.scope, MonitorAutomaton::Scope::kCounter);
+  EXPECT_EQ(a.n_states, 5u);  // 0..3 and the absorbing overflow state
+  EXPECT_EQ(a.symbols.n_symbols(), 2u);
+  EXPECT_EQ(a.dead_states, 0u);
+}
+
+TEST(Counting, MonitorMatchesBruteForceInFlightCount) {
+  Rng rng(613);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Feed feed = random_feed(rng, 3, 8, {0, 1});
+    const CountingPredicate spec{
+        trial % 2 == 0 ? std::optional<int>{} : std::optional<int>{1},
+        rng.below(4)};
+    CountingMonitor monitor(feed.messages, spec);
+    std::size_t in_flight = 0;
+    std::size_t max_in_flight = 0;
+    std::optional<std::uint64_t> first_over;
+    std::uint64_t events = 0;
+    for (const auto& [process, event, time] : feed.events) {
+      ++events;
+      const Message& m = feed.messages[event.msg];
+      const bool matches = !spec.color.has_value() || m.color == *spec.color;
+      if (matches) {
+        if (event.kind == EventKind::kSend) {
+          ++in_flight;
+        } else {
+          --in_flight;
+        }
+        max_in_flight = std::max(max_in_flight, in_flight);
+        if (in_flight > spec.limit && !first_over.has_value()) {
+          first_over = events;
+        }
+      }
+      monitor.on_event(process, event, time);
+    }
+    EXPECT_EQ(monitor.violated(), max_in_flight > spec.limit);
+    if (first_over.has_value()) {
+      EXPECT_EQ(monitor.events_to_detection(), *first_over);
+    }
+    // The online counter observes one linearization, so firing implies
+    // the offline width oracle fires on the same run.
+    if (monitor.violated()) {
+      EXPECT_TRUE(exceeds_concurrency(feed.to_run(), spec));
+    }
+  }
+}
+
+TEST(Counting, OfflineWidthMatchesBruteForceAntichain) {
+  Rng rng(307);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Feed feed = random_feed(rng, 3, 7, {0, 1});
+    const UserRun run = feed.to_run();
+    for (const std::optional<int> color :
+         {std::optional<int>{}, std::optional<int>{1}}) {
+      // Brute force: the largest subset of matching messages that is
+      // pairwise overlap-compatible (no x.r |> y.s either way).
+      std::vector<MessageId> pool;
+      for (MessageId m = 0; m < run.message_count(); ++m) {
+        if (!color.has_value() || run.color_of(m) == *color) {
+          pool.push_back(m);
+        }
+      }
+      std::size_t best = 0;
+      for (std::size_t mask = 0; mask < (1u << pool.size()); ++mask) {
+        bool ok = true;
+        for (std::size_t i = 0; i < pool.size() && ok; ++i) {
+          for (std::size_t j = 0; j < pool.size() && ok; ++j) {
+            if (i == j || !((mask >> i) & 1u) || !((mask >> j) & 1u)) {
+              continue;
+            }
+            if (run.before(pool[i], R, pool[j], S)) ok = false;
+          }
+        }
+        if (ok) {
+          best = std::max(
+              best, static_cast<std::size_t>(std::popcount(mask)));
+        }
+      }
+      EXPECT_EQ(max_concurrency_width(run, color), best);
+    }
+  }
+}
+
+TEST(Counting, CompositeSatisfiesChecksWidth) {
+  // Two overlapping sends on different channels: width 2.
+  const std::vector<Message> ms = {{0, 0, 1, 0}, {1, 2, 1, 0}};
+  const auto run = UserRun::from_schedules(
+      ms, {{{0, S}}, {{0, R}, {1, R}}, {{1, S}}});
+  ASSERT_TRUE(run.has_value());
+  CompositeSpec tight;
+  tight.counting.push_back(CountingPredicate{std::nullopt, 1});
+  CompositeSpec loose;
+  loose.counting.push_back(CountingPredicate{std::nullopt, 2});
+  EXPECT_EQ(max_concurrency_width(*run, std::nullopt), 2u);
+  EXPECT_FALSE(satisfies(*run, tight));
+  EXPECT_TRUE(satisfies(*run, loose));
+}
+
+}  // namespace
+}  // namespace msgorder

@@ -200,6 +200,61 @@ TEST(LintLibrary, ExampleSpecFilesAreClean) {
   EXPECT_GE(n_files, 7u);
 }
 
+TEST(LintFixtures, DeadDisjunct) {
+  const LintResult r = lint_fixture("bad_dead_disjunct.spec");
+  EXPECT_TRUE(r.has_rule("L015"));
+  EXPECT_TRUE(r.has_rule("L002"));  // the dead arm is an order-0 cycle
+  EXPECT_EQ(r.spec_class, ProtocolClass::kTagged);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(LintFixtures, DegenerateCounting) {
+  const LintResult r = lint_fixture("bad_counting_zero.spec");
+  EXPECT_TRUE(r.has_rule("L016"));
+  EXPECT_EQ(r.spec_class, ProtocolClass::kGeneral);
+  EXPECT_FALSE(r.has_rule("L014"));  // the declared 'general' matches
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(LintCounting, BoundRaisesTheClassWithAnExplanation) {
+  const LintResult r =
+      lint_text("(x.s |> y.s) & (y.r |> x.r); concurrent <= 4");
+  EXPECT_EQ(r.spec_class, ProtocolClass::kGeneral);
+  EXPECT_TRUE(r.has_rule("L012"));
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(LintDisjunction, LiveArmsAreNotFlagged) {
+  const LintResult r = lint_text(
+      "(x.s |> y.s) & (y.r |> x.r) where color(y) = 1"
+      " | (x.s |> y.s) & (y.r |> x.r) where color(x) = 1");
+  EXPECT_FALSE(r.has_rule("L015"));
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(LintExplain, ExplanationNamesTheCompileOutcome) {
+  // Causal ordering falls back (cross-process pattern) ...
+  const LintResult causal = lint_predicate(causal_ordering());
+  bool saw_fallback = false;
+  for (const LintDiagnostic& d : causal.diagnostics) {
+    for (const std::string& note : d.notes) {
+      saw_fallback |=
+          note.find("monitor automaton: fallback:") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(saw_fallback);
+  // ... while the marked-send pattern compiles to a DFA.
+  const LintResult marked = lint_predicate(marked_send_order());
+  bool saw_compiled = false;
+  for (const LintDiagnostic& d : marked.diagnostics) {
+    for (const std::string& note : d.notes) {
+      saw_compiled |= note.find("monitor automaton: compiles to") !=
+                      std::string::npos;
+    }
+  }
+  EXPECT_TRUE(saw_compiled);
+}
+
 TEST(LintExplain, ExplanationNamesWitnessCycleAndBetaVertices) {
   const LintResult r = lint_predicate(causal_ordering());
   ASSERT_TRUE(r.has_rule("L012"));
@@ -267,7 +322,7 @@ TEST(LintRender, CaretPointsAtTheOffendingSpan) {
 }
 
 TEST(LintRules, CatalogIsStableAndComplete) {
-  ASSERT_EQ(lint_rules().size(), 14u);
+  ASSERT_EQ(lint_rules().size(), 16u);
   for (std::size_t i = 0; i < lint_rules().size(); ++i) {
     char id[32];
     std::snprintf(id, sizeof(id), "L%03zu", i + 1);

@@ -114,6 +114,29 @@ TEST(StatsDiff, WithinThresholdAndZeroBaselinePass) {
   EXPECT_NE(diff.text.find("zero baseline, skipped"), std::string::npos);
 }
 
+TEST(StatsDiff, SchemaMismatchIsFlaggedNotSilentlyPassed) {
+  // A schema bump renames/adds leaves, so a cross-version diff only
+  // compares what survived — callers must see the mismatch (ISSUE 8:
+  // msgorder_stats --diff exits 2 on it) instead of a hollow pass.
+  const auto baseline = json_parse(
+      "{\"schema\": \"msgorder.bench.checker_scaling/4\","
+      " \"rows\": [{\"n_messages\": 16, \"x_speedup\": 10.0}]}");
+  const auto current = json_parse(
+      "{\"schema\": \"msgorder.bench.checker_scaling/5\","
+      " \"rows\": [{\"n_messages\": 16, \"x_speedup\": 10.0}]}");
+  ASSERT_TRUE(baseline.has_value() && current.has_value());
+  const StatsDiff diff = stats_diff(*baseline, *current, {});
+  EXPECT_TRUE(diff.schema_mismatch());
+  EXPECT_FALSE(diff.regressed());  // values agree; only the version moved
+  EXPECT_EQ(diff.baseline_schema, "msgorder.bench.checker_scaling/4");
+  EXPECT_EQ(diff.current_schema, "msgorder.bench.checker_scaling/5");
+  EXPECT_NE(diff.text.find("schema mismatch"), std::string::npos);
+
+  const StatsDiff same = stats_diff(*baseline, *baseline, {});
+  EXPECT_FALSE(same.schema_mismatch());
+  EXPECT_EQ(same.text.find("schema mismatch"), std::string::npos);
+}
+
 TEST(StatsDiff, RowsMatchByKeyNotPosition) {
   // The current report gained a new smallest size and reordered rows;
   // the n=32 row must still compare against its baseline partner.

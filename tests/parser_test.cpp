@@ -194,6 +194,72 @@ TEST(Parser, SpecErrorSpanIsRelativeToTheWholeText) {
   EXPECT_EQ(r.detail->lexeme, "q");
 }
 
+TEST(Parser, DisjunctionDesugarsToSeparatePredicatesSharingAGroup) {
+  const std::string text =
+      "(x.s |> y.s) & (y.r |> x.r) | a.s |> b.s where color(a) = 1;\n"
+      "(p.s |> q.s) & (q.r |> p.r)";
+  const auto r = parse_spec(text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.spec->predicates.size(), 3u);
+  EXPECT_TRUE(r.spec->counting.empty());
+  // Arms of the first statement share a group; the second statement is
+  // its own.
+  ASSERT_EQ(r.disjunct_group.size(), 3u);
+  EXPECT_EQ(r.disjunct_group[0], r.disjunct_group[1]);
+  EXPECT_NE(r.disjunct_group[1], r.disjunct_group[2]);
+  // Each arm quantifies its own variables.
+  EXPECT_EQ(r.spec->predicates[0].arity, 2u);
+  EXPECT_EQ(r.spec->predicates[1].arity, 2u);
+  ASSERT_EQ(r.spec->predicates[1].color_constraints.size(), 1u);
+  EXPECT_EQ(r.spec->predicates[1].color_constraints[0].color, 1);
+  EXPECT_EQ(text.substr(r.sources[1].span.offset, r.sources[1].span.length),
+            "a.s |> b.s where color(a) = 1");
+}
+
+TEST(Parser, PipeInsideRelationIsNotADisjunction) {
+  const auto r = parse_spec("(x.s |> y.s) & (y.r |> x.r)");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.spec->predicates.size(), 1u);
+}
+
+TEST(Parser, EmptyDisjunctIsAnError) {
+  const auto r = parse_spec("(x.s |> y.s) & (y.r |> x.r) | ");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("empty disjunct"), std::string::npos);
+}
+
+TEST(Parser, CountingStatements) {
+  const auto r =
+      parse_spec("concurrent <= 3;\nconcurrent ( color = -2 ) <= 0");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.spec->predicates.empty());
+  ASSERT_EQ(r.spec->counting.size(), 2u);
+  EXPECT_FALSE(r.spec->counting[0].color.has_value());
+  EXPECT_EQ(r.spec->counting[0].limit, 3u);
+  EXPECT_EQ(r.spec->counting[1].color, std::optional<int>(-2));
+  EXPECT_EQ(r.spec->counting[1].limit, 0u);
+  ASSERT_EQ(r.counting_sources.size(), 2u);
+  EXPECT_EQ(r.counting_sources[1].line, 2u);
+}
+
+TEST(Parser, CountingMixesWithPredicates) {
+  const auto r = parse_spec(
+      "(x.s |> y.s) & (y.r |> x.r); concurrent(color = 1) <= 2");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.spec->predicates.size(), 1u);
+  EXPECT_EQ(r.spec->counting.size(), 1u);
+}
+
+TEST(Parser, CountingErrors) {
+  EXPECT_FALSE(parse_spec("concurrent <= -1").ok());
+  EXPECT_FALSE(parse_spec("concurrent < 3").ok());
+  EXPECT_FALSE(parse_spec("concurrent(color) <= 3").ok());
+  EXPECT_FALSE(parse_spec("concurrent <= 3 trailing").ok());
+  const auto r = parse_spec("concurrent <= ");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("non-negative integer"), std::string::npos);
+}
+
 TEST(Parser, RoundTripThroughToString) {
   // to_string output parses back to the same predicate (default names).
   const ForbiddenPredicate original = fifo();

@@ -5,7 +5,10 @@
 //                                [--threshold FRAC] [--fields a,b,c]
 //
 // Exit codes: 0 success (diff within threshold), 1 diff regression,
-// 2 usage or load/parse failure.  The CI bench gate runs the diff mode
+// 2 usage, load/parse failure, or mismatched schema versions (a diff
+// across schema bumps only matches the leaves both versions share, so
+// it would silently un-gate every renamed field — regenerate the
+// committed baseline instead).  The CI bench gate runs the diff mode
 // against the committed BENCH_*.json copies.
 #include <cstdio>
 #include <cstdlib>
@@ -32,8 +35,8 @@ int usage(const char* argv0) {
                "present (effective threshold = max(--threshold,\n"
                "noise_floor)); leaves without metadata fall back to the\n"
                "leaf-name heuristic.  Diff exit codes: 0 within\n"
-               "threshold, 1 at least one regression, 2 bad usage or\n"
-               "unreadable input.\n",
+               "threshold, 1 at least one regression, 2 bad usage,\n"
+               "unreadable input, or mismatched schema versions.\n",
                argv0, argv0);
   return 2;
 }
@@ -94,6 +97,14 @@ int run_diff(int argc, char** argv) {
   const msgorder::StatsDiff diff =
       msgorder::stats_diff(*baseline, *current, options);
   std::fputs(diff.text.c_str(), stdout);
+  if (diff.schema_mismatch()) {
+    std::fprintf(stderr,
+                 "msgorder_stats: refusing to gate across schema versions "
+                 "(baseline \"%s\" vs current \"%s\"); regenerate the "
+                 "baseline artifact\n",
+                 diff.baseline_schema.c_str(), diff.current_schema.c_str());
+    return 2;
+  }
   return diff.regressed() ? 1 : 0;
 }
 
