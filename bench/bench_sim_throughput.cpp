@@ -35,6 +35,14 @@
 //   --workers <n>     force SimOptions::shard_workers (default 0 = auto)
 //   --reps <n>        timed repetitions per cell (default 1); rows keep
 //                     min, median, and coefficient of variation
+//   --tracelog-dir <dir>  after the sweep, three extra untimed runs
+//                     recording causal trace logs (ISSUE 9):
+//                     sequential.tracelog, sharded.tracelog (largest
+//                     shard count), and perturbed.tracelog (sequential
+//                     with one channel's RNG stream XOR-perturbed).
+//                     CI asserts `msgorder_query diverge` finds the
+//                     first two identical and names the first diverging
+//                     event of the third.
 #include <algorithm>
 #include <bit>
 #include <chrono>
@@ -42,6 +50,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <thread>
@@ -161,6 +170,7 @@ void write_field_meta(JsonWriter& w) {
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_sim_throughput.json";
+  std::string tracelog_dir;
   bool quick = false;
   std::size_t n_messages = 0;
   std::size_t workers = 0;
@@ -168,6 +178,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tracelog-dir") == 0 && i + 1 < argc) {
+      tracelog_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--messages") == 0 && i + 1 < argc) {
@@ -286,6 +298,53 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(profile->total_stall_empty()),
               static_cast<unsigned long long>(
                   profile->total_stall_backpressure()));
+
+  // Causal trace log recordings (ISSUE 9): three more untimed runs of
+  // the same workload.  Sequential vs sharded must produce
+  // byte-identical logs (msgorder_query diverge exit 0 — the
+  // determinism contract, now end-to-end observable); the perturbed run
+  // XORs one channel's RNG stream so diverge has a real first
+  // divergence to name.
+  if (!tracelog_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(tracelog_dir, ec);
+    if (ec) {
+      std::printf("FAIL: could not create %s: %s\n", tracelog_dir.c_str(),
+                  ec.message().c_str());
+      ok = false;
+    }
+    const auto record = [&](const char* name, std::size_t shards,
+                            std::uint64_t perturb) {
+      ObservabilityOptions topts;
+      topts.attribution = false;
+      topts.tracelog = tracelog_dir + "/" + name;
+      Observability obs(topts);
+      SimOptions sopts = make_sopts(shards);
+      sopts.observability = &obs;
+      if (perturb != 0) {
+        sopts.network.perturb_channel_xor = perturb;
+        sopts.network.perturb_src = workload.front().message.src;
+        sopts.network.perturb_dst = workload.front().message.dst;
+      }
+      const SimResult result =
+          simulate(workload, FifoProtocol::factory(), kProcesses, sopts);
+      if (!result.completed) {
+        std::printf("FAIL: tracelog run %s did not complete: %s\n", name,
+                    result.error.c_str());
+        ok = false;
+        return;
+      }
+      std::printf("recorded %s (%llu events, %llu bytes)\n",
+                  topts.tracelog.c_str(),
+                  static_cast<unsigned long long>(
+                      obs.tracelog()->events_written()),
+                  static_cast<unsigned long long>(
+                      obs.tracelog()->bytes_written()));
+    };
+    record("sequential.tracelog", 1, 0);
+    record("sharded.tracelog", shard_counts.back(), 0);
+    record("perturbed.tracelog", 1, 0x9e3779b97f4a7c15ULL);
+  }
 
   JsonWriter w;
   w.begin_object();

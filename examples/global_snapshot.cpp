@@ -11,6 +11,9 @@
 //                    FIFO-marker run fails to complete
 //   --profile <path> write the engine profiler's msgorder.profile/1
 //                    JSON of the FIFO-marker run (ISSUE 7)
+//   --tracelog <path> record the FIFO-marker run's causal trace log
+//                    (msgorder.tracelog/1, ISSUE 9); query it with
+//                    msgorder_query cone/cut/why/summary
 #include <cstdio>
 #include <string>
 
@@ -36,7 +39,8 @@ struct VariantOutcome {
 VariantOutcome run_variant(bool fifo_markers,
                            const std::string& trace_path = "",
                            const std::string& flight_path = "",
-                           const std::string& profile_path = "") {
+                           const std::string& profile_path = "",
+                           const std::string& tracelog_path = "") {
   VariantOutcome outcome;
   Rng rng(7);
   WorkloadOptions wopts;
@@ -51,6 +55,7 @@ VariantOutcome run_variant(bool fifo_markers,
   oopts.tracing = !trace_path.empty();
   oopts.profiling = !profile_path.empty();
   oopts.flight_recorder = !flight_path.empty();
+  oopts.tracelog = tracelog_path;
   Observability obs(oopts);
   SimOptions sopts;
   sopts.seed = 11;
@@ -102,6 +107,10 @@ VariantOutcome run_variant(bool fifo_markers,
       std::printf("wrote engine profile %s\n\n", profile_path.c_str());
     }
   }
+  if (!tracelog_path.empty()) {
+    std::printf("wrote causal trace log %s (query with msgorder_query)\n\n",
+                tracelog_path.c_str());
+  }
   return outcome;
 }
 
@@ -134,7 +143,8 @@ int main(int argc, char** argv) {
   }
 
   const VariantOutcome fifo =
-      run_variant(true, cli.trace_path, cli.flight_path, cli.profile_path);
+      run_variant(true, cli.trace_path, cli.flight_path, cli.profile_path,
+                  cli.tracelog_path);
   const VariantOutcome racing = run_variant(false);
   std::printf("the FIFO variant records a consistent cut every time; "
               "see bench_snapshot for the full sweep.\n");

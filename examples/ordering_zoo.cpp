@@ -9,6 +9,10 @@
 //                    causal-rst run — open it in https://ui.perfetto.dev
 //                    to see each message's x.s* -> x.s -> x.r* -> x.r
 //                    lifecycle and the causal send->receive flow arrows
+//   --tracelog <path> record the causal trace log of one representative
+//                    sync-token (token-ring) run (ISSUE 9);
+//                    `msgorder_query why <path> --msg N` then walks the
+//                    wait_token hold chain to the token holder
 #include <cstdio>
 #include <vector>
 
@@ -152,6 +156,32 @@ int main(int argc, char** argv) {
       std::printf("wrote chrome trace of a causal-rst run to %s "
                   "(open in https://ui.perfetto.dev)\n",
                   cli.trace_path.c_str());
+    }
+  }
+
+  if (!cli.tracelog_path.empty()) {
+    // One representative causal trace log: sync-token is the token
+    // ring, so every send waits its turn and `msgorder_query why`
+    // chains the wait_token holds to the current token holder.
+    for (const RegisteredProtocol& rp : protocols) {
+      if (rp.name != "sync-token") continue;
+      ObservabilityOptions oopts;
+      oopts.tracelog = cli.tracelog_path;
+      oopts.label = rp.name;
+      Observability obs(oopts);
+      SimOptions sopts;
+      sopts.seed = 1;
+      sopts.network.jitter_mean = 3.0;
+      sopts.observability = &obs;
+      const SimResult result =
+          simulate(workload, rp.factory, kProcesses, sopts);
+      if (!result.completed) {
+        std::printf("trace-logged run failed: %s\n", result.error.c_str());
+        return 1;
+      }
+      std::printf("wrote causal trace log of a sync-token run to %s "
+                  "(query with msgorder_query)\n",
+                  cli.tracelog_path.c_str());
     }
   }
   return 0;

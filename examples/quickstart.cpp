@@ -8,6 +8,10 @@
 //                             violates the spec or fails to complete
 //   --profile <path>          write the engine profiler's
 //                             msgorder.profile/1 JSON (ISSUE 7)
+//   --tracelog <path>         record the causal trace log (ISSUE 9);
+//                             query it with msgorder_query
+//                             cone/cut/why/summary, diff two runs with
+//                             msgorder_query diverge
 //   --search-mode <m>         online monitor search: pruned (default),
 //                             naive, or automaton — the ISSUE 8 compiled
 //                             monitor automaton; specs outside the
@@ -89,6 +93,7 @@ int main(int argc, char** argv) {
   oopts.tracing = !cli.trace_path.empty();
   oopts.profiling = !cli.profile_path.empty();
   oopts.flight_recorder = !cli.flight_path.empty();
+  oopts.tracelog = cli.tracelog_path;
   Observability obs(oopts);
   auto monitor = std::make_shared<OnlineMonitor>(
       workload_universe(workload), spec, search_mode);
@@ -169,6 +174,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote engine profile %s\n", cli.profile_path.c_str());
+  }
+  if (!cli.tracelog_path.empty()) {
+    std::printf("wrote causal trace log %s (query with msgorder_query)\n",
+                cli.tracelog_path.c_str());
   }
   return 0;
 }

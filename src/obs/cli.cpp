@@ -17,6 +17,8 @@ ObsCli parse_obs_cli(int& argc, char** argv) {
       target = &out.flight_path;
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       target = &out.profile_path;
+    } else if (std::strcmp(argv[i], "--tracelog") == 0) {
+      target = &out.tracelog_path;
     }
     if (target == nullptr) {
       argv[kept++] = argv[i];

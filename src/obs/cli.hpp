@@ -5,6 +5,9 @@
 //                             JSON there when the run goes red (ISSUE 4)
 //   --profile <path>          enable the engine profiler and write its
 //                             msgorder.profile/1 JSON there (ISSUE 7)
+//   --tracelog <path>         record the causal trace log there
+//                             (msgorder.tracelog/1, ISSUE 9); query it
+//                             with tools/msgorder_query
 // Unrecognized arguments are left in place (compacted to the front of
 // argv past argv[0]) so examples with their own positional arguments
 // keep working.
@@ -19,6 +22,7 @@ struct ObsCli {
   std::string trace_path;   // empty = no chrome trace requested
   std::string flight_path;  // empty = flight recorder not armed
   std::string profile_path;  // empty = profiler off
+  std::string tracelog_path;  // empty = no causal trace log
   bool ok = true;
   std::string error;
 };

@@ -35,11 +35,18 @@ void FlightRecorder::note(std::string text, SimTime t) {
   r.note = std::move(text);
 }
 
-std::string FlightRecorder::to_json(const std::string& cause) const {
+std::string FlightRecorder::to_json(const std::string& cause,
+                                    const std::string& tracelog_path) const {
   JsonWriter w;
   w.begin_object();
   w.kv("schema", "msgorder.flight_recorder/1");
   w.kv("cause", cause);
+  w.key("tracelog");
+  if (tracelog_path.empty()) {
+    w.null();
+  } else {
+    w.value(tracelog_path);
+  }
   w.kv("capacity", capacity());
   w.kv("total_records", total_records());
   w.kv("dropped", total_records() - size());
@@ -77,8 +84,9 @@ std::string FlightRecorder::to_json(const std::string& cause) const {
 }
 
 bool FlightRecorder::dump(const std::string& path, const std::string& cause,
+                          const std::string& tracelog_path,
                           std::string* error) const {
-  return write_text_file(path, to_json(cause), error);
+  return write_text_file(path, to_json(cause, tracelog_path), error);
 }
 
 }  // namespace msgorder

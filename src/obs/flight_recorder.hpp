@@ -58,10 +58,14 @@ class FlightRecorder {
   }
 
   /// The whole ring as a msgorder.flight_recorder/1 document.  `cause`
-  /// labels why the dump happened ("monitor violation", ...).
-  std::string to_json(const std::string& cause = "") const;
+  /// labels why the dump happened ("monitor violation", ...);
+  /// `tracelog_path` (when a causal trace log was active, ISSUE 9)
+  /// cross-references the full history the ring is a window of.
+  std::string to_json(const std::string& cause = "",
+                      const std::string& tracelog_path = "") const;
   /// to_json + write_text_file.
   bool dump(const std::string& path, const std::string& cause = "",
+            const std::string& tracelog_path = "",
             std::string* error = nullptr) const;
 
  private:

@@ -25,6 +25,8 @@ SimInstruments SimInstruments::create(
       &registry.histogram(prefix + "delay.delivery", delay_histogram);
   ins.buffered_depth = &registry.gauge(prefix + "sim.buffered_depth");
   ins.hold_segments = &registry.counter(prefix + "hold.segments");
+  ins.tracelog_events = &registry.counter(prefix + "tracelog.events_written");
+  ins.tracelog_bytes = &registry.counter(prefix + "tracelog.bytes_written");
   for (std::size_t k = 1; k < kHoldKindCount; ++k) {
     ins.hold_time[k] = &registry.histogram(
         prefix + "hold." + to_string(static_cast<HoldKind>(k)),
@@ -42,6 +44,7 @@ Observability::Observability(ObservabilityOptions options)
     recorder_.emplace(options_.flight_recorder_capacity);
   }
   if (options_.profiling) profile_.emplace();
+  if (!options_.tracelog.empty()) tracelog_.emplace(options_.tracelog);
 }
 
 void Observability::begin_run(std::size_t n_messages) {

@@ -21,6 +21,7 @@
 #include "src/obs/flight_recorder.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/profile.hpp"
+#include "src/obs/tracelog.hpp"
 #include "src/obs/tracer.hpp"
 
 namespace msgorder {
@@ -44,6 +45,8 @@ struct SimInstruments {
   Gauge* buffered_depth = nullptr;        // sim.buffered_depth (x.r* seen,
                                           // x.r pending, across processes)
   Counter* hold_segments = nullptr;       // hold.segments (closed segments)
+  Counter* tracelog_events = nullptr;     // tracelog.events_written
+  Counter* tracelog_bytes = nullptr;      // tracelog.bytes_written
   /// Per-reason hold-time histograms, hold.<reason> (one closed
   /// attribution segment = one sample); index by HoldKind, slot
   /// kNone unused (ISSUE 4).
@@ -77,6 +80,12 @@ struct ObservabilityOptions {
   /// records, dumped post-mortem on red runs (off by default).
   bool flight_recorder = false;
   std::size_t flight_recorder_capacity = 1024;
+  /// Write the causal trace log (msgorder.tracelog/1, ISSUE 9) to this
+  /// path; empty keeps the log off and the engines on their zero-cost
+  /// path (enforced by bench_protocol_overhead --overhead-guard).  Both
+  /// engines emit the identical record stream for the same run — query
+  /// and diff logs with tools/msgorder_query.cpp.
+  std::string tracelog;
   /// Metric name prefix, typically the protocol under test.
   std::string label;
   /// Bucket layout shared by the three delay histograms.
@@ -124,6 +133,14 @@ class Observability {
     return profile_ ? &*profile_ : nullptr;
   }
 
+  /// nullptr unless a tracelog path was set in the options.  The engines
+  /// rewrite the file each run (like the attribution table, it describes
+  /// the most recent run).
+  TraceLogWriter* tracelog() { return tracelog_ ? &*tracelog_ : nullptr; }
+  const TraceLogWriter* tracelog() const {
+    return tracelog_ ? &*tracelog_ : nullptr;
+  }
+
   /// Called by the simulator when a run attaches: sizes a fresh
   /// attribution table to the run's message universe (when enabled).
   /// The flight recorder deliberately persists across runs — its whole
@@ -140,6 +157,7 @@ class Observability {
   std::optional<DelayAttribution> attribution_;
   std::optional<FlightRecorder> recorder_;
   std::optional<SimProfile> profile_;
+  std::optional<TraceLogWriter> tracelog_;
 };
 
 }  // namespace msgorder

@@ -136,6 +136,18 @@ std::string run_report_json(const SimResult& result,
     w.key("profile").null();
   }
 
+  // Causal trace log (ISSUE 9): where the full history went and what it
+  // cost, so log overhead is itself observable.
+  if (obs != nullptr && obs->tracelog() != nullptr) {
+    w.key("tracelog").begin_object();
+    w.kv("path", obs->tracelog()->path());
+    w.kv("events_written", obs->tracelog()->events_written());
+    w.kv("bytes_written", obs->tracelog()->bytes_written());
+    w.end_object();
+  } else {
+    w.key("tracelog").null();
+  }
+
   if (obs != nullptr) {
     w.key("metrics").begin_object();
     obs->metrics().write_json(w);
@@ -177,7 +189,11 @@ bool dump_postmortem_if_red(const std::string& path, const SimResult& result,
   } else {
     return false;  // green run: nothing to explain
   }
-  return recorder->dump(path, cause, error);
+  // Cross-reference the causal trace log when one was active: the ring
+  // is a bounded window, the log is the full queryable history.
+  const std::string tracelog_path =
+      obs->tracelog() != nullptr ? obs->tracelog()->path() : "";
+  return recorder->dump(path, cause, tracelog_path, error);
 }
 
 }  // namespace msgorder

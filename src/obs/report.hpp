@@ -33,6 +33,8 @@
 //                          "held_by_kind": {kind: t, ...}} | null,
 //   "profile": {...msgorder.profile/1 body (src/obs/profile.hpp)...}
 //              | null,
+//   "tracelog": {"path": "...", "events_written": n,
+//                "bytes_written": n} | null,
 //   "metrics": {...msgorder.metrics/1 body...} | null
 // }
 //

@@ -14,6 +14,36 @@ ObsSink::ObsSink(Observability* observability, const ObserverMux* observers,
   attribution_ = observability->attribution();
   recorder_ = observability->flight_recorder();
   profile_ = observability->profile();
+  tracelog_ = observability->tracelog();
+  label_ = observability->options().label;
+}
+
+void ObsSink::open_tracelog(const char* engine, std::size_t shards,
+                            std::size_t workers, SimTime lookahead,
+                            std::uint64_t seed, std::size_t n_processes) {
+  if (tracelog_ == nullptr) return;
+  TraceLogHeader header;
+  header.schema = "msgorder.tracelog/1";
+  header.engine = engine;
+  header.protocol = label_;
+  header.n_processes = n_processes;
+  header.n_messages = trace_->universe().size();
+  header.seed = seed;
+  header.shards = shards;
+  header.workers = workers;
+  header.lookahead = lookahead;
+  tracelog_->begin_run(header);
+  tracelog_finished_ = false;
+}
+
+void ObsSink::finish_tracelog() {
+  if (tracelog_ == nullptr || tracelog_finished_) return;
+  tracelog_finished_ = true;
+  tracelog_->finish();
+  if (instruments_ != nullptr) {
+    instruments_->tracelog_events->inc(tracelog_->events_written());
+    instruments_->tracelog_bytes->inc(tracelog_->bytes_written());
+  }
 }
 
 void ObsSink::publish_profile() {
@@ -23,7 +53,18 @@ void ObsSink::publish_profile() {
 }
 
 void ObsSink::record(ProcessId at, SystemEvent e, SimTime t,
-                     bool merge_only) {
+                     std::uint64_t tiebreak, bool merge_only) {
+  if (tracelog_ != nullptr) {
+    // The peer is the channel's other endpoint: the destination before
+    // the message crosses (invoke/send), the source after (receive/
+    // deliver) — with the header seed this names the RNG stream the
+    // message's delay came from (TraceLogHeader::channel_stream_seed).
+    const Message& m = trace_->universe()[e.msg];
+    const bool outbound =
+        e.kind == EventKind::kInvoke || e.kind == EventKind::kSend;
+    tracelog_->append_event(at, e, t, tiebreak, outbound ? m.dst : m.src,
+                            m.color);
+  }
   if (instruments_ != nullptr) update_instruments(e);
   if (tracer_ != nullptr) tracer_->on_event(at, e, t);
   if (recorder_ != nullptr) recorder_->on_event(at, e, t);
@@ -46,7 +87,8 @@ void ObsSink::record(ProcessId at, SystemEvent e, SimTime t,
 }
 
 void ObsSink::hold(ProcessId at, MessageId msg, const HoldReason& reason,
-                   bool received, SimTime t) {
+                   bool received, SimTime t, std::uint64_t tiebreak) {
+  if (tracelog_ != nullptr) tracelog_->append_hold(at, msg, reason, t, tiebreak);
   if (attribution_ == nullptr) return;
   // Phase is inferred from the message's lifecycle position: once x.r*
   // was recorded the only inhibitable transition left is the delivery.
@@ -54,8 +96,9 @@ void ObsSink::hold(ProcessId at, MessageId msg, const HoldReason& reason,
   publish_closed(attribution_->on_hold(msg, at, phase, reason, t));
 }
 
-void ObsSink::note(const char* text, SimTime t) {
-  if (recorder_ != nullptr) recorder_->note(text, t);
+void ObsSink::note(std::string text, SimTime t) {
+  if (tracelog_ != nullptr) tracelog_->append_note(text, t);
+  if (recorder_ != nullptr) recorder_->note(std::move(text), t);
 }
 
 void ObsSink::count_control_packet(std::size_t bytes) {
@@ -104,12 +147,13 @@ void ObsSink::replay(const std::vector<ObsItem>& items,
   for (const ObsItem& item : items) {
     if (item.is_hold) {
       hold(item.at, item.held_msg, item.reason,
-           received[item.held_msg] != 0, item.time);
+           received[item.held_msg] != 0, item.time, item.entry_tiebreak);
     } else {
       if (item.event.kind == EventKind::kReceive) {
         received[item.event.msg] = 1;
       }
-      record(item.at, item.event, item.time, /*merge_only=*/true);
+      record(item.at, item.event, item.time, item.entry_tiebreak,
+             /*merge_only=*/true);
     }
   }
 }

@@ -107,6 +107,18 @@ class ObsSink {
 
   bool attribution_active() const { return attribution_ != nullptr; }
   bool has_recorder() const { return recorder_ != nullptr; }
+  bool tracelog_active() const { return tracelog_ != nullptr; }
+
+  /// Start this run's tracelog (no-op without one): truncates the file
+  /// and writes the msgorder.tracelog/1 header.  Call before the first
+  /// event is recorded.
+  void open_tracelog(const char* engine, std::size_t shards,
+                     std::size_t workers, SimTime lookahead,
+                     std::uint64_t seed, std::size_t n_processes);
+  /// Flush the tracelog and fold its events/bytes counters into the
+  /// instruments.  Idempotent per run; call on every engine exit path
+  /// (after the invariant notes, so they land in the log).
+  void finish_tracelog();
 
   /// Engine profiler (ISSUE 7); nullptr unless
   /// ObservabilityOptions::profiling was set.  The owning engine resets
@@ -126,21 +138,25 @@ class ObsSink {
   bool buffering_needed() const {
     return instruments_ != nullptr || tracer_ != nullptr ||
            recorder_ != nullptr || attribution_ != nullptr ||
+           tracelog_ != nullptr ||
            (observers_ != nullptr && observers_->has_merge_phase());
   }
 
-  /// Dispatch one recorded event.  merge_only limits observer fan-out
-  /// to merge-phase observers (replay path: thread-safe observers were
-  /// already notified live by the shard).
-  void record(ProcessId at, SystemEvent e, SimTime t, bool merge_only);
+  /// Dispatch one recorded event.  `tiebreak` is the deterministic key
+  /// of the queue entry being handled (logged verbatim in the
+  /// tracelog).  merge_only limits observer fan-out to merge-phase
+  /// observers (replay path: thread-safe observers were already
+  /// notified live by the shard).
+  void record(ProcessId at, SystemEvent e, SimTime t,
+              std::uint64_t tiebreak, bool merge_only);
 
   /// Dispatch one hold report.  `received` — whether x.r* was already
   /// recorded for msg — selects the attribution phase.
   void hold(ProcessId at, MessageId msg, const HoldReason& reason,
-            bool received, SimTime t);
+            bool received, SimTime t, std::uint64_t tiebreak);
 
-  /// Flight-recorder annotation (no-op without a recorder).
-  void note(const char* text, SimTime t);
+  /// Flight-recorder + tracelog annotation (no-op without either).
+  void note(std::string text, SimTime t);
 
   // Per-event counter mirrors for the sequential engine (inline) ...
   void count_control_packet(std::size_t bytes);
@@ -168,6 +184,10 @@ class ObsSink {
   DelayAttribution* attribution_ = nullptr;
   FlightRecorder* recorder_ = nullptr;
   SimProfile* profile_ = nullptr;
+  TraceLogWriter* tracelog_ = nullptr;
+  /// The Observability label, used as the tracelog header's protocol.
+  std::string label_;
+  bool tracelog_finished_ = false;
 };
 
 }  // namespace msgorder::sim_detail

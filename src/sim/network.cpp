@@ -43,7 +43,14 @@ Network::Channel& Network::channel(ProcessId src, ProcessId dst) {
   assert(index < channels_.size());
   Channel& ch = channels_[index];
   if (!ch.seeded) {
-    ch.rng = Rng(channel_seed(seed_, src, dst));
+    std::uint64_t stream = channel_seed(seed_, src, dst);
+    // Applied at seeding time so channel_seed stays the pure function
+    // replay tooling derives stream ids from.
+    if (options_.perturb_channel_xor != 0 && src == options_.perturb_src &&
+        dst == options_.perturb_dst) {
+      stream ^= options_.perturb_channel_xor;
+    }
+    ch.rng = Rng(stream);
     ch.seeded = true;
   }
   return ch;

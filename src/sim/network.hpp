@@ -33,6 +33,15 @@ struct NetworkOptions {
   /// Probability that a packet is silently dropped (failure injection;
   /// pair with the reliability layer of src/protocols/reliable.hpp).
   double loss_probability = 0.0;
+  /// Fault injection for divergence forensics (ISSUE 9): XOR this into
+  /// the stream seed of the single channel perturb_src -> perturb_dst,
+  /// swapping its jitter sequence while leaving every other channel —
+  /// and the deterministic tiebreak order — untouched.  0 disables.
+  /// `msgorder_query diverge` on a perturbed vs baseline tracelog then
+  /// names the exact first event the swap moved.
+  std::uint64_t perturb_channel_xor = 0;
+  ProcessId perturb_src = 0;
+  ProcessId perturb_dst = 0;
 };
 
 class Network {

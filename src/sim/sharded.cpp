@@ -224,6 +224,8 @@ class ShardedEngine {
       profile_->begin_run("sharded", n_shards_, n_workers_, lookahead_,
                           sink_.profile_sampling());
     }
+    sink_.open_tracelog("sharded", n_shards_, n_workers_, lookahead_,
+                        options_.seed, n_processes_);
     const std::size_t ring_capacity =
         std::max<std::size_t>(2, options.cross_shard_ring_capacity);
     for (std::size_t a = 0; a < n_shards_; ++a) {
@@ -439,13 +441,16 @@ class ShardedEngine {
       error = "event cap exceeded in shard " +
               std::to_string(cap_hit_shard_) + " of " +
               std::to_string(n_shards_) + " (protocol livelock?)";
-      sink_.note("invariant: event cap exceeded (protocol livelock?)",
-                 now_max);
+      // The note names the tripping shard so a flight-recorder
+      // post-mortem (dump_postmortem_if_red) pins the error path even
+      // without the full tracelog.
+      sink_.note("invariant: " + error, now_max);
       completed_ = false;
     } else if (!completed_) {
       error = "undelivered messages remain";
       sink_.note("invariant: undelivered messages remain", now_max);
     }
+    sink_.finish_tracelog();
     SimResult result{std::move(trace_), completed_, std::move(error),
                      n_shards_, n_workers_};
     return result;
@@ -686,7 +691,9 @@ void Shard::deliver(ProcessId at, MessageId msg) {
 }
 
 void Shard::hold(ProcessId at, MessageId msg, const HoldReason& reason) {
-  if (!eng_->sink_.attribution_active()) return;
+  if (!eng_->sink_.attribution_active() && !eng_->sink_.tracelog_active()) {
+    return;
+  }
   // The hold phase (send vs delivery) is inferred at replay time from
   // the merged event order, exactly as the sequential engine infers it
   // from receive_seen_ — reading that flag here would race with the
@@ -695,7 +702,7 @@ void Shard::hold(ProcessId at, MessageId msg, const HoldReason& reason) {
 }
 
 bool Shard::wants_hold_reasons() const {
-  return eng_->sink_.attribution_active();
+  return eng_->sink_.attribution_active() || eng_->sink_.tracelog_active();
 }
 
 std::size_t Shard::process_count() const { return eng_->process_count(); }

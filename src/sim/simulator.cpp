@@ -108,6 +108,8 @@ class Engine {
                           sink_.profile_sampling());
       prof_ = &profile_->shard(0);
     }
+    sink_.open_tracelog("sequential", 1, 1, lookahead, options_.seed,
+                        n_processes_);
     std::size_t processed = 0;
     while (!queue_.empty()) {
       if (invokes_remaining_ == 0 && trace_.all_delivered()) break;
@@ -140,6 +142,7 @@ class Engine {
     if (!done) {
       sink_.note("invariant: undelivered messages remain", now_);
     }
+    sink_.finish_tracelog();
     SimResult result{std::move(trace_), done,
                      done ? "" : "undelivered messages remain"};
     return result;
@@ -198,16 +201,19 @@ class Engine {
   void record(ProcessId at, SystemEvent e) {
     trace_.record(at, e, now_);
     if (prof_ != nullptr) ++prof_->events;
-    sink_.record(at, e, now_, /*merge_only=*/false);
+    sink_.record(at, e, now_, cur_tiebreak_, /*merge_only=*/false);
   }
 
   /// Host::hold entry point: a protocol (re-)reported why `msg` is
   /// currently inhibited at `at`.
   void hold(ProcessId at, MessageId msg, const HoldReason& reason) {
-    sink_.hold(at, msg, reason, receive_seen_[msg] != 0, now_);
+    sink_.hold(at, msg, reason, receive_seen_[msg] != 0, now_,
+               cur_tiebreak_);
   }
 
-  bool wants_hold_reasons() const { return sink_.attribution_active(); }
+  bool wants_hold_reasons() const {
+    return sink_.attribution_active() || sink_.tracelog_active();
+  }
 
   SimTime now() const { return now_; }
   std::size_t process_count() const { return n_processes_; }
@@ -225,6 +231,7 @@ class Engine {
     const QueueEntry entry = queue_.top();
     queue_.pop();
     now_ = entry.time;
+    cur_tiebreak_ = entry.tiebreak;
     switch (entry.kind) {
       case EntryKind::kInvoke: {
         --invokes_remaining_;
@@ -260,7 +267,8 @@ class Engine {
   SimResult cap_exceeded() {
     const std::string message =
         "event cap exceeded in shard 0 of 1 (protocol livelock?)";
-    sink_.note("invariant: event cap exceeded (protocol livelock?)", now_);
+    sink_.note("invariant: " + message, now_);
+    sink_.finish_tracelog();
     SimResult result{std::move(trace_), false, message};
     return result;
   }
@@ -285,6 +293,10 @@ class Engine {
       queue_;
   std::size_t invokes_remaining_ = 0;
   SimTime now_ = 0;
+  /// Key of the queue entry currently being handled; every event / hold
+  /// this entry produces is logged under it (matches the sharded
+  /// engine's ObsItem::entry_tiebreak).
+  std::uint64_t cur_tiebreak_ = 0;
   ObsSink sink_;
   /// Engine profiler (ObservabilityOptions::profiling); row 0 is the
   /// whole engine — the sequential engine is one "shard".

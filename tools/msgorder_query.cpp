@@ -1,0 +1,180 @@
+// msgorder_query — causal queries over msgorder.tracelog/1 logs
+// (ISSUE 9 tentpole).
+//
+//   msgorder_query summary <log>
+//   msgorder_query cone    <log> --msg N [--kind s*|s|r*|r] [--future]
+//                                [--limit N]
+//   msgorder_query cut     <log> --at T
+//   msgorder_query why     <log> --msg N
+//   msgorder_query diverge <a> <b> [--context N]
+//
+// Every subcommand takes --json to emit msgorder.query/1 instead of
+// text.  Exit codes: 0 success (for diverge: the logs are identical),
+// 1 diverge found a divergence, 2 usage or load failure.  The query
+// logic lives in src/obs/tracelog_index.* so the golden tests drive it
+// without a subprocess (the msgorder_stats pattern).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/obs/tracelog_index.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s summary <log> [--json]\n"
+               "       %s cone    <log> --msg N [--kind s*|s|r*|r]"
+               " [--future] [--limit N] [--json]\n"
+               "       %s cut     <log> --at T [--json]\n"
+               "       %s why     <log> --msg N [--json]\n"
+               "       %s diverge <a> <b> [--context N] [--json]\n"
+               "\n"
+               "Causal queries over msgorder.tracelog/1 logs: the event\n"
+               "cone (causal past, or future with --future) of a message\n"
+               "event, the consistent cut at an instant, the transitive\n"
+               "why-blocked chain of a held message, or the first\n"
+               "diverging record between two runs with causal context\n"
+               "from both sides.  Exit codes: 0 success (diverge: logs\n"
+               "identical), 1 diverge found a divergence, 2 usage or\n"
+               "load failure.\n",
+               argv0, argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+struct ParsedArgs {
+  std::vector<std::string> positional;
+  bool json = false;
+  bool future = false;
+  std::optional<std::uint64_t> msg;
+  std::optional<msgorder::EventKind> kind;
+  bool kind_given = false;
+  std::string kind_name;
+  std::optional<double> at;
+  std::size_t limit = 0;
+  std::size_t context = 12;
+  std::string error;
+};
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+ParsedArgs parse_args(int argc, char** argv) {
+  ParsedArgs out;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      out.json = true;
+    } else if (arg == "--future") {
+      out.future = true;
+    } else if (arg == "--msg" || arg == "--limit" || arg == "--context" ||
+               arg == "--kind" || arg == "--at") {
+      if (++i >= argc) {
+        out.error = arg + " requires an argument";
+        return out;
+      }
+      if (arg == "--kind") {
+        out.kind_given = true;
+        out.kind_name = argv[i];
+        out.kind = msgorder::parse_event_kind(argv[i]);
+        continue;
+      }
+      if (arg == "--at") {
+        char* end = nullptr;
+        out.at = std::strtod(argv[i], &end);
+        if (end == argv[i] || *end != '\0') {
+          out.error = "bad --at " + std::string(argv[i]);
+          return out;
+        }
+        continue;
+      }
+      std::uint64_t value = 0;
+      if (!parse_u64(argv[i], &value)) {
+        out.error = "bad " + arg + " " + argv[i];
+        return out;
+      }
+      if (arg == "--msg") out.msg = value;
+      if (arg == "--limit") out.limit = static_cast<std::size_t>(value);
+      if (arg == "--context") out.context = static_cast<std::size_t>(value);
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      out.error = "unknown flag " + arg;
+      return out;
+    } else {
+      out.positional.push_back(arg);
+    }
+  }
+  return out;
+}
+
+int emit(const msgorder::QueryOutput& out, bool json) {
+  std::fputs(json ? out.json.c_str() : out.text.c_str(), stdout);
+  return out.exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h") {
+    usage(argv[0]);
+    return 0;
+  }
+  const ParsedArgs args = parse_args(argc, argv);
+  if (!args.error.empty()) {
+    std::fprintf(stderr, "msgorder_query: %s\n", args.error.c_str());
+    return 2;
+  }
+
+  if (cmd == "summary") {
+    if (args.positional.size() != 1) return usage(argv[0]);
+    return emit(msgorder::query_summary(args.positional[0]), args.json);
+  }
+  if (cmd == "cone") {
+    if (args.positional.size() != 1 || !args.msg.has_value()) {
+      return usage(argv[0]);
+    }
+    if (args.kind_given && !args.kind.has_value()) {
+      std::fprintf(stderr,
+                   "msgorder_query: unknown --kind %s "
+                   "(expected s*, s, r*, r, or invoke/send/receive/deliver)\n",
+                   args.kind_name.c_str());
+      return 2;
+    }
+    const msgorder::EventKind kind =
+        args.kind.value_or(msgorder::EventKind::kDeliver);
+    return emit(msgorder::query_cone(args.positional[0],
+                                     static_cast<msgorder::MessageId>(*args.msg),
+                                     kind, args.future, args.limit),
+                args.json);
+  }
+  if (cmd == "cut") {
+    if (args.positional.size() != 1 || !args.at.has_value()) {
+      return usage(argv[0]);
+    }
+    return emit(msgorder::query_cut(args.positional[0], *args.at), args.json);
+  }
+  if (cmd == "why") {
+    if (args.positional.size() != 1 || !args.msg.has_value()) {
+      return usage(argv[0]);
+    }
+    return emit(msgorder::query_why(
+                    args.positional[0],
+                    static_cast<msgorder::MessageId>(*args.msg)),
+                args.json);
+  }
+  if (cmd == "diverge") {
+    if (args.positional.size() != 2) return usage(argv[0]);
+    return emit(msgorder::query_diverge(args.positional[0],
+                                        args.positional[1], args.context),
+                args.json);
+  }
+  std::fprintf(stderr, "msgorder_query: unknown subcommand %s\n", cmd.c_str());
+  return usage(argv[0]);
+}
