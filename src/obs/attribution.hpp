@@ -73,6 +73,12 @@ class DelayAttribution {
     return totals_by_kind_;
   }
   std::uint64_t segment_count() const { return segment_count_; }
+  /// True iff `msg` has a hold segment that was never closed by a
+  /// release — in a complete run this means the engine recorded no
+  /// matching send/delivery for a reported inhibition.
+  bool has_open_hold(MessageId msg) const {
+    return per_message_[msg].open;
+  }
 
   /// Append the "attribution" report section: per-reason totals plus
   /// the per-message table (only messages that were ever held), as an

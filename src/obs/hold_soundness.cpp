@@ -1,0 +1,92 @@
+#include "src/obs/hold_soundness.hpp"
+
+#include <sstream>
+
+namespace msgorder {
+
+namespace {
+
+std::string describe(MessageId msg, const HoldSegment& seg,
+                     const std::string& why) {
+  std::ostringstream out;
+  out << "x" << msg << " held (" << to_string(seg.reason.kind) << ", "
+      << to_string(seg.phase) << ") over [" << seg.begin << ", "
+      << seg.end << "]: " << why;
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<std::string> hold_soundness_violations(
+    const Trace& trace, const DelayAttribution& attribution) {
+  std::vector<std::string> violations;
+  const double kEps = 1e-9;
+  for (MessageId msg = 0; msg < attribution.message_count(); ++msg) {
+    if (attribution.has_open_hold(msg)) {
+      std::ostringstream out;
+      out << "x" << msg
+          << " has an open hold segment in a complete run (the reported "
+             "inhibition was never released by a send/delivery)";
+      violations.push_back(out.str());
+    }
+    const MessageTimes& held = trace.times(msg);
+    for (const HoldSegment& seg : attribution.segments(msg)) {
+      if (!held.complete()) {
+        violations.push_back(
+            describe(msg, seg, "held message never completed"));
+        continue;
+      }
+      if (!seg.reason.blocking_msg.has_value()) continue;
+      const MessageId blocker = *seg.reason.blocking_msg;
+      if (blocker >= trace.universe().size()) {
+        violations.push_back(
+            describe(msg, seg, "blocking message id out of range"));
+        continue;
+      }
+      const MessageTimes& b = trace.times(blocker);
+      if (!b.deliver.has_value()) {
+        std::ostringstream why;
+        why << "blocker x" << blocker << " was never delivered";
+        violations.push_back(describe(msg, seg, why.str()));
+        continue;
+      }
+      switch (seg.reason.kind) {
+        case HoldKind::kWaitPredecessor: {
+          // The blamed predecessor must be delivered inside the window
+          // it explains: no earlier than the segment began (else the
+          // report was already stale) and no later than the held
+          // message's own delivery (else it could not have unblocked
+          // it).
+          if (*b.deliver + kEps < seg.begin ||
+              *b.deliver > *held.deliver + kEps) {
+            std::ostringstream why;
+            why << "predecessor x" << blocker << " delivered at "
+                << *b.deliver << ", outside [" << seg.begin << ", "
+                << *held.deliver << "]";
+            violations.push_back(describe(msg, seg, why.str()));
+          }
+          break;
+        }
+        case HoldKind::kWaitAck:
+        case HoldKind::kWaitLock: {
+          // The blamed exchange completes (its delivery happens, then
+          // its ack/release) strictly before the held message may even
+          // be sent.
+          if (*b.deliver > *held.send + kEps) {
+            std::ostringstream why;
+            why << "blocking exchange x" << blocker << " delivered at "
+                << *b.deliver << ", after the held send at "
+                << *held.send;
+            violations.push_back(describe(msg, seg, why.str()));
+          }
+          break;
+        }
+        default:
+          break;  // other kinds carry no blocking_msg claim to check
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace msgorder

@@ -1,0 +1,30 @@
+// Hold-soundness: the attribution contract of ISSUE 4, checkable on any
+// complete run.  A protocol's hold reports are *sound* when
+//   (1) every reported inhibition was eventually released — no hold
+//       segment is still open once all messages are delivered, and
+//   (2) every named blocking message really could unblock the held one:
+//       a kWaitPredecessor blocker is delivered inside the segment it
+//       explains (after it began, no later than the held delivery), and
+//       a kWaitAck / kWaitLock blocker's exchange completes before the
+//       held message's send.
+// The simulator's attribution tests assert this registry-wide; the
+// exhaustive verifier asserts it on EVERY reachable interleaving, which
+// is what makes it a property rather than a test vector.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/obs/attribution.hpp"
+#include "src/sim/trace.hpp"
+
+namespace msgorder {
+
+/// Check hold-soundness of one complete run.  Returns human-readable
+/// violation descriptions (empty = sound).  `trace` must satisfy
+/// all_delivered(); segments referencing messages without complete
+/// times are themselves violations.
+std::vector<std::string> hold_soundness_violations(
+    const Trace& trace, const DelayAttribution& attribution);
+
+}  // namespace msgorder

@@ -378,6 +378,47 @@ std::string summarize_lint(const JsonValue& doc) {
   return out.str();
 }
 
+std::string summarize_verify(const JsonValue& doc) {
+  std::ostringstream out;
+  out << "verify report: verdict="
+      << doc.string_at("verdict").value_or("?");
+  if (const JsonValue* scope = doc.find("scope");
+      scope != nullptr && scope->is_object()) {
+    out << " scope=" << fmt(scope->number_at("processes").value_or(0))
+        << "p/" << fmt(scope->number_at("messages").value_or(0)) << "m";
+  }
+  out << " channel=" << doc.string_at("channel_model").value_or("?")
+      << " por=" << (doc.bool_at("por").value_or(false) ? "on" : "off")
+      << "\n";
+  out << "  states=" << fmt(doc.number_at("states_total").value_or(0))
+      << " transitions="
+      << fmt(doc.number_at("transitions_total").value_or(0)) << "\n";
+  if (const JsonValue* stacks = doc.find("stacks");
+      stacks != nullptr && stacks->is_array()) {
+    for (const JsonValue& stack : stacks->as_array()) {
+      if (!stack.is_object()) continue;
+      out << "  " << stack.string_at("stack").value_or("?") << ": "
+          << stack.string_at("verdict").value_or("?")
+          << " states=" << fmt(stack.number_at("states").value_or(0));
+      if (const JsonValue* scenarios = stack.find("scenarios");
+          scenarios != nullptr && scenarios->is_array()) {
+        out << " scenarios=" << scenarios->as_array().size();
+        for (const JsonValue& s : scenarios->as_array()) {
+          if (!s.is_object() || s.find("counterexample") == nullptr) {
+            continue;
+          }
+          out << "\n    counterexample in "
+              << s.string_at("scenario").value_or("?") << ": "
+              << s.string_at("detail").value_or(
+                     s.string_at("verdict").value_or("?"));
+        }
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
 std::string summarize_chrome_trace(const JsonValue& doc) {
   std::ostringstream out;
   const JsonValue* events = doc.find("traceEvents");
@@ -410,6 +451,9 @@ std::string stats_summary(const JsonValue& doc) {
   }
   if (schema.rfind("msgorder.lint/", 0) == 0) {
     return summarize_lint(doc);
+  }
+  if (schema.rfind("msgorder.verify/", 0) == 0) {
+    return summarize_verify(doc);
   }
   const JsonValue* events = doc.find("traceEvents");
   if (events != nullptr && events->is_array()) {

@@ -15,6 +15,11 @@ class AsyncProtocol final : public Protocol {
   void on_invoke(const Message& m) override;
   void on_packet(const Packet& packet) override;
   std::string name() const override { return "async"; }
+  /// Stateless: the empty encoding is the canonical snapshot.
+  bool snapshot(std::string& out) const override {
+    (void)out;
+    return true;
+  }
 
   static ProtocolFactory factory();
 

@@ -26,6 +26,8 @@ class CausalRstProtocol final : public Protocol {
   void on_invoke(const Message& m) override;
   void on_packet(const Packet& packet) override;
   std::string name() const override { return "causal-rst"; }
+  bool snapshot(std::string& out) const override;
+  bool quiescent() const override { return buffer_.empty(); }
 
   static ProtocolFactory factory();
 

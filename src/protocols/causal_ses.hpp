@@ -29,6 +29,8 @@ class CausalSesProtocol final : public Protocol {
   void on_invoke(const Message& m) override;
   void on_packet(const Packet& packet) override;
   std::string name() const override { return "causal-ses"; }
+  bool snapshot(std::string& out) const override;
+  bool quiescent() const override { return buffer_.empty(); }
 
   static ProtocolFactory factory();
 

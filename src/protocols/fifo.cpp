@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "src/protocols/state_codec.hpp"
+
 namespace msgorder {
 
 void FifoProtocol::on_invoke(const Message& m) {
@@ -10,7 +12,9 @@ void FifoProtocol::on_invoke(const Message& m) {
   pkt.dst = m.dst;
   pkt.user_msg = m.id;
   pkt.tag_bytes = sizeof(std::uint32_t);
-  pkt.content = next_out_[m.dst]++;
+  const std::uint32_t seq = next_out_[m.dst]++;
+  pkt.content = seq;
+  pkt.content_key = seq;
   host_.send_packet(std::move(pkt));
 }
 
@@ -41,6 +45,41 @@ void FifoProtocol::on_packet(const Packet& packet) {
       host_.hold(p.msg, HoldReason::predecessor(std::nullopt, packet.src));
     }
   }
+}
+
+bool FifoProtocol::snapshot(std::string& out) const {
+  codec::put_u32(out, static_cast<std::uint32_t>(next_out_.size()));
+  for (const auto& [dst, seq] : next_out_) {
+    codec::put_u32(out, dst);
+    codec::put_u32(out, seq);
+  }
+  codec::put_u32(out, static_cast<std::uint32_t>(next_in_.size()));
+  for (const auto& [src, seq] : next_in_) {
+    codec::put_u32(out, src);
+    codec::put_u32(out, seq);
+  }
+  codec::put_u32(out, static_cast<std::uint32_t>(buffer_.size()));
+  for (const auto& [src, pendings] : buffer_) {
+    // Buffer arrival order is behaviorally irrelevant (the drain scans
+    // for the expected sequence), so encode sorted by seq: canonical.
+    std::vector<Pending> sorted = pendings;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Pending& a, const Pending& b) { return a.seq < b.seq; });
+    codec::put_u32(out, src);
+    codec::put_u32(out, static_cast<std::uint32_t>(sorted.size()));
+    for (const Pending& p : sorted) {
+      codec::put_u32(out, p.msg);
+      codec::put_u32(out, p.seq);
+    }
+  }
+  return true;
+}
+
+bool FifoProtocol::quiescent() const {
+  for (const auto& [src, pendings] : buffer_) {
+    if (!pendings.empty()) return false;
+  }
+  return true;
 }
 
 ProtocolFactory FifoProtocol::factory() {

@@ -21,6 +21,8 @@ class FifoProtocol final : public Protocol {
   void on_invoke(const Message& m) override;
   void on_packet(const Packet& packet) override;
   std::string name() const override { return "fifo"; }
+  bool snapshot(std::string& out) const override;
+  bool quiescent() const override;
 
   static ProtocolFactory factory();
 

@@ -1,6 +1,9 @@
 #include "src/protocols/flush.hpp"
 
+#include <algorithm>
 #include <memory>
+
+#include "src/protocols/state_codec.hpp"
 
 namespace msgorder {
 
@@ -32,6 +35,9 @@ void FlushChannelProtocol::on_invoke(const Message& m) {
   pkt.user_msg = m.id;
   pkt.tag_bytes = 2 * sizeof(std::uint32_t) + sizeof(int);
   pkt.content = tag;
+  pkt.content_key = (static_cast<std::uint64_t>(tag.seq) << 34) |
+                    (static_cast<std::uint64_t>(tag.barrier) << 2) |
+                    static_cast<std::uint64_t>(tag.kind & 3);
   host_.send_packet(std::move(pkt));
 }
 
@@ -77,6 +83,43 @@ void FlushChannelProtocol::on_packet(const Packet& packet) {
   in.buffer.emplace_back(packet.user_msg,
                          std::any_cast<Tag>(packet.content));
   drain(packet.src, in);
+}
+
+bool FlushChannelProtocol::snapshot(std::string& out) const {
+  codec::put_u32(out, static_cast<std::uint32_t>(out_.size()));
+  for (const auto& [dst, ch] : out_) {
+    codec::put_u32(out, dst);
+    codec::put_u32(out, ch.next_seq);
+    codec::put_u32(out, ch.last_barrier);
+  }
+  codec::put_u32(out, static_cast<std::uint32_t>(in_.size()));
+  for (const auto& [src, ch] : in_) {
+    codec::put_u32(out, src);
+    codec::put_u32(out, static_cast<std::uint32_t>(ch.delivered.size()));
+    for (const bool d : ch.delivered) codec::put_u8(out, d ? 1 : 0);
+    // Buffer order is behaviorally irrelevant (the drain rescans);
+    // encode sorted by seq: canonical.
+    auto sorted = ch.buffer;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) {
+                return a.second.seq < b.second.seq;
+              });
+    codec::put_u32(out, static_cast<std::uint32_t>(sorted.size()));
+    for (const auto& [msg, tag] : sorted) {
+      codec::put_u32(out, msg);
+      codec::put_u32(out, tag.seq);
+      codec::put_u32(out, tag.barrier);
+      codec::put_u32(out, static_cast<std::uint32_t>(tag.kind));
+    }
+  }
+  return true;
+}
+
+bool FlushChannelProtocol::quiescent() const {
+  for (const auto& [src, ch] : in_) {
+    if (!ch.buffer.empty()) return false;
+  }
+  return true;
 }
 
 ProtocolFactory FlushChannelProtocol::factory() {

@@ -39,6 +39,8 @@ class FlushChannelProtocol final : public Protocol {
   void on_invoke(const Message& m) override;
   void on_packet(const Packet& packet) override;
   std::string name() const override { return "flush-channel"; }
+  bool snapshot(std::string& out) const override;
+  bool quiescent() const override;
 
   static ProtocolFactory factory();
 

@@ -48,6 +48,8 @@ class GlobalFlushProtocol final : public Protocol {
   void on_invoke(const Message& m) override;
   void on_packet(const Packet& packet) override;
   std::string name() const override { return "global-flush"; }
+  bool snapshot(std::string& out) const override;
+  bool quiescent() const override { return buffer_.empty(); }
 
   static ProtocolFactory factory(int red_color = 1);
 

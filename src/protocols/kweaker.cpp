@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <memory>
 
+#include "src/protocols/state_codec.hpp"
+
 namespace msgorder {
+
+namespace {
+void encode_chains(std::string& out,
+                   const std::map<MessageId,
+                                  KWeakerCausalProtocol::ChainEntry>& chains) {
+  codec::put_u32(out, static_cast<std::uint32_t>(chains.size()));
+  for (const auto& [msg, entry] : chains) {
+    codec::put_u32(out, msg);
+    codec::put_u32(out, entry.dst);
+    codec::put_u32(out, entry.depth);
+  }
+}
+}  // namespace
 
 void KWeakerCausalProtocol::on_invoke(const Message& m) {
   // chainlen(x, m) = d(x) + 1 for every known x: the longest chain to a
@@ -17,6 +32,11 @@ void KWeakerCausalProtocol::on_invoke(const Message& m) {
   pkt.user_msg = m.id;
   pkt.tag_bytes = tag.byte_size();
   pkt.content = tag;
+  {
+    std::string enc;
+    encode_chains(enc, tag.chains);
+    pkt.content_key = codec::digest(enc);
+  }
   // The new send joins our causal past with a self chain of length 1,
   // and every previous chain now extends through it.
   for (auto& [msg, entry] : known_) entry.depth += 1;
@@ -83,6 +103,26 @@ void KWeakerCausalProtocol::on_packet(const Packet& packet) {
       it->second.depth, 1);
   buffer_.push_back({packet.user_msg, tag});
   drain();
+}
+
+bool KWeakerCausalProtocol::snapshot(std::string& out) const {
+  codec::put_u64(out, k_);
+  encode_chains(out, known_);
+  codec::put_u32(out, static_cast<std::uint32_t>(delivered_here_.size()));
+  for (const MessageId msg : delivered_here_) codec::put_u32(out, msg);
+  // Buffer order is behaviorally irrelevant (the drain rescans); encode
+  // sorted by message id: canonical.
+  std::vector<const Buffered*> sorted;
+  sorted.reserve(buffer_.size());
+  for (const Buffered& b : buffer_) sorted.push_back(&b);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Buffered* a, const Buffered* b) { return a->msg < b->msg; });
+  codec::put_u32(out, static_cast<std::uint32_t>(sorted.size()));
+  for (const Buffered* b : sorted) {
+    codec::put_u32(out, b->msg);
+    encode_chains(out, b->tag.chains);
+  }
+  return true;
 }
 
 ProtocolFactory KWeakerCausalProtocol::factory(std::size_t k) {

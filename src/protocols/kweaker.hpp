@@ -40,6 +40,8 @@ class KWeakerCausalProtocol final : public Protocol {
   std::string name() const override {
     return "kweaker-causal(k=" + std::to_string(k_) + ")";
   }
+  bool snapshot(std::string& out) const override;
+  bool quiescent() const override { return buffer_.empty(); }
 
   static ProtocolFactory factory(std::size_t k);
 

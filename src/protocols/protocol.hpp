@@ -90,6 +90,12 @@ struct Packet {
   std::size_t tag_bytes = 0;
   /// Protocol-specific content.
   std::any content;
+  /// Canonical 64-bit digest of `content`, set alongside it (std::any is
+  /// not hashable).  The exhaustive verifier (ISSUE 10) folds this into
+  /// its channel-state fingerprints: two in-flight packets for the same
+  /// message can carry different tags on different interleavings, and
+  /// the visited-state set must tell those states apart.
+  std::uint64_t content_key = 0;
 };
 
 /// Services the simulator offers a protocol instance.
@@ -154,6 +160,27 @@ class Protocol {
   virtual void on_timer(std::uint64_t cookie) { (void)cookie; }
 
   virtual std::string name() const = 0;
+
+  /// Verifier hooks (ISSUE 10).  snapshot() appends a *canonical*
+  /// encoding of the instance's full state — two instances that would
+  /// behave identically on every future input must encode identically,
+  /// and counters that only grow with control chatter (emission counts,
+  /// timer ids) must be left out so idle control cycles close in the
+  /// visited-state set.  Returns false when the protocol does not
+  /// support canonical snapshots (the verifier then explores without
+  /// state caching — sound, just slower).
+  virtual bool snapshot(std::string& out) const {
+    (void)out;
+    return false;
+  }
+
+  /// No internal obligations outstanding: nothing buffered for
+  /// delivery, no lock held, no ack awaited, no grant in progress.
+  /// Perpetual background traffic (a circulating idle token) does NOT
+  /// count as an obligation.  The verifier's control-leak check demands
+  /// that every complete execution can reach a state where all
+  /// instances are quiescent.
+  virtual bool quiescent() const { return true; }
 };
 
 /// Creates the per-process instance; `host` outlives the protocol.

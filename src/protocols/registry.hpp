@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/protocols/protocol.hpp"
+#include "src/spec/predicate.hpp"
 
 namespace msgorder {
 
@@ -13,6 +14,10 @@ struct RegisteredProtocol {
   std::string name;
   std::string description;
   ProtocolFactory factory;
+  /// The ordering specification this stack claims to enforce on every
+  /// run (empty composite = no guarantee beyond delivery).  The
+  /// exhaustive verifier checks it at every reachable complete run.
+  CompositeSpec spec;
 };
 
 std::vector<RegisteredProtocol> standard_protocols();

@@ -1,5 +1,7 @@
 #include "src/protocols/reliable.hpp"
 
+#include "src/protocols/state_codec.hpp"
+
 namespace msgorder {
 
 namespace {
@@ -65,6 +67,12 @@ void ReliableProtocol::ship(Packet inner_packet) {
   envelope.seq = seq;
   envelope.inner_content = std::move(inner_packet.content);
   inner_packet.content = envelope;
+  // Fold the envelope sequence number into the inner payload's digest so
+  // distinct (re)transmissions of otherwise identical inner packets stay
+  // distinguishable to the verifier's visited-state set.
+  inner_packet.content_key =
+      codec::fnv1a(codec::fnv1a(codec::kFnvOffset, seq),
+                   inner_packet.content_key);
   inner_packet.tag_bytes += kEnvelopeBytes;
   pending_[seq] = PendingPacket{inner_packet, 0, false};
   host_.send_packet(std::move(inner_packet));
@@ -106,6 +114,7 @@ void ReliableProtocol::on_packet(const Packet& packet) {
   ack.kind = "RACK";
   ack.tag_bytes = kAckBytes;
   ack.content = envelope.seq;
+  ack.content_key = envelope.seq;
   host_.send_packet(std::move(ack));
   // De-duplicate per source, then hand the restored packet up.
   if (!seen_[packet.src].insert(envelope.seq).second) return;
@@ -113,6 +122,34 @@ void ReliableProtocol::on_packet(const Packet& packet) {
   restored.content = envelope.inner_content;
   restored.tag_bytes -= kEnvelopeBytes;
   inner_->on_packet(restored);
+}
+
+bool ReliableProtocol::snapshot(std::string& out) const {
+  std::string inner_state;
+  if (!inner_->snapshot(inner_state)) return false;
+  // next_seq_ is determined by the number of ships so far, which the
+  // pending_/seen_ contents do not fully pin down once entries are
+  // reaped; encode it so replays that diverge in ship count differ.
+  codec::put_u64(out, next_seq_);
+  codec::put_u32(out, static_cast<std::uint32_t>(pending_.size()));
+  for (const auto& [seq, entry] : pending_) {
+    codec::put_u64(out, seq);
+    codec::put_u32(out, entry.packet.dst);
+    codec::put_u64(out, static_cast<std::uint64_t>(entry.retransmissions));
+  }
+  codec::put_u32(out, static_cast<std::uint32_t>(seen_.size()));
+  for (const auto& [src, seqs] : seen_) {
+    codec::put_u32(out, src);
+    codec::put_u32(out, static_cast<std::uint32_t>(seqs.size()));
+    for (const std::uint64_t seq : seqs) codec::put_u64(out, seq);
+  }
+  codec::put_str(out, inner_state);
+  return true;
+}
+
+bool ReliableProtocol::quiescent() const {
+  // An unacked shipment is an obligation: a retransmission is owed.
+  return pending_.empty() && inner_->quiescent();
 }
 
 ProtocolFactory ReliableProtocol::wrap(ProtocolFactory inner,

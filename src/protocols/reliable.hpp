@@ -40,6 +40,8 @@ class ReliableProtocol final : public Protocol {
   void on_packet(const Packet& packet) override;
   void on_timer(std::uint64_t cookie) override;
   std::string name() const override;
+  bool snapshot(std::string& out) const override;
+  bool quiescent() const override;
 
   /// Wrap a factory: reliable(fifo), reliable(causal-rst), ...
   static ProtocolFactory wrap(ProtocolFactory inner,

@@ -1,0 +1,74 @@
+// Canonical state encoding helpers for Protocol::snapshot() and
+// Packet::content_key (ISSUE 10).  The exhaustive verifier keys its
+// visited-state set on these encodings, so they must be deterministic
+// and injective over behaviorally distinct states: fixed-width
+// little-endian integers, explicit length prefixes for variable parts,
+// and ordered containers (std::map/std::set iterate sorted, so encoding
+// them in iteration order is already canonical).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/poset/clocks.hpp"
+
+namespace msgorder::codec {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+inline void put_vector_clock(std::string& out, const VectorClock& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (std::size_t i = 0; i < v.size(); ++i) put_u32(out, v[i]);
+}
+
+inline void put_matrix_clock(std::string& out, const MatrixClock& m) {
+  put_u32(out, static_cast<std::uint32_t>(m.size()));
+  for (std::size_t j = 0; j < m.size(); ++j) {
+    for (std::size_t k = 0; k < m.size(); ++k) put_u32(out, m.at(j, k));
+  }
+}
+
+/// Incremental FNV-1a, used to derive Packet::content_key digests.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ ((v >> (8 * i)) & 0xff)) * kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_bytes(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h = (h ^ static_cast<std::uint8_t>(c)) * kFnvPrime;
+  }
+  return h;
+}
+
+/// Digest of a whole canonical encoding (content_key for tags that are
+/// themselves encoded with the helpers above).
+inline std::uint64_t digest(const std::string& encoded) {
+  return fnv1a_bytes(kFnvOffset, encoded);
+}
+
+}  // namespace msgorder::codec

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <memory>
 
+#include "src/protocols/state_codec.hpp"
+
 namespace msgorder {
 
 namespace {
@@ -50,6 +52,7 @@ void SyncLocksProtocol::request_lock(ProcessId owner, MessageId msg) {
   req.kind = "LREQ";
   req.tag_bytes = kControlBytes;
   req.content = msg;
+  req.content_key = msg;
   host_.send_packet(std::move(req));
 }
 
@@ -89,6 +92,7 @@ void SyncLocksProtocol::finish_exchange(MessageId msg) {
       rel.kind = "LREL";
       rel.tag_bytes = kControlBytes;
       rel.content = msg;
+      rel.content_key = msg;
       host_.send_packet(std::move(rel));
     }
     if (exchange.first_lock == exchange.second_lock) break;
@@ -127,6 +131,7 @@ void SyncLocksProtocol::send_grant(ProcessId requester, MessageId msg) {
   grant.kind = "LGRANT";
   grant.tag_bytes = kControlBytes;
   grant.content = msg;
+  grant.content_key = msg;
   host_.send_packet(std::move(grant));
 }
 
@@ -149,6 +154,7 @@ void SyncLocksProtocol::on_packet(const Packet& packet) {
     ack.kind = "MACK";
     ack.tag_bytes = kControlBytes;
     ack.content = packet.user_msg;
+    ack.content_key = packet.user_msg;
     host_.send_packet(std::move(ack));
     return;
   }
@@ -162,6 +168,29 @@ void SyncLocksProtocol::on_packet(const Packet& packet) {
   } else if (packet.kind == "MACK") {
     finish_exchange(msg);
   }
+}
+
+bool SyncLocksProtocol::snapshot(std::string& out) const {
+  codec::put_u32(out, static_cast<std::uint32_t>(pending_.size()));
+  for (const MessageId msg : pending_) codec::put_u32(out, msg);
+  codec::put_u8(out, active_.has_value() ? 1 : 0);
+  if (active_.has_value()) {
+    codec::put_u32(out, active_->msg);
+    codec::put_u32(out, active_->first_lock);
+    codec::put_u32(out, active_->second_lock);
+    codec::put_u8(out, static_cast<std::uint8_t>(active_->locks_held));
+  }
+  codec::put_u8(out, lock_.holder.has_value() ? 1 : 0);
+  if (lock_.holder.has_value()) {
+    codec::put_u32(out, lock_.holder->first);
+    codec::put_u32(out, lock_.holder->second);
+  }
+  codec::put_u32(out, static_cast<std::uint32_t>(lock_.queue.size()));
+  for (const auto& [requester, msg] : lock_.queue) {
+    codec::put_u32(out, requester);
+    codec::put_u32(out, msg);
+  }
+  return true;
 }
 
 ProtocolFactory SyncLocksProtocol::factory() {

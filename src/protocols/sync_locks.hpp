@@ -35,6 +35,11 @@ class SyncLocksProtocol final : public Protocol {
   void on_invoke(const Message& m) override;
   void on_packet(const Packet& packet) override;
   std::string name() const override { return "sync-locks"; }
+  bool snapshot(std::string& out) const override;
+  bool quiescent() const override {
+    return pending_.empty() && !active_.has_value() &&
+           !lock_.holder.has_value() && lock_.queue.empty();
+  }
 
   static ProtocolFactory factory();
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <memory>
 
+#include "src/protocols/state_codec.hpp"
+
 namespace msgorder {
 
 namespace {
@@ -32,6 +34,7 @@ void SyncSequencerProtocol::request(MessageId msg) {
   req.kind = "REQ";
   req.tag_bytes = kControlBytes;
   req.content = msg;
+  req.content_key = msg;
   host_.send_packet(std::move(req));
 }
 
@@ -56,6 +59,7 @@ void SyncSequencerProtocol::try_grant() {
   grant.kind = "GRANT";
   grant.tag_bytes = kControlBytes;
   grant.content = msg;
+  grant.content_key = msg;
   host_.send_packet(std::move(grant));
 }
 
@@ -95,6 +99,16 @@ void SyncSequencerProtocol::on_packet(const Packet& packet) {
   } else if (packet.kind == "DONE") {
     exchange_done();
   }
+}
+
+bool SyncSequencerProtocol::snapshot(std::string& out) const {
+  codec::put_u8(out, busy_ ? 1 : 0);
+  codec::put_u32(out, static_cast<std::uint32_t>(grant_queue_.size()));
+  for (const auto& [requester, msg] : grant_queue_) {
+    codec::put_u32(out, requester);
+    codec::put_u32(out, msg);
+  }
+  return true;
 }
 
 ProtocolFactory SyncSequencerProtocol::factory() {

@@ -23,6 +23,8 @@ class SyncSequencerProtocol final : public Protocol {
   void on_invoke(const Message& m) override;
   void on_packet(const Packet& packet) override;
   std::string name() const override { return "sync-sequencer"; }
+  bool snapshot(std::string& out) const override;
+  bool quiescent() const override { return !busy_ && grant_queue_.empty(); }
 
   static ProtocolFactory factory();
 

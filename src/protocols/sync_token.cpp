@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "src/protocols/state_codec.hpp"
+
 namespace msgorder {
 
 namespace {
@@ -82,6 +84,14 @@ void SyncTokenProtocol::on_packet(const Packet& packet) {
     serve_or_pass();
     report_pending_holds();
   }
+}
+
+bool SyncTokenProtocol::snapshot(std::string& out) const {
+  codec::put_u8(out, holding_ ? 1 : 0);
+  codec::put_u8(out, awaiting_ack_ ? 1 : 0);
+  codec::put_u32(out, static_cast<std::uint32_t>(pending_.size()));
+  for (const MessageId msg : pending_) codec::put_u32(out, msg);
+  return true;
 }
 
 ProtocolFactory SyncTokenProtocol::factory() {

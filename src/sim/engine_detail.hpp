@@ -58,6 +58,46 @@ inline ProcessId tiebreak_owner(std::uint64_t tiebreak) {
   return static_cast<ProcessId>((tiebreak >> kCounterBits) & kOwnerMask);
 }
 
+/// How one arriving packet is classified — identically in the
+/// sequential engine, the sharded engine, and the exhaustive verifier.
+enum class ArrivalClass : std::uint8_t { kControl, kFirstUser, kDuplicate };
+
+/// Apply one packet arrival to its destination protocol: THE
+/// delivery-application step, shared by both simulator engines and the
+/// exhaustive verifier so that a verified schedule and a simulated one
+/// execute identical protocol code.  `on_class` receives the
+/// classification before dispatch (record x.r* / bump counters); the
+/// destination protocol then sees the packet exactly once per arrival,
+/// duplicates included (the reliability layer depends on that).
+template <class Seen, class OnClass>
+inline void apply_arrival(Protocol& dst_protocol, const Packet& pkt,
+                          Seen& receive_seen, OnClass&& on_class) {
+  if (pkt.is_control) {
+    on_class(ArrivalClass::kControl);
+  } else if (receive_seen[pkt.user_msg] == 0) {
+    receive_seen[pkt.user_msg] = 1;
+    on_class(ArrivalClass::kFirstUser);
+  } else {
+    on_class(ArrivalClass::kDuplicate);
+  }
+  dst_protocol.on_packet(pkt);
+}
+
+/// Emission-side classification: the first user-packet emission is the
+/// send event x.s; later emissions of the same message are
+/// retransmissions; control packets are neither.
+enum class SendClass : std::uint8_t { kControl, kFirstSend, kRetransmission };
+
+template <class Seen>
+inline SendClass classify_send(const Packet& pkt, Seen& send_seen) {
+  if (pkt.is_control) return SendClass::kControl;
+  if (send_seen[pkt.user_msg] == 0) {
+    send_seen[pkt.user_msg] = 1;
+    return SendClass::kFirstSend;
+  }
+  return SendClass::kRetransmission;
+}
+
 /// Per-process packet-loss stream, identical in both engines: the loss
 /// decision for the k-th emission of process p depends only on
 /// (seed, p, k), never on global interleaving.

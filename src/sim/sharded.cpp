@@ -604,18 +604,24 @@ void Shard::handle_heap_top() {
     const auto slot = top.payload;
     Packet pkt = std::move(slab_[slot]);
     free_slots_.push_back(slot);
-    if (pkt.is_control) {
-      ++counts_.trace.control_packets;
-      counts_.trace.control_bytes += pkt.tag_bytes;
-    } else if (eng_->receive_seen_[pkt.user_msg] == 0) {
-      eng_->receive_seen_[pkt.user_msg] = 1;
-      ++counts_.trace.user_packets;
-      counts_.trace.tag_bytes += pkt.tag_bytes;
-      record(pkt.dst, {pkt.user_msg, EventKind::kReceive});
-    } else {
-      ++counts_.trace.duplicate_arrivals;
-    }
-    protocols_[local_of(pkt.dst)]->on_packet(pkt);
+    sim_detail::apply_arrival(*protocols_[local_of(pkt.dst)], pkt,
+                  eng_->receive_seen_, [&](sim_detail::ArrivalClass cls) {
+                    switch (cls) {
+                      case sim_detail::ArrivalClass::kControl:
+                        ++counts_.trace.control_packets;
+                        counts_.trace.control_bytes += pkt.tag_bytes;
+                        break;
+                      case sim_detail::ArrivalClass::kFirstUser:
+                        ++counts_.trace.user_packets;
+                        counts_.trace.tag_bytes += pkt.tag_bytes;
+                        record(pkt.dst,
+                               {pkt.user_msg, EventKind::kReceive});
+                        break;
+                      case sim_detail::ArrivalClass::kDuplicate:
+                        ++counts_.trace.duplicate_arrivals;
+                        break;
+                    }
+                  });
   } else {
     const ProcessId p = tiebreak_owner(top.tiebreak);
     ++counts_.timer_fires;
@@ -647,15 +653,18 @@ void Shard::trip_cap() {
 void Shard::send_packet(ProcessId from, Packet packet) {
   packet.src = from;
   assert(packet.dst < eng_->n_processes_);
-  if (!packet.is_control) {
-    assert(eng_->universe_[packet.user_msg].src == from &&
-           "user packet emitted by the wrong process");
-    if (eng_->send_seen_[packet.user_msg] == 0) {
-      eng_->send_seen_[packet.user_msg] = 1;
+  assert((packet.is_control ||
+          eng_->universe_[packet.user_msg].src == from) &&
+         "user packet emitted by the wrong process");
+  switch (sim_detail::classify_send(packet, eng_->send_seen_)) {
+    case sim_detail::SendClass::kControl:
+      break;
+    case sim_detail::SendClass::kFirstSend:
       record(from, {packet.user_msg, EventKind::kSend});
-    } else {
+      break;
+    case sim_detail::SendClass::kRetransmission:
       ++counts_.trace.retransmissions;
-    }
+      break;
   }
   // Emission counter and loss draw happen in the same order as the
   // sequential engine: dropped packets consume a key and a loss draw

@@ -151,18 +151,19 @@ class Engine {
   void send_packet(ProcessId from, Packet packet) {
     packet.src = from;
     assert(packet.dst < n_processes_);
-    if (!packet.is_control) {
-      assert(universe_[packet.user_msg].src == from &&
-             "user packet emitted by the wrong process");
-      // The send event x.s happens on the first emission; later
-      // emissions of the same user message are retransmissions.
-      if (send_seen_[packet.user_msg] == 0) {
-        send_seen_[packet.user_msg] = 1;
+    assert((packet.is_control ||
+            universe_[packet.user_msg].src == from) &&
+           "user packet emitted by the wrong process");
+    switch (sim_detail::classify_send(packet, send_seen_)) {
+      case sim_detail::SendClass::kControl:
+        break;
+      case sim_detail::SendClass::kFirstSend:
         record(from, {packet.user_msg, EventKind::kSend});
-      } else {
+        break;
+      case sim_detail::SendClass::kRetransmission:
         trace_.count_retransmission();
         sink_.count_retransmission();
-      }
+        break;
     }
     const std::uint64_t tiebreak =
         make_tiebreak(EntryKind::kArrival, from, emit_counter_[from]++);
@@ -242,19 +243,25 @@ class Engine {
       }
       case EntryKind::kArrival: {
         const Packet& pkt = entry.packet;
-        if (pkt.is_control) {
-          trace_.count_control_packet(pkt.tag_bytes);
-          sink_.count_control_packet(pkt.tag_bytes);
-        } else if (receive_seen_[pkt.user_msg] == 0) {
-          receive_seen_[pkt.user_msg] = 1;
-          trace_.count_user_packet(pkt.tag_bytes);
-          sink_.count_user_packet(pkt.tag_bytes);
-          record(pkt.dst, {pkt.user_msg, EventKind::kReceive});
-        } else {
-          trace_.count_duplicate_arrival();
-          sink_.count_duplicate_arrival();
-        }
-        protocols_[pkt.dst]->on_packet(pkt);
+        sim_detail::apply_arrival(*protocols_[pkt.dst], pkt, receive_seen_,
+                      [&](sim_detail::ArrivalClass cls) {
+                        switch (cls) {
+                          case sim_detail::ArrivalClass::kControl:
+                            trace_.count_control_packet(pkt.tag_bytes);
+                            sink_.count_control_packet(pkt.tag_bytes);
+                            break;
+                          case sim_detail::ArrivalClass::kFirstUser:
+                            trace_.count_user_packet(pkt.tag_bytes);
+                            sink_.count_user_packet(pkt.tag_bytes);
+                            record(pkt.dst,
+                                   {pkt.user_msg, EventKind::kReceive});
+                            break;
+                          case sim_detail::ArrivalClass::kDuplicate:
+                            trace_.count_duplicate_arrival();
+                            sink_.count_duplicate_arrival();
+                            break;
+                        }
+                      });
         break;
       }
       case EntryKind::kTimer:

@@ -768,6 +768,87 @@ LintResult lint_text(std::string_view text, const LintOptions& options) {
   return lint_spec(*parsed.spec, &source, options);
 }
 
+namespace {
+
+std::optional<ProtocolClass> class_by_name(const std::string& name) {
+  for (const ProtocolClass c :
+       {ProtocolClass::kTagless, ProtocolClass::kTagged,
+        ProtocolClass::kGeneral, ProtocolClass::kNotImplementable}) {
+    if (to_string(c) == name) return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+SpecFileText preprocess_spec_text(std::string_view raw) {
+  SpecFileText file;
+  file.text = std::string(raw);
+  std::size_t line_start = 0;
+  while (line_start <= file.text.size()) {
+    std::size_t line_end = file.text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = file.text.size();
+    std::size_t first = line_start;
+    while (first < line_end &&
+           (file.text[first] == ' ' || file.text[first] == '\t')) {
+      ++first;
+    }
+    if (first < line_end && file.text[first] == '#') {
+      const std::string comment =
+          file.text.substr(first + 1, line_end - first - 1);
+      const std::size_t key = comment.find("expect:");
+      if (key != std::string::npos) {
+        std::string value = comment.substr(key + 7);
+        const std::size_t begin = value.find_first_not_of(" \t");
+        const std::size_t end = value.find_last_not_of(" \t\r");
+        value = begin == std::string::npos
+                    ? ""
+                    : value.substr(begin, end - begin + 1);
+        file.expected = class_by_name(value);
+        if (!file.expected.has_value()) {
+          file.bad_expect_class = value;
+          // Span of the class name in the ORIGINAL text (an empty
+          // value points at the pragma keyword instead).
+          const std::size_t value_offset =
+              value.empty() ? first + 1 + key
+                            : first + 1 + key + 7 + begin;
+          const std::size_t value_length =
+              value.empty() ? 7 : value.size();
+          file.bad_expect_span = span_in(raw, value_offset, value_length);
+        }
+      }
+      for (std::size_t i = line_start; i < line_end; ++i) {
+        file.text[i] = ' ';
+      }
+    }
+    line_start = line_end + 1;
+  }
+  return file;
+}
+
+LintResult lint_file_text(std::string_view raw, const LintOptions& options,
+                          SpecFileText* file_out) {
+  SpecFileText file = preprocess_spec_text(raw);
+  LintOptions effective = options;
+  if (file.expected.has_value()) effective.expected = file.expected;
+  LintResult result = lint_text(file.text, effective);
+  if (!file.bad_expect_class.empty() || file.bad_expect_span.length > 0) {
+    LintDiagnostic d;
+    d.rule = &rule_unknown_expect_class();
+    d.severity = d.rule->severity;
+    d.message = "unknown '# expect:' class '" + file.bad_expect_class +
+                "'; valid classes are tagless, tagged, general, and "
+                "not-implementable";
+    d.span = file.bad_expect_span;
+    d.fixit = "# expect: " + to_string(result.spec_class);
+    // Put the pragma diagnostic first: it sits above the spec text and
+    // explains why no intent demotion happened.
+    result.diagnostics.insert(result.diagnostics.begin(), std::move(d));
+  }
+  if (file_out != nullptr) *file_out = std::move(file);
+  return result;
+}
+
 std::string render_lint_text(const LintResult& result,
                              std::string_view source_text,
                              std::string_view input_name) {

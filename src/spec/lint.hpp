@@ -107,6 +107,31 @@ LintResult lint_spec(const CompositeSpec& spec,
 LintResult lint_text(std::string_view text,
                      const LintOptions& options = {});
 
+/// A spec FILE after comment preprocessing: full-line `#` comments are
+/// blanked with spaces (so spans still point at real file positions)
+/// and the `# expect: <class>` intent pragma is extracted.  An unknown
+/// class name is recorded with its span instead of being dropped —
+/// lint_file_text turns it into an L017 diagnostic.
+struct SpecFileText {
+  std::string text;
+  std::optional<ProtocolClass> expected;
+  /// Unknown `# expect:` class name (empty when absent or valid) and
+  /// where it sits in the original file.
+  std::string bad_expect_class;
+  SourceSpan bad_expect_span;
+};
+
+SpecFileText preprocess_spec_text(std::string_view raw);
+
+/// preprocess_spec_text + lint_text: the whole-file entry point used by
+/// tools/msgorder_lint.  A malformed intent pragma produces an L017
+/// error diagnostic (and the spec is linted without a declared intent)
+/// rather than a hard usage failure, so it flows through the same
+/// rendering, artifact, and fail-at machinery as every other rule.
+LintResult lint_file_text(std::string_view raw,
+                          const LintOptions& options = {},
+                          SpecFileText* file_out = nullptr);
+
 /// Render caret-annotated text diagnostics.  `source_text` may be empty
 /// (no caret lines then); `input_name` prefixes every line, compiler
 /// style ("name:line:col: severity [ID rule-name] message").

@@ -77,6 +77,10 @@ const std::vector<LintRule>& catalog() {
       {"L016", "degenerate-counting", kWarning,
        "a 'concurrent <= 0' bound rejects every run that sends a "
        "matching message; the bound is almost certainly off by one"},
+      {"L017", "unknown-expect-class", kError,
+       "the '# expect:' intent pragma names an unknown protocol class, "
+       "so the declared intent cannot be checked; valid classes are "
+       "tagless, tagged, general, and not-implementable"},
   };
   return rules;
 }
@@ -114,5 +118,6 @@ const LintRule& rule_over_strength() { return by_id("L013"); }
 const LintRule& rule_class_mismatch() { return by_id("L014"); }
 const LintRule& rule_dead_disjunct() { return by_id("L015"); }
 const LintRule& rule_degenerate_counting() { return by_id("L016"); }
+const LintRule& rule_unknown_expect_class() { return by_id("L017"); }
 
 }  // namespace msgorder

@@ -55,5 +55,6 @@ const LintRule& rule_over_strength();          // L013
 const LintRule& rule_class_mismatch();         // L014
 const LintRule& rule_dead_disjunct();          // L015
 const LintRule& rule_degenerate_counting();    // L016
+const LintRule& rule_unknown_expect_class();   // L017
 
 }  // namespace msgorder

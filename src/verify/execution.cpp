@@ -1,0 +1,359 @@
+#include "src/verify/execution.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "src/protocols/state_codec.hpp"
+#include "src/sim/engine_detail.hpp"
+
+namespace msgorder {
+
+std::string to_string(const VerifyAction& action) {
+  std::ostringstream out;
+  switch (action.kind) {
+    case VerifyAction::Kind::kInvoke:
+      out << "invoke(x" << action.id << " at p" << action.proc << ")";
+      break;
+    case VerifyAction::Kind::kDeliver:
+      out << "deliver(p" << action.peer << "->p" << action.proc << " uid "
+          << action.id << ")";
+      break;
+    case VerifyAction::Kind::kDrop:
+      out << "drop(p" << action.peer << "->p" << action.proc << " uid "
+          << action.id << ")";
+      break;
+    case VerifyAction::Kind::kTimer:
+      out << "timer(p" << action.proc << " cookie " << action.id << ")";
+      break;
+  }
+  return out.str();
+}
+
+/// The Host facade for one process of a controlled execution.
+class Execution::ProcHost final : public Host {
+ public:
+  ProcHost(Execution* exec, ProcessId self) : exec_(exec), self_(self) {}
+
+  void send_packet(Packet packet) override {
+    exec_->send_from(self_, std::move(packet));
+  }
+  void deliver(MessageId msg) override {
+    exec_->record(self_, {msg, EventKind::kDeliver});
+  }
+  void set_timer(SimTime delay, std::uint64_t cookie) override {
+    (void)delay;  // timers fire only when the system is otherwise idle
+    exec_->timers_.insert({self_, cookie});
+  }
+  void hold(MessageId msg, const HoldReason& reason) override {
+    exec_->on_hold(self_, msg, reason);
+  }
+  bool wants_hold_reasons() const override { return true; }
+  SimTime now() const override { return exec_->now(); }
+  ProcessId self() const override { return self_; }
+  std::size_t process_count() const override {
+    return exec_->scenario_->n_processes;
+  }
+  const Message& message(MessageId msg) const override {
+    return exec_->scenario_->messages[msg];
+  }
+
+ private:
+  Execution* exec_;
+  ProcessId self_;
+};
+
+Execution::Execution(const Scenario& scenario,
+                     const ProtocolFactory& factory, ChannelModel model,
+                     std::size_t max_drops)
+    : scenario_(&scenario),
+      factory_(factory),
+      model_(model),
+      max_drops_(model == ChannelModel::kLossy ? max_drops : 0),
+      trace_(scenario.messages, scenario.n_processes),
+      attribution_(scenario.messages.size()) {
+  invoke_order_.resize(scenario.n_processes);
+  for (const Message& m : scenario.messages) {
+    invoke_order_[m.src].push_back(m.id);
+  }
+  reset();
+}
+
+Execution::~Execution() = default;
+
+void Execution::reset() {
+  const std::size_t n = scenario_->n_processes;
+  const std::size_t m = scenario_->messages.size();
+  channels_.clear();
+  timers_.clear();
+  next_invoke_.assign(n, 0);
+  send_seen_.assign(m, 0);
+  receive_seen_.assign(m, 0);
+  histories_.assign(n, {});
+  trace_ = Trace(scenario_->messages, n);
+  attribution_ = DelayAttribution(m);
+  delivered_count_ = 0;
+  drops_used_ = 0;
+  step_ = 0;
+  next_uid_ = 0;
+  // Hosts first: protocol constructors may already send (the token ring
+  // starts circulating from its constructor).
+  protocols_.clear();
+  hosts_.clear();
+  hosts_.reserve(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    hosts_.push_back(std::make_unique<ProcHost>(this, p));
+  }
+  protocols_.reserve(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    protocols_.push_back(factory_(*hosts_[p]));
+  }
+}
+
+void Execution::replay(const std::vector<VerifyAction>& schedule) {
+  reset();
+  for (const VerifyAction& action : schedule) apply(action);
+}
+
+void Execution::record(ProcessId at, SystemEvent e) {
+  trace_.record(at, e, now());
+  if (e.kind == EventKind::kSend || e.kind == EventKind::kDeliver) {
+    histories_[at].push_back(
+        {e.msg, e.kind == EventKind::kSend ? UserEventKind::kSend
+                                           : UserEventKind::kDeliver});
+  }
+  // Mirror the simulator's ObsSink release contract exactly: the send
+  // event closes the send-phase hold, the delivery the delivery-phase.
+  if (e.kind == EventKind::kSend) {
+    attribution_.on_release(e.msg, HoldPhase::kSend, now());
+  } else if (e.kind == EventKind::kDeliver) {
+    attribution_.on_release(e.msg, HoldPhase::kDelivery, now());
+    ++delivered_count_;
+  }
+  if (tracelog_ != nullptr) {
+    const Message& msg = scenario_->messages[e.msg];
+    const bool at_src =
+        e.kind == EventKind::kInvoke || e.kind == EventKind::kSend;
+    tracelog_->append_event(at, e, now(),
+                            static_cast<std::uint64_t>(step_),
+                            at_src ? msg.dst : msg.src, msg.color);
+  }
+}
+
+void Execution::on_hold(ProcessId at, MessageId msg,
+                        const HoldReason& reason) {
+  const HoldPhase phase =
+      receive_seen_[msg] != 0 ? HoldPhase::kDelivery : HoldPhase::kSend;
+  attribution_.on_hold(msg, at, phase, reason, now());
+  if (tracelog_ != nullptr) {
+    tracelog_->append_hold(at, msg, reason, now(),
+                           static_cast<std::uint64_t>(step_));
+  }
+}
+
+void Execution::send_from(ProcessId from, Packet packet) {
+  packet.src = from;
+  assert(packet.dst < scenario_->n_processes);
+  switch (sim_detail::classify_send(packet, send_seen_)) {
+    case sim_detail::SendClass::kControl:
+      break;
+    case sim_detail::SendClass::kFirstSend:
+      record(from, {packet.user_msg, EventKind::kSend});
+      break;
+    case sim_detail::SendClass::kRetransmission:
+      trace_.count_retransmission();
+      break;
+  }
+  const auto key = std::make_pair(from, packet.dst);
+  channels_[key].push_back({std::move(packet), next_uid_++});
+}
+
+void Execution::apply(const VerifyAction& action) {
+  switch (action.kind) {
+    case VerifyAction::Kind::kInvoke: {
+      const auto msg = static_cast<MessageId>(action.id);
+      const Message& m = scenario_->messages[msg];
+      assert(m.src == action.proc);
+      assert(next_invoke_[m.src] < invoke_order_[m.src].size() &&
+             invoke_order_[m.src][next_invoke_[m.src]] == msg);
+      ++next_invoke_[m.src];
+      record(m.src, {msg, EventKind::kInvoke});
+      protocols_[m.src]->on_invoke(m);
+      break;
+    }
+    case VerifyAction::Kind::kDeliver:
+    case VerifyAction::Kind::kDrop: {
+      auto& queue = channels_[{action.peer, action.proc}];
+      auto it = std::find_if(queue.begin(), queue.end(),
+                             [&](const InFlight& f) {
+                               return f.uid == action.id;
+                             });
+      assert(it != queue.end() && "scheduled packet not in flight");
+      Packet pkt = std::move(it->packet);
+      queue.erase(it);
+      if (action.kind == VerifyAction::Kind::kDrop) {
+        ++drops_used_;
+        trace_.count_drop();
+        break;
+      }
+      sim_detail::apply_arrival(
+          *protocols_[action.proc], pkt, receive_seen_,
+          [&](sim_detail::ArrivalClass cls) {
+            switch (cls) {
+              case sim_detail::ArrivalClass::kControl:
+                trace_.count_control_packet(pkt.tag_bytes);
+                break;
+              case sim_detail::ArrivalClass::kFirstUser:
+                trace_.count_user_packet(pkt.tag_bytes);
+                record(action.proc, {pkt.user_msg, EventKind::kReceive});
+                break;
+              case sim_detail::ArrivalClass::kDuplicate:
+                trace_.count_duplicate_arrival();
+                break;
+            }
+          });
+      break;
+    }
+    case VerifyAction::Kind::kTimer: {
+      timers_.erase({action.proc, action.id});
+      protocols_[action.proc]->on_timer(action.id);
+      break;
+    }
+  }
+  ++step_;
+}
+
+std::vector<VerifyAction> Execution::enabled() const {
+  std::vector<VerifyAction> actions;
+  for (ProcessId p = 0; p < scenario_->n_processes; ++p) {
+    if (next_invoke_[p] < invoke_order_[p].size()) {
+      actions.push_back({VerifyAction::Kind::kInvoke, p, 0,
+                         invoke_order_[p][next_invoke_[p]]});
+    }
+  }
+  for (const auto& [key, queue] : channels_) {
+    if (queue.empty()) continue;
+    const auto [src, dst] = key;
+    if (model_ == ChannelModel::kFifo) {
+      actions.push_back(
+          {VerifyAction::Kind::kDeliver, dst, src, queue.front().uid});
+    } else {
+      for (const InFlight& f : queue) {
+        actions.push_back({VerifyAction::Kind::kDeliver, dst, src, f.uid});
+      }
+    }
+  }
+  if (model_ == ChannelModel::kLossy && drops_used_ < max_drops_) {
+    for (const auto& [key, queue] : channels_) {
+      const auto [src, dst] = key;
+      for (const InFlight& f : queue) {
+        actions.push_back({VerifyAction::Kind::kDrop, dst, src, f.uid});
+      }
+    }
+  }
+  if (actions.empty()) {
+    // Timer abstraction: timeouts fire only once the system is
+    // otherwise idle (registry timers are retransmission timeouts, and
+    // a retransmission is only ever *needed* after drops starved the
+    // run).  This also keeps timer chatter from exploding the state
+    // space with schedules no property depends on.
+    for (const auto& [p, cookie] : timers_) {
+      actions.push_back({VerifyAction::Kind::kTimer, p, 0, cookie});
+    }
+  }
+  return actions;
+}
+
+bool Execution::all_invoked() const {
+  for (ProcessId p = 0; p < scenario_->n_processes; ++p) {
+    if (next_invoke_[p] < invoke_order_[p].size()) return false;
+  }
+  return true;
+}
+
+bool Execution::protocols_quiescent() const {
+  for (const auto& protocol : protocols_) {
+    if (!protocol->quiescent()) return false;
+  }
+  return true;
+}
+
+bool Execution::user_packets_in_flight() const {
+  for (const auto& [key, queue] : channels_) {
+    for (const InFlight& f : queue) {
+      if (!f.packet.is_control) return true;
+    }
+  }
+  return false;
+}
+
+bool Execution::fingerprint(std::string& out) const {
+  for (const auto& protocol : protocols_) {
+    std::string snap;
+    if (!protocol->snapshot(snap)) return false;
+    codec::put_str(out, snap);
+  }
+  for (ProcessId p = 0; p < scenario_->n_processes; ++p) {
+    codec::put_u32(out, static_cast<std::uint32_t>(next_invoke_[p]));
+    codec::put_u32(out, static_cast<std::uint32_t>(histories_[p].size()));
+    for (const ScheduleStep& s : histories_[p]) {
+      codec::put_u32(out, s.msg);
+      codec::put_u8(out, s.kind == UserEventKind::kSend ? 0 : 1);
+    }
+  }
+  std::uint32_t nonempty = 0;
+  for (const auto& [key, queue] : channels_) {
+    if (!queue.empty()) ++nonempty;
+  }
+  codec::put_u32(out, nonempty);
+  for (const auto& [key, queue] : channels_) {
+    if (queue.empty()) continue;  // drained channels are not state
+    codec::put_u32(out, key.first);
+    codec::put_u32(out, key.second);
+    codec::put_u32(out, static_cast<std::uint32_t>(queue.size()));
+    // Per-packet digests: content identity, never emission uids (the
+    // same state reached with different emission histories must
+    // coincide, or idle control cycles would never close).
+    std::vector<std::uint64_t> digests;
+    digests.reserve(queue.size());
+    for (const InFlight& f : queue) {
+      std::uint64_t h = codec::kFnvOffset;
+      h = codec::fnv1a(h, f.packet.is_control ? 1 : 0);
+      h = codec::fnv1a_bytes(h, f.packet.kind);
+      h = codec::fnv1a(h, f.packet.user_msg);
+      h = codec::fnv1a(h, f.packet.content_key);
+      digests.push_back(h);
+    }
+    if (model_ != ChannelModel::kFifo) {
+      // Queue order is invisible to a reordering channel: canonicalize
+      // to the sorted multiset.
+      std::sort(digests.begin(), digests.end());
+    }
+    for (const std::uint64_t d : digests) codec::put_u64(out, d);
+  }
+  codec::put_u32(out, static_cast<std::uint32_t>(timers_.size()));
+  for (const auto& [p, cookie] : timers_) {
+    codec::put_u32(out, p);
+    codec::put_u64(out, cookie);
+  }
+  codec::put_u32(out, static_cast<std::uint32_t>(drops_used_));
+  return true;
+}
+
+std::uint64_t Execution::history_digest() const {
+  std::string enc;
+  for (const auto& history : histories_) {
+    codec::put_u32(enc, static_cast<std::uint32_t>(history.size()));
+    for (const ScheduleStep& s : history) {
+      codec::put_u32(enc, s.msg);
+      codec::put_u8(enc, s.kind == UserEventKind::kSend ? 0 : 1);
+    }
+  }
+  return codec::digest(enc);
+}
+
+std::optional<UserRun> Execution::user_run(std::string* error) const {
+  return UserRun::from_schedules(scenario_->messages, histories_, error);
+}
+
+}  // namespace msgorder

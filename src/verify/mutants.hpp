@@ -1,0 +1,43 @@
+// Seeded-mutant protocols (ISSUE 10): deliberately broken variants of
+// registry stacks, each carrying the spec its clean counterpart
+// declares.  They exist to prove the verifier catches real
+// interleaving bugs — every mutant must be flagged with a replayable
+// counterexample at the CI scope, and the flagging is itself gated
+// (tests/verify_mutant_test.cpp, the msgorder_verify CI step).
+//
+// The four mutants cover the four counterexample classes:
+//   fifo-overtake      — flushes its resequencing buffer out of order
+//                        once two packets are queued: an ordering
+//                        VIOLATION under a reordering burst.
+//   fifo-stuck         — skips ahead on an out-of-order arrival,
+//                        stranding the earlier message in the buffer:
+//                        a DEADLOCK (and a hold that never releases).
+//   causal-no-merge    — RST without the transitive knowledge merge on
+//                        delivery: a causal VIOLATION on a relay chain.
+//   token-early-release— a token ring that transmits without awaiting
+//                        the receiver's ack: a 2-crown (logical-
+//                        synchrony) VIOLATION under a reordered burst.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/protocols/protocol.hpp"
+#include "src/spec/predicate.hpp"
+
+namespace msgorder {
+
+struct MutantProtocol {
+  std::string name;         // "mutant:fifo-overtake", ...
+  std::string description;  // what was broken
+  /// The counterexample class the verifier must report ("violation",
+  /// "deadlock"); asserted by the mutant tests.
+  std::string expected_verdict;
+  ProtocolFactory factory;
+  /// The CLEAN stack's declared spec — what the mutant falsely claims.
+  CompositeSpec spec;
+};
+
+std::vector<MutantProtocol> mutant_protocols();
+
+}  // namespace msgorder

@@ -1,0 +1,132 @@
+#include "src/verify/scenario.hpp"
+
+#include <cassert>
+
+#include "src/util/rng.hpp"
+
+namespace msgorder {
+
+std::string to_string(ChannelModel model) {
+  switch (model) {
+    case ChannelModel::kFifo:
+      return "fifo";
+    case ChannelModel::kReorder:
+      return "reorder";
+    case ChannelModel::kLossy:
+      return "lossy";
+  }
+  return "unknown";
+}
+
+std::optional<ChannelModel> parse_channel_model(const std::string& name) {
+  if (name == "fifo") return ChannelModel::kFifo;
+  if (name == "reorder") return ChannelModel::kReorder;
+  if (name == "lossy") return ChannelModel::kLossy;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Endpoint pattern for message i of a named shape.
+struct Endpoints {
+  ProcessId src;
+  ProcessId dst;
+};
+
+Endpoints shape_endpoints(const std::string& shape, std::size_t i,
+                          std::size_t n) {
+  const auto p = static_cast<ProcessId>(n);
+  if (shape == "ring") {
+    const auto s = static_cast<ProcessId>(i % n);
+    return {s, static_cast<ProcessId>((s + 1) % p)};
+  }
+  if (shape == "fanin") {
+    // Everyone else sends to process 0.
+    const auto s = static_cast<ProcessId>(1 + i % (n - 1));
+    return {s, 0};
+  }
+  if (shape == "pingpong") {
+    return (i % 2 == 0) ? Endpoints{0, 1} : Endpoints{1, 0};
+  }
+  if (shape == "scatter") {
+    // Process 0 sends to rotating destinations.
+    return {0, static_cast<ProcessId>(1 + i % (n - 1))};
+  }
+  if (shape == "burst") {
+    // One hot channel: the shape that exposes FIFO bugs.
+    return {0, 1};
+  }
+  // relay: a causal chain through the middle — 0 seeds both the far end
+  // and the middle, the middle forwards and answers.  Contains the
+  // crossing that exposes missing causal transitivity.
+  const auto far = static_cast<ProcessId>(n - 1);
+  const ProcessId mid = n > 2 ? 1 : far;
+  switch (i % 4) {
+    case 0:
+      return {0, far};
+    case 1:
+      return {0, mid};
+    case 2:
+      return {mid, far};
+    default:
+      return {mid, 0};
+  }
+}
+
+Scenario make_scenario(const std::string& shape, std::size_t n_processes,
+                       std::size_t n_messages, bool colored) {
+  assert(n_processes >= 2);
+  Scenario scenario;
+  scenario.name = colored ? shape + "-colored" : shape;
+  scenario.n_processes = n_processes;
+  scenario.messages.reserve(n_messages);
+  for (std::size_t i = 0; i < n_messages; ++i) {
+    Endpoints e = shape_endpoints(shape, i, n_processes);
+    if (e.src == e.dst) e.dst = static_cast<ProcessId>((e.dst + 1) % n_processes);
+    Message m;
+    m.id = static_cast<MessageId>(i);
+    m.src = e.src;
+    m.dst = e.dst;
+    m.color = colored ? static_cast<int>(i % 4) : 0;
+    scenario.messages.push_back(m);
+  }
+  return scenario;
+}
+
+}  // namespace
+
+std::vector<Scenario> standard_scenarios(std::size_t n_processes,
+                                         std::size_t n_messages) {
+  const char* shapes[] = {"ring",    "fanin", "pingpong",
+                          "scatter", "burst", "relay"};
+  std::vector<Scenario> scenarios;
+  for (const char* shape : shapes) {
+    // pingpong and burst use only two processes; the other shapes need
+    // the full scope to differ from them.
+    scenarios.push_back(make_scenario(shape, n_processes, n_messages,
+                                      /*colored=*/false));
+    scenarios.push_back(make_scenario(shape, n_processes, n_messages,
+                                      /*colored=*/true));
+  }
+  return scenarios;
+}
+
+Scenario random_scenario(std::size_t n_processes, std::size_t n_messages,
+                         std::uint64_t seed) {
+  Rng rng(seed ^ 0x76657269667921ULL);
+  Scenario scenario;
+  scenario.name = "random-" + std::to_string(seed);
+  scenario.n_processes = n_processes;
+  for (std::size_t i = 0; i < n_messages; ++i) {
+    Message m;
+    m.id = static_cast<MessageId>(i);
+    m.src = static_cast<ProcessId>(rng.below(n_processes));
+    m.dst = static_cast<ProcessId>(rng.below(n_processes - 1));
+    if (m.dst >= m.src) ++m.dst;
+    m.color = static_cast<int>(rng.below(4));
+    scenario.messages.push_back(m);
+  }
+  return scenario;
+}
+
+}  // namespace msgorder

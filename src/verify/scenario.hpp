@@ -1,0 +1,59 @@
+// Bounded verification scenarios (ISSUE 10): the small closed workloads
+// the exhaustive verifier explores.  A scenario fixes the message
+// universe — who sends what to whom, in which per-process invoke order
+// — and the verifier then enumerates EVERY delivery interleaving the
+// channel model allows, which is what turns a test vector into a proof
+// at that scope.
+//
+// The standard scenario set is chosen to cover the communication shapes
+// that distinguish the registry's protocols: a ring (every process both
+// sends and receives), a fan-in (receiver-side buffering pressure), a
+// ping-pong (alternating directions on one channel pair), a scatter
+// (one sender, rotating destinations), a burst (one hot channel — the
+// shape that exposes FIFO bugs), and a relay (a causal chain through a
+// middle process — the shape that exposes missing transitivity).  Each
+// shape also runs in a colored variant so the flush family's per-kind
+// barriers are exercised.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/poset/event.hpp"
+
+namespace msgorder {
+
+/// What reorderings the verifier's channels may perform.
+enum class ChannelModel : std::uint8_t {
+  kFifo,     // per-(src,dst) queues deliver in emission order
+  kReorder,  // any in-flight packet on a channel may arrive next
+  kLossy,    // kReorder plus a bounded budget of packet drops
+             // (the stack under test is wrapped in the reliability
+             // layer, whose retransmissions must mask every drop)
+};
+
+std::string to_string(ChannelModel model);
+std::optional<ChannelModel> parse_channel_model(const std::string& name);
+
+/// One bounded workload: `messages[i].id == i`, and each process invokes
+/// its messages in id order (the verifier interleaves invokes across
+/// processes freely; the per-process order is the program order).
+struct Scenario {
+  std::string name;
+  std::size_t n_processes = 2;
+  std::vector<Message> messages;
+};
+
+/// The deterministic scenario set at the given scope: six shapes (ring,
+/// fanin, pingpong, scatter, burst, relay), each plain and colored.
+std::vector<Scenario> standard_scenarios(std::size_t n_processes,
+                                         std::size_t n_messages);
+
+/// A seeded random scenario (uniform endpoints, src != dst, colors in
+/// {0..3}) for --scenarios K sweeps beyond the standard set.
+Scenario random_scenario(std::size_t n_processes, std::size_t n_messages,
+                         std::uint64_t seed);
+
+}  // namespace msgorder

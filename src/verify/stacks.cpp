@@ -1,0 +1,43 @@
+#include "src/verify/stacks.hpp"
+
+#include "src/protocols/registry.hpp"
+#include "src/protocols/synthesized.hpp"
+#include "src/spec/library.hpp"
+#include "src/verify/mutants.hpp"
+
+namespace msgorder {
+
+std::vector<VerifyTarget> verify_targets(bool include_mutants) {
+  std::vector<VerifyTarget> targets;
+  for (const RegisteredProtocol& rp : standard_protocols()) {
+    targets.push_back(
+        {rp.name, rp.description, rp.factory, rp.spec, false, "verified"});
+  }
+  // The Theorem 3 synthesis, checked against the very spec it was
+  // synthesized from.
+  const SynthesisResult synthesis = synthesize(causal_ordering());
+  if (synthesis.factory.has_value()) {
+    CompositeSpec spec;
+    spec.predicates.push_back(causal_ordering());
+    targets.push_back({"synth:causal",
+                       "synthesized stack for causal ordering (Theorem 3)",
+                       *synthesis.factory, spec, false, "verified"});
+  }
+  if (include_mutants) {
+    for (const MutantProtocol& m : mutant_protocols()) {
+      targets.push_back(
+          {m.name, m.description, m.factory, m.spec, true,
+           m.expected_verdict});
+    }
+  }
+  return targets;
+}
+
+std::optional<VerifyTarget> find_verify_target(const std::string& name) {
+  for (VerifyTarget& t : verify_targets(true)) {
+    if (t.name == name) return std::move(t);
+  }
+  return std::nullopt;
+}
+
+}  // namespace msgorder

@@ -1,0 +1,32 @@
+// The verifier's target registry (ISSUE 10): everything
+// tools/msgorder_verify can check — the ten registry stacks with their
+// declared specs, the synthesized causal stack (Theorem 3's
+// construction, verified against the spec it was synthesized from),
+// and, when requested, the seeded mutants.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/protocols/protocol.hpp"
+#include "src/spec/predicate.hpp"
+
+namespace msgorder {
+
+struct VerifyTarget {
+  std::string name;
+  std::string description;
+  ProtocolFactory factory;
+  CompositeSpec spec;
+  bool is_mutant = false;
+  /// For mutants: the counterexample class the verifier must report.
+  std::string expected_verdict = "verified";
+};
+
+/// Registry stacks + "synth:causal" (+ mutants when asked).
+std::vector<VerifyTarget> verify_targets(bool include_mutants);
+
+std::optional<VerifyTarget> find_verify_target(const std::string& name);
+
+}  // namespace msgorder

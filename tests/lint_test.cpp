@@ -17,64 +17,17 @@
 namespace msgorder {
 namespace {
 
-struct Fixture {
-  std::string text;  // comment lines blanked, offsets preserved
-  LintOptions options;
-};
-
-std::optional<ProtocolClass> class_by_name(const std::string& name) {
-  for (const ProtocolClass c :
-       {ProtocolClass::kTagless, ProtocolClass::kTagged,
-        ProtocolClass::kGeneral, ProtocolClass::kNotImplementable}) {
-    if (to_string(c) == name) return c;
-  }
-  return std::nullopt;
-}
-
-/// Same preprocessing as tools/msgorder_lint: blank full-line comments
-/// with spaces (so spans still point at file positions) and honor the
-/// `# expect: <class>` pragma.
-Fixture load(const std::string& path) {
+std::string read_raw(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   EXPECT_TRUE(in.good()) << "cannot read " << path;
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  Fixture fixture;
-  fixture.text = buffer.str();
-  std::size_t line_start = 0;
-  while (line_start <= fixture.text.size()) {
-    std::size_t line_end = fixture.text.find('\n', line_start);
-    if (line_end == std::string::npos) line_end = fixture.text.size();
-    std::size_t first = line_start;
-    while (first < line_end && (fixture.text[first] == ' ' ||
-                                fixture.text[first] == '\t')) {
-      ++first;
-    }
-    if (first < line_end && fixture.text[first] == '#') {
-      const std::string comment =
-          fixture.text.substr(first + 1, line_end - first - 1);
-      const std::size_t key = comment.find("expect:");
-      if (key != std::string::npos) {
-        std::string value = comment.substr(key + 7);
-        const std::size_t begin = value.find_first_not_of(" \t");
-        const std::size_t end = value.find_last_not_of(" \t\r");
-        if (begin != std::string::npos) {
-          fixture.options.expected =
-              class_by_name(value.substr(begin, end - begin + 1));
-        }
-      }
-      for (std::size_t i = line_start; i < line_end; ++i) {
-        fixture.text[i] = ' ';
-      }
-    }
-    line_start = line_end + 1;
-  }
-  return fixture;
+  return buffer.str();
 }
 
 LintResult lint_fixture(const std::string& name) {
-  const Fixture fixture = load(std::string(LINT_FIXTURE_DIR) + "/" + name);
-  return lint_text(fixture.text, fixture.options);
+  return lint_file_text(
+      read_raw(std::string(LINT_FIXTURE_DIR) + "/" + name));
 }
 
 TEST(LintFixtures, UnsatisfiableCrossing) {
@@ -156,6 +109,21 @@ TEST(LintFixtures, ParseError) {
   EXPECT_TRUE(r.diagnostics[0].span.has_value());
 }
 
+TEST(LintFixtures, UnknownExpectClass) {
+  const LintResult r = lint_fixture("bad_expect_unknown_class.spec");
+  EXPECT_TRUE(r.has_rule("L017"));
+  EXPECT_GE(r.count(LintSeverity::kError), 1u);
+  // The bad pragma carries no intent, so no demotion and no L014.
+  EXPECT_FALSE(r.has_rule("L014"));
+  ASSERT_FALSE(r.diagnostics.empty());
+  const LintDiagnostic& d = r.diagnostics.front();
+  EXPECT_EQ(d.rule->id, "L017");
+  ASSERT_TRUE(d.span.has_value());
+  EXPECT_EQ(d.span->line, 3u);  // the pragma line, not the spec line
+  EXPECT_NE(d.message.find("'casual'"), std::string::npos);
+  EXPECT_EQ(d.fixit, "# expect: tagged");
+}
+
 TEST(LintFixtures, CleanFixturesPass) {
   for (const char* name : {"clean_causal.spec", "clean_fifo.spec"}) {
     const LintResult r = lint_fixture(name);
@@ -192,8 +160,7 @@ TEST(LintLibrary, ExampleSpecFilesAreClean) {
        std::filesystem::directory_iterator(SPEC_DIR)) {
     if (entry.path().extension() != ".spec") continue;
     ++n_files;
-    const Fixture fixture = load(entry.path().string());
-    const LintResult r = lint_text(fixture.text, fixture.options);
+    const LintResult r = lint_file_text(read_raw(entry.path().string()));
     EXPECT_TRUE(r.parsed) << entry.path();
     EXPECT_TRUE(r.clean()) << entry.path();
   }
@@ -322,7 +289,7 @@ TEST(LintRender, CaretPointsAtTheOffendingSpan) {
 }
 
 TEST(LintRules, CatalogIsStableAndComplete) {
-  ASSERT_EQ(lint_rules().size(), 16u);
+  ASSERT_EQ(lint_rules().size(), 17u);
   for (std::size_t i = 0; i < lint_rules().size(); ++i) {
     char id[32];
     std::snprintf(id, sizeof(id), "L%03zu", i + 1);

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "src/obs/hold_soundness.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/observability.hpp"
 #include "src/protocols/registry.hpp"
@@ -73,6 +74,14 @@ void expect_exact_attribution(const std::string& name,
   EXPECT_NEAR(by_kind, total_held, 1e-6);
   EXPECT_EQ(obs.instruments().hold_segments->value(),
             attr->segment_count());
+
+  // The ISSUE-4 attribution contract, checked structurally: every hold
+  // is closed, and every named blocker actually explains the hold (the
+  // same oracle the exhaustive verifier applies to each explored run).
+  for (const std::string& violation :
+       hold_soundness_violations(result.trace, *attr)) {
+    ADD_FAILURE() << violation;
+  }
 }
 
 TEST(DelayAttribution, EveryRegisteredProtocolAttributesItsDelaysExactly) {

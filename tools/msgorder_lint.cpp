@@ -76,63 +76,12 @@ int list_rules() {
   return 0;
 }
 
-std::optional<msgorder::ProtocolClass> class_by_name(
-    const std::string& name) {
-  for (const msgorder::ProtocolClass c :
-       {msgorder::ProtocolClass::kTagless, msgorder::ProtocolClass::kTagged,
-        msgorder::ProtocolClass::kGeneral,
-        msgorder::ProtocolClass::kNotImplementable}) {
-    if (msgorder::to_string(c) == name) return c;
-  }
-  return std::nullopt;
-}
-
-struct SpecFile {
-  /// The file contents with every full-line `#` comment blanked out by
-  /// spaces, so that byte offsets and line numbers survive.
-  std::string text;
-  std::optional<msgorder::ProtocolClass> expected;
-  std::string bad_pragma;  // non-empty when an expect pragma is invalid
-};
-
-std::optional<SpecFile> load_spec_file(const std::string& path) {
+std::optional<std::string> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  SpecFile file;
-  file.text = buffer.str();
-
-  std::size_t line_start = 0;
-  while (line_start <= file.text.size()) {
-    std::size_t line_end = file.text.find('\n', line_start);
-    if (line_end == std::string::npos) line_end = file.text.size();
-    std::size_t first = line_start;
-    while (first < line_end &&
-           (file.text[first] == ' ' || file.text[first] == '\t')) {
-      ++first;
-    }
-    if (first < line_end && file.text[first] == '#') {
-      std::string comment =
-          file.text.substr(first + 1, line_end - first - 1);
-      const std::size_t key = comment.find("expect:");
-      if (key != std::string::npos) {
-        std::string value = comment.substr(key + std::strlen("expect:"));
-        const std::size_t begin = value.find_first_not_of(" \t");
-        const std::size_t end = value.find_last_not_of(" \t\r");
-        value = begin == std::string::npos
-                    ? ""
-                    : value.substr(begin, end - begin + 1);
-        file.expected = class_by_name(value);
-        if (!file.expected.has_value()) file.bad_pragma = value;
-      }
-      for (std::size_t i = line_start; i < line_end; ++i) {
-        file.text[i] = ' ';
-      }
-    }
-    line_start = line_end + 1;
-  }
-  return file;
+  return buffer.str();
 }
 
 /// The built-in library as lintable inputs: every spec_zoo entry with
@@ -242,24 +191,20 @@ int main(int argc, char** argv) {
     inputs.push_back(std::move(input));
   }
   for (const std::string& path : files) {
-    const auto file = load_spec_file(path);
-    if (!file.has_value()) {
+    const auto raw = read_file(path);
+    if (!raw.has_value()) {
       std::fprintf(stderr, "msgorder_lint: cannot read %s\n", path.c_str());
       return 2;
     }
-    if (!file->bad_pragma.empty()) {
-      std::fprintf(stderr,
-                   "msgorder_lint: %s: bad '# expect:' class '%s' (want "
-                   "tagless|tagged|general|not-implementable)\n",
-                   path.c_str(), file->bad_pragma.c_str());
-      return 2;
-    }
-    LintOptions options = base_options;
-    options.expected = file->expected;
+    // Pragma extraction (including a malformed `# expect:` class, which
+    // becomes an L017 diagnostic) happens inside lint_file_text, so a
+    // bad pragma renders, counts toward --fail-at, and lands in the
+    // artifact like every other rule.
+    msgorder::SpecFileText file;
     LintInput input;
     input.name = path;
-    input.source_text = file->text;
-    input.result = msgorder::lint_text(file->text, options);
+    input.result = msgorder::lint_file_text(*raw, base_options, &file);
+    input.source_text = std::move(file.text);
     inputs.push_back(std::move(input));
   }
   if (use_library) {
